@@ -1,0 +1,49 @@
+# Development targets for the CoPart reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/...
+
+cover:
+	$(GO) test -cover ./internal/... .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper into ./out/ (text + SVG).
+figures:
+	mkdir -p out
+	$(GO) run ./cmd/characterize -table1 -table2 > out/tables.txt
+	$(GO) run ./cmd/characterize -fig 1 -svg out > out/fig1.txt
+	$(GO) run ./cmd/characterize -fig 2 -svg out > out/fig2.txt
+	$(GO) run ./cmd/characterize -fig 3 -svg out > out/fig3.txt
+	$(GO) run ./cmd/fairmap -fig 4 -svg out > out/fig4.txt
+	$(GO) run ./cmd/fairmap -fig 5 -svg out > out/fig5.txt
+	$(GO) run ./cmd/fairmap -fig 6 -svg out > out/fig6.txt
+	$(GO) run ./cmd/sensitivity -param all > out/fig11.txt
+	$(GO) run ./cmd/evaluate -fig 12 -svg out > out/fig12.txt
+	$(GO) run ./cmd/evaluate -fig 13 -svg out > out/fig13.txt
+	$(GO) run ./cmd/evaluate -fig 14 -svg out > out/fig14.txt
+	$(GO) run ./cmd/casestudy -csv out/fig15.csv -svg out/fig15.svg > out/fig15.txt
+	$(GO) run ./cmd/overhead -convergence > out/fig16.txt
+	$(GO) run ./cmd/evaluate -fig 17 -svg out > out/fig17.txt
+	$(GO) run ./cmd/evaluate -fig 12 -extended > out/fig12_extended.txt
+	$(GO) run ./cmd/evaluate -dualsocket > out/dualsocket.txt
+	$(GO) run ./cmd/ablate > out/ablation.txt
+
+clean:
+	rm -rf out

@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/policies"
+	"repro/internal/resctrl"
+	"repro/internal/workloads"
+)
+
+// Machine simulation (internal/machine).
+type (
+	// Config describes the simulated server (Table 1 by default).
+	Config = machine.Config
+	// Machine is the simulated commodity server.
+	Machine = machine.Machine
+	// AppModel is the analytic description of one application.
+	AppModel = machine.AppModel
+	// WSComponent is one hot working-set component of an AppModel.
+	WSComponent = machine.WSComponent
+	// Alloc is a per-application (CBM, MBA level) allocation.
+	Alloc = machine.Alloc
+	// Counters are the simulated performance counters.
+	Counters = machine.Counters
+	// Perf is a solved steady-state performance point.
+	Perf = machine.Perf
+)
+
+// DefaultConfig returns the paper's machine: 16 cores at 2.1 GHz, a 22 MB
+// 11-way LLC, and a ~28 GB/s DRAM budget.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// NewMachine builds a simulated server.
+func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// EqualSplit divides ways evenly across n applications.
+func EqualSplit(totalWays, n int) ([]int, error) { return machine.EqualSplit(totalWays, n) }
+
+// AssignContiguousWays converts way counts into exclusive contiguous CBMs.
+func AssignContiguousWays(counts []int, lo, totalWays int) ([]uint64, error) {
+	return machine.AssignContiguousWays(counts, lo, totalWays)
+}
+
+// CoPart controller (internal/core).
+type (
+	// Params are CoPart's design parameters (§5).
+	Params = core.Params
+	// Manager is CoPart's resource manager.
+	Manager = core.Manager
+	// Envelope is the window of LLC ways the manager governs.
+	Envelope = core.Envelope
+	// Target abstracts the controlled machine.
+	Target = core.Target
+	// PeriodReport summarizes one control period.
+	PeriodReport = core.PeriodReport
+	// State is a classifier state (Supply / Maintain / Demand).
+	State = core.State
+	// AllocState is the controller's per-application system state.
+	AllocState = core.AllocState
+)
+
+// Classifier states.
+const (
+	Supply   = core.Supply
+	Maintain = core.Maintain
+	Demand   = core.Demand
+)
+
+// DefaultParams returns the paper's parameter configuration.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewManager builds the CoPart resource manager over a target.
+func NewManager(target Target, params Params, streamRef map[int]float64, env Envelope, rng *rand.Rand) (*Manager, error) {
+	return core.NewManager(target, params, streamRef, env, rng)
+}
+
+// Workloads (internal/workloads).
+type (
+	// BenchSpec pairs a calibrated benchmark model with its Table 2
+	// classification and reference rates.
+	BenchSpec = workloads.Spec
+	// MixKind enumerates the seven evaluation workload mixes.
+	MixKind = workloads.MixKind
+	// Category is the four-way benchmark classification.
+	Category = workloads.Category
+	// LatencyCritical models the §6.3 latency-critical service.
+	LatencyCritical = workloads.LatencyCritical
+)
+
+// Workload mix kinds (Figure 12 order).
+const (
+	HLLC  = workloads.HLLC
+	HBW   = workloads.HBW
+	HBoth = workloads.HBoth
+	MLLC  = workloads.MLLC
+	MBW   = workloads.MBW
+	MBoth = workloads.MBoth
+	IS    = workloads.IS
+)
+
+// Benchmark categories.
+const (
+	LLCSensitive  = workloads.LLCSensitive
+	BWSensitive   = workloads.BWSensitive
+	DualSensitive = workloads.DualSensitive
+	Insensitive   = workloads.Insensitive
+)
+
+// Catalog returns the eleven Table 2 benchmarks calibrated against cfg.
+func Catalog(cfg Config) ([]BenchSpec, error) { return workloads.Catalog(cfg) }
+
+// Benchmark returns one calibrated benchmark by its Table 2 name.
+func Benchmark(cfg Config, name string) (BenchSpec, error) { return workloads.ByName(cfg, name) }
+
+// Mix builds one of the paper's workload mixes with n applications.
+func Mix(cfg Config, kind MixKind, n int) ([]AppModel, error) {
+	return workloads.Mix(cfg, kind, n)
+}
+
+// StreamMissRates profiles the STREAM reference at every MBA level,
+// producing the traffic-ratio denominators the manager needs.
+func StreamMissRates(m *Machine) (map[int]float64, error) {
+	return workloads.StreamMissRates(m)
+}
+
+// Memcached returns the case study's latency-critical service model.
+func Memcached(cfg Config) LatencyCritical { return workloads.Memcached(cfg) }
+
+// Policies (internal/policies).
+type (
+	// Policy allocates resources for a workload mix.
+	Policy = policies.Policy
+	// PolicyResult is a policy's steady-state outcome.
+	PolicyResult = policies.Result
+)
+
+// NewEQ returns the equal-allocation baseline.
+func NewEQ() Policy { return policies.EQ{} }
+
+// NewST returns the static-oracle baseline.
+func NewST() Policy { return policies.ST{} }
+
+// NewCoPart returns the coordinated CoPart policy.
+func NewCoPart(seed int64) Policy { return policies.CoPart(seed) }
+
+// NewCATOnly returns the dynamic-LLC-only baseline.
+func NewCATOnly(seed int64) Policy { return policies.CATOnly(seed) }
+
+// NewMBAOnly returns the dynamic-bandwidth-only baseline.
+func NewMBAOnly(seed int64) Policy { return policies.MBAOnly(seed) }
+
+// NewUnpartitioned returns the no-partitioning baseline.
+func NewUnpartitioned() Policy { return policies.None{} }
+
+// Metrics (internal/fairness).
+
+// Slowdown computes Equation 1: ipsFull / ips.
+func Slowdown(ipsFull, ips float64) (float64, error) { return fairness.Slowdown(ipsFull, ips) }
+
+// Unfairness computes Equation 2: σ/μ over the slowdowns.
+func Unfairness(slowdowns []float64) (float64, error) { return fairness.Unfairness(slowdowns) }
+
+// resctrl interface (internal/resctrl).
+type (
+	// ResctrlClient drives a resctrl-shaped directory tree (real or
+	// simulated).
+	ResctrlClient = resctrl.Client
+	// Schemata is a parsed resctrl schemata file.
+	Schemata = resctrl.Schemata
+)
+
+// OpenResctrl opens a resctrl tree (e.g. /sys/fs/resctrl).
+func OpenResctrl(root string) (*ResctrlClient, error) { return resctrl.Open(root) }
+
+// NewSimResctrl materializes a simulated resctrl tree under dir.
+func NewSimResctrl(dir string, cfg Config) (*ResctrlClient, error) {
+	return resctrl.NewSimTree(dir, cfg)
+}
+
+// RunFor drives a manager for a span of target time — a convenience for
+// quick starts.
+func RunFor(m *Manager, d time.Duration) error { return m.Run(d) }

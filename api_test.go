@@ -1,0 +1,154 @@
+package repro_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade the way README's
+// quickstart does: build a machine, consolidate a mix, run the
+// controller, compare against a baseline policy.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	models, err := repro.Mix(cfg, repro.HLLC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := repro.NewEQ().Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := repro.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := repro.NewManager(m, repro.DefaultParams(), ref,
+		repro.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last repro.PeriodReport
+	mgr.OnPeriod = func(r repro.PeriodReport) { last = r }
+	if err := repro.RunFor(mgr, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if last.Unfairness >= eq.Unfairness {
+		t.Errorf("CoPart %.4f should beat EQ %.4f through the public API",
+			last.Unfairness, eq.Unfairness)
+	}
+}
+
+func TestPublicAPIPolicies(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	models, err := repro.Mix(cfg, repro.MBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []repro.Policy{
+		repro.NewEQ(), repro.NewST(), repro.NewCoPart(1),
+		repro.NewCATOnly(1), repro.NewMBAOnly(1), repro.NewUnpartitioned(),
+	} {
+		res, err := p.Run(cfg, models)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+			continue
+		}
+		if res.Unfairness < 0 || len(res.Slowdowns) != 4 {
+			t.Errorf("%s: malformed result %+v", p.Name(), res)
+		}
+	}
+}
+
+func TestPublicAPIMetrics(t *testing.T) {
+	s, err := repro.Slowdown(200, 100)
+	if err != nil || s != 2 {
+		t.Errorf("Slowdown=%v,%v", s, err)
+	}
+	u, err := repro.Unfairness([]float64{1, 3})
+	if err != nil || math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("Unfairness=%v,%v", u, err)
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	specs, err := repro.Catalog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 11 {
+		t.Fatalf("catalog size %d", len(specs))
+	}
+	wn, err := repro.Benchmark(cfg, "WN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn.Category != repro.LLCSensitive {
+		t.Errorf("WN category %v", wn.Category)
+	}
+	lc := repro.Memcached(cfg)
+	if lc.SLO != time.Millisecond {
+		t.Errorf("memcached SLO %v", lc.SLO)
+	}
+}
+
+func TestPublicAPIResctrl(t *testing.T) {
+	cfg := repro.DefaultConfig()
+	client, err := repro.NewSimResctrl(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CreateGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WriteSchemata("g", repro.Schemata{
+		L3: map[int]uint64{0: 0x3},
+		MB: map[int]int{0: 50},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.ReadSchemata("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0x3 || s.MB[0] != 50 {
+		t.Errorf("schemata %+v", s)
+	}
+	if _, err := repro.OpenResctrl(t.TempDir()); err == nil {
+		t.Error("opening an empty dir should error")
+	}
+}
+
+func TestPublicAPILayoutHelpers(t *testing.T) {
+	counts, err := repro.EqualSplit(11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, err := repro.AssignContiguousWays(counts, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union uint64
+	for _, m := range masks {
+		if union&m != 0 {
+			t.Error("masks overlap")
+		}
+		union |= m
+	}
+	if union != (1<<11)-1 {
+		t.Errorf("union %#x should cover all ways", union)
+	}
+}

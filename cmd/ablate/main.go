@@ -1,0 +1,38 @@
+// Command ablate quantifies what each of the controller's reconstruction
+// mechanisms contributes: it runs CoPart with every feature disabled one
+// at a time (and all at once) across the sensitive workload mixes and
+// reports the fairness cost of each removal. See DESIGN.md §3 and the
+// reconstruction notes in internal/core/classifier.go for what the
+// mechanisms are and why the paper's prose alone under-determines them.
+//
+// Usage:
+//
+//	ablate [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for the controller")
+	flag.Parse()
+
+	if err := run(*seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64) error {
+	_, tab, err := experiments.Ablations(machine.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	return tab.Render(os.Stdout)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if err := run(1, 50, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig15.csv")
+	if err := run(1, 100, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 300 {
+		t.Fatalf("CSV has %d lines, want the full timeline", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_seconds,load_rps") {
+		t.Errorf("CSV header: %s", lines[0])
+	}
+	if !strings.Contains(string(b), "150000") {
+		t.Error("CSV missing the high-load phase")
+	}
+}
+
+func TestRunBadCSVPath(t *testing.T) {
+	if err := run(1, 50, filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv"), ""); err == nil {
+		t.Error("unwritable CSV path should error")
+	}
+}
+
+func TestRunWithSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig15.svg")
+	if err := run(1, 200, "", path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "<svg") {
+		t.Errorf("not an SVG: %.40s", b)
+	}
+}

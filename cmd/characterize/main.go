@@ -1,0 +1,131 @@
+// Command characterize regenerates Table 1, Table 2, and the performance
+// characterization heatmaps of Figures 1–3.
+//
+// Usage:
+//
+//	characterize -table1
+//	characterize -table2
+//	characterize -fig 1        # WN, WS, RT  (LLC-sensitive)
+//	characterize -fig 2        # OC, CG, FT  (bandwidth-sensitive)
+//	characterize -fig 3        # SP, ON, FMM (dual-sensitive)
+//	characterize -bench CG     # one benchmark's heatmap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the system configuration (Table 1)")
+	table2 := flag.Bool("table2", false, "print the benchmark characteristics (Table 2)")
+	fig := flag.Int("fig", 0, "print the heatmaps of characterization figure 1, 2, or 3")
+	bench := flag.String("bench", "", "print one benchmark's (ways x MBA) heatmap")
+	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	flag.Parse()
+
+	svgOut = *svgDir
+	if err := run(*table1, *table2, *fig, *bench); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table1, table2 bool, fig int, bench string) error {
+	cfg := machine.DefaultConfig()
+	did := false
+	if table1 {
+		if err := experiments.Table1(cfg).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		did = true
+	}
+	if table2 {
+		_, tab, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		did = true
+	}
+	if fig != 0 {
+		names, err := experiments.FigureBenches(fig)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure %d. Performance impact of LLC and memory bandwidth partitioning\n\n", fig)
+		for _, n := range names {
+			if err := printBench(cfg, n); err != nil {
+				return err
+			}
+		}
+		did = true
+	}
+	if bench != "" {
+		if err := printBench(cfg, bench); err != nil {
+			return err
+		}
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("nothing to do; pass -table1, -table2, -fig N, or -bench NAME")
+	}
+	return nil
+}
+
+// svgOut, when non-empty, receives SVG copies of every heatmap.
+var svgOut string
+
+func printBench(cfg machine.Config, name string) error {
+	grid, hm, err := experiments.PerfHeatmap(cfg, name)
+	if err != nil {
+		return err
+	}
+	if err := hm.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if svgOut == "" {
+		return nil
+	}
+	if err := os.MkdirAll(svgOut, 0o755); err != nil {
+		return err
+	}
+	xticks := make([]string, len(grid.Levels))
+	for i, l := range grid.Levels {
+		xticks[i] = fmt.Sprintf("%d", l)
+	}
+	yticks := make([]string, len(grid.Ways))
+	for i, w := range grid.Ways {
+		yticks[i] = fmt.Sprintf("%d", w)
+	}
+	path := filepath.Join(svgOut, "perf_"+name+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svgplot.WriteHeatmap(f, svgplot.HeatmapSpec{
+		Title:  fmt.Sprintf("Normalized performance of %s", name),
+		XLabel: "MBA level (%)", YLabel: "LLC ways",
+		XTicks: xticks, YTicks: yticks,
+		Values: grid.Norm,
+	}); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}

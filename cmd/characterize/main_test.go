@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTables(t *testing.T) {
+	if err := run(true, true, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure(t *testing.T) {
+	if err := run(false, false, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleBench(t *testing.T) {
+	if err := run(false, false, 0, "CG"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	svgOut = dir
+	defer func() { svgOut = "" }()
+	if err := run(false, false, 0, "WN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "perf_WN.svg")); err != nil {
+		t.Errorf("missing SVG: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(false, false, 0, ""); err == nil {
+		t.Error("nothing to do should error")
+	}
+	if err := run(false, false, 9, ""); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run(false, false, 0, "nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

@@ -1,0 +1,166 @@
+// Command copartd runs the CoPart controller against a simulated server
+// consolidating one of the paper's workload mixes, printing one line per
+// control period: phase, per-application slowdowns, unfairness, and the
+// system state.
+//
+// With -resctrl DIR, the daemon additionally mirrors every allocation
+// decision into a resctrl directory tree (one control group per
+// application, schemata written through the same client that drives a
+// real /sys/fs/resctrl), demonstrating the deployment path on CAT/MBA
+// hardware.
+//
+// Usage:
+//
+//	copartd -mix H-LLC -apps 4 -duration 60s [-seed 1] [-resctrl DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/machine"
+	"repro/internal/resctrl"
+	"repro/internal/workloads"
+)
+
+func main() {
+	mixName := flag.String("mix", "H-Both", "workload mix: H-LLC, H-BW, H-Both, M-LLC, M-BW, M-Both, IS")
+	apps := flag.Int("apps", 4, "number of consolidated applications (3-6)")
+	duration := flag.Duration("duration", 60*time.Second, "virtual time to run")
+	seed := flag.Int64("seed", 1, "controller seed")
+	resctrlDir := flag.String("resctrl", "", "mirror decisions into a resctrl tree under this directory")
+	events := flag.Bool("events", false, "print the controller's structured event log at exit")
+	flag.Parse()
+
+	if err := run(*mixName, *apps, *duration, *seed, *resctrlDir, *events); err != nil {
+		fmt.Fprintln(os.Stderr, "copartd:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMix(name string) (workloads.MixKind, error) {
+	for _, k := range workloads.MixKinds() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mix %q", name)
+}
+
+func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDir string, events bool) error {
+	kind, err := parseMix(mixName)
+	if err != nil {
+		return err
+	}
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	models, err := workloads.Mix(cfg, kind, apps)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(models))
+	for i, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return err
+		}
+		names[i] = model.Name
+	}
+
+	var rc *resctrl.Client
+	if resctrlDir != "" {
+		rc, err = resctrl.NewSimTree(resctrlDir, cfg)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			if err := rc.CreateGroup(n); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("mirroring schemata into %s\n", resctrlDir)
+	}
+
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return err
+	}
+	mgr, err := core.NewManager(m, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	var elog *eventlog.Log
+	if events {
+		elog, err = eventlog.New(8192)
+		if err != nil {
+			return err
+		}
+		mgr.Events = elog
+	}
+
+	fmt.Printf("consolidating %v on %d cores, %d-way LLC\n", names, cfg.Cores, cfg.LLCWays)
+	mgr.OnPeriod = func(r core.PeriodReport) {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "t=%6.1fs %-11s unfairness=%.4f ", r.Time.Seconds(), r.Phase, r.Unfairness)
+		for i, app := range r.Apps {
+			fmt.Fprintf(&sb, " %s[w=%d,mba=%d,slow=%.2f]",
+				app, r.State.Ways[i], r.State.MBA[i], r.Slowdowns[i])
+		}
+		fmt.Println(sb.String())
+		if rc != nil {
+			if err := mirror(rc, r); err != nil {
+				fmt.Fprintln(os.Stderr, "copartd: resctrl mirror:", err)
+			}
+		}
+	}
+	if err := mgr.Run(duration); err != nil {
+		return err
+	}
+	fmt.Printf("done at t=%.1fs in %v phase\n", m.Now().Seconds(), mgr.Phase())
+	if elog != nil {
+		fmt.Printf("\nevent log (%d events, %d retained):\n", elog.Total(), elog.Len())
+		if err := elog.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mirror writes the report's system state into the resctrl tree.
+func mirror(rc *resctrl.Client, r core.PeriodReport) error {
+	masks, err := machine.AssignContiguousWays(r.State.Ways, 0, len64(rc.Info().CBMMask))
+	if err != nil {
+		return err
+	}
+	for i, app := range r.Apps {
+		s := resctrl.Schemata{
+			L3: map[int]uint64{0: masks[i]},
+			MB: map[int]int{0: r.State.MBA[i]},
+		}
+		if err := rc.WriteSchemata(app, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// len64 counts the set bits of the CBM mask (the way count).
+func len64(mask uint64) int {
+	n := 0
+	for ; mask != 0; mask >>= 1 {
+		if mask&1 != 0 {
+			n++
+		}
+	}
+	return n
+}

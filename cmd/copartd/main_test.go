@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/workloads"
+)
+
+func TestParseMix(t *testing.T) {
+	for _, k := range workloads.MixKinds() {
+		got, err := parseMix(k.String())
+		if err != nil || got != k {
+			t.Errorf("parseMix(%s)=%v,%v", k, got, err)
+		}
+	}
+	// Case-insensitive.
+	if k, err := parseMix("h-llc"); err != nil || k != workloads.HLLC {
+		t.Errorf("parseMix(h-llc)=%v,%v", k, err)
+	}
+	if _, err := parseMix("nope"); err == nil {
+		t.Error("unknown mix should error")
+	}
+}
+
+func TestRunSimulated(t *testing.T) {
+	if err := run("H-LLC", 4, 30*time.Second, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithResctrlMirror(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("M-BW", 4, 25*time.Second, 1, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	// The mirror must contain one group per application with parseable
+	// schemata.
+	for _, app := range []string{"OC", "CG", "SW", "EP"} {
+		b, err := os.ReadFile(filepath.Join(dir, app, "schemata"))
+		if err != nil {
+			t.Errorf("missing schemata for %s: %v", app, err)
+			continue
+		}
+		if len(b) == 0 {
+			t.Errorf("empty schemata for %s", app)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 4, time.Second, 1, "", false); err == nil {
+		t.Error("unknown mix should error")
+	}
+	if err := run("H-LLC", 40, time.Second, 1, "", false); err == nil {
+		t.Error("too many apps should error")
+	}
+}

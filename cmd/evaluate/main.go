@@ -1,0 +1,181 @@
+// Command evaluate regenerates the evaluation-section comparisons:
+// Figure 12 (unfairness per policy per mix), Figure 13 (sensitivity to
+// application count), Figure 14 (sensitivity to total LLC capacity), and
+// Figure 17 (throughput).
+//
+// Usage:
+//
+//	evaluate -fig 12 [-seed N]
+//	evaluate -fig 13
+//	evaluate -fig 14
+//	evaluate -fig 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/svgplot"
+	"repro/internal/texttab"
+)
+
+func main() {
+	fig := flag.Int("fig", 12, "figure to regenerate (12, 13, 14, or 17)")
+	seed := flag.Int64("seed", 1, "seed for the dynamic policies")
+	extended := flag.Bool("extended", false, "include the None and UCP extension baselines (fig 12 only)")
+	dualSocket := flag.Bool("dualsocket", false, "run the dual-socket extension experiment instead of a figure")
+	svgDir := flag.String("svg", "", "also write an SVG figure into this directory")
+	flag.Parse()
+	svgOut = *svgDir
+
+	if *dualSocket {
+		if err := runDualSocket(*seed); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*fig, *seed, *extended); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func runDualSocket(seed int64) error {
+	_, tab, err := experiments.DualSocket(machine.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	return tab.Render(os.Stdout)
+}
+
+// svgOut, when non-empty, receives SVG copies of the figures.
+var svgOut string
+
+func run(fig int, seed int64, extended bool) error {
+	cfg := machine.DefaultConfig()
+	var tab *texttab.Table
+	var err error
+	var bars *svgplot.BarSpec
+	switch fig {
+	case 12:
+		var res experiments.Fig12Result
+		if extended {
+			res, tab, err = experiments.Figure12Extended(cfg, seed)
+		} else {
+			res, tab, err = experiments.Figure12(cfg, seed)
+		}
+		if err == nil {
+			defer printHeadline(res)
+			bars = fig12Bars(res)
+		}
+	case 13:
+		var res experiments.SweepResult
+		res, tab, err = experiments.Figure13(cfg, seed)
+		if err == nil {
+			bars = sweepBars("Figure 13: unfairness vs application count", "apps", res)
+		}
+	case 14:
+		var res experiments.SweepResult
+		res, tab, err = experiments.Figure14(cfg, seed)
+		if err == nil {
+			bars = sweepBars("Figure 14: unfairness vs total LLC ways", "ways", res)
+		}
+	case 17:
+		var res experiments.SweepResult
+		res, tab, err = experiments.Figure17(cfg, seed)
+		if err == nil {
+			bars = sweepBars("Figure 17: throughput vs application count", "apps", res)
+		}
+	default:
+		return fmt.Errorf("no evaluation figure %d (supported: 12, 13, 14, 17)", fig)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	if svgOut != "" && bars != nil {
+		path := filepath.Join(svgOut, fmt.Sprintf("fig%d.svg", fig))
+		if err := writeSVG(path, *bars); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func fig12Bars(res experiments.Fig12Result) *svgplot.BarSpec {
+	spec := &svgplot.BarSpec{
+		Title:  "Figure 12: unfairness normalized to EQ (lower is better)",
+		YLabel: "normalized unfairness",
+	}
+	for _, k := range res.Mixes {
+		spec.Groups = append(spec.Groups, k.String())
+	}
+	for pi, name := range res.Policies {
+		spec.Series = append(spec.Series, svgplot.BarSeries{Name: name, Values: res.Norm[pi]})
+	}
+	return spec
+}
+
+func sweepBars(title, xName string, res experiments.SweepResult) *svgplot.BarSpec {
+	spec := &svgplot.BarSpec{Title: title, YLabel: "normalized " + res.Label}
+	for _, x := range res.Points {
+		spec.Groups = append(spec.Groups, fmt.Sprintf("%s=%d", xName, x))
+	}
+	for pi, name := range res.Policies {
+		spec.Series = append(spec.Series, svgplot.BarSeries{Name: name, Values: res.Value[pi]})
+	}
+	return spec
+}
+
+func writeSVG(path string, spec svgplot.BarSpec) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svgplot.WriteBars(f, spec); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// printHeadline reports the paper's headline metric: CoPart's fairness
+// improvement over EQ, CAT-only, and MBA-only.
+func printHeadline(res experiments.Fig12Result) {
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	cp := res.GeoMean[idx["CoPart"]]
+	for _, base := range []string{"EQ", "CAT-only", "MBA-only"} {
+		b := res.GeoMean[idx[base]]
+		if b > 0 {
+			fmt.Printf("CoPart fairness improvement over %s: %.1f%% (paper: %s)\n",
+				base, (b-cp)/b*100, paperHeadline(base))
+		}
+	}
+}
+
+func paperHeadline(base string) string {
+	switch base {
+	case "EQ":
+		return "57.3%"
+	case "CAT-only":
+		return "28.6%"
+	case "MBA-only":
+		return "56.4%"
+	default:
+		return "n/a"
+	}
+}

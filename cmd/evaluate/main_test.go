@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFigure12(t *testing.T) {
+	if err := run(12, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure12Extended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended policy sweep")
+	}
+	if err := run(12, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(99, 1, false); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestPaperHeadline(t *testing.T) {
+	for _, base := range []string{"EQ", "CAT-only", "MBA-only"} {
+		if paperHeadline(base) == "n/a" {
+			t.Errorf("missing paper headline for %s", base)
+		}
+	}
+	if paperHeadline("other") != "n/a" {
+		t.Error("unknown base should be n/a")
+	}
+}
+
+func TestRunDualSocket(t *testing.T) {
+	if err := runDualSocket(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	svgOut = dir
+	defer func() { svgOut = "" }()
+	if err := run(12, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig12.svg")); err != nil {
+		t.Errorf("missing SVG: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command fairmap regenerates the fairness characterization heatmaps of
+// Figures 4–6: the unfairness of one workload mix under a grid of
+// (LLC partitioning, MBA partitioning) pairs, normalized to running the
+// mix without any partitioning.
+//
+// Usage:
+//
+//	fairmap -fig 4   # WN+WS+RT+SW   (LLC-sensitive mix)
+//	fairmap -fig 5   # OC+CG+FT+SW   (bandwidth-sensitive mix)
+//	fairmap -fig 6   # SP+ON+FMM+SW  (dual-sensitive mix)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	fig := flag.Int("fig", 4, "fairness figure to regenerate (4, 5, or 6)")
+	svgDir := flag.String("svg", "", "also write an SVG figure into this directory")
+	flag.Parse()
+
+	if err := run(*fig, *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "fairmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, svgDir string) error {
+	grid, hm, err := experiments.FairnessHeatmap(machine.DefaultConfig(), fig)
+	if err != nil {
+		return err
+	}
+	if err := hm.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nunpartitioned unfairness (normalization base): %.4f\n", grid.NoneUnfair)
+	fmt.Println("cells < 1 are fairer than no partitioning; lower is better")
+	if svgDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(svgDir, 0o755); err != nil {
+		return err
+	}
+	xticks := make([]string, len(grid.MBAParts))
+	for i, p := range grid.MBAParts {
+		xticks[i] = fmt.Sprint(p)
+	}
+	yticks := make([]string, len(grid.LLCParts))
+	for i, p := range grid.LLCParts {
+		yticks[i] = fmt.Sprint(p)
+	}
+	path := filepath.Join(svgDir, fmt.Sprintf("fig%d.svg", fig))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := svgplot.WriteHeatmap(f, svgplot.HeatmapSpec{
+		Title:  fmt.Sprintf("Figure %d: unfairness of %v (normalized to no partitioning)", fig, grid.Mix),
+		XLabel: "MBA partitioning", YLabel: "LLC partitioning",
+		XTicks: xticks, YTicks: yticks,
+		Values: grid.Norm,
+	}); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

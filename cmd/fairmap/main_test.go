@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigures(t *testing.T) {
+	for _, fig := range []int{4, 5, 6} {
+		if err := run(fig, ""); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run(99, ""); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(4, dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "fig4.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "<svg") {
+		t.Errorf("not an SVG: %.40s", b)
+	}
+}

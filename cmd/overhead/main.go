@@ -1,0 +1,51 @@
+// Command overhead regenerates Figure 16: the wall-clock time of CoPart's
+// system-state-space exploration step (the getNextSystemState matching)
+// across application counts, and its share of the one-second control
+// period.
+//
+// Usage:
+//
+//	overhead [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for the controller")
+	convergence := flag.Bool("convergence", false, "also report adaptation time in control periods")
+	flag.Parse()
+
+	if err := run(*seed, *convergence); err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, convergence bool) error {
+	_, tab, err := experiments.Figure16(machine.DefaultConfig(), seed)
+	if err != nil {
+		return err
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\npaper reference: 10.6, 11.8, 12.7, 14.4 µs for 3-6 apps")
+	if convergence {
+		fmt.Println()
+		_, ctab, err := experiments.Convergence(machine.DefaultConfig(), seed)
+		if err != nil {
+			return err
+		}
+		if err := ctab.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

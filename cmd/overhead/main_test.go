@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run(1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithConvergence(t *testing.T) {
+	if err := run(1, true); err != nil {
+		t.Fatal(err)
+	}
+}

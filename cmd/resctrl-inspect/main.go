@@ -1,0 +1,82 @@
+// Command resctrl-inspect dumps a resctrl tree: the advertised hardware
+// limits, every control group's schemata and tasks, and — where the tree
+// supports CMT/MBM — the monitoring counters. Point it at a real mount
+// (/sys/fs/resctrl) on CAT/MBA hardware or at a simulated tree produced
+// by copartd -resctrl or examples/resctrl-tree.
+//
+// Usage:
+//
+//	resctrl-inspect -root /sys/fs/resctrl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/resctrl"
+)
+
+func main() {
+	root := flag.String("root", "/sys/fs/resctrl", "resctrl tree to inspect")
+	flag.Parse()
+
+	if err := run(os.Stdout, *root); err != nil {
+		fmt.Fprintln(os.Stderr, "resctrl-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, root string) error {
+	c, err := resctrl.Open(root)
+	if err != nil {
+		return err
+	}
+	info := c.Info()
+	fmt.Fprintf(w, "resctrl tree: %s\n", c.Root())
+	fmt.Fprintf(w, "L3: cbm_mask=%x min_cbm_bits=%d num_closids=%d domains=%v\n",
+		info.CBMMask, info.MinCBMBits, info.NumCLOSIDs, info.CacheIDs)
+	fmt.Fprintf(w, "MB: min_bandwidth=%d bandwidth_gran=%d\n", info.MBAMin, info.MBAGran)
+	if info.SupportsMonitoring() {
+		fmt.Fprintf(w, "MON: num_rmids=%d features=%v\n", info.NumRMIDs, info.MonFeatures)
+	} else {
+		fmt.Fprintln(w, "MON: not supported")
+	}
+
+	groups, err := c.Groups()
+	if err != nil {
+		return err
+	}
+	printGroup := func(name, label string) error {
+		s, err := c.ReadSchemata(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n[%s]\n%s", label, s.Format())
+		tasks, err := c.Tasks(name)
+		if err == nil && len(tasks) > 0 {
+			fmt.Fprintf(w, "tasks: %v\n", tasks)
+		}
+		if info.SupportsMonitoring() && name != "" {
+			for _, dom := range info.CacheIDs {
+				d, err := c.ReadMonData(name, dom)
+				if err != nil {
+					continue // monitoring files appear lazily
+				}
+				fmt.Fprintf(w, "mon_L3_%02d: llc_occupancy=%d mbm_total=%d mbm_local=%d\n",
+					dom, d.LLCOccupancy, d.MBMTotalBytes, d.MBMLocalBytes)
+			}
+		}
+		return nil
+	}
+	if err := printGroup("", "root group"); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if err := printGroup(g, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/resctrl"
+	"repro/internal/workloads"
+)
+
+func TestRunAgainstSimTree(t *testing.T) {
+	dir := t.TempDir()
+	cfg := machine.DefaultConfig()
+	c, err := resctrl.NewSimTree(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloads.ByName(cfg, "CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddApp(spec.Model); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateGroup("CG"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTask("CG", 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSchemata("CG", resctrl.Schemata{
+		L3: map[int]uint64{0: 0x1f},
+		MB: map[int]int{0: 60},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := resctrl.SyncMonData(c, m); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if err := run(&b, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cbm_mask=7ff", "num_closids=16",
+		"[root group]", "[CG]",
+		"L3:0=1f", "MB:0=60",
+		"tasks: [4242]",
+		"mbm_total=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMissingTree(t *testing.T) {
+	if err := run(&bytes.Buffer{}, t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+}

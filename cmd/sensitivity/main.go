@@ -1,0 +1,60 @@
+// Command sensitivity regenerates Figure 11: CoPart's sensitivity to its
+// three key design parameters (§5.5.3).
+//
+// Usage:
+//
+//	sensitivity -param perf       # δ_P, Figure 11a
+//	sensitivity -param missratio  # Β,  Figure 11b
+//	sensitivity -param traffic    # Γ,  Figure 11c
+//	sensitivity -param all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+func main() {
+	param := flag.String("param", "all", "parameter to sweep: perf, missratio, traffic, or all")
+	seed := flag.Int64("seed", 1, "seed for the controller")
+	flag.Parse()
+
+	if err := run(*param, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(param string, seed int64) error {
+	var params []experiments.SensitivityParam
+	switch param {
+	case "perf":
+		params = []experiments.SensitivityParam{experiments.SensPerf}
+	case "missratio":
+		params = []experiments.SensitivityParam{experiments.SensMissRatio}
+	case "traffic":
+		params = []experiments.SensitivityParam{experiments.SensTraffic}
+	case "all":
+		params = []experiments.SensitivityParam{
+			experiments.SensPerf, experiments.SensMissRatio, experiments.SensTraffic,
+		}
+	default:
+		return fmt.Errorf("unknown parameter %q (perf, missratio, traffic, all)", param)
+	}
+	cfg := machine.DefaultConfig()
+	for _, p := range params {
+		_, tab, err := experiments.Figure11(cfg, p, seed)
+		if err != nil {
+			return err
+		}
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

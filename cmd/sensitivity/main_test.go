@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunOneParam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("controller sweep")
+	}
+	if err := run("perf", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownParam(t *testing.T) {
+	if err := run("bogus", 1); err == nil {
+		t.Error("unknown parameter should error")
+	}
+}

@@ -1,0 +1,39 @@
+// Package repro is a reproduction of "CoPart: Coordinated Partitioning of
+// Last-Level Cache and Memory Bandwidth for Fairness-Aware Workload
+// Consolidation on Commodity Servers" (Park, Park, Baek — EuroSys 2019).
+//
+// CoPart is a user-level controller that coordinates Intel CAT (LLC way
+// partitioning) and Intel MBA (memory-bandwidth throttling) to minimize
+// the unfairness — the coefficient of variation of per-application
+// slowdowns — of applications consolidated on one server. It classifies
+// each application's cache and bandwidth appetite with two small finite
+// state machines, and allocates resource units by solving a
+// Hospitals/Residents stable-matching problem each control period.
+//
+// Because CAT/MBA hardware and its performance counters are not available
+// here, the repository includes a full simulated substrate: an analytic
+// machine model (internal/machine), a trace-driven cache simulator
+// (internal/cachesim), a bandwidth arbiter (internal/membw), calibrated
+// models of the paper's eleven benchmarks (internal/workloads), and a
+// simulated resctrl filesystem (internal/resctrl) driven through the same
+// client code that would program a real /sys/fs/resctrl.
+//
+// This package is the public facade: it re-exports the user-facing types
+// and constructors so downstream code does not reach into internal/.
+// Start with:
+//
+//	cfg := repro.DefaultConfig()
+//	m, _ := repro.NewMachine(cfg)
+//	models, _ := repro.Mix(cfg, repro.HLLC, 4)
+//	for _, mod := range models {
+//		m.AddApp(mod)
+//	}
+//	ref, _ := repro.StreamMissRates(m)
+//	mgr, _ := repro.NewManager(m, repro.DefaultParams(), ref,
+//		repro.Envelope{Ways: cfg.LLCWays}, rand.New(rand.NewSource(1)))
+//	mgr.Run(60 * time.Second)
+//
+// The examples/ directory contains runnable programs, the cmd/ tools
+// regenerate every table and figure of the paper, and EXPERIMENTS.md
+// records paper-vs-measured results.
+package repro

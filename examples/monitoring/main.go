@@ -1,0 +1,92 @@
+// Monitoring: drives the controller with full observability enabled —
+// the structured event log (what CoPart decided and why) and the resctrl
+// CMT/MBM monitoring files (llc_occupancy, mbm_total_bytes) that a
+// production operator would watch alongside it.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/eventlog"
+	"repro/internal/resctrl"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := repro.Mix(cfg, repro.HBoth, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A simulated resctrl tree next to the machine: allocation flows in
+	// through schemata (driven by the manager below via the machine), and
+	// monitoring flows out through mon_data.
+	dir, err := os.MkdirTemp("", "copart-mon-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	client, err := repro.NewSimResctrl(dir, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			log.Fatal(err)
+		}
+		if err := client.CreateGroup(model.Name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ref, err := repro.StreamMissRates(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := repro.NewManager(m, repro.DefaultParams(), ref,
+		repro.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elog, err := eventlog.New(2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.Events = elog
+
+	if err := mgr.Run(45 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== controller event log ===")
+	if err := elog.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Refresh and read the monitoring files the way an operator's agent
+	// would (per-group occupancy and cumulative traffic).
+	if err := resctrl.SyncMonData(client, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== resctrl monitoring (mon_data) ===")
+	fmt.Printf("%-6s %14s %18s\n", "group", "llc_occupancy", "mbm_total_bytes")
+	for _, model := range models {
+		d, err := client.ReadMonData(model.Name, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %11.1f MB %15.2f GB\n", model.Name,
+			float64(d.LLCOccupancy)/(1<<20), float64(d.MBMTotalBytes)/1e9)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: consolidate one of the paper's workload mixes on the
+// simulated 16-core server, run the CoPart controller until it goes idle,
+// and compare the resulting fairness against the equal-allocation
+// baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+
+	// A highly LLC-sensitive mix: three cache-hungry benchmarks with
+	// different working sets plus one insensitive benchmark (§6.1's
+	// H-LLC).
+	models, err := repro.Mix(cfg, repro.HLLC, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: what does equal allocation achieve?
+	eq, err := repro.NewEQ().Run(cfg, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EQ     unfairness: %.4f  slowdowns: %s\n", eq.Unfairness, fmtSlowdowns(eq))
+
+	// CoPart: build a machine, launch the mix, profile STREAM for the
+	// traffic-ratio denominators, and run the controller.
+	m, err := repro.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ref, err := repro.StreamMissRates(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := repro.NewManager(m, repro.DefaultParams(), ref,
+		repro.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var last repro.PeriodReport
+	mgr.OnPeriod = func(r repro.PeriodReport) { last = r }
+	if err := mgr.Run(60 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CoPart unfairness: %.4f  (%.1f%% fairer than EQ)\n",
+		last.Unfairness, (eq.Unfairness-last.Unfairness)/eq.Unfairness*100)
+	for i, app := range last.Apps {
+		fmt.Printf("  %-4s ways=%-2d mba=%-3d slowdown=%.3f\n",
+			app, last.State.Ways[i], last.State.MBA[i], last.Slowdowns[i])
+	}
+}
+
+func fmtSlowdowns(r repro.PolicyResult) string {
+	s := ""
+	for i, name := range r.Names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.2f", name, r.Slowdowns[i])
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+// Package cachesim implements a way-partitionable set-associative
+// last-level-cache simulator.
+//
+// Intel Cache Allocation Technology (CAT) partitions the LLC by ways: each
+// class of service (CLOS) is assigned a capacity bitmask (CBM) and lines
+// brought in on behalf of that CLOS may only be *allocated* into ways whose
+// bit is set. Lookups still probe every way — a CLOS can hit on a line that
+// lives in a way outside its mask (e.g. a line allocated before the mask
+// shrank). The simulator reproduces exactly that semantics.
+//
+// The evaluated CPU in the paper has a shared 22 MB, 11-way L3 with 64-byte
+// lines (Table 1); the simulator accepts any geometry whose parameters are
+// powers of two except the way count, which is arbitrary (11 on the paper's
+// machine).
+//
+// Two replacement policies are provided: true LRU and tree pseudo-LRU
+// (the latter restricted to power-of-two way counts, as in real designs).
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity; also the number of CAT ways
+	LineBytes int // cache-line size
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cachesim: size %d not divisible by ways×line (%d×%d)",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets == 0 {
+		return fmt.Errorf("cachesim: zero sets for %+v", c)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Policy selects victims within a set. Implementations are created per
+// cache via a Factory so they can size their metadata to the geometry.
+type Policy interface {
+	// OnAccess records a touch of (set, way), hit or fill.
+	OnAccess(set, way int)
+	// Victim picks the way to evict in set among the ways whose bit is set
+	// in mask. mask is guaranteed non-zero and within the way count.
+	Victim(set int, mask uint64) int
+}
+
+// PolicyFactory constructs a Policy for a given geometry.
+type PolicyFactory func(sets, ways int) (Policy, error)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	clos  int // CLOS that allocated the line (for occupancy stats)
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 when there were no accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a way-partitionable set-associative cache.
+type Cache struct {
+	cfg      Config
+	lines    []line // sets × ways, row-major
+	policy   Policy
+	setShift uint
+	setMask  uint64
+	allMask  uint64
+
+	stats     map[int]*Stats // per CLOS
+	occupancy []int          // lines currently owned per CLOS index (grow on demand)
+}
+
+// New builds a cache with the given geometry and replacement policy
+// factory. Passing a nil factory selects true LRU.
+func New(cfg Config, factory PolicyFactory) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		factory = NewLRU
+	}
+	pol, err := factory(cfg.Sets(), cfg.Ways)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		lines:    make([]line, cfg.Sets()*cfg.Ways),
+		policy:   pol,
+		setShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(cfg.Sets() - 1),
+		allMask:  (uint64(1) << cfg.Ways) - 1,
+		stats:    make(map[int]*Stats),
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// FullMask returns the CBM with every way set.
+func (c *Cache) FullMask() uint64 { return c.allMask }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	set = int((addr >> c.setShift) & c.setMask)
+	tag = addr >> c.setShift >> uint(bits.TrailingZeros(uint(c.cfg.Sets())))
+	return set, tag
+}
+
+func (c *Cache) statsFor(clos int) *Stats {
+	s := c.stats[clos]
+	if s == nil {
+		s = &Stats{}
+		c.stats[clos] = s
+	}
+	return s
+}
+
+func (c *Cache) adjustOccupancy(clos, delta int) {
+	for clos >= len(c.occupancy) {
+		c.occupancy = append(c.occupancy, 0)
+	}
+	c.occupancy[clos] += delta
+}
+
+// Access performs one access by clos with allocation mask cbm. It returns
+// true on a hit. A zero or out-of-range cbm is an error: the hardware
+// rejects such schemata and so do we.
+func (c *Cache) Access(clos int, addr, cbm uint64) (bool, error) {
+	if cbm == 0 || cbm&^c.allMask != 0 {
+		return false, fmt.Errorf("cachesim: invalid CBM %#x for %d ways", cbm, c.cfg.Ways)
+	}
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	st := c.statsFor(clos)
+	st.Accesses++
+
+	// Probe every way: CAT masks restrict fills, not lookups.
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			st.Hits++
+			c.policy.OnAccess(set, w)
+			return true, nil
+		}
+	}
+	st.Misses++
+
+	// Fill: prefer an invalid way within the mask, else evict per policy.
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if cbm&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !c.lines[base+w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.policy.Victim(set, cbm)
+		if victim < 0 || victim >= c.cfg.Ways || cbm&(1<<uint(victim)) == 0 {
+			return false, fmt.Errorf("cachesim: policy returned invalid victim %d for mask %#x", victim, cbm)
+		}
+	}
+	ln := &c.lines[base+victim]
+	if ln.valid {
+		c.adjustOccupancy(ln.clos, -1)
+	}
+	ln.tag = tag
+	ln.valid = true
+	ln.clos = clos
+	c.adjustOccupancy(clos, 1)
+	c.policy.OnAccess(set, victim)
+	return false, nil
+}
+
+// Contains reports whether addr is resident, without touching replacement
+// state or statistics. It is intended for inspection and tests.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the statistics for clos.
+func (c *Cache) Stats(clos int) Stats {
+	if s := c.stats[clos]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all counters without disturbing cache contents.
+func (c *Cache) ResetStats() {
+	for _, s := range c.stats {
+		*s = Stats{}
+	}
+}
+
+// Occupancy reports how many lines clos currently owns.
+func (c *Cache) Occupancy(clos int) int {
+	if clos < len(c.occupancy) {
+		return c.occupancy[clos]
+	}
+	return 0
+}
+
+// Flush invalidates the whole cache and resets statistics and occupancy.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for i := range c.occupancy {
+		c.occupancy[i] = 0
+	}
+	c.ResetStats()
+}
+
+// ContiguousMask returns a CBM of n contiguous ways starting at bit lo.
+// Intel CAT requires contiguous CBMs; the helper keeps callers honest.
+func ContiguousMask(lo, n int) (uint64, error) {
+	if n <= 0 || lo < 0 || lo+n > 64 {
+		return 0, fmt.Errorf("cachesim: invalid mask range lo=%d n=%d", lo, n)
+	}
+	return ((uint64(1) << n) - 1) << uint(lo), nil
+}

@@ -1,0 +1,373 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// small test geometry: 4 KB, 4 ways, 64 B lines → 16 sets.
+var testCfg = Config{SizeBytes: 4096, Ways: 4, LineBytes: 64}
+
+func mustCache(t *testing.T, cfg Config, f PolicyFactory) *Cache {
+	t.Helper()
+	c, err := New(cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func access(t *testing.T, c *Cache, clos int, addr, cbm uint64) bool {
+	t.Helper()
+	hit, err := c.Access(clos, addr, cbm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hit
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", testCfg, false},
+		{"paper geometry", Config{SizeBytes: 22 << 20, Ways: 11, LineBytes: 64}, false},
+		{"zero size", Config{0, 4, 64}, true},
+		{"line not pow2", Config{4096, 4, 48}, true},
+		{"size not divisible", Config{4000, 4, 64}, true},
+		{"sets not pow2", Config{4096 * 3, 4, 64}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%+v) err=%v wantErr=%v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	full := c.FullMask()
+	if access(t, c, 0, 0x1000, full) {
+		t.Error("first access should miss")
+	}
+	if !access(t, c, 0, 0x1000, full) {
+		t.Error("second access should hit")
+	}
+	st := c.Stats(0)
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSameSetDifferentTags(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	full := c.FullMask()
+	sets := uint64(testCfg.Sets())
+	lineBytes := uint64(testCfg.LineBytes)
+	// Four distinct tags mapping to set 0 fill all four ways.
+	for i := uint64(0); i < 4; i++ {
+		if access(t, c, 0, i*sets*lineBytes, full) {
+			t.Errorf("fill %d unexpectedly hit", i)
+		}
+	}
+	// All four now resident.
+	for i := uint64(0); i < 4; i++ {
+		if !access(t, c, 0, i*sets*lineBytes, full) {
+			t.Errorf("tag %d should hit", i)
+		}
+	}
+	// A fifth tag evicts the LRU (tag 0, the least recently touched).
+	if access(t, c, 0, 4*sets*lineBytes, full) {
+		t.Error("fifth tag should miss")
+	}
+	if access(t, c, 0, 0, full) {
+		t.Error("tag 0 should have been evicted (LRU)")
+	}
+}
+
+func TestWayMaskRestrictsFills(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	sets := uint64(testCfg.Sets())
+	lineBytes := uint64(testCfg.LineBytes)
+	mask1, _ := ContiguousMask(0, 1) // only way 0
+	// With one way, two alternating tags in the same set always thrash.
+	a, b := uint64(0), sets*lineBytes
+	access(t, c, 0, a, mask1)
+	access(t, c, 0, b, mask1)
+	if access(t, c, 0, a, mask1) {
+		t.Error("way-restricted fill should have evicted a")
+	}
+}
+
+func TestLookupIgnoresMask(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	// CLOS 0 fills into way 3 only.
+	maskHi, _ := ContiguousMask(3, 1)
+	access(t, c, 0, 0x40, maskHi)
+	// CLOS 1 with a disjoint mask still hits the line.
+	maskLo, _ := ContiguousMask(0, 2)
+	if !access(t, c, 1, 0x40, maskLo) {
+		t.Error("lookups must probe all ways regardless of CBM")
+	}
+}
+
+func TestInvalidCBM(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	if _, err := c.Access(0, 0, 0); err == nil {
+		t.Error("zero CBM should error")
+	}
+	if _, err := c.Access(0, 0, 1<<10); err == nil {
+		t.Error("out-of-range CBM should error")
+	}
+}
+
+func TestOccupancyTracking(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	full := c.FullMask()
+	for i := uint64(0); i < 8; i++ {
+		access(t, c, 2, i*64, full)
+	}
+	if got := c.Occupancy(2); got != 8 {
+		t.Errorf("occupancy=%d want 8", got)
+	}
+	if got := c.Occupancy(0); got != 0 {
+		t.Errorf("occupancy(0)=%d want 0", got)
+	}
+	c.Flush()
+	if got := c.Occupancy(2); got != 0 {
+		t.Errorf("occupancy after flush=%d want 0", got)
+	}
+}
+
+func TestOccupancyTransfersOnEviction(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	mask, _ := ContiguousMask(0, 1)
+	sets := uint64(testCfg.Sets())
+	access(t, c, 0, 0, mask)
+	access(t, c, 1, sets*64, mask) // evicts CLOS 0's line
+	if c.Occupancy(0) != 0 || c.Occupancy(1) != 1 {
+		t.Errorf("occupancy 0=%d 1=%d, want 0,1", c.Occupancy(0), c.Occupancy(1))
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mustCache(t, testCfg, nil)
+	full := c.FullMask()
+	access(t, c, 0, 0x80, full)
+	c.ResetStats()
+	if !access(t, c, 0, 0x80, full) {
+		t.Error("ResetStats must not flush contents")
+	}
+	st := c.Stats(0)
+	if st.Accesses != 1 || st.Hits != 1 {
+		t.Errorf("stats after reset %+v", st)
+	}
+}
+
+func TestMissRatioZeroOnNoAccesses(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Error("empty stats should have 0 miss ratio")
+	}
+}
+
+func TestContiguousMask(t *testing.T) {
+	m, err := ContiguousMask(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0b11100 {
+		t.Errorf("mask=%#b want 0b11100", m)
+	}
+	if _, err := ContiguousMask(0, 0); err == nil {
+		t.Error("zero-width mask should error")
+	}
+	if _, err := ContiguousMask(-1, 2); err == nil {
+		t.Error("negative lo should error")
+	}
+	if _, err := ContiguousMask(60, 10); err == nil {
+		t.Error("overflowing mask should error")
+	}
+}
+
+func TestTreePLRUValidation(t *testing.T) {
+	if _, err := NewTreePLRU(16, 11); err == nil {
+		t.Error("non-power-of-two ways should error for tree-PLRU")
+	}
+	if _, err := NewTreePLRU(0, 4); err == nil {
+		t.Error("zero sets should error")
+	}
+}
+
+func TestTreePLRUBasicEviction(t *testing.T) {
+	cfg := Config{SizeBytes: 4096, Ways: 4, LineBytes: 64}
+	c := mustCache(t, cfg, NewTreePLRU)
+	full := c.FullMask()
+	sets := uint64(cfg.Sets())
+	// Fill all four ways of set 0, then access a fifth tag; PLRU must
+	// evict one of the resident lines and the new line must hit next.
+	for i := uint64(0); i < 4; i++ {
+		access(t, c, 0, i*sets*64, full)
+	}
+	access(t, c, 0, 4*sets*64, full)
+	if !c.Contains(4 * sets * 64) {
+		t.Error("newly filled line must be resident")
+	}
+	resident := 0
+	for i := uint64(0); i < 4; i++ {
+		if c.Contains(i * sets * 64) {
+			resident++
+		}
+	}
+	if resident != 3 {
+		t.Errorf("exactly one of the original lines should be evicted; %d resident", resident)
+	}
+}
+
+func TestTreePLRUMaskedVictim(t *testing.T) {
+	pol, err := NewTreePLRU(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch everything so bits are in a known state, then demand a victim
+	// restricted to ways {5}.
+	for w := 0; w < 8; w++ {
+		pol.OnAccess(0, w)
+	}
+	v := pol.Victim(0, 1<<5)
+	if v != 5 {
+		t.Errorf("masked victim=%d want 5", v)
+	}
+	if v := pol.Victim(0, 0); v != -1 {
+		t.Errorf("empty mask victim=%d want -1", v)
+	}
+}
+
+func TestLRUVictimPrefersOldest(t *testing.T) {
+	pol, err := NewLRU(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.OnAccess(0, 0)
+	pol.OnAccess(0, 1)
+	pol.OnAccess(0, 2)
+	pol.OnAccess(0, 3)
+	pol.OnAccess(0, 0) // refresh way 0
+	if v := pol.Victim(0, 0b1111); v != 1 {
+		t.Errorf("victim=%d want 1 (oldest)", v)
+	}
+	if v := pol.Victim(0, 0b1000); v != 3 {
+		t.Errorf("masked victim=%d want 3", v)
+	}
+}
+
+// Property: a looping working set that fits in the allocated ways has a
+// near-zero steady-state miss ratio; one that exceeds allocated capacity
+// under LRU thrashes (miss ratio 1 for a sequential loop).
+func TestLRUWorkingSetProperty(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 1024, Ways: 8, LineBytes: 64}
+	f := func(waysRaw uint8) bool {
+		ways := int(waysRaw)%8 + 1
+		cap := ways * cfg.SizeBytes / cfg.Ways
+		c, err := New(cfg, nil)
+		if err != nil {
+			return false
+		}
+		mask, err := ContiguousMask(0, ways)
+		if err != nil {
+			return false
+		}
+		// Working set at half the allocated capacity: must fit.
+		g, err := trace.NewLoop(0, uint64(cap/2), 64)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < cap; i++ { // warm
+			if _, err := c.Access(0, g.Next(), mask); err != nil {
+				return false
+			}
+		}
+		c.ResetStats()
+		for i := 0; i < cap; i++ {
+			if _, err := c.Access(0, g.Next(), mask); err != nil {
+				return false
+			}
+		}
+		return c.Stats(0).MissRatio() < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUThrashingLoop(t *testing.T) {
+	cfg := Config{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 64}
+	c := mustCache(t, cfg, nil)
+	mask, _ := ContiguousMask(0, 2)         // 8 KB allocated
+	g, err := trace.NewLoop(0, 16*1024, 64) // 16 KB working set
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		access(t, c, 0, g.Next(), mask)
+	}
+	c.ResetStats()
+	for i := 0; i < 4096; i++ {
+		access(t, c, 0, g.Next(), mask)
+	}
+	if mr := c.Stats(0).MissRatio(); mr < 0.99 {
+		t.Errorf("sequential loop beyond capacity should thrash under LRU, miss ratio %v", mr)
+	}
+}
+
+func TestMRCMonotoneForLoop(t *testing.T) {
+	cfg := Config{SizeBytes: 32 * 1024, Ways: 8, LineBytes: 64}
+	g, err := trace.NewLoop(0, 12*1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrc, err := ProfileMRC(cfg, g, nil, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 KB working set, 4 KB per way → misses at ≤2 ways, hits at ≥4.
+	if mrc.At(1) < 0.9 {
+		t.Errorf("1-way miss ratio %v, want thrash", mrc.At(1))
+	}
+	if mrc.At(8) > 0.01 {
+		t.Errorf("8-way miss ratio %v, want ~0", mrc.At(8))
+	}
+	if mrc.At(4) > 0.01 {
+		t.Errorf("4-way (16KB) should fit 12KB set, miss ratio %v", mrc.At(4))
+	}
+}
+
+func TestMRCClamping(t *testing.T) {
+	m := MRC{Ways: 2, MissRatio: []float64{0.9, 0.1}}
+	if m.At(0) != 0.9 {
+		t.Errorf("At(0) should clamp to 1 way")
+	}
+	if m.At(10) != 0.1 {
+		t.Errorf("At(10) should clamp to max ways")
+	}
+	var empty MRC
+	if empty.At(3) != 0 {
+		t.Error("empty MRC should return 0")
+	}
+}
+
+func TestProfileMRCValidation(t *testing.T) {
+	g, _ := trace.NewLoop(0, 1024, 64)
+	if _, err := ProfileMRC(testCfg, g, nil, -1, 10); err == nil {
+		t.Error("negative warmup should error")
+	}
+	if _, err := ProfileMRC(testCfg, g, nil, 0, 0); err == nil {
+		t.Error("zero samples should error")
+	}
+}

@@ -1,0 +1,67 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MRC is a miss-ratio curve: MissRatio[w] is the steady-state miss ratio
+// with w+1 ways allocated (index 0 → 1 way).
+type MRC struct {
+	Ways      int
+	MissRatio []float64
+}
+
+// At returns the miss ratio with the given way count, clamping to the
+// profiled range.
+func (m MRC) At(ways int) float64 {
+	if len(m.MissRatio) == 0 {
+		return 0
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > len(m.MissRatio) {
+		ways = len(m.MissRatio)
+	}
+	return m.MissRatio[ways-1]
+}
+
+// ProfileMRC derives a miss-ratio curve for an access pattern by
+// trace-driven simulation: for each way count 1..cfg.Ways it runs the
+// generator against a fresh cache restricted to a contiguous mask of that
+// many ways, discards warmup accesses, then measures sample accesses.
+//
+// The curve grounds the analytic working-set models in internal/workloads:
+// the ablation bench compares analytic and trace-derived curves.
+func ProfileMRC(cfg Config, gen trace.Generator, factory PolicyFactory, warmup, samples int) (MRC, error) {
+	if warmup < 0 || samples <= 0 {
+		return MRC{}, fmt.Errorf("cachesim: invalid profile sizes warmup=%d samples=%d", warmup, samples)
+	}
+	mrc := MRC{Ways: cfg.Ways, MissRatio: make([]float64, cfg.Ways)}
+	for w := 1; w <= cfg.Ways; w++ {
+		cache, err := New(cfg, factory)
+		if err != nil {
+			return MRC{}, err
+		}
+		mask, err := ContiguousMask(0, w)
+		if err != nil {
+			return MRC{}, err
+		}
+		gen.Reset()
+		for i := 0; i < warmup; i++ {
+			if _, err := cache.Access(0, gen.Next(), mask); err != nil {
+				return MRC{}, err
+			}
+		}
+		cache.ResetStats()
+		for i := 0; i < samples; i++ {
+			if _, err := cache.Access(0, gen.Next(), mask); err != nil {
+				return MRC{}, err
+			}
+		}
+		mrc.MissRatio[w-1] = cache.Stats(0).MissRatio()
+	}
+	return mrc, nil
+}

@@ -1,0 +1,137 @@
+package cachesim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// lru implements true least-recently-used replacement with per-line
+// logical timestamps.
+type lru struct {
+	ways   int
+	stamps []uint64 // sets × ways
+	clock  uint64
+}
+
+// NewLRU is a PolicyFactory for true LRU.
+func NewLRU(sets, ways int) (Policy, error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid LRU geometry sets=%d ways=%d", sets, ways)
+	}
+	return &lru{ways: ways, stamps: make([]uint64, sets*ways)}, nil
+}
+
+func (l *lru) OnAccess(set, way int) {
+	l.clock++
+	l.stamps[set*l.ways+way] = l.clock
+}
+
+func (l *lru) Victim(set int, mask uint64) int {
+	best := -1
+	var bestStamp uint64
+	base := set * l.ways
+	for w := 0; w < l.ways; w++ {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		s := l.stamps[base+w]
+		if best < 0 || s < bestStamp {
+			best, bestStamp = w, s
+		}
+	}
+	return best
+}
+
+// treePLRU implements tree pseudo-LRU. Each set keeps ways−1 direction
+// bits arranged as an implicit binary tree: bit i's children are 2i+1 and
+// 2i+2; leaves map to ways. A 0 bit means "the LRU side is the left
+// subtree". Only power-of-two way counts are supported, matching hardware
+// designs.
+type treePLRU struct {
+	ways int
+	bits [][]bool // per set, ways-1 nodes
+}
+
+// NewTreePLRU is a PolicyFactory for tree pseudo-LRU. The way count must
+// be a power of two.
+func NewTreePLRU(sets, ways int) (Policy, error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid PLRU geometry sets=%d ways=%d", sets, ways)
+	}
+	if ways&(ways-1) != 0 {
+		return nil, fmt.Errorf("cachesim: tree-PLRU requires power-of-two ways, got %d", ways)
+	}
+	b := make([][]bool, sets)
+	for i := range b {
+		b[i] = make([]bool, ways-1)
+	}
+	return &treePLRU{ways: ways, bits: b}, nil
+}
+
+// OnAccess flips the path bits so they point away from the touched way.
+func (p *treePLRU) OnAccess(set, way int) {
+	if p.ways == 1 {
+		return
+	}
+	nodes := p.bits[set]
+	levels := bits.TrailingZeros(uint(p.ways)) // tree depth
+	node := 0
+	for level := levels - 1; level >= 0; level-- {
+		right := way&(1<<uint(level)) != 0
+		// Point the bit at the *other* subtree (it is now the LRU side).
+		nodes[node] = !right
+		if right {
+			node = 2*node + 2
+		} else {
+			node = 2*node + 1
+		}
+	}
+}
+
+// subtreeMask returns the mask of ways under the subtree rooted at the
+// node addressed by (firstWay, width).
+func subtreeMask(firstWay, width int) uint64 {
+	return ((uint64(1) << width) - 1) << uint(firstWay)
+}
+
+// Victim walks the tree following the PLRU bits, but at each node forces
+// the walk into a subtree that contains at least one way from mask — the
+// standard way-partitioning extension of tree-PLRU.
+func (p *treePLRU) Victim(set int, mask uint64) int {
+	if p.ways == 1 {
+		if mask&1 != 0 {
+			return 0
+		}
+		return -1
+	}
+	if mask == 0 {
+		return -1
+	}
+	nodes := p.bits[set]
+	node, firstWay, width := 0, 0, p.ways
+	for width > 1 {
+		half := width / 2
+		leftMask := subtreeMask(firstWay, half) & mask
+		rightMask := subtreeMask(firstWay+half, half) & mask
+		goRight := nodes[node] // bit true → LRU side is right
+		switch {
+		case leftMask == 0 && rightMask == 0:
+			return -1
+		case leftMask == 0:
+			goRight = true
+		case rightMask == 0:
+			goRight = false
+		}
+		if goRight {
+			node = 2*node + 2
+			firstWay += half
+		} else {
+			node = 2*node + 1
+		}
+		width = half
+	}
+	if mask&(1<<uint(firstWay)) == 0 {
+		return -1
+	}
+	return firstWay
+}

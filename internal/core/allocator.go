@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/membw"
+)
+
+// AllocState is the controller's view of the system state S = {s_0 … s_n}:
+// per-application LLC way counts and MBA levels (§2.3). Way counts are
+// converted to contiguous exclusive CBMs only at the actuation boundary.
+type AllocState struct {
+	Ways []int
+	MBA  []int
+}
+
+// Clone deep-copies the state.
+func (s AllocState) Clone() AllocState {
+	w := make([]int, len(s.Ways))
+	m := make([]int, len(s.MBA))
+	copy(w, s.Ways)
+	copy(m, s.MBA)
+	return AllocState{Ways: w, MBA: m}
+}
+
+// Equal reports whether two states are identical.
+func (s AllocState) Equal(o AllocState) bool {
+	if len(s.Ways) != len(o.Ways) || len(s.MBA) != len(o.MBA) {
+		return false
+	}
+	for i := range s.Ways {
+		if s.Ways[i] != o.Ways[i] {
+			return false
+		}
+	}
+	for i := range s.MBA {
+		if s.MBA[i] != o.MBA[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants: each application holds at least
+// one way, way counts sum to at most totalWays, and MBA levels are legal.
+func (s AllocState) Validate(totalWays int) error {
+	if len(s.Ways) != len(s.MBA) {
+		return fmt.Errorf("core: state has %d way entries, %d MBA entries", len(s.Ways), len(s.MBA))
+	}
+	sum := 0
+	for i, w := range s.Ways {
+		if w < 1 {
+			return fmt.Errorf("core: app %d holds %d ways", i, w)
+		}
+		sum += w
+		if err := membw.ValidateLevel(s.MBA[i]); err != nil {
+			return fmt.Errorf("core: app %d: %w", i, err)
+		}
+	}
+	if sum > totalWays {
+		return fmt.Errorf("core: %d ways allocated, %d available", sum, totalWays)
+	}
+	return nil
+}
+
+// AppInfo is the classifier output plus the measured slowdown for one
+// application, the inputs of Algorithm 2.
+type AppInfo struct {
+	LLCState State
+	MBAState State
+	Slowdown float64
+}
+
+// resourceType indexes the three "hospitals" of the HR formulation: the
+// pools of applications willing to supply LLC ways, MBA steps, or either.
+type resourceType int
+
+const (
+	resLLC resourceType = iota
+	resMBA
+	resANY
+	numResourceTypes
+)
+
+// participant tracks one consumer application through the matching.
+type participant struct {
+	app   int
+	prefs []resourceType // remaining preference list, most preferred first
+	// demanded is the consumer's own resource need: resLLC, resMBA, or
+	// resANY when it demands both.
+	demanded resourceType
+}
+
+// GetNextSystemState implements Algorithm 2: one step of the
+// instability-chaining HR matching between resource producers and
+// consumers, returning the next system state.
+//
+// Producers are applications whose classifier says Supply and that can
+// actually give a unit (more than one way; MBA above the minimum).
+// Consumers are applications whose classifier says Demand and that can
+// absorb a unit. Preference lists follow §5.4.2: a single-resource
+// consumer prefers the matching specific pool over the ANY pool (to
+// maximize match size); a dual consumer randomizes which specific pool it
+// tries first (the paper's deliberate randomness against local optima).
+// Hospital preferences are the slowdown order — higher slowdown is served
+// first; when a pool is oversubscribed the least-slowed tentative consumer
+// is displaced and chains to its next preference.
+func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand.Rand) (AllocState, error) {
+	if len(apps) != len(cur.Ways) {
+		return AllocState{}, fmt.Errorf("core: %d apps, state for %d", len(apps), len(cur.Ways))
+	}
+	if err := cur.Validate(totalWays); err != nil {
+		return AllocState{}, err
+	}
+	if rng == nil {
+		return AllocState{}, fmt.Errorf("core: nil rng")
+	}
+	next := cur.Clone()
+
+	// Build the producer pools (lines 2–5 of Algorithm 2).
+	producers := make([][]int, numResourceTypes)
+	for i, a := range apps {
+		canWay := a.LLCState == Supply && cur.Ways[i] > 1
+		canMBA := a.MBAState == Supply && cur.MBA[i] > membw.MinLevel
+		switch {
+		case canWay && canMBA:
+			producers[resANY] = append(producers[resANY], i)
+		case canWay:
+			producers[resLLC] = append(producers[resLLC], i)
+		case canMBA:
+			producers[resMBA] = append(producers[resMBA], i)
+		}
+	}
+
+	// Build the consumers with their preference lists (line 6).
+	var consumers []*participant
+	for i, a := range apps {
+		wantsLLC := a.LLCState == Demand
+		wantsMBA := a.MBAState == Demand && cur.MBA[i] < membw.MaxLevel
+		switch {
+		case wantsLLC && wantsMBA:
+			first, second := resLLC, resMBA
+			if rng.Intn(2) == 0 {
+				first, second = second, first
+			}
+			consumers = append(consumers, &participant{
+				app: i, demanded: resANY,
+				prefs: []resourceType{first, second, resANY},
+			})
+		case wantsLLC:
+			consumers = append(consumers, &participant{
+				app: i, demanded: resLLC,
+				prefs: []resourceType{resLLC, resANY},
+			})
+		case wantsMBA:
+			consumers = append(consumers, &participant{
+				app: i, demanded: resMBA,
+				prefs: []resourceType{resMBA, resANY},
+			})
+		}
+	}
+
+	// Step 1 (lines 7–18): tentatively place each consumer, displacing the
+	// least-slowed holder when a pool oversubscribes (instability
+	// chaining).
+	admitted := make([][]*participant, numResourceTypes)
+	for _, c := range consumers {
+		consumer := c
+		for {
+			if len(consumer.prefs) == 0 {
+				break
+			}
+			t := consumer.prefs[0]
+			consumer.prefs = consumer.prefs[1:]
+			admitted[t] = append(admitted[t], consumer)
+			if len(admitted[t]) > len(producers[t]) {
+				// Displace the tentative consumer with the lowest
+				// slowdown — higher slowdowns deserve the resource.
+				victimIdx := 0
+				for j, cand := range admitted[t] {
+					if apps[cand.app].Slowdown < apps[admitted[t][victimIdx].app].Slowdown {
+						victimIdx = j
+					}
+				}
+				victim := admitted[t][victimIdx]
+				admitted[t] = append(admitted[t][:victimIdx], admitted[t][victimIdx+1:]...)
+				consumer = victim
+				continue
+			}
+			break
+		}
+	}
+
+	// Step 2 (lines 19–29): reclaim one unit from the least-slowed
+	// producer of each matched pool and grant it to the consumer.
+	for t := resLLC; t < numResourceTypes; t++ {
+		for _, c := range admitted[t] {
+			var rt resourceType
+			switch {
+			case t != resANY:
+				rt = t
+			case c.demanded != resANY:
+				rt = c.demanded
+			default:
+				rt = resLLC
+				if rng.Intn(2) == 0 {
+					rt = resMBA
+				}
+			}
+			pool := producers[t]
+			if len(pool) == 0 {
+				// Step 1 guarantees |consumers| ≤ |producers| per pool;
+				// an empty pool here is an internal invariant violation.
+				return AllocState{}, fmt.Errorf("core: pool %d drained with consumers pending", t)
+			}
+			minIdx := 0
+			for j, p := range pool {
+				if apps[p].Slowdown < apps[pool[minIdx]].Slowdown {
+					minIdx = j
+				}
+			}
+			p := pool[minIdx]
+			producers[t] = append(pool[:minIdx], pool[minIdx+1:]...)
+
+			switch rt {
+			case resLLC:
+				next.Ways[p]--
+				next.Ways[c.app]++
+			case resMBA:
+				next.MBA[p] -= membw.Granularity
+				next.MBA[c.app] += membw.Granularity
+				if next.MBA[c.app] > membw.MaxLevel {
+					next.MBA[c.app] = membw.MaxLevel
+				}
+			}
+		}
+	}
+	if err := next.Validate(totalWays); err != nil {
+		return AllocState{}, fmt.Errorf("core: produced invalid state: %w", err)
+	}
+	return next, nil
+}
+
+// NeighborState returns a random valid single-unit perturbation of cur:
+// either one LLC way moved between two applications or one application's
+// MBA level nudged one step. Algorithm 1 uses it to escape repeated
+// states (lines 11–14). When no perturbation is possible (single app at
+// the boundary), the input state is returned unchanged.
+func NeighborState(cur AllocState, totalWays int, rng *rand.Rand) (AllocState, error) {
+	return neighborState(cur, totalWays, rng, true, true)
+}
+
+// neighborState optionally restricts which resource may be perturbed —
+// the CAT-only and MBA-only baselines freeze one axis.
+func neighborState(cur AllocState, totalWays int, rng *rand.Rand, allowWays, allowMBA bool) (AllocState, error) {
+	if err := cur.Validate(totalWays); err != nil {
+		return AllocState{}, err
+	}
+	if rng == nil {
+		return AllocState{}, fmt.Errorf("core: nil rng")
+	}
+	n := len(cur.Ways)
+	if n == 0 || (!allowWays && !allowMBA) {
+		return cur, nil
+	}
+	const attempts = 64
+	for try := 0; try < attempts; try++ {
+		next := cur.Clone()
+		move := rng.Intn(3)
+		if !allowWays && move == 0 {
+			continue
+		}
+		if !allowMBA && move != 0 {
+			continue
+		}
+		switch move {
+		case 0: // move a way
+			if n < 2 {
+				continue
+			}
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to || next.Ways[from] <= 1 {
+				continue
+			}
+			next.Ways[from]--
+			next.Ways[to]++
+		case 1: // raise an MBA level
+			i := rng.Intn(n)
+			if next.MBA[i] >= membw.MaxLevel {
+				continue
+			}
+			next.MBA[i] += membw.Granularity
+		default: // lower an MBA level
+			i := rng.Intn(n)
+			if next.MBA[i] <= membw.MinLevel {
+				continue
+			}
+			next.MBA[i] -= membw.Granularity
+		}
+		return next, nil
+	}
+	return cur, nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import "fmt"
+
+// State is a classifier FSM state (§5.2): Supply means a unit of the
+// resource can be reclaimed without significant performance loss; Demand
+// means an additional unit is expected to improve performance
+// significantly; Maintain means the current allocation is right.
+type State int
+
+const (
+	Supply State = iota
+	Maintain
+	Demand
+)
+
+// String renders the state name.
+func (s State) String() string {
+	switch s {
+	case Supply:
+		return "Supply"
+	case Maintain:
+		return "Maintain"
+	case Demand:
+		return "Demand"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ChangeKind describes the most recent allocation change applied to an
+// application, which both FSMs consult when interpreting the subsequent
+// performance delta (§5.3 notes the FSMs are designed in awareness of the
+// interaction between the two resources).
+type ChangeKind int
+
+const (
+	// NoChange: the application's allocation was untouched last period.
+	NoChange ChangeKind = iota
+	// GainedWay / LostWay: an LLC way was granted / reclaimed.
+	GainedWay
+	LostWay
+	// GainedMBA / LostMBA: the MBA level was raised / lowered one step.
+	GainedMBA
+	LostMBA
+)
+
+// String renders the change kind.
+func (c ChangeKind) String() string {
+	switch c {
+	case NoChange:
+		return "none"
+	case GainedWay:
+		return "+way"
+	case LostWay:
+		return "-way"
+	case GainedMBA:
+		return "+mba"
+	case LostMBA:
+		return "-mba"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(c))
+	}
+}
+
+// Observation carries one control period's measurements for one
+// application.
+type Observation struct {
+	// AccessRate is LLC accesses/s over the period.
+	AccessRate float64
+	// MissRatio is LLC misses/accesses over the period.
+	MissRatio float64
+	// TrafficRatio is the application's LLC miss rate divided by the
+	// STREAM reference miss rate at the application's current MBA level
+	// (§5.3's "memory traffic ratio").
+	TrafficRatio float64
+	// IPS is the application's measured instructions/s this period.
+	IPS float64
+	// PerfDelta is the relative IPS change since the previous period,
+	// (IPS_now − IPS_prev) / IPS_prev.
+	PerfDelta float64
+	// LastChange is the allocation change applied at the start of the
+	// period.
+	LastChange ChangeKind
+	// Ways and MBALevel are the application's current allocation, used by
+	// the hurt-memory hysteresis below.
+	Ways     int
+	MBALevel int
+}
+
+// Reconstruction notes (shared by both FSMs).
+//
+// Figures 8 and 9 show the FSM transition diagrams, but their edge labels
+// are not present in the paper text we work from; the prose of §5.2/§5.3
+// pins down the main transitions, and three mechanisms are added to make
+// the reconstructed FSMs well-behaved (each bounded and local — the kind
+// of hysteresis any deployed controller needs):
+//
+//  1. Profiled-demand pinning. The profiling phase directly measures each
+//     application's sensitivity (§5.4.1). When it seeds Demand, the
+//     absolute rate gates (α/β for the LLC, γ for bandwidth) never demote
+//     the application to Supply: a latency-sensitive application can have
+//     a low traffic ratio (FT in Table 2: 2×10⁷ misses/s ≈ 6 % of
+//     STREAM) yet degrade badly when throttled — the measured
+//     degradation, not the proxy ratio, is authoritative.
+//
+//  2. Hurt memory. When reclaiming a unit costs ≥ δ_P, the classifier
+//     records the allocation it was reclaimed FROM as a floor and stops
+//     the absolute gates from re-entering Supply at or below that floor.
+//     Without it, an application whose working set exactly fits oscillates
+//     supply → thrash → demand → fit → supply forever.
+//
+//  3. Cumulative-drop guard. A sequence of reclaims, each individually
+//     under δ_P, can add up (convex MBA latency curves make every single
+//     step look cheap). While in Supply the classifier tracks the IPS at
+//     state entry and exits to Maintain — recording the hurt floor — once
+//     the cumulative drop reaches δ_P.
+type LLCClassifier struct {
+	params         Params
+	features       Features
+	state          State
+	profiledDemand bool
+	hurtWays       int     // do not supply at or below this many ways
+	entryIPS       float64 // IPS when the current state was entered
+}
+
+// NewLLCClassifier creates the FSM seeded with the initial state chosen by
+// the profiling phase (§5.4.1). profiledDemand pins the application as
+// LLC-sensitive per reconstruction note 1. All features default to on;
+// see UseFeatures.
+func NewLLCClassifier(params Params, initial State, profiledDemand bool) *LLCClassifier {
+	return &LLCClassifier{
+		params: params, features: DefaultFeatures(),
+		state: initial, profiledDemand: profiledDemand,
+	}
+}
+
+// UseFeatures replaces the feature set (ablation support).
+func (c *LLCClassifier) UseFeatures(f Features) { c.features = f }
+
+// State returns the current state.
+func (c *LLCClassifier) State() State { return c.state }
+
+// setState records state-entry IPS on transitions.
+func (c *LLCClassifier) setState(s State, ips float64) State {
+	if s != c.state {
+		c.state = s
+		c.entryIPS = ips
+	}
+	return c.state
+}
+
+// Update advances the FSM with one period's observation and returns the
+// new state.
+//
+// Transitions (reconstructed from §5.2 prose):
+//   - any → Supply when the access rate is below α or the miss ratio
+//     below β (idle or fully cached), subject to notes 1–3 above;
+//   - Demand → Maintain when an added way improved performance by < δ_P;
+//   - Maintain → Demand when the miss ratio exceeds Β or a reclaimed way
+//     cost ≥ δ_P;
+//   - Supply → Demand when the miss ratio exceeds Β; Supply → Maintain
+//     when a reclaim hurt (single-step or cumulative) or the miss ratio
+//     has risen to β or above.
+func (c *LLCClassifier) Update(obs Observation) State {
+	p := c.params
+	singleHurt := obs.LastChange == LostWay && obs.PerfDelta <= -p.DeltaPerf
+	cumHurt := c.features.CumulativeGuard &&
+		c.state == Supply && c.entryIPS > 0 && obs.IPS < c.entryIPS*(1-p.DeltaPerf)
+	if (singleHurt || cumHurt) && c.features.HurtMemory {
+		if floor := obs.Ways + 1; floor > c.hurtWays {
+			c.hurtWays = floor
+		}
+	}
+	pinned := c.profiledDemand && c.features.ProfilePinning
+	gatesOpen := !pinned && obs.Ways > c.hurtWays && !singleHurt && !cumHurt
+	if gatesOpen && (obs.AccessRate < p.Alpha || obs.MissRatio < p.BetaLow) {
+		return c.setState(Supply, obs.IPS)
+	}
+	switch c.state {
+	case Demand:
+		if obs.LastChange == GainedWay && obs.PerfDelta < p.DeltaPerf {
+			return c.setState(Maintain, obs.IPS)
+		}
+	case Maintain:
+		if obs.MissRatio > p.BetaHigh || singleHurt {
+			return c.setState(Demand, obs.IPS)
+		}
+	case Supply:
+		switch {
+		case obs.MissRatio > p.BetaHigh:
+			return c.setState(Demand, obs.IPS)
+		case singleHurt || cumHurt:
+			return c.setState(Maintain, obs.IPS)
+		case obs.MissRatio >= p.BetaLow && obs.AccessRate >= p.Alpha:
+			return c.setState(Maintain, obs.IPS)
+		}
+	}
+	return c.state
+}
+
+// MBAClassifier is the per-application FSM of Figure 9, reconstructed from
+// the §5.3 prose analogously (see the notes above LLCClassifier):
+//   - any → Supply when the memory-traffic ratio falls below γ (subject
+//     to notes 1–3);
+//   - any → Demand when the memory-traffic ratio exceeds Γ;
+//   - Demand → Maintain when a granted MBA step improved performance by
+//     less than δ_P — unless the most recently granted resource was an
+//     LLC way, in which case the application stays in Demand (§5.3: the
+//     marginal improvement reflects low LLC sensitivity, not low
+//     bandwidth sensitivity);
+//   - Maintain → Demand when a reclaimed MBA step cost ≥ δ_P;
+//   - Supply → Maintain when a reclaim hurt (single-step or cumulative)
+//     or the traffic ratio has risen to γ or above.
+type MBAClassifier struct {
+	params         Params
+	features       Features
+	state          State
+	profiledDemand bool
+	hurtLevel      int // do not supply at or below this MBA level
+	entryIPS       float64
+}
+
+// NewMBAClassifier creates the FSM seeded with the profiling phase's
+// initial state. All features default to on; see UseFeatures.
+func NewMBAClassifier(params Params, initial State, profiledDemand bool) *MBAClassifier {
+	return &MBAClassifier{
+		params: params, features: DefaultFeatures(),
+		state: initial, profiledDemand: profiledDemand,
+	}
+}
+
+// UseFeatures replaces the feature set (ablation support).
+func (c *MBAClassifier) UseFeatures(f Features) { c.features = f }
+
+// State returns the current state.
+func (c *MBAClassifier) State() State { return c.state }
+
+func (c *MBAClassifier) setState(s State, ips float64) State {
+	if s != c.state {
+		c.state = s
+		c.entryIPS = ips
+	}
+	return c.state
+}
+
+// Update advances the FSM with one period's observation and returns the
+// new state.
+func (c *MBAClassifier) Update(obs Observation) State {
+	p := c.params
+	singleHurt := obs.LastChange == LostMBA && obs.PerfDelta <= -p.DeltaPerf
+	cumHurt := c.features.CumulativeGuard &&
+		c.state == Supply && c.entryIPS > 0 && obs.IPS < c.entryIPS*(1-p.DeltaPerf)
+	if (singleHurt || cumHurt) && c.features.HurtMemory {
+		if floor := obs.MBALevel + 10; floor > c.hurtLevel {
+			c.hurtLevel = floor
+		}
+	}
+	pinned := c.profiledDemand && c.features.ProfilePinning
+	gatesOpen := !pinned && obs.MBALevel > c.hurtLevel && !singleHurt && !cumHurt
+	if gatesOpen && obs.TrafficRatio < p.GammaLow {
+		return c.setState(Supply, obs.IPS)
+	}
+	if obs.TrafficRatio > p.GammaHigh {
+		return c.setState(Demand, obs.IPS)
+	}
+	switch c.state {
+	case Demand:
+		if obs.LastChange == GainedMBA && obs.PerfDelta < p.DeltaPerf {
+			return c.setState(Maintain, obs.IPS)
+		}
+		// An LLC-way grant with little improvement keeps the application
+		// in Demand: the small delta says nothing about bandwidth.
+	case Maintain:
+		if singleHurt {
+			return c.setState(Demand, obs.IPS)
+		}
+	case Supply:
+		switch {
+		case singleHurt || cumHurt:
+			return c.setState(Maintain, obs.IPS)
+		case obs.TrafficRatio >= p.GammaLow:
+			return c.setState(Maintain, obs.IPS)
+		}
+	}
+	return c.state
+}

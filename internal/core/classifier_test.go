@@ -1,0 +1,377 @@
+package core
+
+import "testing"
+
+func obs(mods ...func(*Observation)) Observation {
+	// A "healthy mid-band" observation: active cache use, moderate miss
+	// ratio, moderate traffic, no recent change, flat performance.
+	o := Observation{
+		AccessRate:   1e8,
+		MissRatio:    0.02,
+		TrafficRatio: 0.2,
+		IPS:          1e9,
+		PerfDelta:    0,
+		LastChange:   NoChange,
+		Ways:         5,
+		MBALevel:     50,
+	}
+	for _, m := range mods {
+		m(&o)
+	}
+	return o
+}
+
+func TestStateAndChangeStrings(t *testing.T) {
+	if Supply.String() != "Supply" || Maintain.String() != "Maintain" || Demand.String() != "Demand" {
+		t.Error("state names wrong")
+	}
+	if State(9).String() == "" || ChangeKind(9).String() == "" {
+		t.Error("unknown values should render")
+	}
+	for _, c := range []ChangeKind{NoChange, GainedWay, LostWay, GainedMBA, LostMBA} {
+		if c.String() == "" {
+			t.Errorf("empty name for change %d", int(c))
+		}
+	}
+}
+
+func TestLLCLowAccessRateForcesSupply(t *testing.T) {
+	for _, initial := range []State{Supply, Maintain, Demand} {
+		c := NewLLCClassifier(DefaultParams(), initial, false)
+		got := c.Update(obs(func(o *Observation) { o.AccessRate = 1e5 }))
+		if got != Supply {
+			t.Errorf("from %v: access rate below α should force Supply, got %v", initial, got)
+		}
+	}
+}
+
+func TestLLCLowMissRatioForcesSupply(t *testing.T) {
+	for _, initial := range []State{Maintain, Demand} {
+		c := NewLLCClassifier(DefaultParams(), initial, false)
+		got := c.Update(obs(func(o *Observation) { o.MissRatio = 0.001 }))
+		if got != Supply {
+			t.Errorf("from %v: miss ratio below β should force Supply, got %v", initial, got)
+		}
+	}
+}
+
+func TestLLCDemandStaysWhileWaysPay(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Demand, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = GainedWay
+		o.PerfDelta = 0.10 // way paid off
+		o.MissRatio = 0.05
+	}))
+	if got != Demand {
+		t.Errorf("paying way should keep Demand, got %v", got)
+	}
+}
+
+func TestLLCDemandToMaintainOnMarginalGain(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Demand, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = GainedWay
+		o.PerfDelta = 0.01 // below δ_P
+		o.MissRatio = 0.02 // mid-band: no absolute override
+	}))
+	if got != Maintain {
+		t.Errorf("marginal way should demote to Maintain, got %v", got)
+	}
+}
+
+func TestLLCMaintainToDemandOnHighMissRatio(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Maintain, false)
+	got := c.Update(obs(func(o *Observation) { o.MissRatio = 0.08 }))
+	if got != Demand {
+		t.Errorf("miss ratio above Β should promote to Demand, got %v", got)
+	}
+}
+
+func TestLLCMaintainToDemandOnCostlyReclaim(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Maintain, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = LostWay
+		o.PerfDelta = -0.12
+	}))
+	if got != Demand {
+		t.Errorf("costly reclaim should promote to Demand, got %v", got)
+	}
+}
+
+func TestLLCSupplyToMaintainOnCostlyReclaim(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Supply, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = LostWay
+		o.PerfDelta = -0.10
+		o.MissRatio = 0.02
+	}))
+	if got != Maintain {
+		t.Errorf("costly reclaim from Supply should stop supplying, got %v", got)
+	}
+}
+
+func TestLLCSupplyToDemandOnHighMissRatio(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Supply, false)
+	got := c.Update(obs(func(o *Observation) { o.MissRatio = 0.10 }))
+	if got != Demand {
+		t.Errorf("high miss ratio from Supply should jump to Demand, got %v", got)
+	}
+}
+
+func TestLLCSupplyPersistsWhileCold(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Supply, false)
+	got := c.Update(obs(func(o *Observation) { o.MissRatio = 0.001 }))
+	if got != Supply {
+		t.Errorf("cold app should keep supplying, got %v", got)
+	}
+}
+
+func TestMBALowTrafficForcesSupply(t *testing.T) {
+	for _, initial := range []State{Supply, Maintain, Demand} {
+		c := NewMBAClassifier(DefaultParams(), initial, false)
+		got := c.Update(obs(func(o *Observation) { o.TrafficRatio = 0.05 }))
+		if got != Supply {
+			t.Errorf("from %v: traffic below γ should force Supply, got %v", initial, got)
+		}
+	}
+}
+
+func TestMBAHighTrafficForcesDemand(t *testing.T) {
+	for _, initial := range []State{Supply, Maintain, Demand} {
+		c := NewMBAClassifier(DefaultParams(), initial, false)
+		got := c.Update(obs(func(o *Observation) { o.TrafficRatio = 0.5 }))
+		if got != Demand {
+			t.Errorf("from %v: traffic above Γ should force Demand, got %v", initial, got)
+		}
+	}
+}
+
+func TestMBADemandToMaintainOnMarginalMBAGain(t *testing.T) {
+	c := NewMBAClassifier(DefaultParams(), Demand, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = GainedMBA
+		o.PerfDelta = 0.01
+	}))
+	if got != Maintain {
+		t.Errorf("marginal MBA step should demote, got %v", got)
+	}
+}
+
+func TestMBADemandKeptWhenLastResourceWasLLCWay(t *testing.T) {
+	// §5.3: small improvement after an LLC-way grant says nothing about
+	// bandwidth sensitivity — Demand must persist.
+	c := NewMBAClassifier(DefaultParams(), Demand, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = GainedWay
+		o.PerfDelta = 0.01
+	}))
+	if got != Demand {
+		t.Errorf("LLC-way grant must not demote MBA Demand, got %v", got)
+	}
+}
+
+func TestMBAMaintainToDemandOnCostlyReclaim(t *testing.T) {
+	c := NewMBAClassifier(DefaultParams(), Maintain, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = LostMBA
+		o.PerfDelta = -0.10
+	}))
+	if got != Demand {
+		t.Errorf("costly MBA reclaim should promote, got %v", got)
+	}
+}
+
+func TestMBASupplyToMaintainWhenTrafficRises(t *testing.T) {
+	c := NewMBAClassifier(DefaultParams(), Supply, false)
+	got := c.Update(obs(func(o *Observation) { o.TrafficRatio = 0.2 }))
+	if got != Maintain {
+		t.Errorf("mid-band traffic should move Supply to Maintain, got %v", got)
+	}
+}
+
+func TestMBASupplyToMaintainOnCostlyReclaim(t *testing.T) {
+	c := NewMBAClassifier(DefaultParams(), Supply, false)
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = LostMBA
+		o.PerfDelta = -0.2
+		o.TrafficRatio = 0.15
+	}))
+	if got != Maintain {
+		t.Errorf("costly reclaim should stop supplying, got %v", got)
+	}
+}
+
+func TestLLCProfiledDemandPinning(t *testing.T) {
+	// Reconstruction note 1: a profiled-Demand application is never
+	// demoted to Supply by the absolute gates.
+	c := NewLLCClassifier(DefaultParams(), Demand, true)
+	got := c.Update(obs(func(o *Observation) { o.MissRatio = 0.001 }))
+	if got == Supply {
+		t.Error("profiled-Demand app must not be gated into Supply")
+	}
+}
+
+func TestMBAProfiledDemandPinning(t *testing.T) {
+	c := NewMBAClassifier(DefaultParams(), Demand, true)
+	got := c.Update(obs(func(o *Observation) { o.TrafficRatio = 0.02 }))
+	if got == Supply {
+		t.Error("profiled-Demand app must not be gated into Supply")
+	}
+}
+
+func TestLLCHurtMemoryStopsChurn(t *testing.T) {
+	// Reconstruction note 2: after a costly reclaim at W ways, fitting
+	// again at W+1 ways must not re-enter Supply (the fit→supply→thrash
+	// oscillation).
+	c := NewLLCClassifier(DefaultParams(), Supply, false)
+	// Lost a way (now at 3, was at 4) and it hurt.
+	c.Update(obs(func(o *Observation) {
+		o.LastChange = LostWay
+		o.PerfDelta = -0.2
+		o.MissRatio = 0.2
+		o.Ways = 3
+	}))
+	// Regained the way; working set fits again (miss ratio below β).
+	got := c.Update(obs(func(o *Observation) {
+		o.LastChange = GainedWay
+		o.PerfDelta = 0.25
+		o.MissRatio = 0.001
+		o.Ways = 4
+	}))
+	if got == Supply {
+		t.Error("hurt memory should block Supply at the hurt floor")
+	}
+	// With one way of headroom above the floor, supplying is allowed again.
+	got = c.Update(obs(func(o *Observation) {
+		o.MissRatio = 0.001
+		o.Ways = 5
+	}))
+	if got != Supply {
+		t.Errorf("above the hurt floor the gate should reopen, got %v", got)
+	}
+}
+
+func TestMBACumulativeGuardBoundsSlide(t *testing.T) {
+	// Reconstruction note 3: many small reclaims, each under δ_P, must
+	// not let a supplier slide unboundedly.
+	c := NewMBAClassifier(DefaultParams(), Maintain, false)
+	// Enter Supply at full performance.
+	st := c.Update(obs(func(o *Observation) {
+		o.TrafficRatio = 0.05
+		o.IPS = 1e9
+		o.MBALevel = 100
+	}))
+	if st != Supply {
+		t.Fatalf("expected Supply, got %v", st)
+	}
+	// Slide: each step costs 2 % (below δ_P=5 %); cumulatively past 5 %.
+	ips := 1e9
+	level := 100
+	for i := 0; i < 10 && c.State() == Supply; i++ {
+		ips *= 0.98
+		level -= 10
+		c.Update(obs(func(o *Observation) {
+			o.TrafficRatio = 0.05
+			o.LastChange = LostMBA
+			o.PerfDelta = -0.02
+			o.IPS = ips
+			o.MBALevel = level
+		}))
+	}
+	if c.State() == Supply {
+		t.Error("cumulative guard should have exited Supply")
+	}
+	if ips < 1e9*0.88 {
+		t.Errorf("guard fired too late: IPS fell to %.3g", ips)
+	}
+	// The hurt floor now blocks re-entry at this level.
+	got := c.Update(obs(func(o *Observation) {
+		o.TrafficRatio = 0.05
+		o.IPS = ips
+		o.MBALevel = level
+	}))
+	if got == Supply {
+		t.Error("hurt floor should block Supply re-entry after the slide")
+	}
+}
+
+func TestLLCCumulativeGuard(t *testing.T) {
+	c := NewLLCClassifier(DefaultParams(), Maintain, false)
+	st := c.Update(obs(func(o *Observation) {
+		o.MissRatio = 0.001
+		o.IPS = 1e9
+		o.Ways = 8
+	}))
+	if st != Supply {
+		t.Fatalf("expected Supply, got %v", st)
+	}
+	ips := 1e9
+	ways := 8
+	for i := 0; i < 8 && c.State() == Supply; i++ {
+		ips *= 0.98
+		ways--
+		c.Update(obs(func(o *Observation) {
+			o.MissRatio = 0.001
+			o.LastChange = LostWay
+			o.PerfDelta = -0.02
+			o.IPS = ips
+			o.Ways = ways
+		}))
+	}
+	if c.State() == Supply {
+		t.Error("cumulative guard should have exited Supply")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.Alpha = -1 },
+		func(p *Params) { p.BetaLow = -0.1 },
+		func(p *Params) { p.BetaHigh = p.BetaLow / 2 },
+		func(p *Params) { p.DeltaPerf = 0 },
+		func(p *Params) { p.DeltaPerf = 1.5 },
+		func(p *Params) { p.GammaHigh = p.GammaLow / 2 },
+		func(p *Params) { p.Theta = 0 },
+		func(p *Params) { p.ProfileWays = 0 },
+		func(p *Params) { p.ProfileMBA = 15 },
+		func(p *Params) { p.ProfileDemandThreshold = 0 },
+		func(p *Params) { p.ProfileSupplyThreshold = 0.5 },
+		func(p *Params) { p.Period = 0 },
+		func(p *Params) { p.IdleChangeThreshold = 0 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate params", i)
+		}
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.Alpha != 1.5e6 {
+		t.Errorf("α=%v want 1.5e6", p.Alpha)
+	}
+	if p.BetaLow != 0.01 || p.BetaHigh != 0.03 {
+		t.Errorf("β=%v Β=%v want 0.01/0.03", p.BetaLow, p.BetaHigh)
+	}
+	if p.DeltaPerf != 0.05 {
+		t.Errorf("δ_P=%v want 0.05", p.DeltaPerf)
+	}
+	if p.GammaLow != 0.10 || p.GammaHigh != 0.30 {
+		t.Errorf("γ=%v Γ=%v want 0.10/0.30", p.GammaLow, p.GammaHigh)
+	}
+	if p.Theta != 3 {
+		t.Errorf("θ=%d want 3", p.Theta)
+	}
+	if p.ProfileWays != 2 || p.ProfileMBA != 20 {
+		t.Errorf("l_P=%d M_P=%d want 2/20", p.ProfileWays, p.ProfileMBA)
+	}
+	if p.ProfileDemandThreshold != 0.10 {
+		t.Errorf("profile threshold %v want 0.10", p.ProfileDemandThreshold)
+	}
+}

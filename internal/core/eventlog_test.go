@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/eventlog"
+	"repro/internal/workloads"
+)
+
+// TestManagerEmitsTelemetry attaches an event log and checks that a full
+// adaptation run leaves an audit trail covering every event kind.
+func TestManagerEmitsTelemetry(t *testing.T) {
+	m, mgr := testSetup(t, workloads.HLLC, 4)
+	log, err := eventlog.New(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Events = log
+	runToIdle(t, mgr)
+
+	kinds := map[eventlog.Kind]int{}
+	for _, e := range log.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[eventlog.KindProfile] != 4 {
+		t.Errorf("expected one profile event per app, got %d", kinds[eventlog.KindProfile])
+	}
+	if kinds[eventlog.KindPhase] < 2 {
+		t.Errorf("expected profile-done and idle phase events, got %d", kinds[eventlog.KindPhase])
+	}
+	if kinds[eventlog.KindState] == 0 {
+		t.Error("expected resource-transfer events")
+	}
+
+	// Change detection is logged too.
+	if err := m.RemoveApp(m.Apps()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.IdleStep(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range log.Events() {
+		if e.Kind == eventlog.KindChange && strings.Contains(e.Detail, "consolidation changed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("departure should be logged as a change event")
+	}
+
+	// The text rendering is consumable.
+	var b bytes.Buffer
+	if err := log.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ipsFull=") {
+		t.Errorf("text log missing profiling detail:\n%s", b.String())
+	}
+}
+
+// TestManagerWithoutLogIsSilent ensures the nil log path costs nothing
+// and crashes nothing.
+func TestManagerWithoutLogIsSilent(t *testing.T) {
+	_, mgr := testSetup(t, workloads.MBW, 4)
+	mgr.Events = nil
+	runToIdle(t, mgr)
+}

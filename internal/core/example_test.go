@@ -1,0 +1,20 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+func ExampleGetNextSystemState() {
+	// App 1 is badly slowed and demands cache; app 0 can supply a way.
+	cur := core.AllocState{Ways: []int{6, 5}, MBA: []int{50, 50}}
+	apps := []core.AppInfo{
+		{LLCState: core.Supply, MBAState: core.Maintain, Slowdown: 1.05},
+		{LLCState: core.Demand, MBAState: core.Maintain, Slowdown: 1.80},
+	}
+	next, _ := core.GetNextSystemState(cur, apps, 11, rand.New(rand.NewSource(1)))
+	fmt.Println("ways:", next.Ways, "mba:", next.MBA)
+	// Output: ways: [5 6] mba: [50 50]
+}

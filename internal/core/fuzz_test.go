@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// randomModel generates a structurally valid application model with
+// randomized characteristics spanning all four sensitivity classes.
+func randomModel(rng *rand.Rand, name string, cores int) machine.AppModel {
+	streamFrac := rng.Float64() * 0.95
+	hotWeight := 1 - streamFrac
+	model := machine.AppModel{
+		Name:        name,
+		Cores:       cores,
+		CPIBase:     0.5 + rng.Float64()*1.5,
+		AccPerInstr: math64(rng, 1e-6, 0.05),
+		StreamFrac:  streamFrac,
+		MLP:         1 + rng.Float64()*11,
+	}
+	if hotWeight > 0 {
+		model.Hot = []machine.WSComponent{{
+			Bytes:  math64(rng, 256<<10, 30<<20),
+			Weight: hotWeight,
+			MLP:    1 + rng.Float64()*3,
+		}}
+	} else {
+		model.StreamFrac = 1
+	}
+	return model
+}
+
+// math64 draws a log-uniform value in [lo, hi].
+func math64(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Pow(hi/lo, rng.Float64())
+}
+
+// TestControllerFuzz runs the full manager on randomized consolidations
+// and asserts the invariants that must hold regardless of workload:
+// no errors, valid states every period, convergence or bounded
+// exploration, and sane slowdowns.
+func TestControllerFuzz(t *testing.T) {
+	const runs = 25
+	for run := 0; run < runs; run++ {
+		run := run
+		t.Run(fmt.Sprintf("seed=%d", run), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(run)))
+			cfg := machine.DefaultConfig()
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 2 + rng.Intn(5) // 2..6 apps
+			cores := cfg.Cores / n
+			for i := 0; i < n; i++ {
+				model := randomModel(rng, fmt.Sprintf("app%d", i), cores)
+				if err := model.Validate(); err != nil {
+					t.Fatalf("generator produced invalid model: %v", err)
+				}
+				if err := m.AddApp(model); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ref, err := workloads.StreamMissRates(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := NewManager(m, DefaultParams(), ref,
+				Envelope{LoWay: 0, Ways: cfg.LLCWays}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mgr.Profile(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 150; i++ {
+				done, err := mgr.ExploreStep()
+				if err != nil {
+					t.Fatalf("period %d: %v", i, err)
+				}
+				if err := mgr.State().Validate(cfg.LLCWays); err != nil {
+					t.Fatalf("period %d: invalid state: %v", i, err)
+				}
+				if done {
+					break
+				}
+			}
+			// A few idle periods must also hold the invariants.
+			if mgr.Phase() == PhaseIdle {
+				for i := 0; i < 3; i++ {
+					if _, err := mgr.IdleStep(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,683 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/pmc"
+)
+
+// Target is the machine the manager controls. *machine.Machine satisfies
+// it directly; a production deployment would back it with the resctrl
+// client and a PMC reader, with Step implemented as a wall-clock sleep.
+type Target interface {
+	// Apps lists the consolidated applications.
+	Apps() []string
+	// ReadCounters returns an application's cumulative PMCs.
+	ReadCounters(name string) (machine.Counters, error)
+	// SetAllocation programs an application's (CBM, MBA level).
+	SetAllocation(name string, a machine.Alloc) error
+	// Config describes the hardware.
+	Config() machine.Config
+	// Now is the target's clock.
+	Now() time.Duration
+	// Step lets time pass (simulated or real).
+	Step(dt time.Duration) error
+}
+
+// Envelope is the window of LLC ways the manager may hand to its
+// applications. The §6.3 case study shrinks and grows this window as the
+// latency-critical workload's reservation changes; stand-alone operation
+// uses the full cache.
+type Envelope struct {
+	LoWay int
+	Ways  int
+}
+
+// Validate checks the envelope against the hardware and application count.
+func (e Envelope) Validate(cfg machine.Config, apps int) error {
+	if e.LoWay < 0 || e.Ways < 1 || e.LoWay+e.Ways > cfg.LLCWays {
+		return fmt.Errorf("core: envelope [%d,%d) outside %d ways", e.LoWay, e.LoWay+e.Ways, cfg.LLCWays)
+	}
+	if apps > e.Ways {
+		return fmt.Errorf("core: %d apps need at least %d ways, envelope has %d", apps, apps, e.Ways)
+	}
+	return nil
+}
+
+// Phase is the resource manager's execution phase (Figure 10).
+type Phase int
+
+const (
+	PhaseProfile Phase = iota
+	PhaseExplore
+	PhaseIdle
+)
+
+// String renders the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseProfile:
+		return "profiling"
+	case PhaseExplore:
+		return "exploration"
+	case PhaseIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PeriodReport summarizes one control period for observers (the runtime
+// figures are drawn from these).
+type PeriodReport struct {
+	Time       time.Duration
+	Phase      Phase
+	Apps       []string
+	Slowdowns  []float64
+	Unfairness float64
+	State      AllocState
+}
+
+// appRT is the manager's per-application runtime state.
+type appRT struct {
+	name      string
+	llc       *LLCClassifier
+	mba       *MBAClassifier
+	ipsFull   float64 // profiled full-resource IPS (Equation 1 denominator)
+	lastIPS   float64
+	havePerf  bool
+	wayChange ChangeKind // change applied at the start of the period
+	mbaChange ChangeKind
+	idleIPS   float64 // baseline recorded at idle entry
+}
+
+// Manager is CoPart's resource manager.
+type Manager struct {
+	target    Target
+	params    Params
+	streamRef map[int]float64 // STREAM miss rate per MBA level (§5.3)
+	env       Envelope
+	rng       *rand.Rand
+	sampler   *pmc.Sampler
+
+	apps  []*appRT
+	state AllocState
+	phase Phase
+	retry int
+
+	// bestState is the lowest-unfairness state observed during the
+	// current exploration; the manager settles into it when it goes
+	// idle. Algorithm 1's random neighbor perturbations mean the *last*
+	// explored state can be a perturbed one; parking on the best
+	// observed state is the natural refinement (the paper is silent on
+	// which state the idle phase holds).
+	bestState  AllocState
+	bestUnfair float64
+	haveBest   bool
+
+	envChanged bool
+
+	// Features toggles the reconstruction mechanisms (ablation support);
+	// NewManager initializes it to DefaultFeatures. Set before Profile.
+	Features Features
+
+	// FreezeLLC and FreezeMBA pin one resource axis: the corresponding
+	// classifier is held in Maintain, so the allocator never moves that
+	// resource and its allocation stays at the equal split. They
+	// implement the paper's CAT-only (FreezeMBA) and MBA-only
+	// (FreezeLLC) baselines (§6.1). Set them before Profile.
+	FreezeLLC bool
+	FreezeMBA bool
+
+	// ExploreTimes records the wall-clock duration of every
+	// getNextSystemState invocation (Figure 16's overhead metric).
+	ExploreTimes []time.Duration
+	// OnPeriod, when non-nil, receives a report after every control
+	// period in the exploration and idle phases.
+	OnPeriod func(PeriodReport)
+	// Events, when non-nil, receives structured telemetry: phase
+	// transitions, profiling results, resource transfers, classifier
+	// decisions, and change detections.
+	Events *eventlog.Log
+}
+
+// NewManager builds a manager for the target's current applications.
+func NewManager(target Target, params Params, streamRef map[int]float64, env Envelope, rng *rand.Rand) (*Manager, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	names := target.Apps()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no applications to manage")
+	}
+	if err := env.Validate(target.Config(), len(names)); err != nil {
+		return nil, err
+	}
+	for level := membw.MinLevel; level <= membw.MaxLevel; level += membw.Granularity {
+		if streamRef[level] <= 0 {
+			return nil, fmt.Errorf("core: missing STREAM reference for MBA level %d", level)
+		}
+	}
+	m := &Manager{
+		target:    target,
+		params:    params,
+		streamRef: streamRef,
+		env:       env,
+		rng:       rng,
+		sampler:   pmc.NewSampler(target),
+		phase:     PhaseProfile,
+		Features:  DefaultFeatures(),
+	}
+	m.resetApps(names)
+	return m, nil
+}
+
+// resetApps rebuilds runtime state for the given application set.
+func (m *Manager) resetApps(names []string) {
+	m.apps = make([]*appRT, len(names))
+	for i, n := range names {
+		m.apps[i] = &appRT{name: n}
+	}
+	m.sampler.Reset()
+	m.retry = 0
+}
+
+// Phase returns the manager's current phase.
+func (m *Manager) Phase() Phase { return m.phase }
+
+// State returns a copy of the current system state.
+func (m *Manager) State() AllocState { return m.state.Clone() }
+
+// SetEnvelope changes the way window at runtime (case study). The change
+// is detected as a workload change: the manager re-adapts.
+func (m *Manager) SetEnvelope(env Envelope) error {
+	if err := env.Validate(m.target.Config(), len(m.apps)); err != nil {
+		return err
+	}
+	if env == m.env {
+		return nil
+	}
+	m.env = env
+	m.envChanged = true
+	return nil
+}
+
+// equalState returns the equal-split starting state: ways divided evenly
+// and every application at the equal MBA share (an equal fraction of peak
+// traffic, rounded up to the 10 % granularity — matching the EQ baseline;
+// the paper does not specify CoPart's start state, and starting from EQ
+// makes the exploration's improvement over EQ directly attributable to
+// the controller).
+func (m *Manager) equalState() (AllocState, error) {
+	n := len(m.apps)
+	ways, err := machine.EqualSplit(m.env.Ways, n)
+	if err != nil {
+		return AllocState{}, err
+	}
+	level := EqualMBAShare(n)
+	mba := make([]int, n)
+	for i := range mba {
+		mba[i] = level
+	}
+	return AllocState{Ways: ways, MBA: mba}, nil
+}
+
+// EqualMBAShare returns the equal MBA allocation for n applications:
+// ceil(100/n) rounded up to the hardware granularity, clamped to the
+// legal range.
+func EqualMBAShare(n int) int {
+	if n < 1 {
+		return membw.MaxLevel
+	}
+	share := (100 + n - 1) / n
+	share = ((share + membw.Granularity - 1) / membw.Granularity) * membw.Granularity
+	if share < membw.MinLevel {
+		share = membw.MinLevel
+	}
+	if share > membw.MaxLevel {
+		share = membw.MaxLevel
+	}
+	return share
+}
+
+// applyState programs the target with st and records per-application
+// change kinds relative to the previous state.
+func (m *Manager) applyState(st AllocState) error {
+	counts := make([]int, len(st.Ways))
+	copy(counts, st.Ways)
+	masks, err := machine.AssignContiguousWays(counts, m.env.LoWay, m.env.Ways)
+	if err != nil {
+		return err
+	}
+	for i, a := range m.apps {
+		if err := m.target.SetAllocation(a.name, machine.Alloc{CBM: masks[i], MBALevel: st.MBA[i]}); err != nil {
+			return err
+		}
+		a.wayChange, a.mbaChange = NoChange, NoChange
+		if len(m.state.Ways) == len(st.Ways) {
+			switch {
+			case st.Ways[i] > m.state.Ways[i]:
+				a.wayChange = GainedWay
+			case st.Ways[i] < m.state.Ways[i]:
+				a.wayChange = LostWay
+			}
+			switch {
+			case st.MBA[i] > m.state.MBA[i]:
+				a.mbaChange = GainedMBA
+			case st.MBA[i] < m.state.MBA[i]:
+				a.mbaChange = LostMBA
+			}
+			if a.wayChange != NoChange || a.mbaChange != NoChange {
+				m.logf(eventlog.KindState, a.name, "%s %s → ways=%d mba=%d",
+					a.wayChange, a.mbaChange, st.Ways[i], st.MBA[i])
+			}
+		}
+	}
+	m.state = st.Clone()
+	return nil
+}
+
+// measurePeriod advances one control period and returns each
+// application's windowed counter rates over it.
+func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
+	for _, a := range m.apps {
+		if _, _, err := m.sampler.Sample(a.name, m.target.Now()); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.target.Step(m.params.Period); err != nil {
+		return nil, err
+	}
+	out := make([]pmc.Rates, len(m.apps))
+	for i, a := range m.apps {
+		r, ok, err := m.sampler.Sample(a.name, m.target.Now())
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: no sampling window for %s", a.name)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Profile runs the application profiling phase (§5.4.1): it measures each
+// application's IPS with the full envelope resources, then at (l_P, 100 %)
+// and (L, M_P), and seeds both classifiers from the observed degradations.
+// It leaves the system in the equal-split state, ready for exploration.
+func (m *Manager) Profile() error {
+	names := m.target.Apps()
+	if len(names) == 0 {
+		return fmt.Errorf("core: no applications to profile")
+	}
+	if err := m.env.Validate(m.target.Config(), len(names)); err != nil {
+		return err
+	}
+	m.resetApps(names)
+	eq, err := m.equalState()
+	if err != nil {
+		return err
+	}
+	m.state = AllocState{} // forget change history across re-profiling
+	if err := m.applyState(eq); err != nil {
+		return err
+	}
+
+	fullMask, err := windowMask(m.env)
+	if err != nil {
+		return err
+	}
+	profileWays := m.params.ProfileWays
+	if profileWays > m.env.Ways {
+		profileWays = m.env.Ways
+	}
+	probeMask := (uint64(1)<<profileWays - 1) << uint(m.env.LoWay)
+
+	for i := range m.apps {
+		a := m.apps[i]
+		restore := machine.Alloc{CBM: mustMaskFor(eq, i, m.env), MBALevel: eq.MBA[i]}
+
+		ipsFull, err := m.probe(a.name, machine.Alloc{CBM: fullMask, MBALevel: membw.MaxLevel})
+		if err != nil {
+			return err
+		}
+		ipsLLC, err := m.probe(a.name, machine.Alloc{CBM: probeMask, MBALevel: membw.MaxLevel})
+		if err != nil {
+			return err
+		}
+		ipsMBA, err := m.probe(a.name, machine.Alloc{CBM: fullMask, MBALevel: m.params.ProfileMBA})
+		if err != nil {
+			return err
+		}
+		if err := m.target.SetAllocation(a.name, restore); err != nil {
+			return err
+		}
+		if ipsFull <= 0 {
+			return fmt.Errorf("core: %s executed no instructions during profiling", a.name)
+		}
+		a.ipsFull = ipsFull
+		llcSeed := m.seedState(1 - ipsLLC/ipsFull)
+		mbaSeed := m.seedState(1 - ipsMBA/ipsFull)
+		m.logf(eventlog.KindProfile, a.name,
+			"ipsFull=%.3g llcDeg=%.1f%%→%v mbaDeg=%.1f%%→%v",
+			ipsFull, (1-ipsLLC/ipsFull)*100, llcSeed, (1-ipsMBA/ipsFull)*100, mbaSeed)
+		if m.FreezeLLC {
+			llcSeed = Maintain
+		}
+		if m.FreezeMBA {
+			mbaSeed = Maintain
+		}
+		a.llc = NewLLCClassifier(m.params, llcSeed, llcSeed == Demand)
+		a.llc.UseFeatures(m.Features)
+		a.mba = NewMBAClassifier(m.params, mbaSeed, mbaSeed == Demand)
+		a.mba.UseFeatures(m.Features)
+		a.havePerf = false
+	}
+	m.phase = PhaseExplore
+	m.retry = 0
+	m.envChanged = false
+	m.haveBest = false
+	m.logf(eventlog.KindPhase, "", "profiling done, exploring %d apps in envelope [%d,%d)",
+		len(m.apps), m.env.LoWay, m.env.LoWay+m.env.Ways)
+	return nil
+}
+
+// probe sets one application's allocation, lets a period pass, and
+// returns the application's IPS over it.
+func (m *Manager) probe(name string, alloc machine.Alloc) (float64, error) {
+	if err := m.target.SetAllocation(name, alloc); err != nil {
+		return 0, err
+	}
+	rates, err := m.measurePeriod()
+	if err != nil {
+		return 0, err
+	}
+	for i, a := range m.apps {
+		if a.name == name {
+			return rates[i].IPS, nil
+		}
+	}
+	return 0, fmt.Errorf("core: app %s vanished during profiling", name)
+}
+
+// seedState converts a profiled degradation into an initial FSM state.
+func (m *Manager) seedState(degradation float64) State {
+	switch {
+	case degradation > m.params.ProfileDemandThreshold:
+		return Demand
+	case degradation < m.params.ProfileSupplyThreshold:
+		return Supply
+	default:
+		return Maintain
+	}
+}
+
+// windowMask returns the CBM covering the whole envelope.
+func windowMask(env Envelope) (uint64, error) {
+	if env.Ways < 1 || env.Ways > 63 {
+		return 0, fmt.Errorf("core: invalid envelope width %d", env.Ways)
+	}
+	return (uint64(1)<<env.Ways - 1) << uint(env.LoWay), nil
+}
+
+// mustMaskFor computes app i's CBM under state st. It panics only on
+// internal inconsistency (st was validated when produced).
+func mustMaskFor(st AllocState, i int, env Envelope) uint64 {
+	masks, err := machine.AssignContiguousWays(st.Ways, env.LoWay, env.Ways)
+	if err != nil {
+		panic(fmt.Sprintf("core: invalid state slipped through validation: %v", err))
+	}
+	return masks[i]
+}
+
+// ExploreStep executes one iteration of Algorithm 1's loop: let a period
+// pass under the current state, update the FSMs, and move to the next
+// system state. It returns done=true when the manager decides no further
+// fairness improvement is expected and transitions to the idle phase.
+func (m *Manager) ExploreStep() (bool, error) {
+	if m.phase != PhaseExplore {
+		return false, fmt.Errorf("core: ExploreStep called in %v phase", m.phase)
+	}
+	// Consolidation changes can happen mid-exploration too, not only in
+	// the idle phase; restarting from profiling keeps every downstream
+	// assumption (ipsFull, classifier seeds) coherent.
+	if !sameNames(m.target.Apps(), m.appNames()) {
+		m.phase = PhaseProfile
+		return false, nil
+	}
+	rates, err := m.measurePeriod()
+	if err != nil {
+		return false, err
+	}
+	infos := make([]AppInfo, len(m.apps))
+	slowdowns := make([]float64, len(m.apps))
+	for i, a := range m.apps {
+		slowdowns[i], err = fairness.Slowdown(a.ipsFull, rates[i].IPS)
+		if err != nil {
+			return false, fmt.Errorf("core: %s: %w", a.name, err)
+		}
+		infos[i] = AppInfo{LLCState: a.llc.State(), MBAState: a.mba.State(), Slowdown: slowdowns[i]}
+	}
+	for i, a := range m.apps {
+		perfDelta := 0.0
+		if a.havePerf && a.lastIPS > 0 {
+			perfDelta = (rates[i].IPS - a.lastIPS) / a.lastIPS
+		}
+		a.lastIPS = rates[i].IPS
+		a.havePerf = true
+
+		ref := m.streamRef[m.state.MBA[i]]
+		obs := Observation{
+			AccessRate:   rates[i].AccessRate,
+			MissRatio:    rates[i].MissRatio,
+			TrafficRatio: rates[i].MissRate / ref,
+			IPS:          rates[i].IPS,
+			PerfDelta:    perfDelta,
+			Ways:         m.state.Ways[i],
+			MBALevel:     m.state.MBA[i],
+		}
+		obs.LastChange = a.wayChange
+		if !m.FreezeLLC {
+			prev := a.llc.State()
+			infos[i].LLCState = a.llc.Update(obs)
+			if infos[i].LLCState != prev {
+				m.logf(eventlog.KindClassify, a.name, "llc %v→%v (missRatio=%.3f Δperf=%+.1f%%)",
+					prev, infos[i].LLCState, obs.MissRatio, obs.PerfDelta*100)
+			}
+		}
+		if !m.FreezeMBA {
+			mbaObs := obs
+			mbaObs.LastChange = a.mbaChange
+			if a.mbaChange == NoChange && a.wayChange == GainedWay {
+				// §5.3: a marginal improvement after an LLC-way grant must
+				// not demote the bandwidth Demand state.
+				mbaObs.LastChange = GainedWay
+			}
+			prev := a.mba.State()
+			infos[i].MBAState = a.mba.Update(mbaObs)
+			if infos[i].MBAState != prev {
+				m.logf(eventlog.KindClassify, a.name, "mba %v→%v (traffic=%.3f Δperf=%+.1f%%)",
+					prev, infos[i].MBAState, obs.TrafficRatio, obs.PerfDelta*100)
+			}
+		}
+	}
+
+	unf, err := fairness.Unfairness(slowdowns)
+	if err != nil {
+		return false, err
+	}
+	if !m.haveBest || unf < m.bestUnfair {
+		m.bestState = m.state.Clone()
+		m.bestUnfair = unf
+		m.haveBest = true
+	}
+	m.report(PeriodReport{
+		Time: m.target.Now(), Phase: PhaseExplore,
+		Apps: m.appNames(), Slowdowns: slowdowns, Unfairness: unf,
+		State: m.state.Clone(),
+	})
+
+	start := time.Now()
+	next, err := GetNextSystemState(m.state, infos, m.env.Ways, m.rng)
+	m.ExploreTimes = append(m.ExploreTimes, time.Since(start))
+	if err != nil {
+		return false, err
+	}
+	if next.Equal(m.state) {
+		if m.retry < m.params.Theta {
+			next, err = neighborState(m.state, m.env.Ways, m.rng, !m.FreezeLLC, !m.FreezeMBA)
+			if err != nil {
+				return false, err
+			}
+			m.retry++
+		} else {
+			return true, m.enterIdle()
+		}
+	} else {
+		m.retry = 0
+	}
+	return false, m.applyState(next)
+}
+
+func (m *Manager) appNames() []string {
+	out := make([]string, len(m.apps))
+	for i, a := range m.apps {
+		out[i] = a.name
+	}
+	return out
+}
+
+func (m *Manager) report(r PeriodReport) {
+	if m.OnPeriod != nil {
+		m.OnPeriod(r)
+	}
+}
+
+// logf appends telemetry when an event log is attached.
+func (m *Manager) logf(kind eventlog.Kind, app, format string, args ...interface{}) {
+	if m.Events != nil {
+		m.Events.Appendf(m.target.Now(), kind, app, format, args...)
+	}
+}
+
+// enterIdle parks the system on the best state observed during
+// exploration and switches phase. Idle baselines are re-established on
+// the first idle period (the parked state changes every IPS).
+func (m *Manager) enterIdle() error {
+	if m.Features.ParkOnBest && m.haveBest && !m.bestState.Equal(m.state) {
+		if err := m.applyState(m.bestState); err != nil {
+			return err
+		}
+	}
+	for _, a := range m.apps {
+		a.idleIPS = 0
+	}
+	m.phase = PhaseIdle
+	m.logf(eventlog.KindPhase, "", "idle (best unfairness=%.4f)", m.bestUnfair)
+	return nil
+}
+
+// IdleStep monitors one period in the idle phase (§5.4.3). It returns
+// changed=true — and switches back to the profiling phase — when it
+// detects a workload change: an application arriving or departing, the
+// envelope changing, or an application's IPS drifting beyond the change
+// threshold.
+func (m *Manager) IdleStep() (bool, error) {
+	if m.phase != PhaseIdle {
+		return false, fmt.Errorf("core: IdleStep called in %v phase", m.phase)
+	}
+	names := m.target.Apps()
+	if !sameNames(names, m.appNames()) || m.envChanged {
+		if m.envChanged {
+			m.logf(eventlog.KindChange, "", "envelope changed to [%d,%d), re-adapting",
+				m.env.LoWay, m.env.LoWay+m.env.Ways)
+		} else {
+			m.logf(eventlog.KindChange, "", "consolidation changed (%d→%d apps), re-adapting",
+				len(m.apps), len(names))
+		}
+		m.phase = PhaseProfile
+		return true, nil
+	}
+	rates, err := m.measurePeriod()
+	if err != nil {
+		return false, err
+	}
+	slowdowns := make([]float64, len(m.apps))
+	changed := false
+	for i, a := range m.apps {
+		slowdowns[i], err = fairness.Slowdown(a.ipsFull, rates[i].IPS)
+		if err != nil {
+			return false, fmt.Errorf("core: %s: %w", a.name, err)
+		}
+		if a.idleIPS > 0 {
+			drift := (rates[i].IPS - a.idleIPS) / a.idleIPS
+			if drift > m.params.IdleChangeThreshold || drift < -m.params.IdleChangeThreshold {
+				changed = true
+			}
+		} else {
+			a.idleIPS = rates[i].IPS // first idle period sets the baseline
+		}
+	}
+	unf, err := fairness.Unfairness(slowdowns)
+	if err != nil {
+		return false, err
+	}
+	m.report(PeriodReport{
+		Time: m.target.Now(), Phase: PhaseIdle,
+		Apps: m.appNames(), Slowdowns: slowdowns, Unfairness: unf,
+		State: m.state.Clone(),
+	})
+	if changed {
+		m.logf(eventlog.KindChange, "", "IPS drift beyond %.0f%%, re-adapting",
+			m.params.IdleChangeThreshold*100)
+		m.phase = PhaseProfile
+		return true, nil
+	}
+	return false, nil
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the manager for a span of target time, cycling through the
+// profiling, exploration, and idle phases including re-adaptation on
+// detected changes.
+func (m *Manager) Run(d time.Duration) error {
+	deadline := m.target.Now() + d
+	for m.target.Now() < deadline {
+		switch m.phase {
+		case PhaseProfile:
+			if err := m.Profile(); err != nil {
+				return err
+			}
+		case PhaseExplore:
+			if _, err := m.ExploreStep(); err != nil {
+				return err
+			}
+		case PhaseIdle:
+			if _, err := m.IdleStep(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Package core implements CoPart: the LLC characteristic classifier
+// (Figure 8), the memory-bandwidth characteristic classifier (Figure 9),
+// and the resource manager (Figure 10, Algorithms 1 and 2) that
+// coordinates LLC-way and memory-bandwidth partitioning to maximize the
+// fairness of consolidated applications.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params holds CoPart's design parameters. Default values are the paper's
+// (§5.2, §5.3, §5.4.1, Algorithm 1); §5.5.3 explores their sensitivity,
+// which experiments/sensitivity.go reproduces.
+type Params struct {
+	// Alpha (α) is the LLC access-rate threshold, accesses/s: below it an
+	// application barely exercises the cache and supplies capacity.
+	Alpha float64
+	// BetaLow (β) is the low LLC miss-ratio threshold: below it the
+	// working set fits comfortably and the application supplies capacity.
+	BetaLow float64
+	// BetaHigh (Β) is the high LLC miss-ratio threshold: above it the
+	// application demands more capacity.
+	BetaHigh float64
+	// DeltaPerf (δ_P) is the relative performance-change threshold used
+	// by both FSMs to judge whether the last allocation change mattered.
+	DeltaPerf float64
+	// GammaLow (γ) is the low memory-traffic-ratio threshold: below it
+	// the application supplies bandwidth.
+	GammaLow float64
+	// GammaHigh (Γ) is the high memory-traffic-ratio threshold: above it
+	// the application demands bandwidth.
+	GammaHigh float64
+	// Theta (θ) is the retry budget of the exploration loop: after θ
+	// consecutive periods with no state change (each answered with a
+	// random neighbor state), the manager transitions to the idle phase.
+	Theta int
+	// ProfileWays (l_P) and ProfileMBA (M_P) are the constrained
+	// allocations used by the profiling phase.
+	ProfileWays int
+	ProfileMBA  int
+	// ProfileDemandThreshold is the degradation above which the profiling
+	// phase seeds an FSM in the Demand state (§5.4.1: 10 %).
+	ProfileDemandThreshold float64
+	// ProfileSupplyThreshold is the degradation below which profiling
+	// seeds Supply; between the two thresholds it seeds Maintain. The
+	// paper only states the Demand threshold; 3 % is our documented
+	// choice for the Supply boundary.
+	ProfileSupplyThreshold float64
+	// Period is the control period (the paper samples once per second).
+	Period time.Duration
+	// IdleChangeThreshold is the relative IPS change during the idle
+	// phase that is treated as a workload change and triggers
+	// re-adaptation (§5.4.3 detects "changes"; the paper does not give
+	// the threshold — 20 % is our documented choice).
+	IdleChangeThreshold float64
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		Alpha:                  1.5e6,
+		BetaLow:                0.01,
+		BetaHigh:               0.03,
+		DeltaPerf:              0.05,
+		GammaLow:               0.10,
+		GammaHigh:              0.30,
+		Theta:                  3,
+		ProfileWays:            2,
+		ProfileMBA:             20,
+		ProfileDemandThreshold: 0.10,
+		ProfileSupplyThreshold: 0.03,
+		Period:                 time.Second,
+		IdleChangeThreshold:    0.20,
+	}
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	if p.Alpha < 0 {
+		return fmt.Errorf("core: negative α %v", p.Alpha)
+	}
+	if p.BetaLow < 0 || p.BetaLow > 1 || p.BetaHigh < p.BetaLow || p.BetaHigh > 1 {
+		return fmt.Errorf("core: invalid miss-ratio thresholds β=%v Β=%v", p.BetaLow, p.BetaHigh)
+	}
+	if p.DeltaPerf <= 0 || p.DeltaPerf >= 1 {
+		return fmt.Errorf("core: invalid δ_P %v", p.DeltaPerf)
+	}
+	if p.GammaLow < 0 || p.GammaHigh < p.GammaLow {
+		return fmt.Errorf("core: invalid traffic-ratio thresholds γ=%v Γ=%v", p.GammaLow, p.GammaHigh)
+	}
+	if p.Theta < 1 {
+		return fmt.Errorf("core: invalid θ %d", p.Theta)
+	}
+	if p.ProfileWays < 1 {
+		return fmt.Errorf("core: invalid l_P %d", p.ProfileWays)
+	}
+	if p.ProfileMBA < 10 || p.ProfileMBA > 100 || p.ProfileMBA%10 != 0 {
+		return fmt.Errorf("core: invalid M_P %d", p.ProfileMBA)
+	}
+	if p.ProfileDemandThreshold <= 0 || p.ProfileDemandThreshold >= 1 {
+		return fmt.Errorf("core: invalid profile demand threshold %v", p.ProfileDemandThreshold)
+	}
+	if p.ProfileSupplyThreshold < 0 || p.ProfileSupplyThreshold >= p.ProfileDemandThreshold {
+		return fmt.Errorf("core: invalid profile supply threshold %v", p.ProfileSupplyThreshold)
+	}
+	if p.Period <= 0 {
+		return fmt.Errorf("core: non-positive period %v", p.Period)
+	}
+	if p.IdleChangeThreshold <= 0 {
+		return fmt.Errorf("core: non-positive idle change threshold %v", p.IdleChangeThreshold)
+	}
+	return nil
+}

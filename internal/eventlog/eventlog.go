@@ -1,0 +1,148 @@
+// Package eventlog provides bounded structured telemetry for the
+// controller: what the manager decided, when, and why. Production
+// resource managers live or die by this kind of audit trail — "why did
+// app X lose a way at t=217s" must be answerable after the fact.
+//
+// The log is a fixed-capacity ring: appending never allocates once warm
+// and never blocks the control loop; old events fall off the end. Events
+// render as text lines or JSON-lines for external tooling.
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindPhase: the manager changed phase (profile/explore/idle).
+	KindPhase Kind = iota
+	// KindProfile: one application's profiling finished.
+	KindProfile
+	// KindState: a new system state was applied.
+	KindState
+	// KindClassify: a classifier changed an application's state.
+	KindClassify
+	// KindChange: the idle phase detected a workload change.
+	KindChange
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPhase:
+		return "phase"
+	case KindProfile:
+		return "profile"
+	case KindState:
+		return "state"
+	case KindClassify:
+		return "classify"
+	case KindChange:
+		return "change"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one telemetry record.
+type Event struct {
+	Time   time.Duration `json:"t"`
+	Kind   Kind          `json:"kind"`
+	App    string        `json:"app,omitempty"`
+	Detail string        `json:"detail"`
+}
+
+// Log is a bounded, concurrency-safe event ring.
+type Log struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	count int
+	total int
+}
+
+// New creates a log holding up to capacity events.
+func New(capacity int) (*Log, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("eventlog: capacity %d < 1", capacity)
+	}
+	return &Log{ring: make([]Event, capacity)}, nil
+}
+
+// Append records an event, evicting the oldest when full.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.count < len(l.ring) {
+		l.count++
+	}
+	l.total++
+}
+
+// Appendf formats and records an event.
+func (l *Log) Appendf(t time.Duration, kind Kind, app, format string, args ...interface{}) {
+	l.Append(Event{Time: t, Kind: kind, App: app, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.count)
+	start := l.next - l.count
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Total reports how many events were ever appended (including evicted).
+func (l *Log) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Len reports how many events are retained.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// WriteText renders the retained events as human-readable lines.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, e := range l.Events() {
+		app := e.App
+		if app == "" {
+			app = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%9.1fs %-8s %-10s %s\n",
+			e.Time.Seconds(), e.Kind, app, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the retained events as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

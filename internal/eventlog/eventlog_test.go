@@ -1,0 +1,130 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative capacity should error")
+	}
+}
+
+func TestAppendAndOrder(t *testing.T) {
+	l, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		l.Appendf(time.Duration(i)*time.Second, KindState, "", "event %d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len=%d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Detail != "event "+string(rune('0'+i)) {
+			t.Errorf("event %d = %q", i, e.Detail)
+		}
+	}
+	if l.Total() != 3 || l.Len() != 3 {
+		t.Errorf("Total=%d Len=%d", l.Total(), l.Len())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		l.Appendf(0, KindPhase, "", "e%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	want := []string{"e4", "e5", "e6"}
+	for i, e := range evs {
+		if e.Detail != want[i] {
+			t.Errorf("event %d = %q want %q", i, e.Detail, want[i])
+		}
+	}
+	if l.Total() != 7 {
+		t.Errorf("Total=%d want 7", l.Total())
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len=%d want 3", l.Len())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l, _ := New(4)
+	l.Append(Event{Time: 2 * time.Second, Kind: KindClassify, App: "WN", Detail: "llc Demand→Maintain"})
+	l.Append(Event{Time: 3 * time.Second, Kind: KindChange, Detail: "app departed"})
+	var b bytes.Buffer
+	if err := l.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "WN") || !strings.Contains(out, "llc Demand→Maintain") {
+		t.Errorf("text output missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, " - ") && !strings.Contains(out, " -") {
+		t.Errorf("empty app should render as '-':\n%s", out)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	l, _ := New(4)
+	l.Append(Event{Time: time.Second, Kind: KindState, App: "a", Detail: "d"})
+	var b bytes.Buffer
+	if err := l.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(b.Bytes(), &e); err != nil {
+		t.Fatalf("invalid JSONL: %v", err)
+	}
+	if e.App != "a" || e.Kind != KindState || e.Time != time.Second {
+		t.Errorf("round trip %+v", e)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindPhase, KindProfile, KindState, KindClassify, KindChange} {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", int(k))
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l, _ := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Appendf(0, KindState, "x", "e")
+				_ = l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Errorf("Total=%d want 800", l.Total())
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// mbaLevels lists the sweep points of the characterization figures.
+func mbaLevels() []int {
+	levels := make([]int, 0, 10)
+	for l := membw.MinLevel; l <= membw.MaxLevel; l += membw.Granularity {
+		levels = append(levels, l)
+	}
+	return levels
+}
+
+// PerfGrid is one benchmark's normalized-performance surface: rows are
+// way counts 1..Ways, columns MBA levels 10..100.
+type PerfGrid struct {
+	Bench  string
+	Ways   []int
+	Levels []int
+	// Norm[w][l] is IPS at (Ways[w], Levels[l]) divided by the best IPS
+	// on the grid — exactly the tiles of Figures 1–3.
+	Norm [][]float64
+}
+
+// PerfHeatmap sweeps one benchmark solo over the full (ways × MBA) grid,
+// reproducing its tile from Figures 1–3.
+func PerfHeatmap(cfg machine.Config, bench string) (PerfGrid, *texttab.Heatmap, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return PerfGrid{}, nil, err
+	}
+	spec, err := workloads.ByName(cfg, bench)
+	if err != nil {
+		return PerfGrid{}, nil, err
+	}
+	levels := mbaLevels()
+	grid := PerfGrid{Bench: bench, Levels: levels}
+	for w := 1; w <= cfg.LLCWays; w++ {
+		grid.Ways = append(grid.Ways, w)
+	}
+	raw := make([][]float64, len(grid.Ways))
+	best := 0.0
+	for i, w := range grid.Ways {
+		raw[i] = make([]float64, len(levels))
+		for j, l := range levels {
+			cbm := (uint64(1) << w) - 1
+			perf, err := m.SoloPerfAt(spec.Model, machine.Alloc{CBM: cbm, MBALevel: l})
+			if err != nil {
+				return PerfGrid{}, nil, err
+			}
+			raw[i][j] = perf.IPS
+			if perf.IPS > best {
+				best = perf.IPS
+			}
+		}
+	}
+	grid.Norm = make([][]float64, len(raw))
+	xticks := make([]string, len(levels))
+	for j, l := range levels {
+		xticks[j] = fmt.Sprintf("%d", l)
+	}
+	yticks := make([]string, len(grid.Ways))
+	hm := texttab.NewHeatmap(
+		fmt.Sprintf("Normalized performance of %s (Figures 1-3 tile)", bench),
+		xticks, yticks)
+	hm.XLabel = "MBA level (%)"
+	hm.YLabel = "LLC ways"
+	hm.Format = "%.2f"
+	for i := range raw {
+		grid.Norm[i] = make([]float64, len(raw[i]))
+		yticks[i] = fmt.Sprintf("%d", grid.Ways[i])
+		for j := range raw[i] {
+			grid.Norm[i][j] = raw[i][j] / best
+			hm.Set(i, j, grid.Norm[i][j])
+		}
+	}
+	hm.YTicks = yticks
+	return grid, hm, nil
+}
+
+// FigureBenches maps each characterization figure to its benchmarks.
+func FigureBenches(fig int) ([]string, error) {
+	switch fig {
+	case 1:
+		return []string{"WN", "WS", "RT"}, nil
+	case 2:
+		return []string{"OC", "CG", "FT"}, nil
+	case 3:
+		return []string{"SP", "ON", "FMM"}, nil
+	default:
+		return nil, fmt.Errorf("experiments: no characterization figure %d", fig)
+	}
+}
+
+// FairGrid is the unfairness surface of Figures 4–6: one workload mix
+// under a set of LLC partitionings (rows) × MBA partitionings (columns),
+// normalized to the unpartitioned run.
+type FairGrid struct {
+	Mix        []string
+	LLCParts   [][]int // way tuples, one per row
+	MBAParts   [][]int // level tuples, one per column
+	NoneUnfair float64
+	// Norm[r][c] = unfairness(LLCParts[r], MBAParts[c]) / NoneUnfair.
+	Norm [][]float64
+}
+
+// fairMixBenches maps each fairness figure to its mix (§4.2).
+func fairMixBenches(fig int) ([]string, error) {
+	switch fig {
+	case 4:
+		return []string{"WN", "WS", "RT", "SW"}, nil
+	case 5:
+		return []string{"OC", "CG", "FT", "SW"}, nil
+	case 6:
+		return []string{"SP", "ON", "FMM", "SW"}, nil
+	default:
+		return nil, fmt.Errorf("experiments: no fairness figure %d", fig)
+	}
+}
+
+// fairLLCPartitions are the way tuples swept on the Y axis. They include
+// the tuples the paper calls out — (5,3,2,1) for Figure 4 — plus equal
+// and skewed splits.
+func fairLLCPartitions() [][]int {
+	return [][]int{
+		{3, 3, 3, 2},
+		{5, 3, 2, 1},
+		{2, 3, 5, 1},
+		{1, 2, 3, 5},
+		{8, 1, 1, 1},
+		{2, 2, 2, 5},
+	}
+}
+
+// fairMBAPartitions are the MBA tuples swept on the X axis, including the
+// paper's (20,10,100,10) example.
+func fairMBAPartitions() [][]int {
+	return [][]int{
+		{100, 100, 100, 100},
+		{30, 30, 30, 30},
+		{10, 10, 10, 10},
+		{20, 10, 100, 10},
+		{40, 30, 20, 10},
+		{10, 20, 30, 40},
+	}
+}
+
+// FairnessHeatmap reproduces Figure fig (4, 5, or 6): unfairness of the
+// mix under each (LLC partitioning, MBA partitioning) pair, normalized to
+// running the mix with no partitioning at all.
+func FairnessHeatmap(cfg machine.Config, fig int) (FairGrid, *texttab.Heatmap, error) {
+	names, err := fairMixBenches(fig)
+	if err != nil {
+		return FairGrid{}, nil, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return FairGrid{}, nil, err
+	}
+	models := make([]machine.AppModel, len(names))
+	solo := make([]float64, len(names))
+	for i, n := range names {
+		spec, err := workloads.ByName(cfg, n)
+		if err != nil {
+			return FairGrid{}, nil, err
+		}
+		models[i] = spec.Model
+		p, err := m.SoloPerf(spec.Model)
+		if err != nil {
+			return FairGrid{}, nil, err
+		}
+		solo[i] = p.IPS
+	}
+
+	unfairnessOf := func(allocs []machine.Alloc) (float64, error) {
+		perfs, err := m.SolveFor(models, allocs)
+		if err != nil {
+			return 0, err
+		}
+		slowdowns := make([]float64, len(perfs))
+		for i, p := range perfs {
+			slowdowns[i] = solo[i] / p.IPS
+		}
+		return fairness.Unfairness(slowdowns)
+	}
+
+	noneAllocs := make([]machine.Alloc, len(models))
+	for i := range noneAllocs {
+		noneAllocs[i] = machine.Alloc{CBM: cfg.FullMask(), MBALevel: membw.MaxLevel}
+	}
+	noneU, err := unfairnessOf(noneAllocs)
+	if err != nil {
+		return FairGrid{}, nil, err
+	}
+	if noneU <= 0 {
+		// A perfectly fair unpartitioned run would make normalization
+		// meaningless; guard against a degenerate model.
+		return FairGrid{}, nil, fmt.Errorf("experiments: unpartitioned unfairness is %v", noneU)
+	}
+
+	grid := FairGrid{
+		Mix:        names,
+		LLCParts:   fairLLCPartitions(),
+		MBAParts:   fairMBAPartitions(),
+		NoneUnfair: noneU,
+	}
+	xticks := make([]string, len(grid.MBAParts))
+	for j, p := range grid.MBAParts {
+		xticks[j] = tupleLabel(p)
+	}
+	yticks := make([]string, len(grid.LLCParts))
+	for i, p := range grid.LLCParts {
+		yticks[i] = tupleLabel(p)
+	}
+	hm := texttab.NewHeatmap(
+		fmt.Sprintf("Figure %d. Unfairness of %v normalized to no partitioning", fig, names),
+		xticks, yticks)
+	hm.XLabel = "MBA partitioning"
+	hm.YLabel = "LLC partitioning"
+	hm.Format = "%.2f"
+
+	grid.Norm = make([][]float64, len(grid.LLCParts))
+	for r, waysTuple := range grid.LLCParts {
+		grid.Norm[r] = make([]float64, len(grid.MBAParts))
+		masks, err := machine.AssignContiguousWays(waysTuple, 0, cfg.LLCWays)
+		if err != nil {
+			return FairGrid{}, nil, err
+		}
+		for c, mbaTuple := range grid.MBAParts {
+			allocs := make([]machine.Alloc, len(models))
+			for i := range allocs {
+				allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: mbaTuple[i]}
+			}
+			u, err := unfairnessOf(allocs)
+			if err != nil {
+				return FairGrid{}, nil, err
+			}
+			grid.Norm[r][c] = u / noneU
+			hm.Set(r, c, grid.Norm[r][c])
+		}
+	}
+	return grid, hm, nil
+}
+
+func tupleLabel(t []int) string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + ")"
+}

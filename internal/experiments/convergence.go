@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// ConvergenceCell records how long one adaptation took.
+type ConvergenceCell struct {
+	// ProfilePeriods is the number of control periods spent profiling
+	// (three probes per application, §5.4.1).
+	ProfilePeriods int
+	// ExplorePeriods is the number of exploration periods until the
+	// manager went idle.
+	ExplorePeriods int
+	// Converged is false when the exploration cap was hit first.
+	Converged bool
+}
+
+// Total returns the end-to-end adaptation time in periods.
+func (c ConvergenceCell) Total() int { return c.ProfilePeriods + c.ExplorePeriods }
+
+// ConvergenceResult maps mixes × application counts to adaptation times —
+// the transient the paper's Figure 15 shows after each load change.
+type ConvergenceResult struct {
+	Mixes  []workloads.MixKind
+	Counts []int
+	Cells  [][]ConvergenceCell // [mix][count]
+}
+
+// Convergence measures adaptation latency for every mix at application
+// counts 3–6.
+func Convergence(cfg machine.Config, seed int64) (ConvergenceResult, *texttab.Table, error) {
+	res := ConvergenceResult{
+		Mixes:  workloads.MixKinds(),
+		Counts: []int{3, 4, 5, 6},
+	}
+	const maxExplore = 300
+	for _, kind := range res.Mixes {
+		row := make([]ConvergenceCell, 0, len(res.Counts))
+		for _, n := range res.Counts {
+			models, err := workloads.Mix(cfg, kind, n)
+			if err != nil {
+				return ConvergenceResult{}, nil, err
+			}
+			m, err := machine.New(cfg)
+			if err != nil {
+				return ConvergenceResult{}, nil, err
+			}
+			for _, model := range models {
+				if err := m.AddApp(model); err != nil {
+					return ConvergenceResult{}, nil, err
+				}
+			}
+			ref, err := workloads.StreamMissRates(m)
+			if err != nil {
+				return ConvergenceResult{}, nil, err
+			}
+			mgr, err := core.NewManager(m, core.DefaultParams(), ref,
+				core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return ConvergenceResult{}, nil, err
+			}
+			before := m.Now()
+			if err := mgr.Profile(); err != nil {
+				return ConvergenceResult{}, nil, err
+			}
+			cell := ConvergenceCell{
+				ProfilePeriods: int((m.Now() - before) / core.DefaultParams().Period),
+			}
+			for i := 0; i < maxExplore; i++ {
+				done, err := mgr.ExploreStep()
+				if err != nil {
+					return ConvergenceResult{}, nil, err
+				}
+				cell.ExplorePeriods++
+				if done {
+					cell.Converged = true
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		res.Cells = append(res.Cells, row)
+	}
+
+	headers := []string{"Mix"}
+	for _, n := range res.Counts {
+		headers = append(headers, fmt.Sprintf("apps=%d", n))
+	}
+	tab := texttab.New(
+		"Convergence. Adaptation time in 1s control periods (profile+explore; * = cap hit)",
+		headers...)
+	for mi, kind := range res.Mixes {
+		row := []string{kind.String()}
+		for ci := range res.Counts {
+			c := res.Cells[mi][ci]
+			mark := ""
+			if !c.Converged {
+				mark = "*"
+			}
+			row = append(row, fmt.Sprintf("%d%s", c.Total(), mark))
+		}
+		tab.AddRow(row...)
+	}
+	return res, tab, nil
+}

@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policies"
+	"repro/internal/workloads"
+)
+
+// The evaluation-figure harnesses are integration tests over the whole
+// stack; they assert the qualitative findings the paper reports for each
+// figure.
+
+func TestFigure12Shapes(t *testing.T) {
+	res, tab, err := Figure12(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 {
+		t.Fatalf("table rows %d", tab.NumRows())
+	}
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	geo := func(name string) float64 { return res.GeoMean[idx[name]] }
+
+	// Headline: CoPart substantially fairer than EQ, CAT-only, and
+	// MBA-only on geomean (paper: 57.3 %, 28.6 %, 56.4 %).
+	if geo("CoPart") > 0.8*geo("EQ") {
+		t.Errorf("CoPart %.3f should be well below EQ %.3f", geo("CoPart"), geo("EQ"))
+	}
+	if geo("CoPart") >= geo("CAT-only") {
+		t.Errorf("CoPart %.3f should beat CAT-only %.3f", geo("CoPart"), geo("CAT-only"))
+	}
+	if geo("CoPart") >= geo("MBA-only") {
+		t.Errorf("CoPart %.3f should beat MBA-only %.3f", geo("CoPart"), geo("MBA-only"))
+	}
+	// CAT-only cannot help the BW-sensitive mixes (it is EQ there).
+	mixIdx := map[workloads.MixKind]int{}
+	for i, k := range res.Mixes {
+		mixIdx[k] = i
+	}
+	cat := res.Norm[idx["CAT-only"]]
+	if cat[mixIdx[workloads.HBW]] < 0.95 {
+		t.Errorf("CAT-only on H-BW should be ~EQ, got %.3f", cat[mixIdx[workloads.HBW]])
+	}
+	// MBA-only cannot help the LLC-sensitive mixes.
+	mba := res.Norm[idx["MBA-only"]]
+	if mba[mixIdx[workloads.HLLC]] < 0.95 {
+		t.Errorf("MBA-only on H-LLC should be ~EQ, got %.3f", mba[mixIdx[workloads.HLLC]])
+	}
+	// CoPart helps both of those mixes.
+	cp := res.Norm[idx["CoPart"]]
+	if cp[mixIdx[workloads.HLLC]] > 0.5 {
+		t.Errorf("CoPart on H-LLC should improve strongly, got %.3f", cp[mixIdx[workloads.HLLC]])
+	}
+	if cp[mixIdx[workloads.HBW]] > 0.9 {
+		t.Errorf("CoPart on H-BW should improve, got %.3f", cp[mixIdx[workloads.HBW]])
+	}
+	// The IS mix is reported at parity.
+	if cp[mixIdx[workloads.IS]] != 1.0 {
+		t.Errorf("IS mix should report parity, got %.3f", cp[mixIdx[workloads.IS]])
+	}
+	// The ST oracle is a lower bound for every policy's geomean.
+	for _, name := range res.Policies {
+		if name == "ST" {
+			continue
+		}
+		if geo("ST") > geo(name)+1e-9 {
+			t.Errorf("ST oracle %.3f should lower-bound %s %.3f", geo("ST"), name, geo(name))
+		}
+	}
+}
+
+func TestFigure13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute sweep")
+	}
+	res, tab, err := Figure13(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5 || len(res.Points) != 4 {
+		t.Fatalf("unexpected result shape")
+	}
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	// CoPart beats EQ, CAT-only, and MBA-only at every application count.
+	for xi, n := range res.Points {
+		cp := res.Value[idx["CoPart"]][xi]
+		if cp >= 1.0 {
+			t.Errorf("apps=%d: CoPart %.3f should beat EQ", n, cp)
+		}
+		if cp > res.Value[idx["CAT-only"]][xi]+1e-9 {
+			t.Errorf("apps=%d: CoPart %.3f vs CAT-only %.3f", n, cp, res.Value[idx["CAT-only"]][xi])
+		}
+		if cp > res.Value[idx["MBA-only"]][xi]+1e-9 {
+			t.Errorf("apps=%d: CoPart %.3f vs MBA-only %.3f", n, cp, res.Value[idx["MBA-only"]][xi])
+		}
+	}
+}
+
+func TestFigure14Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	res, _, err := Figure14(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	// Robustness across cache sizes: CoPart below EQ at every size.
+	for xi, ways := range res.Points {
+		cp := res.Value[idx["CoPart"]][xi]
+		if cp >= 1.0 {
+			t.Errorf("ways=%d: CoPart %.3f should beat EQ", ways, cp)
+		}
+	}
+}
+
+func TestFigure17Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	res, _, err := Figure17(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	// CoPart achieves comparable or better throughput than EQ (paper:
+	// "comparable or slightly higher").
+	for xi, n := range res.Points {
+		cp := res.Value[idx["CoPart"]][xi]
+		if cp < 0.95 {
+			t.Errorf("apps=%d: CoPart throughput %.3f should be ≥ ~EQ", n, cp)
+		}
+	}
+}
+
+func TestFigure11Sensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parameter sweep")
+	}
+	for _, param := range []SensitivityParam{SensPerf, SensMissRatio, SensTraffic} {
+		res, tab, err := Figure11(cfg(), param, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", param, err)
+		}
+		if tab.NumRows() != len(res.Values) {
+			t.Fatalf("%v: table rows", param)
+		}
+		// The default value's normalized unfairness is exactly 1.
+		found := false
+		for i, v := range res.Values {
+			if v == res.Default {
+				found = true
+				if res.Norm[i] != 1.0 {
+					t.Errorf("%v: default point normalized to %.3f", param, res.Norm[i])
+				}
+			}
+			if res.Norm[i] <= 0 {
+				t.Errorf("%v: non-positive normalized unfairness at %v", param, res.Values[i])
+			}
+		}
+		if !found {
+			t.Errorf("%v: default value missing from sweep", param)
+		}
+	}
+}
+
+func TestSensitivityParamValidation(t *testing.T) {
+	if _, _, err := Figure11(cfg(), SensitivityParam(9), 1); err == nil {
+		t.Error("unknown parameter should error")
+	}
+	if SensitivityParam(9).String() == "" {
+		t.Error("unknown parameter should render")
+	}
+	for _, p := range []SensitivityParam{SensPerf, SensMissRatio, SensTraffic} {
+		if p.String() == "" {
+			t.Errorf("empty name for %d", int(p))
+		}
+	}
+}
+
+func TestFigure16Overhead(t *testing.T) {
+	res, tab, err := Figure16(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("table rows %d", tab.NumRows())
+	}
+	for i, n := range res.Apps {
+		// "Small overhead": well under a millisecond per decision and a
+		// vanishing share of the control period (paper: 10–15 µs,
+		// ~1e-4 %).
+		if res.Mean[i] <= 0 || res.Mean[i] > time.Millisecond {
+			t.Errorf("apps=%d: exploration time %v implausible", n, res.Mean[i])
+		}
+		if res.Share[i] > 1e-3 {
+			t.Errorf("apps=%d: share %.2e of the period too large", n, res.Share[i])
+		}
+	}
+}
+
+func TestCaseStudyTimeline(t *testing.T) {
+	res, err := CaseStudy(cfg(), DefaultLoadTrace(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 300 {
+		t.Fatalf("timeline too short: %d samples", len(res.Samples))
+	}
+	// The envelope must shrink during the high-load phase.
+	var lowWays, highWays int
+	for _, s := range res.Samples {
+		if s.LoadRPS == 75_000 && lowWays == 0 {
+			lowWays = s.LCWays
+		}
+		if s.LoadRPS == 150_000 && highWays == 0 {
+			highWays = s.LCWays
+		}
+	}
+	if highWays <= lowWays {
+		t.Errorf("high load should reserve more LC ways: %d vs %d", highWays, lowWays)
+	}
+	// SLO violations should be rare (transients only).
+	if res.SLOViolations > len(res.Samples)/10 {
+		t.Errorf("%d SLO violations over %d samples", res.SLOViolations, len(res.Samples))
+	}
+	// CoPart's steady-state fairness should beat the EQ line at the end
+	// of each load phase (after re-adaptation transients).
+	last := res.Samples[len(res.Samples)-1]
+	if last.Unfairness > last.EQUnfairness+1e-9 {
+		t.Errorf("final unfairness %.4f should beat EQ %.4f", last.Unfairness, last.EQUnfairness)
+	}
+	// Rendering works and is downsampled.
+	tab := RenderCaseStudy(res, 20)
+	if tab.NumRows() == 0 || tab.NumRows() > len(res.Samples) {
+		t.Errorf("render rows %d", tab.NumRows())
+	}
+	if RenderCaseStudy(res, 0).NumRows() != len(res.Samples) {
+		t.Error("every=0 should clamp to 1")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res, tab, err := Ablations(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 || tab.NumRows() != 6 {
+		t.Fatalf("expected 6 variants, got %d", len(res.Rows))
+	}
+	if res.Rows[0].Unfairness != 1.0 {
+		t.Errorf("baseline row should normalize to 1, got %.3f", res.Rows[0].Unfairness)
+	}
+	// No single-feature removal should *improve* fairness materially,
+	// and stripping everything must cost the most.
+	worst := 0.0
+	for _, r := range res.Rows[1:] {
+		if r.Unfairness < 0.9 {
+			t.Errorf("removing %q should not improve fairness: %.3f", r.Name, r.Unfairness)
+		}
+		if r.Unfairness > worst {
+			worst = r.Unfairness
+		}
+	}
+	proseOnly := res.Rows[len(res.Rows)-1]
+	if proseOnly.Unfairness < worst-1e-9 {
+		t.Errorf("prose-only variant (%.3f) should be at least as bad as any single removal (%.3f)",
+			proseOnly.Unfairness, worst)
+	}
+	if proseOnly.Unfairness < 1.05 {
+		t.Errorf("the reconstruction mechanisms should matter: prose-only at %.3f", proseOnly.Unfairness)
+	}
+}
+
+func TestFeatureVariantsStayFunctional(t *testing.T) {
+	// Every ablated controller must still run to completion (robustness,
+	// not just score).
+	f := core.DefaultFeatures()
+	f.ParkOnBest = false
+	f.ProfilePinning = false
+	f.HurtMemory = false
+	f.CumulativeGuard = false
+	models, err := workloads.Mix(cfg(), workloads.HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &policies.Dynamic{Label: "CoPart", Features: &f, Seed: 2}
+	if _, err := pol.Run(cfg(), models); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	res, tab, err := Convergence(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 7 || len(res.Cells) != 7 {
+		t.Fatalf("expected 7 mixes, got %d", len(res.Cells))
+	}
+	for mi, row := range res.Cells {
+		for ci, c := range row {
+			if !c.Converged {
+				t.Errorf("%v apps=%d did not converge", res.Mixes[mi], res.Counts[ci])
+			}
+			// Profiling costs 3 periods per application.
+			wantProfile := 3 * res.Counts[ci]
+			if c.ProfilePeriods != wantProfile {
+				t.Errorf("%v apps=%d: %d profile periods, want %d",
+					res.Mixes[mi], res.Counts[ci], c.ProfilePeriods, wantProfile)
+			}
+			// Adaptation should complete within tens of seconds, as the
+			// Figure 15 transients show.
+			if c.Total() > 120 {
+				t.Errorf("%v apps=%d: %d periods to adapt", res.Mixes[mi], res.Counts[ci], c.Total())
+			}
+			if c.ExplorePeriods < 1 {
+				t.Errorf("%v apps=%d: no exploration at all", res.Mixes[mi], res.Counts[ci])
+			}
+		}
+	}
+}
+
+func TestFigure12Extended(t *testing.T) {
+	res, tab, err := Figure12Extended(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != 7 || tab.NumRows() != 7 {
+		t.Fatalf("extended set should have 7 policies, got %d", len(res.Policies))
+	}
+	names := map[string]bool{}
+	for _, p := range res.Policies {
+		names[p] = true
+	}
+	if !names["None"] || !names["UCP"] {
+		t.Errorf("extension rows missing: %v", res.Policies)
+	}
+}
+
+func TestDualSocket(t *testing.T) {
+	res, tab, err := DualSocket(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unfairness) != 2 || tab.NumRows() != 2 {
+		t.Fatalf("expected 2 sockets, got %d", len(res.Unfairness))
+	}
+	for socket, u := range res.Unfairness {
+		if u >= res.EQUnfairness[socket] {
+			t.Errorf("socket %d: CoPart %.4f should beat EQ %.4f",
+				socket, u, res.EQUnfairness[socket])
+		}
+	}
+}
+
+// TestCoPartSeedStability: the controller's randomized pieces (ANY-pool
+// tie breaks, neighbor perturbations) must not make the headline result
+// fragile — CoPart beats EQ on the sensitive mixes for every seed.
+func TestCoPartSeedStability(t *testing.T) {
+	kinds := []workloads.MixKind{workloads.HLLC, workloads.HBW, workloads.HBoth}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, kind := range kinds {
+			models, err := workloads.Mix(cfg(), kind, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := policies.EQ{}.Run(cfg(), models)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := policies.CoPart(seed).Run(cfg(), models)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.Unfairness >= eq.Unfairness {
+				t.Errorf("seed %d %v: CoPart %.4f vs EQ %.4f", seed, kind,
+					cp.Unfairness, eq.Unfairness)
+			}
+		}
+	}
+}
+
+// TestHeadlineRegression pins the paper's headline comparison inside
+// generous bands so refactors cannot silently regress it. The paper
+// measures 57.3 % / 28.6 % / 56.4 % improvement over EQ / CAT-only /
+// MBA-only; this reproduction currently lands at 78 % / 29 % / 67 %.
+func TestHeadlineRegression(t *testing.T) {
+	res, _, err := Figure12(cfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, p := range res.Policies {
+		idx[p] = i
+	}
+	improvement := func(base string) float64 {
+		b := res.GeoMean[idx[base]]
+		return (b - res.GeoMean[idx["CoPart"]]) / b * 100
+	}
+	checks := []struct {
+		base   string
+		lo, hi float64
+	}{
+		{"EQ", 50, 95},
+		{"CAT-only", 10, 60},
+		{"MBA-only", 40, 90},
+	}
+	for _, c := range checks {
+		got := improvement(c.base)
+		if got < c.lo || got > c.hi {
+			t.Errorf("CoPart improvement over %s = %.1f%%, outside the pinned band [%g, %g]",
+				c.base, got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestCaseStudyValidation(t *testing.T) {
+	if _, err := CaseStudy(cfg(), nil, 1); err == nil {
+		t.Error("empty trace should error")
+	}
+}

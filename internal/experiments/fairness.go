@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/policies"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// PolicySet returns the five policies of Figure 12, in the paper's order.
+func PolicySet(seed int64) []policies.Policy {
+	return []policies.Policy{
+		policies.EQ{},
+		policies.ST{},
+		policies.CATOnly(seed),
+		policies.MBAOnly(seed),
+		policies.CoPart(seed),
+	}
+}
+
+// Fig12Result holds Figure 12's matrix: normalized unfairness per policy
+// per mix, plus the geometric means.
+type Fig12Result struct {
+	Mixes    []workloads.MixKind
+	Policies []string
+	// Norm[p][m] is policy p's unfairness on mix m divided by EQ's.
+	Norm [][]float64
+	// GeoMean[p] aggregates policy p across the mixes.
+	GeoMean []float64
+	// Raw[p][m] is the unnormalized unfairness.
+	Raw [][]float64
+}
+
+// ExtendedPolicySet adds the baselines beyond the paper's comparison:
+// the unpartitioned run and utility-based cache partitioning (UCP,
+// fairness-oblivious, the paper's reference [34]).
+func ExtendedPolicySet(seed int64) []policies.Policy {
+	return append(PolicySet(seed), policies.None{}, policies.UCP{})
+}
+
+// Figure12 runs every policy on every 4-application workload mix and
+// normalizes to EQ, reproducing Figure 12.
+func Figure12(cfg machine.Config, seed int64) (Fig12Result, *texttab.Table, error) {
+	return fairnessMatrixWith(cfg, PolicySet(seed), 4)
+}
+
+// Figure12Extended is Figure 12 with the None and UCP extension rows.
+func Figure12Extended(cfg machine.Config, seed int64) (Fig12Result, *texttab.Table, error) {
+	return fairnessMatrixWith(cfg, ExtendedPolicySet(seed), 4)
+}
+
+// fairnessMatrix is the shared engine of Figures 12–14: policies × mixes
+// at a fixed application count on a given machine configuration.
+func fairnessMatrix(cfg machine.Config, seed int64, apps int) (Fig12Result, *texttab.Table, error) {
+	return fairnessMatrixWith(cfg, PolicySet(seed), apps)
+}
+
+// fairnessMatrixWith runs an explicit policy list; the first policy must
+// be the normalization baseline (EQ).
+func fairnessMatrixWith(cfg machine.Config, pols []policies.Policy, apps int) (Fig12Result, *texttab.Table, error) {
+	res := Fig12Result{Mixes: workloads.MixKinds()}
+	for _, p := range pols {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Norm = make([][]float64, len(pols))
+	res.Raw = make([][]float64, len(pols))
+	for p := range pols {
+		res.Norm[p] = make([]float64, len(res.Mixes))
+		res.Raw[p] = make([]float64, len(res.Mixes))
+	}
+	for mi, kind := range res.Mixes {
+		models, err := workloads.Mix(cfg, kind, apps)
+		if err != nil {
+			return Fig12Result{}, nil, err
+		}
+		var eqU float64
+		for pi, pol := range pols {
+			out, err := pol.Run(cfg, models)
+			if err != nil {
+				return Fig12Result{}, nil, fmt.Errorf("experiments: %s on %v: %w", pol.Name(), kind, err)
+			}
+			res.Raw[pi][mi] = out.Unfairness
+			if pi == 0 {
+				eqU = out.Unfairness
+			}
+			// Normalization guard: on mixes where both policies are
+			// essentially perfectly fair (the IS mix sits near zero for
+			// everyone), the ratio of two near-zero numbers is noise;
+			// report parity instead, as the paper's bars do.
+			const fairFloor = 0.01
+			if eqU < fairFloor && out.Unfairness < fairFloor {
+				res.Norm[pi][mi] = 1
+			} else if eqU > 1e-9 {
+				res.Norm[pi][mi] = out.Unfairness / eqU
+			} else {
+				res.Norm[pi][mi] = 1
+			}
+		}
+	}
+	res.GeoMean = make([]float64, len(pols))
+	for pi := range pols {
+		// The geometric mean needs positive inputs; clamp (near-)zero
+		// outcomes — the ST oracle can reach exactly-zero unfairness on
+		// LLC-dominated mixes in the analytic model — to 0.01.
+		vals := make([]float64, len(res.Mixes))
+		for mi := range res.Mixes {
+			vals[mi] = res.Norm[pi][mi]
+			if vals[mi] < 0.01 {
+				vals[mi] = 0.01
+			}
+		}
+		g, err := fairness.GeoMean(vals)
+		if err != nil {
+			return Fig12Result{}, nil, err
+		}
+		res.GeoMean[pi] = g
+	}
+
+	headers := []string{"Policy"}
+	for _, k := range res.Mixes {
+		headers = append(headers, k.String())
+	}
+	headers = append(headers, "GeoMean")
+	tab := texttab.New(
+		fmt.Sprintf("Figure 12. Unfairness normalized to EQ (%d apps, lower is better)", apps),
+		headers...)
+	for pi, name := range res.Policies {
+		row := []string{name}
+		for mi := range res.Mixes {
+			row = append(row, fmt.Sprintf("%.3f", res.Norm[pi][mi]))
+		}
+		row = append(row, fmt.Sprintf("%.3f", res.GeoMean[pi]))
+		tab.AddRow(row...)
+	}
+	return res, tab, nil
+}
+
+// SweepResult holds Figures 13, 14, and 17: one aggregated value per
+// policy per sweep point.
+type SweepResult struct {
+	Label    string
+	Points   []int // application counts (Fig 13/17) or total ways (Fig 14)
+	Policies []string
+	// Value[p][x] is the geomean-normalized metric at sweep point x.
+	Value [][]float64
+}
+
+// Figure13 sweeps the application count from 3 to 6 and reports each
+// policy's geomean unfairness normalized to EQ.
+func Figure13(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, error) {
+	res := SweepResult{Label: "unfairness", Points: []int{3, 4, 5, 6}}
+	for _, p := range PolicySet(seed) {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Value = make([][]float64, len(res.Policies))
+	for p := range res.Value {
+		res.Value[p] = make([]float64, len(res.Points))
+	}
+	for xi, n := range res.Points {
+		matrix, _, err := fairnessMatrix(cfg, seed, n)
+		if err != nil {
+			return SweepResult{}, nil, err
+		}
+		for pi := range res.Policies {
+			res.Value[pi][xi] = matrix.GeoMean[pi]
+		}
+	}
+	tab := sweepTable("Figure 13. Unfairness vs application count (normalized to EQ)",
+		"apps", res)
+	return res, tab, nil
+}
+
+// Figure14 sweeps the total LLC capacity from 7 to 11 ways at 4
+// applications and reports geomean unfairness normalized to EQ. Each
+// sweep point is a machine with a smaller LLC; the benchmark models are
+// recalibrated against that machine, as the paper re-runs on the
+// restricted cache.
+func Figure14(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, error) {
+	res := SweepResult{Label: "unfairness", Points: []int{7, 8, 9, 10, 11}}
+	for _, p := range PolicySet(seed) {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Value = make([][]float64, len(res.Policies))
+	for p := range res.Value {
+		res.Value[p] = make([]float64, len(res.Points))
+	}
+	for xi, ways := range res.Points {
+		small := cfg
+		small.LLCWays = ways
+		matrix, _, err := fairnessMatrix(small, seed, 4)
+		if err != nil {
+			return SweepResult{}, nil, err
+		}
+		for pi := range res.Policies {
+			res.Value[pi][xi] = matrix.GeoMean[pi]
+		}
+	}
+	tab := sweepTable("Figure 14. Unfairness vs total LLC ways (normalized to EQ)",
+		"ways", res)
+	return res, tab, nil
+}
+
+// Figure17 sweeps the application count and reports each policy's geomean
+// throughput (geometric-mean IPS across applications and mixes),
+// normalized to EQ.
+func Figure17(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, error) {
+	res := SweepResult{Label: "throughput", Points: []int{3, 4, 5, 6}}
+	pols := PolicySet(seed)
+	for _, p := range pols {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Value = make([][]float64, len(res.Policies))
+	for p := range res.Value {
+		res.Value[p] = make([]float64, len(res.Points))
+	}
+	for xi, n := range res.Points {
+		perPolicy := make([][]float64, len(pols))
+		var eqTP []float64
+		for pi, pol := range pols {
+			for _, kind := range workloads.MixKinds() {
+				models, err := workloads.Mix(cfg, kind, n)
+				if err != nil {
+					return SweepResult{}, nil, err
+				}
+				out, err := pol.Run(cfg, models)
+				if err != nil {
+					return SweepResult{}, nil, err
+				}
+				perPolicy[pi] = append(perPolicy[pi], out.Throughput)
+			}
+			if pi == 0 {
+				eqTP = perPolicy[0]
+			}
+		}
+		for pi := range pols {
+			normed := make([]float64, len(perPolicy[pi]))
+			for k := range normed {
+				normed[k] = perPolicy[pi][k] / eqTP[k]
+			}
+			g, err := fairness.GeoMean(normed)
+			if err != nil {
+				return SweepResult{}, nil, err
+			}
+			res.Value[pi][xi] = g
+		}
+	}
+	tab := sweepTable("Figure 17. Throughput vs application count (normalized to EQ, higher is better)",
+		"apps", res)
+	return res, tab, nil
+}
+
+func sweepTable(title, xName string, res SweepResult) *texttab.Table {
+	headers := []string{"Policy"}
+	for _, x := range res.Points {
+		headers = append(headers, fmt.Sprintf("%s=%d", xName, x))
+	}
+	tab := texttab.New(title, headers...)
+	for pi, name := range res.Policies {
+		row := []string{name}
+		for xi := range res.Points {
+			row = append(row, fmt.Sprintf("%.3f", res.Value[pi][xi]))
+		}
+		tab.AddRow(row...)
+	}
+	return tab
+}

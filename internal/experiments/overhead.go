@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/policies"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// OverheadResult is Figure 16: the mean system-state-space exploration
+// time per application count, and its share of a control period.
+type OverheadResult struct {
+	Apps []int
+	// Mean[i] is the mean getNextSystemState wall-clock duration.
+	Mean []time.Duration
+	// Share[i] is Mean[i] as a fraction of the 1 s control period.
+	Share []float64
+}
+
+// Figure16 measures the wall-clock cost of the exploration step across
+// application counts 3–6, averaged over the workload mixes.
+func Figure16(cfg machine.Config, seed int64) (OverheadResult, *texttab.Table, error) {
+	res := OverheadResult{Apps: []int{3, 4, 5, 6}}
+	period := time.Second
+	for _, n := range res.Apps {
+		var total time.Duration
+		var count int
+		for _, kind := range workloads.MixKinds() {
+			models, err := workloads.Mix(cfg, kind, n)
+			if err != nil {
+				return OverheadResult{}, nil, err
+			}
+			d, err := policies.CoPart(seed).ExploreTime(cfg, models)
+			if err != nil {
+				return OverheadResult{}, nil, err
+			}
+			total += d
+			count++
+		}
+		mean := total / time.Duration(count)
+		res.Mean = append(res.Mean, mean)
+		res.Share = append(res.Share, float64(mean)/float64(period))
+	}
+	tab := texttab.New("Figure 16. System state space exploration time",
+		"apps", "mean time (µs)", "share of 1s period")
+	for i, n := range res.Apps {
+		tab.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", float64(res.Mean[i].Nanoseconds())/1e3),
+			fmt.Sprintf("%.2e", res.Share[i]))
+	}
+	return res, tab, nil
+}

@@ -1,0 +1,72 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation, each returning both raw series (for tests and
+// benches) and rendered text output (for the cmd tools). DESIGN.md §4
+// maps every experiment to its harness.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// Table1 renders the system configuration (Table 1 of the paper) as
+// implemented by the simulated machine.
+func Table1(cfg machine.Config) *texttab.Table {
+	t := texttab.New("Table 1. System configuration (simulated)", "Component", "Description")
+	t.AddRow("Processor", fmt.Sprintf("simulated x86-64 CPU @ %.1fGHz, %d cores",
+		cfg.FreqHz/1e9, cfg.Cores))
+	t.AddRow("L3 cache", fmt.Sprintf("Shared, %dMB, %d ways (CAT way-partitioned)",
+		int(cfg.WayBytes)*cfg.LLCWays>>20, cfg.LLCWays))
+	t.AddRow("Memory", fmt.Sprintf("%.0fGB/s DRAM budget, MBA 10-100%% in steps of 10",
+		cfg.BW.TotalBandwidth/1e9))
+	t.AddRow("Interface", "simulated resctrl tree + simulated PMCs")
+	return t
+}
+
+// Table2Row is one benchmark's measured characteristics.
+type Table2Row struct {
+	Name      string
+	Category  workloads.Category
+	AccRate   float64 // measured LLC accesses/s (solo, full resources)
+	MissRate  float64 // measured LLC misses/s
+	PaperAcc  float64 // Table 2 reference
+	PaperMiss float64
+}
+
+// Table2 regenerates Table 2: each benchmark's solo full-resource LLC
+// access and miss rates next to the paper's values.
+func Table2(cfg machine.Config) ([]Table2Row, *texttab.Table, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs, err := workloads.Catalog(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]Table2Row, 0, len(specs))
+	tab := texttab.New("Table 2. Evaluated benchmarks and their characteristics",
+		"Benchmark", "Category", "LLC acc/s", "paper", "LLC miss/s", "paper")
+	for _, s := range specs {
+		perf, err := m.SoloPerf(s.Model)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table2Row{
+			Name:      s.Model.Name,
+			Category:  s.Category,
+			AccRate:   perf.AccessRate,
+			MissRate:  perf.MissRate,
+			PaperAcc:  s.Table2AccRate,
+			PaperMiss: s.Table2MissRate,
+		}
+		rows = append(rows, row)
+		tab.AddRow(row.Name, row.Category.String(),
+			fmt.Sprintf("%.2e", row.AccRate), fmt.Sprintf("%.2e", row.PaperAcc),
+			fmt.Sprintf("%.2e", row.MissRate), fmt.Sprintf("%.2e", row.PaperMiss))
+	}
+	return rows, tab, nil
+}

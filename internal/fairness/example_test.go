@@ -1,0 +1,29 @@
+package fairness_test
+
+import (
+	"fmt"
+
+	"repro/internal/fairness"
+)
+
+func ExampleSlowdown() {
+	// An application at 6.2 GIPS consolidated vs 8.4 GIPS alone.
+	s, _ := fairness.Slowdown(8.4e9, 6.2e9)
+	fmt.Printf("%.2f\n", s)
+	// Output: 1.35
+}
+
+func ExampleUnfairness() {
+	// Equal slowdowns are perfectly fair; skewed ones are not.
+	fair, _ := fairness.Unfairness([]float64{1.3, 1.3, 1.3})
+	skewed, _ := fairness.Unfairness([]float64{1.0, 1.0, 2.0})
+	fmt.Printf("%.2f %.2f\n", fair, skewed)
+	// Output: 0.00 0.35
+}
+
+func ExampleImprovement() {
+	// The paper's headline: 57.3% higher fairness than EQ.
+	imp, _ := fairness.Improvement(1.0, 0.427)
+	fmt.Printf("%.1f%%\n", imp)
+	// Output: 57.3%
+}

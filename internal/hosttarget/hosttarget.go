@@ -1,0 +1,185 @@
+// Package hosttarget implements the controller's Target interface over a
+// resctrl filesystem tree — the deployment path on real CAT/MBA hardware.
+//
+// The CoPart manager (internal/core) is substrate-agnostic: it needs
+// application lists, cumulative counters, an allocation setter, and a
+// clock. On the simulator all four come from *machine.Machine; on a real
+// host they come from
+//
+//   - the resctrl tree for actuation (one control group per application,
+//     schemata writes through internal/resctrl's client), and
+//   - a CounterSource for the three PMCs (in production a perf-events or
+//     PAPI reader; in this repository's tests, the machine simulator
+//     wired behind the same interface).
+//
+// Step is pluggable so tests can couple the passage of time to the
+// simulator while production builds sleep on the wall clock.
+package hosttarget
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/resctrl"
+)
+
+// CounterSource provides cumulative performance counters per application.
+type CounterSource interface {
+	ReadCounters(app string) (machine.Counters, error)
+}
+
+// Options configure a Host.
+type Options struct {
+	// Client is the resctrl tree to actuate (required).
+	Client *resctrl.Client
+	// Counters supplies the PMCs (required).
+	Counters CounterSource
+	// Hardware describes the machine for the controller (core counts,
+	// way geometry, bandwidth). Its LLCWays must agree with the tree's
+	// cbm_mask.
+	Hardware machine.Config
+	// Step advances time. Nil selects a wall-clock sleep.
+	Step func(time.Duration) error
+	// Now reads the clock. Nil selects monotonic time since New.
+	Now func() time.Duration
+}
+
+// Host adapts a resctrl tree plus a counter source to core.Target.
+type Host struct {
+	client   *resctrl.Client
+	counters CounterSource
+	hw       machine.Config
+	step     func(time.Duration) error
+	now      func() time.Duration
+	apps     []string
+}
+
+// New validates the options and returns an empty Host; register the
+// consolidated applications with AddApp.
+func New(opts Options) (*Host, error) {
+	if opts.Client == nil {
+		return nil, fmt.Errorf("hosttarget: nil resctrl client")
+	}
+	if opts.Counters == nil {
+		return nil, fmt.Errorf("hosttarget: nil counter source")
+	}
+	if err := opts.Hardware.Validate(); err != nil {
+		return nil, err
+	}
+	info := opts.Client.Info()
+	if got := onesCount(info.CBMMask); got != opts.Hardware.LLCWays {
+		return nil, fmt.Errorf("hosttarget: tree advertises %d ways, hardware config says %d",
+			got, opts.Hardware.LLCWays)
+	}
+	h := &Host{
+		client:   opts.Client,
+		counters: opts.Counters,
+		hw:       opts.Hardware,
+		step:     opts.Step,
+		now:      opts.Now,
+	}
+	if h.step == nil {
+		h.step = func(d time.Duration) error {
+			time.Sleep(d)
+			return nil
+		}
+	}
+	if h.now == nil {
+		start := time.Now()
+		h.now = func() time.Duration { return time.Since(start) }
+	}
+	return h, nil
+}
+
+func onesCount(mask uint64) int {
+	n := 0
+	for ; mask != 0; mask >>= 1 {
+		n += int(mask & 1)
+	}
+	return n
+}
+
+// AddApp registers an application: its control group is created (if
+// missing) and its tasks are assigned to the group, exactly as the
+// paper's prototype pins each container's threads.
+func (h *Host) AddApp(name string, pids []int) error {
+	for _, a := range h.apps {
+		if a == name {
+			return fmt.Errorf("hosttarget: duplicate app %q", name)
+		}
+	}
+	groups, err := h.client.Groups()
+	if err != nil {
+		return err
+	}
+	exists := false
+	for _, g := range groups {
+		if g == name {
+			exists = true
+			break
+		}
+	}
+	if !exists {
+		if err := h.client.CreateGroup(name); err != nil {
+			return err
+		}
+	}
+	for _, pid := range pids {
+		if err := h.client.AddTask(name, pid); err != nil {
+			return err
+		}
+	}
+	h.apps = append(h.apps, name)
+	return nil
+}
+
+// RemoveApp unregisters an application and deletes its control group
+// (its tasks fall back to the root group, as on the kernel).
+func (h *Host) RemoveApp(name string) error {
+	for i, a := range h.apps {
+		if a == name {
+			h.apps = append(h.apps[:i], h.apps[i+1:]...)
+			return h.client.DeleteGroup(name)
+		}
+	}
+	return fmt.Errorf("hosttarget: unknown app %q", name)
+}
+
+// Apps implements core.Target.
+func (h *Host) Apps() []string {
+	return append([]string(nil), h.apps...)
+}
+
+// ReadCounters implements core.Target.
+func (h *Host) ReadCounters(name string) (machine.Counters, error) {
+	return h.counters.ReadCounters(name)
+}
+
+// SetAllocation implements core.Target: it writes the application's
+// schemata through the resctrl client, which validates the CBM and MBA
+// level against the tree's advertised limits.
+func (h *Host) SetAllocation(name string, a machine.Alloc) error {
+	if err := membw.ValidateLevel(a.MBALevel); err != nil {
+		return err
+	}
+	return h.client.WriteSchemata(name, resctrl.Schemata{
+		L3: map[int]uint64{0: a.CBM},
+		MB: map[int]int{0: a.MBALevel},
+	})
+}
+
+// Config implements core.Target.
+func (h *Host) Config() machine.Config { return h.hw }
+
+// Now implements core.Target.
+func (h *Host) Now() time.Duration { return h.now() }
+
+// Step implements core.Target.
+func (h *Host) Step(dt time.Duration) error {
+	if dt <= 0 {
+		return fmt.Errorf("hosttarget: non-positive step %v", dt)
+	}
+	return h.step(dt)
+}

@@ -1,0 +1,237 @@
+package hosttarget
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/resctrl"
+	"repro/internal/workloads"
+)
+
+// newHarness wires a Host to the machine simulator through the simulated
+// resctrl tree: counters come from the machine, schemata writes are
+// pushed into the machine on every Step — the full file-level actuation
+// path a real deployment uses.
+func newHarness(t *testing.T) (*Host, *machine.Machine, *resctrl.Client) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := resctrl.NewSimTree(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Options{
+		Client:   client,
+		Counters: m,
+		Hardware: cfg,
+		Step: func(d time.Duration) error {
+			if err := resctrl.ApplyToMachine(client, m); err != nil {
+				return err
+			}
+			return m.Step(d)
+		},
+		Now: m.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m, client
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := resctrl.NewSimTree(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Counters: m, Hardware: cfg}); err == nil {
+		t.Error("nil client should error")
+	}
+	if _, err := New(Options{Client: client, Hardware: cfg}); err == nil {
+		t.Error("nil counters should error")
+	}
+	bad := cfg
+	bad.LLCWays = 9 // disagrees with the tree's 11-way cbm_mask
+	if _, err := New(Options{Client: client, Counters: m, Hardware: bad}); err == nil {
+		t.Error("way-count mismatch should error")
+	}
+	badCfg := cfg
+	badCfg.Cores = 0
+	if _, err := New(Options{Client: client, Counters: m, Hardware: badCfg}); err == nil {
+		t.Error("invalid hardware should error")
+	}
+}
+
+func TestAddRemoveApp(t *testing.T) {
+	h, m, client := newHarness(t)
+	spec, err := workloads.ByName(m.Config(), "WN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddApp(spec.Model); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddApp("WN", []int{101, 102}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddApp("WN", nil); err == nil {
+		t.Error("duplicate app should error")
+	}
+	pids, err := client.Tasks("WN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 2 || pids[0] != 101 {
+		t.Errorf("tasks %v", pids)
+	}
+	if got := h.Apps(); len(got) != 1 || got[0] != "WN" {
+		t.Errorf("Apps()=%v", got)
+	}
+	if err := h.RemoveApp("WN"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveApp("WN"); err == nil {
+		t.Error("removing an unknown app should error")
+	}
+	groups, _ := client.Groups()
+	if len(groups) != 0 {
+		t.Errorf("group should be deleted, have %v", groups)
+	}
+}
+
+func TestAddAppAdoptsExistingGroup(t *testing.T) {
+	h, _, client := newHarness(t)
+	if err := client.CreateGroup("pre"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddApp("pre", nil); err != nil {
+		t.Errorf("adopting an existing group should work: %v", err)
+	}
+}
+
+func TestSetAllocationWritesSchemata(t *testing.T) {
+	h, _, client := newHarness(t)
+	if err := h.AddApp("app", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAllocation("app", machine.Alloc{CBM: 0x7, MBALevel: 40}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.ReadSchemata("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0x7 || s.MB[0] != 40 {
+		t.Errorf("schemata %+v", s)
+	}
+	if err := h.SetAllocation("app", machine.Alloc{CBM: 0b101, MBALevel: 40}); err == nil {
+		t.Error("non-contiguous CBM should be rejected by the tree")
+	}
+	if err := h.SetAllocation("app", machine.Alloc{CBM: 1, MBALevel: 15}); err == nil {
+		t.Error("invalid MBA level should be rejected")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	h, _, _ := newHarness(t)
+	if err := h.Step(0); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestDefaultClock(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := resctrl.NewSimTree(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Options{Client: client, Counters: m, Hardware: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.Now()
+	if err := h.Step(time.Millisecond); err != nil { // real sleep
+		t.Fatal(err)
+	}
+	if h.Now() <= before {
+		t.Error("wall clock did not advance")
+	}
+}
+
+// TestManagerOverHostTarget is the end-to-end deployment-path test: the
+// CoPart manager drives the host target, every allocation flows through
+// schemata files in the resctrl tree, and the "hardware" behind the tree
+// is the machine simulator. The controller must converge exactly as it
+// does against the machine directly.
+func TestManagerOverHostTarget(t *testing.T) {
+	h, m, _ := newHarness(t)
+	cfg := m.Config()
+	models, err := workloads.Mix(cfg, workloads.HLLC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.AddApp(model.Name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(h, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last core.PeriodReport
+	mgr.OnPeriod = func(r core.PeriodReport) { last = r }
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		done, err := mgr.ExploreStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if mgr.Phase() != core.PhaseIdle {
+		t.Fatalf("controller did not converge over the host target (phase %v)", mgr.Phase())
+	}
+	if last.Unfairness > 0.05 {
+		t.Errorf("H-LLC over the host target should converge to high fairness, got %.4f",
+			last.Unfairness)
+	}
+	// The machine's allocations must mirror the schemata the manager
+	// wrote (applied on each Step).
+	for _, model := range models {
+		alloc, err := m.Allocation(model.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.CBM == cfg.FullMask() {
+			t.Errorf("%s still holds the boot-time full mask; schemata were not applied",
+				model.Name)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+func ExampleAppModel_MissRatio() {
+	// An application with an 8 MB hot set and 10% streaming traffic:
+	// the miss ratio falls linearly until the hot set fits.
+	m := machine.AppModel{
+		Name: "demo", Cores: 4, CPIBase: 1, AccPerInstr: 0.01,
+		Hot:        []machine.WSComponent{{Bytes: 8 << 20, Weight: 0.9}},
+		StreamFrac: 0.1,
+	}
+	for _, mb := range []int{2, 4, 8, 22} {
+		fmt.Printf("%2d MB -> %.2f\n", mb, m.MissRatio(float64(mb<<20)))
+	}
+	// Output:
+	//  2 MB -> 0.78
+	//  4 MB -> 0.55
+	//  8 MB -> 0.10
+	// 22 MB -> 0.10
+}
+
+func ExampleEqualSplit() {
+	counts, _ := machine.EqualSplit(11, 4)
+	masks, _ := machine.AssignContiguousWays(counts, 0, 11)
+	fmt.Println(counts)
+	fmt.Printf("%011b\n", masks[0])
+	// Output:
+	// [3 3 3 2]
+	// 00000000111
+}

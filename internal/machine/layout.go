@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AssignContiguousWays converts per-application way counts into exclusive,
+// contiguous CAT bitmasks laid out left-to-right starting at bit lo.
+// Every count must be ≥ 1 (a CLOS needs at least one way) and the counts
+// must fit within [lo, lo+totalWays).
+//
+// CoPart and all partitioning baselines manage exclusive contiguous
+// partitions; this helper converts the "number of ways" abstraction used
+// by the controller into hardware CBMs.
+func AssignContiguousWays(counts []int, lo, totalWays int) ([]uint64, error) {
+	if lo < 0 || totalWays < 1 {
+		return nil, fmt.Errorf("machine: invalid layout window lo=%d totalWays=%d", lo, totalWays)
+	}
+	sum := 0
+	for i, c := range counts {
+		if c < 1 {
+			return nil, fmt.Errorf("machine: app %d assigned %d ways (minimum 1)", i, c)
+		}
+		sum += c
+	}
+	if sum > totalWays {
+		return nil, fmt.Errorf("machine: %d ways assigned, only %d available", sum, totalWays)
+	}
+	masks := make([]uint64, len(counts))
+	at := lo
+	for i, c := range counts {
+		masks[i] = ((uint64(1) << uint(c)) - 1) << uint(at)
+		at += c
+	}
+	return masks, nil
+}
+
+// WayCounts extracts the way count of each mask.
+func WayCounts(masks []uint64) []int {
+	out := make([]int, len(masks))
+	for i, m := range masks {
+		out[i] = bits.OnesCount64(m)
+	}
+	return out
+}
+
+// EqualSplit divides totalWays across n applications as evenly as
+// possible, giving the first (totalWays mod n) applications one extra way.
+// It errors when n exceeds totalWays (someone would get zero ways).
+func EqualSplit(totalWays, n int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("machine: cannot split across %d apps", n)
+	}
+	if n > totalWays {
+		return nil, fmt.Errorf("machine: %d apps exceed %d ways", n, totalWays)
+	}
+	base := totalWays / n
+	extra := totalWays % n
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,642 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"time"
+
+	"repro/internal/membw"
+)
+
+// Config describes the simulated server. DefaultConfig reproduces Table 1.
+// All per-resource fields (cores, LLC, bandwidth) describe ONE socket;
+// Sockets multiplies the machine into independent domains.
+type Config struct {
+	Cores     int     // physical cores per socket
+	LLCWays   int     // CAT ways per socket LLC
+	WayBytes  float64 // capacity of one way
+	LineBytes float64 // cache-line size
+	FreqHz    float64 // core frequency
+	Sockets   int     // socket count; 0 means 1 (the paper's machine)
+
+	// HitCostCycles is the average visible stall per LLC hit (after
+	// out-of-order overlap); MissCostCycles per LLC miss at an idle bus.
+	HitCostCycles  float64
+	MissCostCycles float64
+	// WritebackFactor inflates miss traffic for dirty evictions.
+	WritebackFactor float64
+	// MeasurementNoise is the standard deviation of multiplicative
+	// per-period jitter applied to the simulated counters (0 disables
+	// it, the default). Real PMC readings fluctuate period to period —
+	// scheduling, interrupts, DRAM refresh — and that fluctuation is
+	// what makes the controller's δ_P/Β/Γ thresholds a trade-off
+	// (§5.5.3): too small reacts to noise, too large misses signal.
+	// Deterministic given NoiseSeed.
+	MeasurementNoise float64
+	// NoiseSeed seeds the jitter stream.
+	NoiseSeed int64
+
+	// MBALatencyK and MBALatencyP shape the extra memory latency
+	// introduced by MBA throttling: effective miss cost
+	// ×= 1 + K·(1 − level/100)^P. The convex shape (P > 1) matches the
+	// published behaviour of MBA: low levels delay requests sharply while
+	// upper-mid levels barely affect latency.
+	MBALatencyK float64
+	MBALatencyP float64
+
+	BW membw.Config
+}
+
+// DefaultConfig returns the paper's machine (Table 1): 16 cores at
+// 2.1 GHz, 22 MB 11-way LLC (2 MB/way), ~28 GB/s DRAM.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           16,
+		LLCWays:         11,
+		WayBytes:        2 << 20,
+		LineBytes:       64,
+		FreqHz:          2.1e9,
+		HitCostCycles:   8,
+		MissCostCycles:  170,
+		WritebackFactor: 1.3,
+		MBALatencyK:     1.3,
+		MBALatencyP:     3,
+		BW: membw.Config{
+			TotalBandwidth: 28e9,
+			PerCoreCap:     9e9,
+			CongestionK:    0.8,
+			CongestionP:    4,
+		},
+	}
+}
+
+// SocketCount returns the number of sockets, treating the zero value as 1.
+func (c Config) SocketCount() int {
+	if c.Sockets < 1 {
+		return 1
+	}
+	return c.Sockets
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 || c.LLCWays < 1 {
+		return fmt.Errorf("machine: invalid cores=%d ways=%d", c.Cores, c.LLCWays)
+	}
+	if c.Sockets < 0 {
+		return fmt.Errorf("machine: negative socket count %d", c.Sockets)
+	}
+	if c.WayBytes <= 0 || c.LineBytes <= 0 || c.FreqHz <= 0 {
+		return fmt.Errorf("machine: non-positive geometry/frequency")
+	}
+	if c.HitCostCycles < 0 || c.MissCostCycles <= 0 {
+		return fmt.Errorf("machine: invalid stall costs hit=%v miss=%v", c.HitCostCycles, c.MissCostCycles)
+	}
+	if c.WritebackFactor < 1 {
+		return fmt.Errorf("machine: writeback factor %v < 1", c.WritebackFactor)
+	}
+	if c.MBALatencyK < 0 {
+		return fmt.Errorf("machine: negative MBA latency factor %v", c.MBALatencyK)
+	}
+	if c.MBALatencyP <= 0 {
+		return fmt.Errorf("machine: non-positive MBA latency exponent %v", c.MBALatencyP)
+	}
+	if c.MeasurementNoise < 0 || c.MeasurementNoise >= 0.5 {
+		return fmt.Errorf("machine: measurement noise %v outside [0, 0.5)", c.MeasurementNoise)
+	}
+	return c.BW.Validate()
+}
+
+// FullMask returns the CBM with every configured way set.
+func (c Config) FullMask() uint64 { return (uint64(1) << c.LLCWays) - 1 }
+
+// Counters are the simulated performance-monitoring counters of one
+// application, cumulative since launch. Instructions, LLCAccesses, and
+// LLCMisses correspond to the three PMCs the paper samples through PAPI
+// (§3.2); MemoryBytes is the DRAM traffic actually granted, which backs
+// the resctrl MBM emulation (mbm_total_bytes).
+type Counters struct {
+	Instructions float64
+	LLCAccesses  float64
+	LLCMisses    float64
+	MemoryBytes  float64
+}
+
+// Alloc is one application's resource-allocation state (ℓ_i, m_i) of
+// §2.3, expressed as a CAT bitmask plus an MBA level.
+type Alloc struct {
+	CBM      uint64
+	MBALevel int
+}
+
+// Ways returns the number of ways in the allocation's CBM.
+func (a Alloc) Ways() int { return bits.OnesCount64(a.CBM) }
+
+// app is the runtime state of one consolidated application.
+type app struct {
+	model    AppModel
+	alloc    Alloc
+	counters Counters
+	active   bool
+}
+
+// Perf is the solved steady-state performance of one application at the
+// current system state.
+type Perf struct {
+	IPS        float64 // achieved aggregate instructions/s
+	MissRatio  float64
+	AccessRate float64 // LLC accesses/s
+	MissRate   float64 // LLC misses/s
+	CapBytes   float64 // effective LLC capacity (occupancy share)
+	DemandBW   float64 // unconstrained traffic demand, bytes/s
+	GrantBW    float64 // granted bandwidth, bytes/s
+}
+
+// Machine is the simulated server.
+type Machine struct {
+	cfg      Config
+	arbiter  *membw.Arbiter
+	apps     []*app
+	byName   map[string]int
+	now      time.Duration // virtual time since construction
+	noiseRNG *rand.Rand
+}
+
+// New builds a machine with the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arb, err := membw.New(cfg.BW)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:      cfg,
+		arbiter:  arb,
+		byName:   make(map[string]int),
+		noiseRNG: rand.New(rand.NewSource(cfg.NoiseSeed)),
+	}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// AddApp launches an application with the full-resource allocation. The
+// total core demand across active applications may not exceed the machine.
+func (m *Machine) AddApp(model AppModel) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.byName[model.Name]; dup {
+		return fmt.Errorf("machine: duplicate app %q", model.Name)
+	}
+	if model.Socket >= m.cfg.SocketCount() {
+		return fmt.Errorf("machine: app %s on socket %d, machine has %d",
+			model.Name, model.Socket, m.cfg.SocketCount())
+	}
+	used := model.Cores
+	for _, a := range m.apps {
+		if a.active && a.model.Socket == model.Socket {
+			used += a.model.Cores
+		}
+	}
+	if used > m.cfg.Cores {
+		return fmt.Errorf("machine: %d cores demanded on socket %d, %d available",
+			used, model.Socket, m.cfg.Cores)
+	}
+	m.byName[model.Name] = len(m.apps)
+	m.apps = append(m.apps, &app{
+		model:  model,
+		alloc:  Alloc{CBM: m.cfg.FullMask(), MBALevel: membw.MaxLevel},
+		active: true,
+	})
+	return nil
+}
+
+// RemoveApp terminates an application (the idle phase detects this as a
+// change event). Its counters become unavailable.
+func (m *Machine) RemoveApp(name string) error {
+	i, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("machine: unknown app %q", name)
+	}
+	if !m.apps[i].active {
+		return fmt.Errorf("machine: app %q already removed", name)
+	}
+	m.apps[i].active = false
+	return nil
+}
+
+// Apps lists the names of active applications in launch order.
+func (m *Machine) Apps() []string {
+	out := make([]string, 0, len(m.apps))
+	for _, a := range m.apps {
+		if a.active {
+			out = append(out, a.model.Name)
+		}
+	}
+	return out
+}
+
+// Model returns the model of a (possibly inactive) application.
+func (m *Machine) Model(name string) (AppModel, error) {
+	i, ok := m.byName[name]
+	if !ok {
+		return AppModel{}, fmt.Errorf("machine: unknown app %q", name)
+	}
+	return m.apps[i].model, nil
+}
+
+func (m *Machine) lookup(name string) (*app, error) {
+	i, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown app %q", name)
+	}
+	a := m.apps[i]
+	if !a.active {
+		return nil, fmt.Errorf("machine: app %q is not active", name)
+	}
+	return a, nil
+}
+
+// SetAllocation updates an application's (CBM, MBA level).
+func (m *Machine) SetAllocation(name string, alloc Alloc) error {
+	a, err := m.lookup(name)
+	if err != nil {
+		return err
+	}
+	if alloc.CBM == 0 || alloc.CBM&^m.cfg.FullMask() != 0 {
+		return fmt.Errorf("machine: invalid CBM %#x for %d ways", alloc.CBM, m.cfg.LLCWays)
+	}
+	if !contiguous(alloc.CBM) {
+		return fmt.Errorf("machine: CBM %#x is not contiguous (CAT requires contiguous masks)", alloc.CBM)
+	}
+	if err := membw.ValidateLevel(alloc.MBALevel); err != nil {
+		return err
+	}
+	a.alloc = alloc
+	return nil
+}
+
+// Allocation returns an application's current allocation.
+func (m *Machine) Allocation(name string) (Alloc, error) {
+	a, err := m.lookup(name)
+	if err != nil {
+		return Alloc{}, err
+	}
+	return a.alloc, nil
+}
+
+// ReadCounters returns a copy of an application's cumulative counters.
+func (m *Machine) ReadCounters(name string) (Counters, error) {
+	a, err := m.lookup(name)
+	if err != nil {
+		return Counters{}, err
+	}
+	return a.counters, nil
+}
+
+// contiguous reports whether the set bits of mask form one contiguous run.
+func contiguous(mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	shifted := mask >> uint(bits.TrailingZeros64(mask))
+	return shifted&(shifted+1) == 0
+}
+
+// activeApps returns the active applications in launch order.
+func (m *Machine) activeApps() []*app {
+	out := make([]*app, 0, len(m.apps))
+	for _, a := range m.apps {
+		if a.active {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Step advances virtual time by dt, accumulating counters at the solved
+// steady-state rates.
+func (m *Machine) Step(dt time.Duration) error {
+	if dt <= 0 {
+		return fmt.Errorf("machine: non-positive step %v", dt)
+	}
+	perfs, err := m.Solve()
+	if err != nil {
+		return err
+	}
+	secs := dt.Seconds()
+	for i, a := range m.activeApps() {
+		p := perfs[i]
+		perfNoise, missNoise := m.noiseFactors()
+		a.counters.Instructions += p.IPS * secs * perfNoise
+		a.counters.LLCAccesses += p.AccessRate * secs * perfNoise
+		a.counters.LLCMisses += p.MissRate * secs * perfNoise * missNoise
+		a.counters.MemoryBytes += p.GrantBW * secs * perfNoise * missNoise
+	}
+	m.now += dt
+	return nil
+}
+
+// noiseFactors draws the per-period measurement jitter: a factor on the
+// whole counter stream (execution-speed jitter) and an additional
+// independent factor on the miss-related counters (cache-behaviour
+// jitter). Both are 1 when noise is disabled.
+func (m *Machine) noiseFactors() (perf, miss float64) {
+	sigma := m.cfg.MeasurementNoise
+	if sigma == 0 {
+		return 1, 1
+	}
+	clamp := func(f float64) float64 {
+		if f < 0.5 {
+			return 0.5
+		}
+		if f > 1.5 {
+			return 1.5
+		}
+		return f
+	}
+	return clamp(1 + m.noiseRNG.NormFloat64()*sigma),
+		clamp(1 + m.noiseRNG.NormFloat64()*sigma)
+}
+
+// Occupancy returns an application's current effective LLC occupancy in
+// bytes (its capacity share at the solved steady state) — the quantity
+// resctrl's llc_occupancy monitoring file reports.
+func (m *Machine) Occupancy(name string) (float64, error) {
+	if _, err := m.lookup(name); err != nil {
+		return 0, err
+	}
+	perfs, err := m.Solve()
+	if err != nil {
+		return 0, err
+	}
+	for i, app := range m.Apps() {
+		if app == name {
+			return perfs[i].CapBytes, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: app %q vanished", name)
+}
+
+// Solve computes the steady-state performance of every active application
+// at the current system state and virtual time (phased models resolve to
+// their active phase), in Apps() order. The machine state is not
+// modified.
+func (m *Machine) Solve() ([]Perf, error) {
+	apps := m.activeApps()
+	allocs := make([]Alloc, len(apps))
+	models := make([]AppModel, len(apps))
+	for i, a := range apps {
+		allocs[i] = a.alloc
+		models[i] = a.model.AtTime(m.now)
+	}
+	return m.SolveFor(models, allocs)
+}
+
+// SolveFor solves the model for an arbitrary hypothetical set of
+// applications and allocations — used by the ST oracle policy and the
+// characterization sweeps without touching machine state.
+func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
+	if len(models) != len(allocs) {
+		return nil, fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
+	}
+	if len(models) == 0 {
+		return nil, nil
+	}
+	for i, al := range allocs {
+		if al.CBM == 0 || al.CBM&^m.cfg.FullMask() != 0 {
+			return nil, fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
+		}
+		if err := membw.ValidateLevel(al.MBALevel); err != nil {
+			return nil, fmt.Errorf("machine: app %d: %w", i, err)
+		}
+		if s := models[i].Socket; s < 0 || s >= m.cfg.SocketCount() {
+			return nil, fmt.Errorf("machine: app %d on socket %d, machine has %d",
+				i, s, m.cfg.SocketCount())
+		}
+	}
+
+	// Sockets are independent resource domains: each has its own LLC and
+	// DRAM budget, so the solver runs per socket and the results are
+	// merged back in input order.
+	if m.cfg.SocketCount() > 1 {
+		perfs := make([]Perf, len(models))
+		for s := 0; s < m.cfg.SocketCount(); s++ {
+			var idx []int
+			for i := range models {
+				if models[i].Socket == s {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			subModels := make([]AppModel, len(idx))
+			subAllocs := make([]Alloc, len(idx))
+			for j, i := range idx {
+				subModels[j] = models[i]
+				subAllocs[j] = allocs[i]
+			}
+			subPerfs, err := m.solveDomain(subModels, subAllocs)
+			if err != nil {
+				return nil, err
+			}
+			for j, i := range idx {
+				perfs[i] = subPerfs[j]
+			}
+		}
+		return perfs, nil
+	}
+	return m.solveDomain(models, allocs)
+}
+
+// solveDomain solves one socket's applications against one LLC and one
+// DRAM budget.
+func (m *Machine) solveDomain(models []AppModel, allocs []Alloc) ([]Perf, error) {
+	n := len(models)
+	caps := m.initialCapacities(models, allocs)
+	perfs := make([]Perf, n)
+
+	// Outer loop: occupancy shares (for overlapping CBMs) and bus
+	// congestion both depend on solved rates; damped fixed-point rounds
+	// converge to the sharing equilibrium (the occupancy feedback is
+	// non-monotone: losing capacity raises an application's miss rate,
+	// which raises its insertion pressure, which wins capacity back).
+	// With exclusive CBMs — the common case under every partitioning
+	// policy — capacities are fixed and only the congestion feedback
+	// needs a few rounds.
+	shared := m.anySharedWay(allocs)
+	iters := 3
+	if shared {
+		iters = 10
+	}
+	stretch := 1.0
+	for iter := 0; iter < iters; iter++ {
+		demands := make([]membw.Demand, n)
+		for i := range models {
+			perfs[i] = m.solveApp(models[i], allocs[i], caps[i], stretch, math.Inf(1))
+			demands[i] = membw.Demand{
+				Bytes:    perfs[i].DemandBW,
+				MBALevel: allocs[i].MBALevel,
+				Cores:    models[i].Cores,
+			}
+		}
+		res, err := m.arbiter.Allocate(demands)
+		if err != nil {
+			return nil, err
+		}
+		stretch = res.Stretch
+		for i := range models {
+			perfs[i] = m.solveApp(models[i], allocs[i], caps[i], stretch, res.Grants[i])
+		}
+		if shared {
+			next := m.occupancyShares(models, allocs, perfs)
+			// Damping stabilizes the insertion-pressure feedback loop.
+			for i := range caps {
+				caps[i] = 0.5*caps[i] + 0.5*next[i]
+			}
+		}
+	}
+	return perfs, nil
+}
+
+// anySharedWay reports whether any LLC way appears in more than one CBM.
+func (m *Machine) anySharedWay(allocs []Alloc) bool {
+	var seen, overlap uint64
+	for _, al := range allocs {
+		overlap |= seen & al.CBM
+		seen |= al.CBM
+	}
+	return overlap != 0 && len(allocs) > 1
+}
+
+// solveApp evaluates one application's performance at a fixed effective
+// capacity, congestion stretch, and bandwidth grant.
+func (m *Machine) solveApp(model AppModel, alloc Alloc, capBytes, stretch, grant float64) Perf {
+	mr, weightedMiss := model.MissBreakdown(capBytes)
+	mbaDelay := 1 + m.cfg.MBALatencyK*math.Pow(1-float64(alloc.MBALevel)/100, m.cfg.MBALatencyP)
+	missCycles := m.cfg.MissCostCycles * stretch * mbaDelay * weightedMiss
+	cpi := model.CPIBase + model.AccPerInstr*(m.cfg.HitCostCycles*(1-mr)+missCycles)
+	ips := float64(model.Cores) * m.cfg.FreqHz / cpi
+	bytesPerMiss := m.cfg.LineBytes * m.cfg.WritebackFactor
+	demand := ips * model.AccPerInstr * mr * bytesPerMiss
+	if demand > 0 && grant < demand {
+		// Bandwidth-bound: the miss stream is limited to the grant
+		// (roofline); instruction throughput follows.
+		ips = grant / (model.AccPerInstr * mr * bytesPerMiss)
+	}
+	return Perf{
+		IPS:        ips,
+		MissRatio:  mr,
+		AccessRate: ips * model.AccPerInstr,
+		MissRate:   ips * model.AccPerInstr * mr,
+		CapBytes:   capBytes,
+		DemandBW:   demand,
+		GrantBW:    math.Min(demand, grant),
+	}
+}
+
+// initialCapacities seeds the occupancy iteration: each way's capacity is
+// split evenly among the applications whose CBM includes it.
+func (m *Machine) initialCapacities(models []AppModel, allocs []Alloc) []float64 {
+	caps := make([]float64, len(models))
+	for w := 0; w < m.cfg.LLCWays; w++ {
+		bit := uint64(1) << uint(w)
+		sharers := 0
+		for _, al := range allocs {
+			if al.CBM&bit != 0 {
+				sharers++
+			}
+		}
+		if sharers == 0 {
+			continue
+		}
+		per := m.cfg.WayBytes / float64(sharers)
+		for i, al := range allocs {
+			if al.CBM&bit != 0 {
+				caps[i] += per
+			}
+		}
+	}
+	return caps
+}
+
+// occupancyShares refines effective capacities: within each way, the
+// sharing applications occupy space in proportion to their *insertion*
+// pressure — the miss rate, since every miss installs a line — with a
+// small access-rate term for reuse-driven recency protection. This is
+// what makes unpartitioned sharing brutal for cache-friendly
+// applications, as on real LRU hardware: a streamer with a high miss
+// rate continuously installs dead lines and evicts a neighbour's hot
+// set, even though the neighbour's *access* rate may be far higher (the
+// interference premise of the paper's §1). Exclusive ways degenerate to
+// their full capacity, so partitioned runs are exact.
+func (m *Machine) occupancyShares(models []AppModel, allocs []Alloc, perfs []Perf) []float64 {
+	// reuseWeight credits a fraction of reuse (hit) traffic as retention
+	// pressure: LRU does protect re-referenced lines, just far less than
+	// proportionally.
+	const reuseWeight = 0.05
+	pressure := func(i int) float64 {
+		hits := perfs[i].AccessRate - perfs[i].MissRate
+		return perfs[i].MissRate + reuseWeight*hits
+	}
+	caps := make([]float64, len(models))
+	for w := 0; w < m.cfg.LLCWays; w++ {
+		bit := uint64(1) << uint(w)
+		totalPressure := 0.0
+		sharers := 0
+		for i, al := range allocs {
+			if al.CBM&bit != 0 {
+				totalPressure += pressure(i)
+				sharers++
+			}
+		}
+		if sharers == 0 {
+			continue
+		}
+		for i, al := range allocs {
+			if al.CBM&bit == 0 {
+				continue
+			}
+			if totalPressure <= 0 {
+				caps[i] += m.cfg.WayBytes / float64(sharers)
+			} else {
+				caps[i] += m.cfg.WayBytes * pressure(i) / totalPressure
+			}
+		}
+	}
+	return caps
+}
+
+// SoloPerf solves the performance of a single application running alone
+// with the full machine (all ways, MBA 100 %) — the IPS_full denominator
+// of Equation 1.
+func (m *Machine) SoloPerf(model AppModel) (Perf, error) {
+	perfs, err := m.SolveFor(
+		[]AppModel{model},
+		[]Alloc{{CBM: m.cfg.FullMask(), MBALevel: membw.MaxLevel}},
+	)
+	if err != nil {
+		return Perf{}, err
+	}
+	return perfs[0], nil
+}
+
+// SoloPerfAt solves a single application running alone at an arbitrary
+// allocation — the primitive behind the Figures 1–3 characterization
+// sweeps.
+func (m *Machine) SoloPerfAt(model AppModel, alloc Alloc) (Perf, error) {
+	perfs, err := m.SolveFor([]AppModel{model}, []Alloc{alloc})
+	if err != nil {
+		return Perf{}, err
+	}
+	return perfs[0], nil
+}

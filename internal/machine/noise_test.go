@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func noisyConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0.05
+	cfg.NoiseSeed = seed
+	return cfg
+}
+
+func TestNoiseValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative noise should error")
+	}
+	cfg.MeasurementNoise = 0.6
+	if err := cfg.Validate(); err == nil {
+		t.Error("noise ≥ 0.5 should error")
+	}
+}
+
+func TestNoiseOffByDefault(t *testing.T) {
+	m1, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.AddApp(llcSensitiveModel()); err != nil {
+		t.Fatal(err)
+	}
+	perfs, err := m1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m1.ReadCounters("llc")
+	if math.Abs(c.Instructions-perfs[0].IPS) > 1e-6*perfs[0].IPS {
+		t.Error("noiseless counters must match the solved rates exactly")
+	}
+}
+
+func TestNoiseJittersCounters(t *testing.T) {
+	m, err := New(noisyConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddApp(llcSensitiveModel()); err != nil {
+		t.Fatal(err)
+	}
+	perfs, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	jittered := false
+	for i := 0; i < 10; i++ {
+		if err := m.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := m.ReadCounters("llc")
+		delta := c.Instructions - prev
+		prev = c.Instructions
+		// Counters stay monotone and within the clamp band.
+		if delta < 0.5*perfs[0].IPS || delta > 1.5*perfs[0].IPS {
+			t.Fatalf("period %d: delta %.3g outside the clamp band of %.3g", i, delta, perfs[0].IPS)
+		}
+		if math.Abs(delta-perfs[0].IPS) > 1e-3*perfs[0].IPS {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Error("noise enabled but counters never deviated")
+	}
+}
+
+func TestNoiseDeterministicPerSeed(t *testing.T) {
+	read := func(seed int64) float64 {
+		m, err := New(noisyConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddApp(llcSensitiveModel()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := m.Step(time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, _ := m.ReadCounters("llc")
+		return c.Instructions
+	}
+	if read(7) != read(7) {
+		t.Error("same seed must reproduce identical counters")
+	}
+	if read(7) == read(8) {
+		t.Error("different seeds should differ")
+	}
+}

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// ModelPhase describes one segment of a time-varying application. Real
+// workloads move through phases — an initialization scan, an iterative
+// hot loop, a write-back pass — and CoPart's idle phase exists precisely
+// to catch such behavioural changes (§5.4.3). A phase scales the base
+// model's memory intensity and hot-working-set size for its duration;
+// the phase list repeats cyclically.
+type ModelPhase struct {
+	// Duration of the phase (must be positive).
+	Duration time.Duration
+	// AccScale multiplies AccPerInstr. Zero means 1 (unchanged).
+	AccScale float64
+	// HotScale multiplies every hot component's size. Zero means 1.
+	HotScale float64
+}
+
+func (p ModelPhase) accScale() float64 {
+	if p.AccScale == 0 {
+		return 1
+	}
+	return p.AccScale
+}
+
+func (p ModelPhase) hotScale() float64 {
+	if p.HotScale == 0 {
+		return 1
+	}
+	return p.HotScale
+}
+
+// validatePhases checks the phase list.
+func validatePhases(name string, phases []ModelPhase) error {
+	for i, p := range phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("machine: app %s phase %d has duration %v", name, i, p.Duration)
+		}
+		if p.AccScale < 0 || p.HotScale < 0 {
+			return fmt.Errorf("machine: app %s phase %d has negative scale", name, i)
+		}
+	}
+	return nil
+}
+
+// AtTime resolves the model at virtual time t: the active phase's scales
+// are folded into a flat (phase-free) model. A model without phases is
+// returned unchanged.
+func (m AppModel) AtTime(t time.Duration) AppModel {
+	if len(m.Phases) == 0 {
+		return m
+	}
+	var cycle time.Duration
+	for _, p := range m.Phases {
+		cycle += p.Duration
+	}
+	if cycle <= 0 {
+		return m
+	}
+	off := t % cycle
+	var active ModelPhase
+	for _, p := range m.Phases {
+		if off < p.Duration {
+			active = p
+			break
+		}
+		off -= p.Duration
+	}
+	out := m
+	out.Phases = nil
+	out.AccPerInstr = m.AccPerInstr * active.accScale()
+	if len(m.Hot) > 0 {
+		out.Hot = make([]WSComponent, len(m.Hot))
+		copy(out.Hot, m.Hot)
+		for i := range out.Hot {
+			out.Hot[i].Bytes *= active.hotScale()
+		}
+	}
+	return out
+}

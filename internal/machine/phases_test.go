@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+func phasedModel() AppModel {
+	return AppModel{
+		Name: "phased", Cores: 4, CPIBase: 0.8, AccPerInstr: 0.01,
+		Hot:        []WSComponent{{Bytes: 4 << 20, Weight: 0.9, MLP: 1}},
+		StreamFrac: 0.1,
+		MLP:        4,
+		Phases: []ModelPhase{
+			{Duration: 10 * time.Second},                             // base behaviour
+			{Duration: 10 * time.Second, AccScale: 3, HotScale: 2.5}, // hot phase
+		},
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	m := phasedModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := phasedModel()
+	bad.Phases[0].Duration = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero phase duration should error")
+	}
+	bad = phasedModel()
+	bad.Phases[1].AccScale = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestAtTimeResolvesPhases(t *testing.T) {
+	m := phasedModel()
+	base := m.AtTime(5 * time.Second)
+	if base.AccPerInstr != m.AccPerInstr {
+		t.Errorf("base phase AccPerInstr %v want %v", base.AccPerInstr, m.AccPerInstr)
+	}
+	if base.Hot[0].Bytes != m.Hot[0].Bytes {
+		t.Errorf("base phase hot size changed")
+	}
+	if len(base.Phases) != 0 {
+		t.Error("resolved model should be flat")
+	}
+	hot := m.AtTime(15 * time.Second)
+	if hot.AccPerInstr != 3*m.AccPerInstr {
+		t.Errorf("hot phase AccPerInstr %v want %v", hot.AccPerInstr, 3*m.AccPerInstr)
+	}
+	if hot.Hot[0].Bytes != 2.5*m.Hot[0].Bytes {
+		t.Errorf("hot phase hot size %v want %v", hot.Hot[0].Bytes, 2.5*m.Hot[0].Bytes)
+	}
+	// The cycle repeats.
+	again := m.AtTime(25 * time.Second)
+	if again.AccPerInstr != m.AccPerInstr {
+		t.Errorf("cycle should repeat: %v", again.AccPerInstr)
+	}
+	// The input model is untouched.
+	if m.Hot[0].Bytes != 4<<20 {
+		t.Error("AtTime mutated the base model")
+	}
+}
+
+func TestAtTimeSteadyModelUnchanged(t *testing.T) {
+	m := phasedModel()
+	m.Phases = nil
+	got := m.AtTime(time.Hour)
+	if got.AccPerInstr != m.AccPerInstr || len(got.Hot) != len(m.Hot) {
+		t.Error("steady model should pass through")
+	}
+}
+
+func TestMachineStepFollowsPhases(t *testing.T) {
+	cfg := DefaultConfig()
+	mach, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.AddApp(phasedModel()); err != nil {
+		t.Fatal(err)
+	}
+	// Counters over the base phase.
+	if err := mach.Step(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := mach.ReadCounters("phased")
+	// Counters over the hot phase: the access rate must jump.
+	if err := mach.Step(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := mach.ReadCounters("phased")
+	baseAcc := c1.LLCAccesses / 10
+	hotAcc := (c2.LLCAccesses - c1.LLCAccesses) / 10
+	if hotAcc < 1.5*baseAcc {
+		t.Errorf("hot phase access rate %.3g should exceed base %.3g clearly", hotAcc, baseAcc)
+	}
+}

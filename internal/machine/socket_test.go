@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func dualSocketConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sockets = 2
+	return cfg
+}
+
+func TestSocketCount(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SocketCount() != 1 {
+		t.Errorf("zero value should mean one socket, got %d", cfg.SocketCount())
+	}
+	cfg.Sockets = 2
+	if cfg.SocketCount() != 2 {
+		t.Errorf("SocketCount=%d", cfg.SocketCount())
+	}
+	cfg.Sockets = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative socket count should error")
+	}
+}
+
+func TestAddAppSocketValidation(t *testing.T) {
+	m, err := New(dualSocketConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := llcSensitiveModel()
+	model.Socket = 2
+	if err := m.AddApp(model); err == nil {
+		t.Error("out-of-range socket should error")
+	}
+	model.Socket = -1
+	if err := model.Validate(); err == nil {
+		t.Error("negative socket should error")
+	}
+}
+
+func TestPerSocketCoreAccounting(t *testing.T) {
+	m, err := New(dualSocketConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 cores fit on each socket independently.
+	big0 := llcSensitiveModel()
+	big0.Name = "s0"
+	big0.Cores = 16
+	if err := m.AddApp(big0); err != nil {
+		t.Fatal(err)
+	}
+	big1 := llcSensitiveModel()
+	big1.Name = "s1"
+	big1.Cores = 16
+	big1.Socket = 1
+	if err := m.AddApp(big1); err != nil {
+		t.Fatalf("socket 1 has its own cores: %v", err)
+	}
+	extra := insensitiveModel()
+	extra.Socket = 1
+	if err := m.AddApp(extra); err == nil {
+		t.Error("socket 1 is full; oversubscription should error")
+	}
+}
+
+// TestSocketsAreIsolatedDomains: a heavy streamer on socket 1 must not
+// slow an application on socket 0 — separate LLCs, separate DRAM budgets.
+func TestSocketsAreIsolatedDomains(t *testing.T) {
+	cfg := dualSocketConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := llcSensitiveModel()
+	if err := m.AddApp(victim); err != nil {
+		t.Fatal(err)
+	}
+	alonePerfs, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bully := bwSensitiveModel()
+	bully.Socket = 1
+	if err := m.AddApp(bully); err != nil {
+		t.Fatal(err)
+	}
+	perfs, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perfs[0].IPS-alonePerfs[0].IPS) > 1e-6*alonePerfs[0].IPS {
+		t.Errorf("cross-socket interference: %v vs %v", perfs[0].IPS, alonePerfs[0].IPS)
+	}
+	if perfs[1].IPS <= 0 {
+		t.Error("socket 1 app did not run")
+	}
+}
+
+// TestSameSocketStillContends: two streamers on the same socket of a
+// dual-socket machine share that socket's budget.
+func TestSameSocketStillContends(t *testing.T) {
+	cfg := dualSocketConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bwSensitiveModel()
+	a.Socket = 1
+	if err := m.AddApp(a); err != nil {
+		t.Fatal(err)
+	}
+	solo, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bwSensitiveModel()
+	b.Name = "bw2"
+	b.Socket = 1
+	if err := m.AddApp(b); err != nil {
+		t.Fatal(err)
+	}
+	both, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0].IPS >= solo[0].IPS {
+		t.Errorf("same-socket streamers should contend: %v vs %v", both[0].IPS, solo[0].IPS)
+	}
+}
+
+func TestStepAdvancesAllSockets(t *testing.T) {
+	m, err := New(dualSocketConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := llcSensitiveModel()
+	b := bwSensitiveModel()
+	b.Socket = 1
+	if err := m.AddApp(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddApp(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range m.Apps() {
+		c, err := m.ReadCounters(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Instructions <= 0 {
+			t.Errorf("%s: counters did not advance", name)
+		}
+	}
+}
+
+func TestSolveForRejectsBadSocket(t *testing.T) {
+	m, err := New(DefaultConfig()) // single socket
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := llcSensitiveModel()
+	model.Socket = 1
+	_, err = m.SolveFor([]AppModel{model}, []Alloc{{CBM: 1, MBALevel: 100}})
+	if err == nil {
+		t.Error("socket beyond the machine should error")
+	}
+}

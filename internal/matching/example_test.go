@@ -1,0 +1,26 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+func ExampleSolve() {
+	// The §5.4.2 example: both hospitals prefer resident 0; resident 0
+	// prefers hospital 0, resident 1 prefers hospital 1. The crossed
+	// assignment would be unstable; deferred acceptance finds the stable
+	// one.
+	in := matching.Instance{
+		Capacity:      []int{1, 1},
+		HospitalPrefs: [][]int{{0, 1}, {0, 1}},
+		ResidentPrefs: [][]int{{0, 1}, {1, 0}},
+	}
+	m, _ := matching.Solve(in)
+	fmt.Println(m.HospitalOf)
+	bp, _ := matching.FindBlockingPair(in, m)
+	fmt.Println("stable:", bp == nil)
+	// Output:
+	// [0 1]
+	// stable: true
+}

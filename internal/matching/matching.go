@@ -1,0 +1,235 @@
+// Package matching implements the Hospitals/Residents (HR) stable-matching
+// problem that CoPart's resource-allocation step is formulated as (§5.4.2).
+//
+// In the HR problem, each of H hospitals has a capacity and a preference
+// ranking over residents; each of R residents ranks hospitals. A matching
+// assigns residents to hospitals within capacity. A matching is stable
+// when it admits no blocking pair: a mutually acceptable (hospital,
+// resident) pair where the resident prefers the hospital to their current
+// assignment and the hospital either has a free slot or prefers the
+// resident to one it currently holds. Gale & Shapley's deferred-acceptance
+// algorithm finds a stable matching in O(H·R); the resident-proposing
+// variant implemented here yields the resident-optimal stable matching.
+//
+// CoPart instantiates this with resource types (LLC / MBA / ANY suppliers)
+// as hospitals — capacity being the number of producer applications — and
+// resource-demanding applications as residents, with hospital preferences
+// ordered by application slowdown. The specialized allocator lives in
+// internal/core; this package provides the general solver and the
+// stability checker used to validate it.
+package matching
+
+import "fmt"
+
+// Instance is an HR problem instance. Hospitals and residents are indexed
+// densely from 0. A participant's preference list contains only the
+// counterparts it finds acceptable, most preferred first.
+type Instance struct {
+	// Capacity[h] is the number of residents hospital h can admit.
+	Capacity []int
+	// HospitalPrefs[h] ranks resident indices, most preferred first.
+	HospitalPrefs [][]int
+	// ResidentPrefs[r] ranks hospital indices, most preferred first.
+	ResidentPrefs [][]int
+}
+
+// Validate checks index ranges, capacities, and duplicate-free preference
+// lists.
+func (in Instance) Validate() error {
+	nH, nR := len(in.Capacity), len(in.ResidentPrefs)
+	if len(in.HospitalPrefs) != nH {
+		return fmt.Errorf("matching: %d capacities but %d hospital preference lists",
+			nH, len(in.HospitalPrefs))
+	}
+	for h, c := range in.Capacity {
+		if c < 0 {
+			return fmt.Errorf("matching: hospital %d has negative capacity %d", h, c)
+		}
+	}
+	for h, prefs := range in.HospitalPrefs {
+		seen := make(map[int]bool, len(prefs))
+		for _, r := range prefs {
+			if r < 0 || r >= nR {
+				return fmt.Errorf("matching: hospital %d ranks unknown resident %d", h, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("matching: hospital %d ranks resident %d twice", h, r)
+			}
+			seen[r] = true
+		}
+	}
+	for r, prefs := range in.ResidentPrefs {
+		seen := make(map[int]bool, len(prefs))
+		for _, h := range prefs {
+			if h < 0 || h >= nH {
+				return fmt.Errorf("matching: resident %d ranks unknown hospital %d", r, h)
+			}
+			if seen[h] {
+				return fmt.Errorf("matching: resident %d ranks hospital %d twice", r, h)
+			}
+			seen[h] = true
+		}
+	}
+	return nil
+}
+
+// Matching maps each resident to a hospital index, or -1 when unmatched.
+type Matching struct {
+	HospitalOf []int
+}
+
+// Assigned returns the residents assigned to hospital h, in no particular
+// order.
+func (m Matching) Assigned(h int) []int {
+	var out []int
+	for r, hh := range m.HospitalOf {
+		if hh == h {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// rankTable builds rank[i][j] = position of j in prefs[i], or -1 when j is
+// unacceptable to i.
+func rankTable(prefs [][]int, nOther int) [][]int {
+	table := make([][]int, len(prefs))
+	for i, list := range prefs {
+		row := make([]int, nOther)
+		for j := range row {
+			row[j] = -1
+		}
+		for pos, j := range list {
+			row[j] = pos
+		}
+		table[i] = row
+	}
+	return table
+}
+
+// Solve runs resident-proposing deferred acceptance and returns the
+// resident-optimal stable matching. A pair is only ever matched when each
+// side appears on the other's preference list.
+func Solve(in Instance) (Matching, error) {
+	if err := in.Validate(); err != nil {
+		return Matching{}, err
+	}
+	nH, nR := len(in.Capacity), len(in.ResidentPrefs)
+	hospRank := rankTable(in.HospitalPrefs, nR)
+
+	hospitalOf := make([]int, nR)
+	nextChoice := make([]int, nR) // next index into ResidentPrefs[r] to try
+	for r := range hospitalOf {
+		hospitalOf[r] = -1
+	}
+	held := make([][]int, nH) // residents currently held by each hospital
+
+	free := make([]int, 0, nR)
+	for r := 0; r < nR; r++ {
+		free = append(free, r)
+	}
+	for len(free) > 0 {
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		prefs := in.ResidentPrefs[r]
+		for nextChoice[r] < len(prefs) {
+			h := prefs[nextChoice[r]]
+			nextChoice[r]++
+			if hospRank[h][r] < 0 {
+				continue // h does not accept r at all
+			}
+			if in.Capacity[h] == 0 {
+				continue
+			}
+			if len(held[h]) < in.Capacity[h] {
+				held[h] = append(held[h], r)
+				hospitalOf[r] = h
+				break
+			}
+			// Full: find the worst currently-held resident.
+			worstIdx, worst := 0, held[h][0]
+			for i, rr := range held[h][1:] {
+				if hospRank[h][rr] > hospRank[h][worst] {
+					worstIdx, worst = i+1, rr
+				}
+			}
+			if hospRank[h][r] < hospRank[h][worst] {
+				// h prefers r: bump the worst resident back to free.
+				held[h][worstIdx] = r
+				hospitalOf[r] = h
+				hospitalOf[worst] = -1
+				free = append(free, worst)
+				break
+			}
+			// Rejected; try r's next choice.
+		}
+	}
+	return Matching{HospitalOf: hospitalOf}, nil
+}
+
+// BlockingPair identifies an instability in a matching.
+type BlockingPair struct {
+	Hospital, Resident int
+}
+
+// FindBlockingPair returns a blocking pair of the matching, or nil when
+// the matching is stable. It also reports matchings that are structurally
+// invalid (capacity overflow, match not on preference lists) as errors.
+func FindBlockingPair(in Instance, m Matching) (*BlockingPair, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	nH, nR := len(in.Capacity), len(in.ResidentPrefs)
+	if len(m.HospitalOf) != nR {
+		return nil, fmt.Errorf("matching: matching covers %d residents, want %d", len(m.HospitalOf), nR)
+	}
+	hospRank := rankTable(in.HospitalPrefs, nR)
+	resRank := rankTable(in.ResidentPrefs, nH)
+	load := make([]int, nH)
+	for r, h := range m.HospitalOf {
+		if h == -1 {
+			continue
+		}
+		if h < 0 || h >= nH {
+			return nil, fmt.Errorf("matching: resident %d matched to unknown hospital %d", r, h)
+		}
+		if hospRank[h][r] < 0 || resRank[r][h] < 0 {
+			return nil, fmt.Errorf("matching: pair (%d,%d) not mutually acceptable", h, r)
+		}
+		load[h]++
+	}
+	for h, l := range load {
+		if l > in.Capacity[h] {
+			return nil, fmt.Errorf("matching: hospital %d over capacity (%d > %d)", h, l, in.Capacity[h])
+		}
+	}
+	// worst[h] = rank of the least-preferred resident h holds (only
+	// meaningful when h is at capacity).
+	worst := make([]int, nH)
+	for h := range worst {
+		worst[h] = -1
+	}
+	for r, h := range m.HospitalOf {
+		if h == -1 {
+			continue
+		}
+		if hospRank[h][r] > worst[h] {
+			worst[h] = hospRank[h][r]
+		}
+	}
+	for r := 0; r < nR; r++ {
+		cur := m.HospitalOf[r]
+		for _, h := range in.ResidentPrefs[r] {
+			if cur != -1 && resRank[r][h] >= resRank[r][cur] {
+				break // r does not prefer h (prefs are ranked; stop at current)
+			}
+			if hospRank[h][r] < 0 || in.Capacity[h] == 0 {
+				continue
+			}
+			if load[h] < in.Capacity[h] || hospRank[h][r] < worst[h] {
+				return &BlockingPair{Hospital: h, Resident: r}, nil
+			}
+		}
+	}
+	return nil, nil
+}

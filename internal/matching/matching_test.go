@@ -1,0 +1,252 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Instance{
+		Capacity:      []int{1, 2},
+		HospitalPrefs: [][]int{{0, 1}, {1, 0}},
+		ResidentPrefs: [][]int{{0, 1}, {1}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Instance{
+		{Capacity: []int{1}, HospitalPrefs: [][]int{{0}, {0}}, ResidentPrefs: [][]int{{0}}},
+		{Capacity: []int{-1}, HospitalPrefs: [][]int{{0}}, ResidentPrefs: [][]int{{0}}},
+		{Capacity: []int{1}, HospitalPrefs: [][]int{{5}}, ResidentPrefs: [][]int{{0}}},
+		{Capacity: []int{1}, HospitalPrefs: [][]int{{0, 0}}, ResidentPrefs: [][]int{{0}}},
+		{Capacity: []int{1}, HospitalPrefs: [][]int{{0}}, ResidentPrefs: [][]int{{7}}},
+		{Capacity: []int{1}, HospitalPrefs: [][]int{{0}}, ResidentPrefs: [][]int{{0, 0}}},
+	}
+	for i, bad := range bads {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("instance %d should be invalid", i)
+		}
+	}
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// The classic 2-hospital 2-resident crossing-preferences example from
+	// §5.4.2 of the paper: hA and hB prefer sA; sA prefers hA, sB prefers
+	// hB. Stable matching: (hA,sA), (hB,sB).
+	in := Instance{
+		Capacity:      []int{1, 1},
+		HospitalPrefs: [][]int{{0, 1}, {0, 1}},
+		ResidentPrefs: [][]int{{0, 1}, {1, 0}},
+	}
+	m, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HospitalOf[0] != 0 || m.HospitalOf[1] != 1 {
+		t.Errorf("matching %v, want [0 1]", m.HospitalOf)
+	}
+	bp, err := FindBlockingPair(in, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp != nil {
+		t.Errorf("stable matching flagged with blocking pair %+v", bp)
+	}
+}
+
+func TestSolveCapacity(t *testing.T) {
+	// One hospital with capacity 2 takes its two most preferred residents.
+	in := Instance{
+		Capacity:      []int{2},
+		HospitalPrefs: [][]int{{2, 0, 1}},
+		ResidentPrefs: [][]int{{0}, {0}, {0}},
+	}
+	m, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HospitalOf[2] != 0 || m.HospitalOf[0] != 0 {
+		t.Errorf("matching %v: hospital should hold residents 2 and 0", m.HospitalOf)
+	}
+	if m.HospitalOf[1] != -1 {
+		t.Errorf("resident 1 should be unmatched, got %d", m.HospitalOf[1])
+	}
+	if got := len(m.Assigned(0)); got != 2 {
+		t.Errorf("Assigned(0) has %d residents", got)
+	}
+}
+
+func TestSolveUnacceptablePairsNeverMatch(t *testing.T) {
+	// Hospital 0 does not rank resident 0 at all.
+	in := Instance{
+		Capacity:      []int{1},
+		HospitalPrefs: [][]int{{}},
+		ResidentPrefs: [][]int{{0}},
+	}
+	m, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HospitalOf[0] != -1 {
+		t.Error("unacceptable pair was matched")
+	}
+}
+
+func TestSolveZeroCapacity(t *testing.T) {
+	in := Instance{
+		Capacity:      []int{0},
+		HospitalPrefs: [][]int{{0}},
+		ResidentPrefs: [][]int{{0}},
+	}
+	m, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HospitalOf[0] != -1 {
+		t.Error("zero-capacity hospital admitted a resident")
+	}
+}
+
+func TestSolveBumping(t *testing.T) {
+	// Resident 1 proposes after resident 0 holds the slot but is
+	// preferred: 0 gets bumped and falls to hospital 1.
+	in := Instance{
+		Capacity:      []int{1, 1},
+		HospitalPrefs: [][]int{{1, 0}, {0, 1}},
+		ResidentPrefs: [][]int{{0, 1}, {0}},
+	}
+	m, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HospitalOf[1] != 0 || m.HospitalOf[0] != 1 {
+		t.Errorf("matching %v, want resident1→h0, resident0→h1", m.HospitalOf)
+	}
+}
+
+func TestFindBlockingPairDetectsInstability(t *testing.T) {
+	in := Instance{
+		Capacity:      []int{1, 1},
+		HospitalPrefs: [][]int{{0, 1}, {0, 1}},
+		ResidentPrefs: [][]int{{0, 1}, {1, 0}},
+	}
+	// The crossed matching (hA,sB),(hB,sA) is unstable.
+	bad := Matching{HospitalOf: []int{1, 0}}
+	bp, err := FindBlockingPair(in, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp == nil {
+		t.Fatal("crossed matching should have a blocking pair")
+	}
+	if bp.Hospital != 0 || bp.Resident != 0 {
+		t.Errorf("blocking pair %+v, want (0,0)", bp)
+	}
+}
+
+func TestFindBlockingPairRejectsMalformed(t *testing.T) {
+	in := Instance{
+		Capacity:      []int{1},
+		HospitalPrefs: [][]int{{0, 1}},
+		ResidentPrefs: [][]int{{0}, {0}},
+	}
+	if _, err := FindBlockingPair(in, Matching{HospitalOf: []int{0}}); err == nil {
+		t.Error("wrong matching length should error")
+	}
+	if _, err := FindBlockingPair(in, Matching{HospitalOf: []int{0, 0}}); err == nil {
+		t.Error("capacity overflow should error")
+	}
+	if _, err := FindBlockingPair(in, Matching{HospitalOf: []int{9, -1}}); err == nil {
+		t.Error("unknown hospital should error")
+	}
+	// Resident 1 matched to hospital 0, but hospital 0 ranks resident 1 —
+	// resident 1 has hospital 0 on its list, so this one is fine; instead
+	// match a pair that is not mutually acceptable.
+	in2 := Instance{
+		Capacity:      []int{1},
+		HospitalPrefs: [][]int{{}},
+		ResidentPrefs: [][]int{{0}},
+	}
+	if _, err := FindBlockingPair(in2, Matching{HospitalOf: []int{0}}); err == nil {
+		t.Error("non-acceptable match should error")
+	}
+}
+
+// randomInstance builds a random HR instance with complete or truncated
+// preference lists.
+func randomInstance(rng *rand.Rand, nH, nR int) Instance {
+	in := Instance{
+		Capacity:      make([]int, nH),
+		HospitalPrefs: make([][]int, nH),
+		ResidentPrefs: make([][]int, nR),
+	}
+	for h := 0; h < nH; h++ {
+		in.Capacity[h] = rng.Intn(3)
+		perm := rng.Perm(nR)
+		in.HospitalPrefs[h] = perm[:rng.Intn(nR+1)]
+	}
+	for r := 0; r < nR; r++ {
+		perm := rng.Perm(nH)
+		in.ResidentPrefs[r] = perm[:rng.Intn(nH+1)]
+	}
+	return in
+}
+
+// Property: Solve always produces a stable matching on random instances.
+func TestSolveStabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nH := rng.Intn(5) + 1
+		nR := rng.Intn(8) + 1
+		in := randomInstance(rng, nH, nR)
+		m, err := Solve(in)
+		if err != nil {
+			return false
+		}
+		bp, err := FindBlockingPair(in, m)
+		if err != nil {
+			return false
+		}
+		return bp == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with complete preference lists and total capacity ≥ residents,
+// everyone is matched (rural hospitals theorem corollary).
+func TestSolveCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nH := rng.Intn(4) + 1
+		nR := rng.Intn(6) + 1
+		in := Instance{
+			Capacity:      make([]int, nH),
+			HospitalPrefs: make([][]int, nH),
+			ResidentPrefs: make([][]int, nR),
+		}
+		per := (nR + nH - 1) / nH
+		for h := 0; h < nH; h++ {
+			in.Capacity[h] = per
+			in.HospitalPrefs[h] = rng.Perm(nR)
+		}
+		for r := 0; r < nR; r++ {
+			in.ResidentPrefs[r] = rng.Perm(nH)
+		}
+		m, err := Solve(in)
+		if err != nil {
+			return false
+		}
+		for _, h := range m.HospitalOf {
+			if h == -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

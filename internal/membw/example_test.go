@@ -1,0 +1,28 @@
+package membw_test
+
+import (
+	"fmt"
+
+	"repro/internal/membw"
+)
+
+func ExampleArbiter_Allocate() {
+	a, _ := membw.New(membw.Config{
+		TotalBandwidth: 28e9,
+		PerCoreCap:     9e9,
+	})
+	// Two heavy streamers and one light app: the light demand is fully
+	// served; the heavies split what remains of the 28 GB/s budget.
+	res, _ := a.Allocate([]membw.Demand{
+		{Bytes: 4e9, MBALevel: 100, Cores: 4},
+		{Bytes: 30e9, MBALevel: 100, Cores: 4},
+		{Bytes: 30e9, MBALevel: 100, Cores: 4},
+	})
+	for i, g := range res.Grants {
+		fmt.Printf("app%d: %.0f GB/s\n", i, g/1e9)
+	}
+	// Output:
+	// app0: 4 GB/s
+	// app1: 12 GB/s
+	// app2: 12 GB/s
+}

@@ -1,0 +1,232 @@
+// Package membw models DRAM bandwidth sharing under Intel Memory Bandwidth
+// Allocation (MBA).
+//
+// MBA is a per-core throttle on the traffic between the L2 and the LLC
+// (§2.2 of the paper): each CLOS is assigned a level from 10 % to 100 % in
+// steps of 10 %, and lower levels insert delays that cap how much memory
+// traffic the CLOS's cores can generate. The DRAM channels behind the LLC
+// additionally impose a shared global budget (the paper's machine measures
+// ~28 GB/s with STREAM).
+//
+// The arbiter in this package computes, for a set of applications with
+// given traffic demands and MBA levels, the bandwidth each actually
+// receives: each demand is first clipped by its MBA cap, and the clipped
+// demands then share the global budget max–min fairly (water-filling).
+// A congestion factor stretches memory latency when the bus saturates,
+// which is what makes *unpartitioned* consolidation unfair in the first
+// place.
+package membw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MinLevel and MaxLevel bound the MBA levels supported by the hardware,
+// and Granularity is the step (Table 1 discussion: 10 %..100 % by 10).
+const (
+	MinLevel    = 10
+	MaxLevel    = 100
+	Granularity = 10
+)
+
+// ValidateLevel checks that level is a legal MBA setting.
+func ValidateLevel(level int) error {
+	if level < MinLevel || level > MaxLevel || level%Granularity != 0 {
+		return fmt.Errorf("membw: invalid MBA level %d (must be %d..%d step %d)",
+			level, MinLevel, MaxLevel, Granularity)
+	}
+	return nil
+}
+
+// ClampLevel rounds level to the nearest legal setting.
+func ClampLevel(level int) int {
+	if level < MinLevel {
+		return MinLevel
+	}
+	if level > MaxLevel {
+		return MaxLevel
+	}
+	// Round to the granularity, ties upward (hardware rounds up requests).
+	r := (level + Granularity/2) / Granularity * Granularity
+	if r < MinLevel {
+		r = MinLevel
+	}
+	if r > MaxLevel {
+		r = MaxLevel
+	}
+	return r
+}
+
+// Config parameterizes the arbiter.
+type Config struct {
+	// TotalBandwidth is the DRAM budget in bytes/s (the paper: ~28 GB/s).
+	TotalBandwidth float64
+	// PerCoreCap is the maximum traffic one core can generate at MBA 100 %,
+	// in bytes/s. The MBA cap of an application is
+	// Curve(level) × PerCoreCap × cores.
+	PerCoreCap float64
+	// Curve maps an MBA level to the fraction of PerCoreCap permitted.
+	// Nil selects the default curve. Real MBA throttling is roughly — but
+	// not exactly — linear in the level; the default applies a mild
+	// super-linear shape at low levels matching published measurements
+	// (low levels throttle slightly harder than proportionally).
+	Curve func(level int) float64
+	// CongestionK and CongestionP shape the latency-stretch factor
+	// 1 + K·ρ^P at bus utilization ρ. Zero K disables congestion.
+	CongestionK float64
+	CongestionP float64
+}
+
+// DefaultCurve is the default MBA level→fraction mapping.
+func DefaultCurve(level int) float64 {
+	f := float64(level) / 100
+	// Mild superlinearity: 10 % level delivers ~7 % of peak traffic.
+	return math.Pow(f, 1.15)
+}
+
+// Validate checks arbiter parameters.
+func (c Config) Validate() error {
+	if c.TotalBandwidth <= 0 {
+		return fmt.Errorf("membw: non-positive total bandwidth %v", c.TotalBandwidth)
+	}
+	if c.PerCoreCap <= 0 {
+		return fmt.Errorf("membw: non-positive per-core cap %v", c.PerCoreCap)
+	}
+	if c.CongestionK < 0 || c.CongestionP < 0 {
+		return fmt.Errorf("membw: negative congestion parameters k=%v p=%v", c.CongestionK, c.CongestionP)
+	}
+	return nil
+}
+
+// Demand describes one application's bandwidth request.
+type Demand struct {
+	Bytes    float64 // unconstrained traffic demand in bytes/s (≥ 0)
+	MBALevel int     // assigned MBA level
+	Cores    int     // cores allocated to the application (≥ 1)
+}
+
+// Result is the arbiter's outcome for a set of demands.
+type Result struct {
+	// Grants[i] is the bandwidth application i actually receives.
+	Grants []float64
+	// Caps[i] is application i's MBA cap (before the shared budget).
+	Caps []float64
+	// Utilization is Σgrants / TotalBandwidth, in [0, 1].
+	Utilization float64
+	// Stretch is the congestion latency multiplier, ≥ 1.
+	Stretch float64
+}
+
+// Arbiter shares the DRAM budget across applications.
+type Arbiter struct {
+	cfg   Config
+	curve func(level int) float64
+}
+
+// New creates an Arbiter.
+func New(cfg Config) (*Arbiter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	curve := cfg.Curve
+	if curve == nil {
+		curve = DefaultCurve
+	}
+	return &Arbiter{cfg: cfg, curve: curve}, nil
+}
+
+// Cap returns the MBA traffic cap for an application with the given level
+// and core count.
+func (a *Arbiter) Cap(level, cores int) (float64, error) {
+	if err := ValidateLevel(level); err != nil {
+		return 0, err
+	}
+	if cores < 1 {
+		return 0, fmt.Errorf("membw: invalid core count %d", cores)
+	}
+	return a.curve(level) * a.cfg.PerCoreCap * float64(cores), nil
+}
+
+// TotalBandwidth exposes the configured DRAM budget.
+func (a *Arbiter) TotalBandwidth() float64 { return a.cfg.TotalBandwidth }
+
+// Allocate runs the arbitration. It returns an error on malformed demands.
+func (a *Arbiter) Allocate(demands []Demand) (Result, error) {
+	if len(demands) == 0 {
+		return Result{Stretch: 1}, nil
+	}
+	wants := make([]float64, len(demands))
+	caps := make([]float64, len(demands))
+	for i, d := range demands {
+		if d.Bytes < 0 || math.IsNaN(d.Bytes) || math.IsInf(d.Bytes, 0) {
+			return Result{}, fmt.Errorf("membw: invalid demand %v at index %d", d.Bytes, i)
+		}
+		cap, err := a.Cap(d.MBALevel, d.Cores)
+		if err != nil {
+			return Result{}, fmt.Errorf("membw: demand %d: %w", i, err)
+		}
+		caps[i] = cap
+		wants[i] = math.Min(d.Bytes, cap)
+	}
+	grants, err := waterfill(wants, a.cfg.TotalBandwidth)
+	if err != nil {
+		return Result{}, err
+	}
+	total := 0.0
+	for _, g := range grants {
+		total += g
+	}
+	rho := total / a.cfg.TotalBandwidth
+	if rho > 1 {
+		rho = 1
+	}
+	stretch := 1.0
+	if a.cfg.CongestionK > 0 {
+		stretch = 1 + a.cfg.CongestionK*math.Pow(rho, a.cfg.CongestionP)
+	}
+	return Result{Grants: grants, Caps: caps, Utilization: rho, Stretch: stretch}, nil
+}
+
+// waterfill computes the max–min fair allocation of budget across wants:
+// everyone receives min(want, fair share), and capacity freed by
+// under-demanding applications is redistributed among the rest.
+func waterfill(wants []float64, budget float64) ([]float64, error) {
+	if budget <= 0 {
+		return nil, errors.New("membw: non-positive budget")
+	}
+	grants := make([]float64, len(wants))
+	active := make([]int, 0, len(wants))
+	for i, w := range wants {
+		if w > 0 {
+			active = append(active, i)
+		}
+	}
+	remaining := budget
+	for len(active) > 0 && remaining > 1e-9 {
+		share := remaining / float64(len(active))
+		next := active[:0]
+		satisfiedAny := false
+		for _, i := range active {
+			if wants[i]-grants[i] <= share {
+				// Fully satisfiable within the fair share.
+				remaining -= wants[i] - grants[i]
+				grants[i] = wants[i]
+				satisfiedAny = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		active = next
+		if !satisfiedAny {
+			// Everyone still active wants more than the share: split evenly.
+			for _, i := range active {
+				grants[i] += share
+			}
+			remaining = 0
+			break
+		}
+	}
+	return grants, nil
+}

@@ -1,0 +1,109 @@
+// Package pmc turns cumulative performance-monitoring counters into the
+// per-period rates CoPart consumes.
+//
+// The paper samples three counters through PAPI (§3.2): dynamically
+// executed instructions, LLC accesses, and LLC misses. The controller
+// never looks at absolutes — it works with per-second rates over its
+// control period (IPS for slowdowns, the LLC access rate and miss ratio
+// for the LLC classifier, the miss rate for the memory-traffic ratio).
+// The Sampler here computes exactly those windowed rates from any counter
+// Source; the machine simulator is one Source, and a PAPI- or
+// perf-events-backed implementation would be another.
+package pmc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Source provides cumulative counters per application. *machine.Machine
+// satisfies this interface.
+type Source interface {
+	ReadCounters(app string) (machine.Counters, error)
+}
+
+// Rates are windowed per-second counter rates.
+type Rates struct {
+	// IPS is instructions per second over the window.
+	IPS float64
+	// AccessRate is LLC accesses per second.
+	AccessRate float64
+	// MissRate is LLC misses per second.
+	MissRate float64
+	// MissRatio is misses/accesses over the window (0 when no accesses).
+	MissRatio float64
+	// Window is the sampling interval the rates were computed over.
+	Window time.Duration
+}
+
+// Sampler tracks the previous counter snapshot per application and
+// produces rates on each sampling round.
+type Sampler struct {
+	src  Source
+	last map[string]sample
+}
+
+type sample struct {
+	counters machine.Counters
+	at       time.Duration
+}
+
+// NewSampler creates a sampler over src.
+func NewSampler(src Source) *Sampler {
+	return &Sampler{src: src, last: make(map[string]sample)}
+}
+
+// Sample reads app's counters at virtual time now and returns the rates
+// since the previous call. The boolean is false on the first call for an
+// application (there is no window yet); the snapshot is still recorded.
+func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
+	cur, err := s.src.ReadCounters(app)
+	if err != nil {
+		return Rates{}, false, err
+	}
+	prev, seen := s.last[app]
+	if !seen {
+		s.last[app] = sample{counters: cur, at: now}
+		return Rates{}, false, nil
+	}
+	window := now - prev.at
+	if window < 0 {
+		return Rates{}, false, fmt.Errorf("pmc: negative window %v for %s", window, app)
+	}
+	if window == 0 {
+		// A re-sample at the same instant carries no new information;
+		// keep the existing snapshot so the eventual window stays anchored.
+		return Rates{}, false, nil
+	}
+	s.last[app] = sample{counters: cur, at: now}
+	secs := window.Seconds()
+	dInstr := cur.Instructions - prev.counters.Instructions
+	dAcc := cur.LLCAccesses - prev.counters.LLCAccesses
+	dMiss := cur.LLCMisses - prev.counters.LLCMisses
+	if dInstr < 0 || dAcc < 0 || dMiss < 0 {
+		return Rates{}, false, fmt.Errorf("pmc: counters for %s went backwards", app)
+	}
+	r := Rates{
+		IPS:        dInstr / secs,
+		AccessRate: dAcc / secs,
+		MissRate:   dMiss / secs,
+		Window:     window,
+	}
+	if dAcc > 0 {
+		r.MissRatio = dMiss / dAcc
+	}
+	return r, true, nil
+}
+
+// Forget drops the stored snapshot for app (e.g. after the application
+// terminates and a same-named one may launch later).
+func (s *Sampler) Forget(app string) {
+	delete(s.last, app)
+}
+
+// Reset drops all snapshots.
+func (s *Sampler) Reset() {
+	s.last = make(map[string]sample)
+}

@@ -1,0 +1,194 @@
+package pmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// fakeSource is a scriptable counter source.
+type fakeSource struct {
+	counters map[string]machine.Counters
+	err      error
+}
+
+func (f *fakeSource) ReadCounters(app string) (machine.Counters, error) {
+	if f.err != nil {
+		return machine.Counters{}, f.err
+	}
+	c, ok := f.counters[app]
+	if !ok {
+		return machine.Counters{}, errors.New("unknown app")
+	}
+	return c, nil
+}
+
+func TestFirstSampleHasNoWindow(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 100}}}
+	s := NewSampler(src)
+	_, ok, err := s.Sample("a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("first sample should report no window")
+	}
+}
+
+func TestRates(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{
+		"a": {Instructions: 1000, LLCAccesses: 100, LLCMisses: 10},
+	}}
+	s := NewSampler(src)
+	if _, _, err := s.Sample("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	src.counters["a"] = machine.Counters{Instructions: 3000, LLCAccesses: 300, LLCMisses: 60}
+	r, ok, err := s.Sample("a", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("second sample should have a window")
+	}
+	if math.Abs(r.IPS-1000) > 1e-9 {
+		t.Errorf("IPS=%v want 1000", r.IPS)
+	}
+	if math.Abs(r.AccessRate-100) > 1e-9 {
+		t.Errorf("AccessRate=%v want 100", r.AccessRate)
+	}
+	if math.Abs(r.MissRate-25) > 1e-9 {
+		t.Errorf("MissRate=%v want 25", r.MissRate)
+	}
+	if math.Abs(r.MissRatio-0.25) > 1e-9 {
+		t.Errorf("MissRatio=%v want 0.25", r.MissRatio)
+	}
+	if r.Window != 2*time.Second {
+		t.Errorf("Window=%v", r.Window)
+	}
+}
+
+func TestMissRatioZeroWithoutAccesses(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 1}}}
+	s := NewSampler(src)
+	s.Sample("a", 0)
+	src.counters["a"] = machine.Counters{Instructions: 2}
+	r, ok, err := s.Sample("a", time.Second)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if r.MissRatio != 0 {
+		t.Errorf("MissRatio=%v want 0", r.MissRatio)
+	}
+}
+
+func TestBackwardsCountersError(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 100}}}
+	s := NewSampler(src)
+	s.Sample("a", 0)
+	src.counters["a"] = machine.Counters{Instructions: 50}
+	if _, _, err := s.Sample("a", time.Second); err == nil {
+		t.Error("backwards counters should error")
+	}
+}
+
+func TestZeroWindowIsNoOp(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 10}}}
+	s := NewSampler(src)
+	s.Sample("a", time.Second)
+	_, ok, err := s.Sample("a", time.Second)
+	if err != nil {
+		t.Fatalf("zero window should be a no-op, got %v", err)
+	}
+	if ok {
+		t.Error("zero window should not produce rates")
+	}
+	// The original snapshot must survive so the next window is anchored
+	// at the first sample.
+	src.counters["a"] = machine.Counters{Instructions: 30}
+	r, ok, err := s.Sample("a", 3*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if math.Abs(r.IPS-10) > 1e-9 {
+		t.Errorf("IPS=%v want 10 (anchored at the first snapshot)", r.IPS)
+	}
+}
+
+func TestNegativeWindowError(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {}}}
+	s := NewSampler(src)
+	s.Sample("a", time.Second)
+	if _, _, err := s.Sample("a", time.Millisecond); err == nil {
+		t.Error("negative window should error")
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	src := &fakeSource{err: errors.New("boom")}
+	s := NewSampler(src)
+	if _, _, err := s.Sample("a", 0); err == nil {
+		t.Error("source error should propagate")
+	}
+}
+
+func TestForgetResetsWindow(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 100}}}
+	s := NewSampler(src)
+	s.Sample("a", 0)
+	s.Forget("a")
+	_, ok, err := s.Sample("a", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("sample after Forget should behave like a first sample")
+	}
+}
+
+func TestReset(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{"a": {}, "b": {}}}
+	s := NewSampler(src)
+	s.Sample("a", 0)
+	s.Sample("b", 0)
+	s.Reset()
+	if _, ok, _ := s.Sample("a", time.Second); ok {
+		t.Error("Reset should drop all snapshots")
+	}
+}
+
+func TestSamplerAgainstMachine(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := machine.AppModel{
+		Name: "app", Cores: 4, CPIBase: 1, AccPerInstr: 0.01,
+		Hot: []machine.WSComponent{{Bytes: 4 << 20, Weight: 1}},
+	}
+	if err := m.AddApp(model); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(m)
+	if _, _, err := s.Sample("app", m.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := s.Sample("app", m.Now())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	perfs, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.IPS-perfs[0].IPS) > 1e-6*perfs[0].IPS {
+		t.Errorf("sampled IPS %v vs solved %v", r.IPS, perfs[0].IPS)
+	}
+}

@@ -1,0 +1,406 @@
+// Package policies implements the resource-allocation policies compared
+// in the paper's evaluation (§6.1): equal allocation (EQ), static oracle
+// allocation (ST), dynamic-LLC-only (CAT-only), dynamic-bandwidth-only
+// (MBA-only), the full coordinated controller (CoPart), and the
+// unpartitioned baseline (None) used to normalize the §4.2 fairness
+// characterization.
+package policies
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/workloads"
+)
+
+// Result is the outcome of running a policy on a workload mix.
+type Result struct {
+	// Names lists the applications, in mix order.
+	Names []string
+	// Allocs holds the final per-application allocations.
+	Allocs []machine.Alloc
+	// Slowdowns are Equation 1 slowdowns at the final state.
+	Slowdowns []float64
+	// Unfairness is Equation 2 at the final state (lower is better).
+	Unfairness float64
+	// Throughput is the geometric-mean IPS across applications
+	// (Figure 17's metric).
+	Throughput float64
+}
+
+// Policy allocates resources for a workload mix on a fresh machine.
+type Policy interface {
+	// Name is the paper's label for the policy.
+	Name() string
+	// Run consolidates the models on a fresh machine built from cfg,
+	// applies the policy, and reports the steady-state outcome.
+	Run(cfg machine.Config, models []machine.AppModel) (Result, error)
+}
+
+// evaluate computes a Result for fixed allocations: it solves the
+// consolidated steady state and divides each application's solo
+// full-resource IPS by its consolidated IPS.
+func evaluate(cfg machine.Config, models []machine.AppModel, allocs []machine.Alloc) (Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	perfs, err := m.SolveFor(models, allocs)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Names:     make([]string, len(models)),
+		Allocs:    allocs,
+		Slowdowns: make([]float64, len(models)),
+	}
+	ips := make([]float64, len(models))
+	for i, model := range models {
+		solo, err := m.SoloPerf(model)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Names[i] = model.Name
+		res.Slowdowns[i], err = fairness.Slowdown(solo.IPS, perfs[i].IPS)
+		if err != nil {
+			return Result{}, err
+		}
+		ips[i] = perfs[i].IPS
+	}
+	res.Unfairness, err = fairness.Unfairness(res.Slowdowns)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Throughput, err = fairness.Throughput(ips)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// EQ is the equal-allocation policy: LLC ways split evenly and every
+// application at the equal MBA share.
+type EQ struct{}
+
+// Name implements Policy.
+func (EQ) Name() string { return "EQ" }
+
+// Run implements Policy.
+func (EQ) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
+	counts, err := machine.EqualSplit(cfg.LLCWays, len(models))
+	if err != nil {
+		return Result{}, err
+	}
+	masks, err := machine.AssignContiguousWays(counts, 0, cfg.LLCWays)
+	if err != nil {
+		return Result{}, err
+	}
+	level := core.EqualMBAShare(len(models))
+	allocs := make([]machine.Alloc, len(models))
+	for i := range models {
+		allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: level}
+	}
+	return evaluate(cfg, models, allocs)
+}
+
+// None is the unpartitioned baseline: every application shares all ways
+// unthrottled, contending through the occupancy and bandwidth models.
+// Figures 4–6 normalize to it.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "None" }
+
+// Run implements Policy.
+func (None) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
+	allocs := make([]machine.Alloc, len(models))
+	for i := range models {
+		allocs[i] = machine.Alloc{CBM: cfg.FullMask(), MBALevel: membw.MaxLevel}
+	}
+	return evaluate(cfg, models, allocs)
+}
+
+// ST is the static-oracle policy (§6.1): it exhaustively searches way
+// compositions crossed with a coarse MBA grid — the offline-profiled
+// "best static state" the paper compares against — and keeps the state
+// with the lowest unfairness.
+type ST struct {
+	// MBAGrid is the set of MBA levels searched per application. Empty
+	// selects a default that keeps the search tractable at six apps.
+	MBAGrid []int
+}
+
+// Name implements Policy.
+func (ST) Name() string { return "ST" }
+
+// Run implements Policy.
+func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
+	n := len(models)
+	if n == 0 {
+		return Result{}, fmt.Errorf("policies: empty mix")
+	}
+	grid := s.MBAGrid
+	if len(grid) == 0 {
+		if n <= 4 {
+			grid = []int{10, 30, 60, 100}
+		} else {
+			grid = []int{10, 50, 100}
+		}
+	}
+	for _, l := range grid {
+		if err := membw.ValidateLevel(l); err != nil {
+			return Result{}, err
+		}
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	solo := make([]float64, n)
+	for i, model := range models {
+		p, err := m.SoloPerf(model)
+		if err != nil {
+			return Result{}, err
+		}
+		solo[i] = p.IPS
+	}
+
+	best := Result{Unfairness: -1}
+	counts := make([]int, n)
+	mbaIdx := make([]int, n)
+	var search func(app, remaining int) error
+	scoreState := func() error {
+		masks, err := machine.AssignContiguousWays(counts, 0, cfg.LLCWays)
+		if err != nil {
+			return err
+		}
+		allocs := make([]machine.Alloc, n)
+		for i := range allocs {
+			allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: grid[mbaIdx[i]]}
+		}
+		perfs, err := m.SolveFor(models, allocs)
+		if err != nil {
+			return err
+		}
+		slowdowns := make([]float64, n)
+		ips := make([]float64, n)
+		for i := range perfs {
+			slowdowns[i] = solo[i] / perfs[i].IPS
+			ips[i] = perfs[i].IPS
+		}
+		u, err := fairness.Unfairness(slowdowns)
+		if err != nil {
+			return err
+		}
+		if best.Unfairness < 0 || u < best.Unfairness {
+			tp, err := fairness.Throughput(ips)
+			if err != nil {
+				return err
+			}
+			names := make([]string, n)
+			for i, model := range models {
+				names[i] = model.Name
+			}
+			best = Result{
+				Names:      names,
+				Allocs:     allocs,
+				Slowdowns:  slowdowns,
+				Unfairness: u,
+				Throughput: tp,
+			}
+		}
+		return nil
+	}
+	var sweepMBA func(app int) error
+	sweepMBA = func(app int) error {
+		if app == n {
+			return scoreState()
+		}
+		for j := range grid {
+			mbaIdx[app] = j
+			if err := sweepMBA(app + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	search = func(app, remaining int) error {
+		if app == n-1 {
+			counts[app] = remaining
+			return sweepMBA(0)
+		}
+		// Leave at least one way per remaining application.
+		for w := 1; w <= remaining-(n-1-app); w++ {
+			counts[app] = w
+			if err := search(app+1, remaining-w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := search(0, cfg.LLCWays); err != nil {
+		return Result{}, err
+	}
+	if best.Unfairness < 0 {
+		return Result{}, fmt.Errorf("policies: ST search found no state")
+	}
+	return best, nil
+}
+
+// Dynamic runs the CoPart manager (optionally with one axis frozen) and
+// evaluates the state it converges to. It implements the paper's CoPart,
+// CAT-only, and MBA-only policies.
+type Dynamic struct {
+	// Label is the policy name: "CoPart", "CAT-only", or "MBA-only".
+	Label string
+	// FreezeLLC / FreezeMBA pin the corresponding axis at the equal
+	// split, as the respective baselines require.
+	FreezeLLC bool
+	FreezeMBA bool
+	// Params override; zero value selects the paper defaults.
+	Params core.Params
+	// Features override; nil selects core.DefaultFeatures (ablations
+	// pass explicit sets).
+	Features *core.Features
+	// Seed makes the run deterministic.
+	Seed int64
+	// MaxPeriods caps the exploration length; 0 selects a default.
+	MaxPeriods int
+}
+
+// CoPart returns the full coordinated policy.
+func CoPart(seed int64) *Dynamic { return &Dynamic{Label: "CoPart", Seed: seed} }
+
+// CATOnly returns the dynamic-LLC / equal-bandwidth baseline.
+func CATOnly(seed int64) *Dynamic {
+	return &Dynamic{Label: "CAT-only", FreezeMBA: true, Seed: seed}
+}
+
+// MBAOnly returns the dynamic-bandwidth / equal-LLC baseline.
+func MBAOnly(seed int64) *Dynamic {
+	return &Dynamic{Label: "MBA-only", FreezeLLC: true, Seed: seed}
+}
+
+// Name implements Policy.
+func (d *Dynamic) Name() string {
+	if d.Label == "" {
+		return "CoPart"
+	}
+	return d.Label
+}
+
+// Run implements Policy.
+func (d *Dynamic) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return Result{}, err
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return Result{}, err
+	}
+	params := d.Params
+	if params == (core.Params{}) {
+		params = core.DefaultParams()
+	}
+	mgr, err := core.NewManager(m, params, ref, core.Envelope{LoWay: 0, Ways: cfg.LLCWays},
+		rand.New(rand.NewSource(d.Seed)))
+	if err != nil {
+		return Result{}, err
+	}
+	mgr.FreezeLLC = d.FreezeLLC
+	mgr.FreezeMBA = d.FreezeMBA
+	if d.Features != nil {
+		mgr.Features = *d.Features
+	}
+	if err := mgr.Profile(); err != nil {
+		return Result{}, err
+	}
+	maxPeriods := d.MaxPeriods
+	if maxPeriods == 0 {
+		maxPeriods = 300
+	}
+	for i := 0; i < maxPeriods; i++ {
+		done, err := mgr.ExploreStep()
+		if err != nil {
+			return Result{}, err
+		}
+		if done {
+			break
+		}
+	}
+	allocs := make([]machine.Alloc, len(models))
+	for i, model := range models {
+		a, err := m.Allocation(model.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		allocs[i] = a
+	}
+	res, err := evaluate(cfg, models, allocs)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// ExploreTime runs the dynamic policy and reports the mean wall-clock
+// getNextSystemState duration (the Figure 16 overhead metric).
+func (d *Dynamic) ExploreTime(cfg machine.Config, models []machine.AppModel) (time.Duration, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return 0, err
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return 0, err
+	}
+	params := d.Params
+	if params == (core.Params{}) {
+		params = core.DefaultParams()
+	}
+	mgr, err := core.NewManager(m, params, ref, core.Envelope{LoWay: 0, Ways: cfg.LLCWays},
+		rand.New(rand.NewSource(d.Seed)))
+	if err != nil {
+		return 0, err
+	}
+	if err := mgr.Profile(); err != nil {
+		return 0, err
+	}
+	maxPeriods := d.MaxPeriods
+	if maxPeriods == 0 {
+		maxPeriods = 300
+	}
+	for i := 0; i < maxPeriods; i++ {
+		done, err := mgr.ExploreStep()
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			break
+		}
+	}
+	if len(mgr.ExploreTimes) == 0 {
+		return 0, fmt.Errorf("policies: no exploration steps executed")
+	}
+	var total time.Duration
+	for _, t := range mgr.ExploreTimes {
+		total += t
+	}
+	return total / time.Duration(len(mgr.ExploreTimes)), nil
+}

@@ -1,0 +1,252 @@
+package policies
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func mix(t *testing.T, kind workloads.MixKind, n int) []machine.AppModel {
+	t.Helper()
+	models, err := workloads.Mix(machine.DefaultConfig(), kind, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (EQ{}).Name() != "EQ" || (None{}).Name() != "None" || (ST{}).Name() != "ST" {
+		t.Error("static policy names wrong")
+	}
+	if CoPart(1).Name() != "CoPart" {
+		t.Error("CoPart name")
+	}
+	if CATOnly(1).Name() != "CAT-only" || MBAOnly(1).Name() != "MBA-only" {
+		t.Error("frozen-axis policy names wrong")
+	}
+	if (&Dynamic{}).Name() != "CoPart" {
+		t.Error("empty label should default to CoPart")
+	}
+}
+
+func TestEQProducesValidResult(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, err := EQ{}.Run(cfg, mix(t, workloads.HLLC, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowdowns) != 4 || len(res.Allocs) != 4 || len(res.Names) != 4 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for i, s := range res.Slowdowns {
+		if s < 1-1e-6 {
+			t.Errorf("slowdown[%d]=%v below 1", i, s)
+		}
+	}
+	if res.Unfairness < 0 {
+		t.Errorf("unfairness %v", res.Unfairness)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput %v", res.Throughput)
+	}
+	// EQ allocations: equal MBA, near-equal ways.
+	for _, a := range res.Allocs {
+		if a.MBALevel != res.Allocs[0].MBALevel {
+			t.Error("EQ should assign one MBA level to all")
+		}
+		if w := a.Ways(); w < 2 || w > 3 {
+			t.Errorf("EQ ways %d for 4 apps on 11 ways", w)
+		}
+	}
+}
+
+func TestNoneSharesEverything(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, err := None{}.Run(cfg, mix(t, workloads.HBoth, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Allocs {
+		if a.CBM != cfg.FullMask() || a.MBALevel != 100 {
+			t.Errorf("None should leave full overlapping allocations, got %+v", a)
+		}
+	}
+}
+
+func TestSTBeatsEQ(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	for _, kind := range []workloads.MixKind{workloads.HLLC, workloads.HBW, workloads.HBoth} {
+		models := mix(t, kind, 4)
+		eq, err := EQ{}.Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ST{}.Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Unfairness > eq.Unfairness+1e-9 {
+			t.Errorf("%v: ST (an oracle) must not lose to EQ: %.4f vs %.4f",
+				kind, st.Unfairness, eq.Unfairness)
+		}
+	}
+}
+
+func TestSTValidatesGrid(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	if _, err := (ST{MBAGrid: []int{15}}).Run(cfg, mix(t, workloads.HLLC, 4)); err == nil {
+		t.Error("invalid grid level should error")
+	}
+	if _, err := (ST{}).Run(cfg, nil); err == nil {
+		t.Error("empty mix should error")
+	}
+}
+
+func TestCoPartBeatsEQOnSensitiveMixes(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	for _, kind := range []workloads.MixKind{workloads.HLLC, workloads.HBW, workloads.HBoth} {
+		models := mix(t, kind, 4)
+		eq, err := EQ{}.Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := CoPart(7).Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Unfairness >= eq.Unfairness {
+			t.Errorf("%v: CoPart %.4f should beat EQ %.4f", kind, cp.Unfairness, eq.Unfairness)
+		}
+	}
+}
+
+func TestCATOnlyKeepsEqualMBA(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, err := CATOnly(3).Run(cfg, mix(t, workloads.HLLC, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Allocs {
+		if a.MBALevel != res.Allocs[0].MBALevel {
+			t.Errorf("CAT-only must keep MBA equal: %+v", res.Allocs)
+		}
+	}
+}
+
+func TestMBAOnlyKeepsEqualWays(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, err := MBAOnly(3).Run(cfg, mix(t, workloads.HBW, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Allocs {
+		if w := a.Ways(); w < 2 || w > 3 {
+			t.Errorf("MBA-only must keep ways at the equal split: %d", w)
+		}
+	}
+}
+
+func TestCoPartBeatsCATOnlyOnBWMix(t *testing.T) {
+	// Figure 12's key comparison: CAT-only cannot help bandwidth-starved
+	// mixes; the coordinated controller can.
+	cfg := machine.DefaultConfig()
+	models := mix(t, workloads.HBW, 4)
+	cat, err := CATOnly(5).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CoPart(5).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Unfairness > cat.Unfairness+1e-9 {
+		t.Errorf("CoPart %.4f should not lose to CAT-only %.4f on H-BW",
+			cp.Unfairness, cat.Unfairness)
+	}
+}
+
+func TestCoPartBeatsMBAOnlyOnLLCMix(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	models := mix(t, workloads.HLLC, 4)
+	mba, err := MBAOnly(5).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CoPart(5).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Unfairness > mba.Unfairness+1e-9 {
+		t.Errorf("CoPart %.4f should not lose to MBA-only %.4f on H-LLC",
+			cp.Unfairness, mba.Unfairness)
+	}
+}
+
+func TestDynamicExploreTime(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	d, err := CoPart(11).ExploreTime(cfg, mix(t, workloads.HBoth, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 100*time.Millisecond {
+		t.Errorf("implausible exploration time %v", d)
+	}
+}
+
+func TestPoliciesRejectInvalidConfig(t *testing.T) {
+	bad := machine.DefaultConfig()
+	bad.Cores = 0
+	models := mix(t, workloads.HLLC, 4)
+	for _, p := range []Policy{EQ{}, ST{}, None{}, UCP{}, CoPart(1)} {
+		if _, err := p.Run(bad, models); err == nil {
+			t.Errorf("%s: invalid config should error", p.Name())
+		}
+	}
+	if _, err := CoPart(1).ExploreTime(bad, models); err == nil {
+		t.Error("ExploreTime with invalid config should error")
+	}
+}
+
+func TestPoliciesRejectOversizedMix(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	// 12 apps exceed the 11 CLOS-minimum ways.
+	var models []machine.AppModel
+	base := mix(t, workloads.HLLC, 4)
+	for i := 0; i < 3; i++ {
+		for _, m := range base {
+			m.Name = m.Name + string(rune('a'+i))
+			m.Cores = 1
+			models = append(models, m)
+		}
+	}
+	if _, err := (EQ{}).Run(cfg, models); err == nil {
+		t.Error("EQ with more apps than ways should error")
+	}
+	if _, err := (UCP{}).Run(cfg, models); err == nil {
+		t.Error("UCP with more apps than ways should error")
+	}
+}
+
+func TestDynamicDeterministicWithSeed(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	models := mix(t, workloads.MBoth, 4)
+	a, err := CoPart(99).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoPart(99).Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Unfairness != b.Unfairness {
+		t.Errorf("same seed diverged: %v vs %v", a.Unfairness, b.Unfairness)
+	}
+	for i := range a.Allocs {
+		if a.Allocs[i] != b.Allocs[i] {
+			t.Errorf("alloc %d diverged", i)
+		}
+	}
+}

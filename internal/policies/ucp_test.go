@@ -1,0 +1,88 @@
+package policies
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func TestUCPName(t *testing.T) {
+	if (UCP{}).Name() != "UCP" {
+		t.Error("name")
+	}
+}
+
+func TestUCPValidation(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	if _, err := (UCP{}).Run(cfg, nil); err == nil {
+		t.Error("empty mix should error")
+	}
+	small := cfg
+	small.LLCWays = 2
+	models := mix(t, workloads.HLLC, 4)
+	if _, err := (UCP{}).Run(small, models); err == nil {
+		t.Error("more apps than ways should error")
+	}
+}
+
+func TestUCPAssignsWaysByUtility(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	// H-LLC: WN (7.5MB), WS (5.5MB), RT (3.5MB), SW (0.5MB). UCP should
+	// give the cache-hungry apps their working sets and starve SW.
+	res, err := (UCP{}).Run(cfg, mix(t, workloads.HLLC, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ways := map[string]int{}
+	for i, name := range res.Names {
+		ways[name] = res.Allocs[i].Ways()
+	}
+	if ways["SW"] != 1 {
+		t.Errorf("the insensitive app should hold the minimum: %v", ways)
+	}
+	if ways["WN"] < 4 {
+		t.Errorf("WN needs 4 ways for its 7.5MB set, got %d", ways["WN"])
+	}
+	if ways["WS"] < 3 || ways["RT"] < 2 {
+		t.Errorf("working sets not covered: %v", ways)
+	}
+}
+
+func TestUCPImprovesThroughputOverEQ(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	models := mix(t, workloads.HLLC, 4)
+	eq, err := EQ{}.Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucp, err := UCP{}.Run(cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucp.Throughput < eq.Throughput {
+		t.Errorf("UCP throughput %.3g should be at least EQ's %.3g",
+			ucp.Throughput, eq.Throughput)
+	}
+}
+
+func TestCoPartNoWorseThanUCPOnFairness(t *testing.T) {
+	// UCP is fairness-oblivious; across the sensitive mixes the
+	// fairness-driven controller must not lose to it on its own metric.
+	cfg := machine.DefaultConfig()
+	for _, kind := range []workloads.MixKind{workloads.HBW, workloads.HBoth, workloads.MBoth} {
+		models := mix(t, kind, 4)
+		ucp, err := UCP{}.Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := CoPart(3).Run(cfg, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.Unfairness > ucp.Unfairness*1.05 {
+			t.Errorf("%v: CoPart unfairness %.4f should not lose to UCP %.4f",
+				kind, cp.Unfairness, ucp.Unfairness)
+		}
+	}
+}

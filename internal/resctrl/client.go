@@ -1,0 +1,300 @@
+package resctrl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Client drives a resctrl-shaped directory tree. Point it at the real
+// mount (/sys/fs/resctrl) on CAT/MBA hardware, or at a tree created by
+// NewSimTree for simulation — the client code path is identical, which is
+// what makes the reproduction's controller deployable on real machines.
+type Client struct {
+	root string
+	info Info
+}
+
+// Open reads the info/ directory under root and returns a client.
+func Open(root string) (*Client, error) {
+	info, err := readInfo(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{root: root, info: info}, nil
+}
+
+// Root returns the tree's root path.
+func (c *Client) Root() string { return c.root }
+
+// Info returns the hardware limits read at Open time.
+func (c *Client) Info() Info { return c.info }
+
+func readInfo(root string) (Info, error) {
+	var in Info
+	var err error
+	if in.CBMMask, err = readHexFile(filepath.Join(root, "info", "L3", "cbm_mask")); err != nil {
+		return Info{}, err
+	}
+	if in.MinCBMBits, err = readIntFile(filepath.Join(root, "info", "L3", "min_cbm_bits")); err != nil {
+		return Info{}, err
+	}
+	if in.NumCLOSIDs, err = readIntFile(filepath.Join(root, "info", "L3", "num_closids")); err != nil {
+		return Info{}, err
+	}
+	if in.MBAMin, err = readIntFile(filepath.Join(root, "info", "MB", "min_bandwidth")); err != nil {
+		return Info{}, err
+	}
+	if in.MBAGran, err = readIntFile(filepath.Join(root, "info", "MB", "bandwidth_gran")); err != nil {
+		return Info{}, err
+	}
+	// Monitoring capabilities are optional (hardware without CMT/MBM has
+	// no info/L3_MON directory).
+	if n, err := readIntFile(filepath.Join(root, "info", "L3_MON", "num_rmids")); err == nil {
+		in.NumRMIDs = n
+		if b, err := os.ReadFile(filepath.Join(root, "info", "L3_MON", "mon_features")); err == nil {
+			for _, f := range strings.Fields(string(b)) {
+				in.MonFeatures = append(in.MonFeatures, f)
+			}
+		}
+	}
+	// Cache domains are those listed in the root group's schemata.
+	s, err := readSchemataFile(filepath.Join(root, "schemata"))
+	if err != nil {
+		return Info{}, err
+	}
+	ids := map[int]bool{}
+	for id := range s.L3 {
+		ids[id] = true
+	}
+	for id := range s.MB {
+		ids[id] = true
+	}
+	for id := range ids {
+		in.CacheIDs = append(in.CacheIDs, id)
+	}
+	sort.Ints(in.CacheIDs)
+	return in, nil
+}
+
+func readHexFile(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: %s: %v", path, err)
+	}
+	return v, nil
+}
+
+func readIntFile(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: %w", err)
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: %s: %v", path, err)
+	}
+	return v, nil
+}
+
+func readSchemataFile(path string) (Schemata, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Schemata{}, fmt.Errorf("resctrl: %w", err)
+	}
+	return ParseSchemata(string(b))
+}
+
+// groupDir resolves a control-group name to its directory. The empty name
+// addresses the root (default) group.
+func (c *Client) groupDir(group string) (string, error) {
+	if group == "" {
+		return c.root, nil
+	}
+	if strings.ContainsAny(group, "/\\") || group == "." || group == ".." || group == "info" {
+		return "", fmt.Errorf("resctrl: invalid group name %q", group)
+	}
+	return filepath.Join(c.root, group), nil
+}
+
+// CreateGroup makes a new control group (one CLOS). The kernel enforces
+// the CLOSID limit; the client mirrors that check.
+func (c *Client) CreateGroup(group string) error {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return err
+	}
+	if group == "" {
+		return fmt.Errorf("resctrl: cannot create the root group")
+	}
+	groups, err := c.Groups()
+	if err != nil {
+		return err
+	}
+	// The root group occupies one CLOSID.
+	if len(groups)+1 >= c.info.NumCLOSIDs {
+		return fmt.Errorf("resctrl: CLOSID limit %d reached", c.info.NumCLOSIDs)
+	}
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	// A fresh group starts with the root group's schemata (full masks),
+	// as the kernel does.
+	rootSchemata, err := readSchemataFile(filepath.Join(c.root, "schemata"))
+	if err != nil {
+		return err
+	}
+	for _, f := range []struct{ name, content string }{
+		{"schemata", rootSchemata.Format()},
+		{"tasks", ""},
+		{"cpus", ""},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.content), 0o644); err != nil {
+			return fmt.Errorf("resctrl: %w", err)
+		}
+	}
+	return nil
+}
+
+// DeleteGroup removes a control group; its tasks fall back to the root
+// group (on the real kernel this happens implicitly on rmdir).
+func (c *Client) DeleteGroup(group string) error {
+	if group == "" {
+		return fmt.Errorf("resctrl: cannot delete the root group")
+	}
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	return os.RemoveAll(dir)
+}
+
+// Groups lists the non-root control groups, sorted.
+func (c *Client) Groups() ([]string, error) {
+	entries, err := os.ReadDir(c.root)
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "info" && e.Name() != "mon_groups" && e.Name() != "mon_data" {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadSchemata reads and parses a group's schemata.
+func (c *Client) ReadSchemata(group string) (Schemata, error) {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return Schemata{}, err
+	}
+	return readSchemataFile(filepath.Join(dir, "schemata"))
+}
+
+// WriteSchemata validates s against the hardware limits and writes it. It
+// performs a read-modify-write: resources absent from s keep their
+// current values (matching how the kernel treats partial writes).
+func (c *Client) WriteSchemata(group string, s Schemata) error {
+	if err := c.info.CheckSchemata(s); err != nil {
+		return err
+	}
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "schemata")
+	cur, err := readSchemataFile(path)
+	if err != nil {
+		return err
+	}
+	for id, mask := range s.L3 {
+		cur.L3[id] = mask
+	}
+	for id, level := range s.MB {
+		cur.MB[id] = level
+	}
+	return os.WriteFile(path, []byte(cur.Format()), 0o644)
+}
+
+// AddTask assigns a task (pid) to a group by appending to its tasks file.
+func (c *Client) AddTask(group string, pid int) error {
+	if pid <= 0 {
+		return fmt.Errorf("resctrl: invalid pid %d", pid)
+	}
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "tasks"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "%d\n", pid); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	return f.Close()
+}
+
+// Tasks lists the pids assigned to a group.
+func (c *Client) Tasks(group string) ([]int, error) {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "tasks"))
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: %w", err)
+	}
+	var pids []int
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		pid, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("resctrl: bad pid %q in tasks", line)
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
+}
+
+// SetCPUs writes a group's cpus list (e.g. "0-3", as the kernel accepts).
+func (c *Client) SetCPUs(group, cpuList string) error {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "cpus"), []byte(cpuList+"\n"), 0o644)
+}
+
+// CPUs reads a group's cpus list.
+func (c *Client) CPUs(group string) (string, error) {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return "", err
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "cpus"))
+	if err != nil {
+		return "", fmt.Errorf("resctrl: %w", err)
+	}
+	return strings.TrimSpace(string(b)), nil
+}

@@ -1,0 +1,34 @@
+package resctrl_test
+
+import (
+	"fmt"
+
+	"repro/internal/resctrl"
+)
+
+func ExampleParseSchemata() {
+	s, _ := resctrl.ParseSchemata("L3:0=7ff\nMB:0=40\n")
+	fmt.Printf("ways mask %#x, MBA %d%%\n", s.L3[0], s.MB[0])
+	// Output: ways mask 0x7ff, MBA 40%
+}
+
+func ExampleSchemata_Format() {
+	s := resctrl.Schemata{
+		L3: map[int]uint64{0: 0x00f},
+		MB: map[int]int{0: 100},
+	}
+	fmt.Print(s.Format())
+	// Output:
+	// L3:0=f
+	// MB:0=100
+}
+
+func ExampleInfo_CheckSchemata() {
+	info := resctrl.Info{
+		CBMMask: 0x7ff, MinCBMBits: 1, NumCLOSIDs: 16,
+		MBAMin: 10, MBAGran: 10, CacheIDs: []int{0},
+	}
+	bad := resctrl.Schemata{L3: map[int]uint64{0: 0b101}}
+	fmt.Println(info.CheckSchemata(bad))
+	// Output: resctrl: cache 0: CBM 5 is not contiguous
+}

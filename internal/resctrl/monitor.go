@@ -1,0 +1,130 @@
+package resctrl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// This file implements resctrl's monitoring side (Intel CMT/MBM): each
+// control group exposes, per cache domain,
+//
+//	<group>/mon_data/mon_L3_00/llc_occupancy    (bytes resident in L3)
+//	<group>/mon_data/mon_L3_00/mbm_total_bytes  (cumulative DRAM traffic)
+//	<group>/mon_data/mon_L3_00/mbm_local_bytes
+//
+// The paper reads its three PMCs through PAPI rather than MBM, but a
+// production CoPart deployment would use MBM for the traffic side (no
+// per-process perf fds needed); the emulation keeps that path testable.
+
+// MonData is one group's monitoring snapshot for one cache domain.
+type MonData struct {
+	// LLCOccupancy is the group's resident L3 bytes.
+	LLCOccupancy uint64
+	// MBMTotalBytes is cumulative DRAM traffic (reads + writebacks).
+	MBMTotalBytes uint64
+	// MBMLocalBytes is the local-socket portion (equal to total on the
+	// single-socket machine).
+	MBMLocalBytes uint64
+}
+
+// monDir returns the monitoring directory for (group, domain).
+func (c *Client) monDir(group string, domain int) (string, error) {
+	dir, err := c.groupDir(group)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, "mon_data", fmt.Sprintf("mon_L3_%02d", domain)), nil
+}
+
+// ReadMonData reads a group's monitoring counters for a cache domain.
+func (c *Client) ReadMonData(group string, domain int) (MonData, error) {
+	dir, err := c.monDir(group, domain)
+	if err != nil {
+		return MonData{}, err
+	}
+	var d MonData
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"llc_occupancy", &d.LLCOccupancy},
+		{"mbm_total_bytes", &d.MBMTotalBytes},
+		{"mbm_local_bytes", &d.MBMLocalBytes},
+	} {
+		b, err := os.ReadFile(filepath.Join(dir, f.name))
+		if err != nil {
+			return MonData{}, fmt.Errorf("resctrl: %w", err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+		if err != nil {
+			return MonData{}, fmt.Errorf("resctrl: %s/%s: %v", dir, f.name, err)
+		}
+		*f.dst = v
+	}
+	return d, nil
+}
+
+// writeMonData materializes a group's monitoring files (sim tree only;
+// on real hardware the kernel provides them).
+func (c *Client) writeMonData(group string, domain int, d MonData) error {
+	dir, err := c.monDir(group, domain)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		val  uint64
+	}{
+		{"llc_occupancy", d.LLCOccupancy},
+		{"mbm_total_bytes", d.MBMTotalBytes},
+		{"mbm_local_bytes", d.MBMLocalBytes},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name),
+			[]byte(strconv.FormatUint(f.val, 10)+"\n"), 0o644); err != nil {
+			return fmt.Errorf("resctrl: %w", err)
+		}
+	}
+	return nil
+}
+
+// SyncMonData refreshes every group's monitoring files from the machine
+// simulator: occupancy from the solved capacity shares, MBM bytes from
+// the cumulative granted-traffic counters. Group names must match
+// application names (as with ApplyToMachine).
+func SyncMonData(c *Client, m *machine.Machine) error {
+	groups, err := c.Groups()
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		occ, err := m.Occupancy(g)
+		if err != nil {
+			return fmt.Errorf("resctrl: mon sync for %s: %w", g, err)
+		}
+		counters, err := m.ReadCounters(g)
+		if err != nil {
+			return fmt.Errorf("resctrl: mon sync for %s: %w", g, err)
+		}
+		model, err := m.Model(g)
+		if err != nil {
+			return fmt.Errorf("resctrl: mon sync for %s: %w", g, err)
+		}
+		bytes := uint64(counters.MemoryBytes)
+		if err := c.writeMonData(g, model.Socket, MonData{
+			LLCOccupancy:  uint64(occ),
+			MBMTotalBytes: bytes,
+			MBMLocalBytes: bytes, // single-socket machine: all traffic is local
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package resctrl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func monHarness(t *testing.T) (*Client, *machine.Machine) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSimTree(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"hot", "stream"} {
+		model := machine.AppModel{
+			Name: name, Cores: 4, CPIBase: 0.8, AccPerInstr: 0.02,
+			Hot:        []machine.WSComponent{{Bytes: 6 << 20, Weight: 0.8 - float64(i)*0.7, MLP: 1}},
+			StreamFrac: 0.2 + float64(i)*0.7,
+			MLP:        8,
+		}
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateGroup(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, m
+}
+
+func TestSimTreeAdvertisesMonitoring(t *testing.T) {
+	c, _ := monHarness(t)
+	in := c.Info()
+	if !in.SupportsMonitoring() {
+		t.Fatal("sim tree should advertise CMT/MBM")
+	}
+	if in.NumRMIDs != 224 {
+		t.Errorf("num_rmids=%d", in.NumRMIDs)
+	}
+	want := map[string]bool{"llc_occupancy": true, "mbm_total_bytes": true, "mbm_local_bytes": true}
+	for _, f := range in.MonFeatures {
+		delete(want, f)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing mon features: %v", want)
+	}
+}
+
+func TestSyncAndReadMonData(t *testing.T) {
+	c, m := monHarness(t)
+	if err := m.Step(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncMonData(c, m); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := c.ReadMonData("hot", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.ReadMonData("stream", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache-friendly group holds occupancy; the streamer moves bytes.
+	if hot.LLCOccupancy == 0 {
+		t.Error("hot group should occupy cache")
+	}
+	cfg := m.Config()
+	total := hot.LLCOccupancy + stream.LLCOccupancy
+	if total > uint64(cfg.WayBytes)*uint64(cfg.LLCWays)+1 {
+		t.Errorf("occupancies %d exceed the cache", total)
+	}
+	if stream.MBMTotalBytes <= hot.MBMTotalBytes {
+		t.Errorf("streamer should move more bytes: %d vs %d",
+			stream.MBMTotalBytes, hot.MBMTotalBytes)
+	}
+	if stream.MBMLocalBytes != stream.MBMTotalBytes {
+		t.Error("single socket: local must equal total")
+	}
+
+	// MBM counters are cumulative: another step must grow them.
+	if err := m.Step(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncMonData(c, m); err != nil {
+		t.Fatal(err)
+	}
+	stream2, err := c.ReadMonData("stream", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream2.MBMTotalBytes <= stream.MBMTotalBytes {
+		t.Error("mbm_total_bytes must be cumulative")
+	}
+}
+
+func TestReadMonDataErrors(t *testing.T) {
+	c, m := monHarness(t)
+	if _, err := c.ReadMonData("hot", 0); err == nil {
+		t.Error("reading before any sync should error (no mon files yet)")
+	}
+	if err := SyncMonData(c, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadMonData("ghost", 0); err == nil {
+		t.Error("unknown group should error")
+	}
+	if _, err := c.ReadMonData("hot", 3); err == nil {
+		t.Error("unknown domain should error")
+	}
+}
+
+func TestSyncMonDataUnknownGroup(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSimTree(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateGroup("orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncMonData(c, m); err == nil {
+		t.Error("group without an app should error")
+	}
+}

@@ -1,0 +1,393 @@
+package resctrl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func testInfo() Info {
+	return Info{
+		CBMMask:    0x7ff,
+		MinCBMBits: 1,
+		NumCLOSIDs: 16,
+		MBAMin:     10,
+		MBAGran:    10,
+		CacheIDs:   []int{0, 1},
+	}
+}
+
+func TestParseSchemata(t *testing.T) {
+	s, err := ParseSchemata("L3:0=7ff;1=3f\nMB:0=100;1=50\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0x7ff || s.L3[1] != 0x3f {
+		t.Errorf("L3=%v", s.L3)
+	}
+	if s.MB[0] != 100 || s.MB[1] != 50 {
+		t.Errorf("MB=%v", s.MB)
+	}
+}
+
+func TestParseSchemataWhitespaceAndUnknown(t *testing.T) {
+	s, err := ParseSchemata("  L3: 0=ff ; 1=f \nL2:0=3\n\nMB:0=70\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0xff || s.L3[1] != 0xf || s.MB[0] != 70 {
+		t.Errorf("parsed %+v", s)
+	}
+	if len(s.Other) != 1 || s.Other[0] != "L2:0=3" {
+		t.Errorf("unknown lines not preserved: %v", s.Other)
+	}
+}
+
+func TestParseSchemataErrors(t *testing.T) {
+	for _, bad := range []string{
+		"L3 0=7ff",     // missing colon
+		"L3:0",         // missing '='
+		"L3:x=7ff",     // bad id
+		"L3:0=zz",      // bad hex
+		"MB:0=abc",     // bad int
+		"L3:0=1;0=2",   // duplicate id
+		"MB:0=10;0=20", // duplicate id
+	} {
+		if _, err := ParseSchemata(bad); err == nil {
+			t.Errorf("ParseSchemata(%q) should error", bad)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := Schemata{
+		L3:    map[int]uint64{0: 0x7ff, 1: 0x3f},
+		MB:    map[int]int{0: 100, 1: 50},
+		Other: []string{"L2:0=3"},
+	}
+	text := orig.Format()
+	parsed, err := ParseSchemata(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.L3[0] != orig.L3[0] || parsed.L3[1] != orig.L3[1] {
+		t.Errorf("L3 round trip: %v", parsed.L3)
+	}
+	if parsed.MB[0] != orig.MB[0] || parsed.MB[1] != orig.MB[1] {
+		t.Errorf("MB round trip: %v", parsed.MB)
+	}
+	if len(parsed.Other) != 1 {
+		t.Errorf("Other round trip: %v", parsed.Other)
+	}
+	if !strings.Contains(text, "L3:0=7ff;1=3f") {
+		t.Errorf("format: %q", text)
+	}
+}
+
+// Property: Format→Parse is the identity on valid schemata.
+func TestSchemataRoundTripProperty(t *testing.T) {
+	f := func(masks []uint16, levels []uint8) bool {
+		s := Schemata{L3: map[int]uint64{}, MB: map[int]int{}}
+		for i, m := range masks {
+			if i >= 8 {
+				break
+			}
+			s.L3[i] = uint64(m) + 1
+		}
+		for i, l := range levels {
+			if i >= 8 {
+				break
+			}
+			s.MB[i] = int(l%10+1) * 10
+		}
+		parsed, err := ParseSchemata(s.Format())
+		if err != nil {
+			return false
+		}
+		if len(parsed.L3) != len(s.L3) || len(parsed.MB) != len(s.MB) {
+			return false
+		}
+		for id, v := range s.L3 {
+			if parsed.L3[id] != v {
+				return false
+			}
+		}
+		for id, v := range s.MB {
+			if parsed.MB[id] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfoValidate(t *testing.T) {
+	if err := testInfo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testInfo()
+	bad.CBMMask = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero cbm_mask should error")
+	}
+	bad = testInfo()
+	bad.MinCBMBits = 20
+	if err := bad.Validate(); err == nil {
+		t.Error("min_cbm_bits > ways should error")
+	}
+	bad = testInfo()
+	bad.CacheIDs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no cache domains should error")
+	}
+}
+
+func TestCheckSchemata(t *testing.T) {
+	in := testInfo()
+	ok := Schemata{L3: map[int]uint64{0: 0x0f0}, MB: map[int]int{0: 50}}
+	if err := in.CheckSchemata(ok); err != nil {
+		t.Errorf("valid schemata rejected: %v", err)
+	}
+	for name, bad := range map[string]Schemata{
+		"zero CBM":          {L3: map[int]uint64{0: 0}},
+		"out of cbm_mask":   {L3: map[int]uint64{0: 0x800}},
+		"non-contiguous":    {L3: map[int]uint64{0: 0b101}},
+		"unknown domain L3": {L3: map[int]uint64{7: 1}},
+		"MB too low":        {MB: map[int]int{0: 5}},
+		"MB too high":       {MB: map[int]int{0: 110}},
+		"MB off-granule":    {MB: map[int]int{0: 55}},
+		"unknown domain MB": {MB: map[int]int{9: 50}},
+	} {
+		if err := in.CheckSchemata(bad); err == nil {
+			t.Errorf("%s: should error", name)
+		}
+	}
+	wide := testInfo()
+	wide.MinCBMBits = 2
+	if err := wide.CheckSchemata(Schemata{L3: map[int]uint64{0: 1}}); err == nil {
+		t.Error("CBM below min_cbm_bits should error")
+	}
+}
+
+func newSim(t *testing.T) *Client {
+	t.Helper()
+	c, err := NewSimTree(t.TempDir(), machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSimTreeInfo(t *testing.T) {
+	c := newSim(t)
+	in := c.Info()
+	if in.CBMMask != 0x7ff {
+		t.Errorf("cbm_mask=%x want 7ff (11 ways)", in.CBMMask)
+	}
+	if in.MBAMin != 10 || in.MBAGran != 10 {
+		t.Errorf("MBA limits %d/%d", in.MBAMin, in.MBAGran)
+	}
+	if len(in.CacheIDs) != 1 || in.CacheIDs[0] != 0 {
+		t.Errorf("cache ids %v", in.CacheIDs)
+	}
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	c := newSim(t)
+	if err := c.CreateGroup("app0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateGroup("app1"); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := c.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || groups[0] != "app0" || groups[1] != "app1" {
+		t.Errorf("Groups()=%v", groups)
+	}
+	// New groups inherit the root schemata (full masks).
+	s, err := c.ReadSchemata("app0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0x7ff || s.MB[0] != 100 {
+		t.Errorf("fresh group schemata %+v", s)
+	}
+	if err := c.DeleteGroup("app0"); err != nil {
+		t.Fatal(err)
+	}
+	groups, _ = c.Groups()
+	if len(groups) != 1 {
+		t.Errorf("after delete: %v", groups)
+	}
+	if err := c.DeleteGroup("app0"); err == nil {
+		t.Error("deleting a missing group should error")
+	}
+	if err := c.DeleteGroup(""); err == nil {
+		t.Error("deleting the root group should error")
+	}
+	if err := c.CreateGroup(""); err == nil {
+		t.Error("creating the root group should error")
+	}
+	if err := c.CreateGroup("info"); err == nil {
+		t.Error("creating 'info' should error")
+	}
+	if err := c.CreateGroup("a/b"); err == nil {
+		t.Error("slash in group name should error")
+	}
+}
+
+func TestCLOSIDLimit(t *testing.T) {
+	c := newSim(t)
+	made := 0
+	for i := 0; i < 20; i++ {
+		if err := c.CreateGroup(groupName(i)); err != nil {
+			break
+		}
+		made++
+	}
+	if made != c.Info().NumCLOSIDs-1 {
+		t.Errorf("created %d groups, want %d (CLOSIDs minus root)", made, c.Info().NumCLOSIDs-1)
+	}
+}
+
+func groupName(i int) string { return "g" + string(rune('a'+i)) }
+
+func TestWriteSchemataValidatesAndMerges(t *testing.T) {
+	c := newSim(t)
+	if err := c.CreateGroup("app"); err != nil {
+		t.Fatal(err)
+	}
+	// Partial write: only L3. MB must keep its old value.
+	if err := c.WriteSchemata("app", Schemata{L3: map[int]uint64{0: 0x3}}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.ReadSchemata("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L3[0] != 0x3 || s.MB[0] != 100 {
+		t.Errorf("after partial write: %+v", s)
+	}
+	// Now only MB.
+	if err := c.WriteSchemata("app", Schemata{MB: map[int]int{0: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = c.ReadSchemata("app")
+	if s.L3[0] != 0x3 || s.MB[0] != 40 {
+		t.Errorf("after MB write: %+v", s)
+	}
+	// Invalid writes rejected.
+	if err := c.WriteSchemata("app", Schemata{L3: map[int]uint64{0: 0b101}}); err == nil {
+		t.Error("non-contiguous CBM accepted")
+	}
+	if err := c.WriteSchemata("app", Schemata{MB: map[int]int{0: 5}}); err == nil {
+		t.Error("MB below min accepted")
+	}
+}
+
+func TestTasksAndCPUs(t *testing.T) {
+	c := newSim(t)
+	if err := c.CreateGroup("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTask("app", 1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTask("app", 1235); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTask("app", 0); err == nil {
+		t.Error("pid 0 should error")
+	}
+	pids, err := c.Tasks("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 2 || pids[0] != 1234 || pids[1] != 1235 {
+		t.Errorf("Tasks=%v", pids)
+	}
+	if err := c.SetCPUs("app", "0-3"); err != nil {
+		t.Fatal(err)
+	}
+	cpus, err := c.CPUs("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpus != "0-3" {
+		t.Errorf("CPUs=%q", cpus)
+	}
+}
+
+func TestApplyToMachine(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := machine.AppModel{
+		Name: "app", Cores: 4, CPIBase: 1, AccPerInstr: 0.01,
+		Hot: []machine.WSComponent{{Bytes: 4 << 20, Weight: 1}},
+	}
+	if err := m.AddApp(model); err != nil {
+		t.Fatal(err)
+	}
+	c := newSim(t)
+	if err := c.CreateGroup("app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSchemata("app", Schemata{
+		L3: map[int]uint64{0: 0x7},
+		MB: map[int]int{0: 30},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyToMachine(c, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Allocation("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CBM != 0x7 || got.MBALevel != 30 {
+		t.Errorf("machine allocation %+v", got)
+	}
+}
+
+func TestApplyToMachineUnknownGroup(t *testing.T) {
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newSim(t)
+	if err := c.CreateGroup("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyToMachine(c, m); err == nil {
+		t.Error("group without a matching app should error")
+	}
+}
+
+func TestOpenMissingTree(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("opening an empty directory should error")
+	}
+}
+
+func TestRoot(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewSimTree(dir, machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Root() != dir {
+		t.Errorf("Root()=%q want %q", c.Root(), dir)
+	}
+}

@@ -1,0 +1,237 @@
+// Package resctrl implements the Linux resctrl filesystem interface used
+// to program Intel CAT and MBA (§2.2, §3.1 of the paper).
+//
+// The kernel exposes resource control at /sys/fs/resctrl: each control
+// group is a directory whose "schemata" file holds one line per resource,
+//
+//	L3:0=7ff;1=7ff
+//	MB:0=100;1=100
+//
+// mapping each cache/socket id to a capacity bitmask (hex, contiguous) or
+// an MBA percentage. This package provides a strict parser/formatter for
+// schemata, a filesystem client that works against any resctrl-shaped
+// directory tree — the real mount or the simulated tree from sim.go — and
+// validation against the advertised hardware limits (info/ directory).
+package resctrl
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schemata is the parsed contents of one schemata file.
+type Schemata struct {
+	// L3 maps cache id → capacity bitmask (CAT).
+	L3 map[int]uint64
+	// MB maps cache id → MBA level in percent.
+	MB map[int]int
+	// Other preserves unrecognized resource lines (e.g. L2, L3CODE)
+	// verbatim so a read-modify-write round-trip does not destroy them.
+	Other []string
+}
+
+// ParseSchemata parses the text of a schemata file.
+func ParseSchemata(text string) (Schemata, error) {
+	s := Schemata{L3: make(map[int]uint64), MB: make(map[int]int)}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		resource, rest, found := strings.Cut(line, ":")
+		if !found {
+			return Schemata{}, fmt.Errorf("resctrl: line %d: missing ':' in %q", ln+1, line)
+		}
+		resource = strings.TrimSpace(resource)
+		switch resource {
+		case "L3":
+			if err := parsePairs(rest, func(id int, val string) error {
+				mask, err := strconv.ParseUint(val, 16, 64)
+				if err != nil {
+					return fmt.Errorf("bad CBM %q: %v", val, err)
+				}
+				if _, dup := s.L3[id]; dup {
+					return fmt.Errorf("duplicate cache id %d", id)
+				}
+				s.L3[id] = mask
+				return nil
+			}); err != nil {
+				return Schemata{}, fmt.Errorf("resctrl: line %d: %v", ln+1, err)
+			}
+		case "MB":
+			if err := parsePairs(rest, func(id int, val string) error {
+				level, err := strconv.Atoi(val)
+				if err != nil {
+					return fmt.Errorf("bad MB value %q: %v", val, err)
+				}
+				if _, dup := s.MB[id]; dup {
+					return fmt.Errorf("duplicate cache id %d", id)
+				}
+				s.MB[id] = level
+				return nil
+			}); err != nil {
+				return Schemata{}, fmt.Errorf("resctrl: line %d: %v", ln+1, err)
+			}
+		default:
+			s.Other = append(s.Other, line)
+		}
+	}
+	return s, nil
+}
+
+// parsePairs splits "0=7ff;1=3ff" and calls fn per (id, value) pair.
+func parsePairs(rest string, fn func(id int, val string) error) error {
+	for _, pair := range strings.Split(rest, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		idStr, val, found := strings.Cut(pair, "=")
+		if !found {
+			return fmt.Errorf("missing '=' in %q", pair)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			return fmt.Errorf("bad cache id %q: %v", idStr, err)
+		}
+		if err := fn(id, strings.TrimSpace(val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the schemata in the kernel's format, resources in L3, MB,
+// Other order and cache ids ascending.
+func (s Schemata) Format() string {
+	var b strings.Builder
+	if len(s.L3) > 0 {
+		b.WriteString("L3:")
+		b.WriteString(formatPairs(sortedKeys(s.L3), func(id int) string {
+			return strconv.FormatUint(s.L3[id], 16)
+		}))
+		b.WriteByte('\n')
+	}
+	if len(s.MB) > 0 {
+		b.WriteString("MB:")
+		b.WriteString(formatPairs(sortedKeys(s.MB), func(id int) string {
+			return strconv.Itoa(s.MB[id])
+		}))
+		b.WriteByte('\n')
+	}
+	for _, o := range s.Other {
+		b.WriteString(o)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func formatPairs(ids []int, val func(int) string) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d=%s", id, val(id))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Info holds the hardware limits advertised under resctrl's info/
+// directory, used to validate schemata before writing.
+type Info struct {
+	CBMMask    uint64 // info/L3/cbm_mask: all implemented ways
+	MinCBMBits int    // info/L3/min_cbm_bits
+	NumCLOSIDs int    // info/L3/num_closids
+	MBAMin     int    // info/MB/min_bandwidth
+	MBAGran    int    // info/MB/bandwidth_gran
+	CacheIDs   []int  // cache domains present (socket ids)
+	// Monitoring (CMT/MBM) capabilities, absent when the tree has no
+	// info/L3_MON directory.
+	NumRMIDs    int      // info/L3_MON/num_rmids
+	MonFeatures []string // info/L3_MON/mon_features
+}
+
+// SupportsMonitoring reports whether the tree advertises CMT/MBM.
+func (in Info) SupportsMonitoring() bool { return in.NumRMIDs > 0 }
+
+// Validate checks the info block itself.
+func (in Info) Validate() error {
+	if in.CBMMask == 0 {
+		return fmt.Errorf("resctrl: zero cbm_mask")
+	}
+	if in.MinCBMBits < 1 || in.MinCBMBits > bits.OnesCount64(in.CBMMask) {
+		return fmt.Errorf("resctrl: min_cbm_bits %d out of range", in.MinCBMBits)
+	}
+	if in.NumCLOSIDs < 1 {
+		return fmt.Errorf("resctrl: num_closids %d", in.NumCLOSIDs)
+	}
+	if in.MBAMin < 1 || in.MBAMin > 100 {
+		return fmt.Errorf("resctrl: min_bandwidth %d", in.MBAMin)
+	}
+	if in.MBAGran < 1 || in.MBAGran > 100 {
+		return fmt.Errorf("resctrl: bandwidth_gran %d", in.MBAGran)
+	}
+	if len(in.CacheIDs) == 0 {
+		return fmt.Errorf("resctrl: no cache domains")
+	}
+	return nil
+}
+
+// CheckSchemata validates a schemata against the hardware limits, applying
+// the kernel's rules: CBMs must be non-zero, contiguous, within cbm_mask,
+// and at least min_cbm_bits wide; MB values must lie in
+// [min_bandwidth, 100] and be multiples of bandwidth_gran; every cache
+// domain present in the schemata must exist.
+func (in Info) CheckSchemata(s Schemata) error {
+	valid := make(map[int]bool, len(in.CacheIDs))
+	for _, id := range in.CacheIDs {
+		valid[id] = true
+	}
+	for id, mask := range s.L3 {
+		if !valid[id] {
+			return fmt.Errorf("resctrl: unknown cache id %d in L3 schemata", id)
+		}
+		if mask == 0 {
+			return fmt.Errorf("resctrl: cache %d: empty CBM", id)
+		}
+		if mask&^in.CBMMask != 0 {
+			return fmt.Errorf("resctrl: cache %d: CBM %x exceeds cbm_mask %x", id, mask, in.CBMMask)
+		}
+		if !contiguous(mask) {
+			return fmt.Errorf("resctrl: cache %d: CBM %x is not contiguous", id, mask)
+		}
+		if bits.OnesCount64(mask) < in.MinCBMBits {
+			return fmt.Errorf("resctrl: cache %d: CBM %x below min_cbm_bits %d", id, mask, in.MinCBMBits)
+		}
+	}
+	for id, level := range s.MB {
+		if !valid[id] {
+			return fmt.Errorf("resctrl: unknown cache id %d in MB schemata", id)
+		}
+		if level < in.MBAMin || level > 100 {
+			return fmt.Errorf("resctrl: cache %d: MB %d outside [%d,100]", id, level, in.MBAMin)
+		}
+		if level%in.MBAGran != 0 {
+			return fmt.Errorf("resctrl: cache %d: MB %d not a multiple of %d", id, level, in.MBAGran)
+		}
+	}
+	return nil
+}
+
+func contiguous(mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	shifted := mask >> uint(bits.TrailingZeros64(mask))
+	return shifted&(shifted+1) == 0
+}

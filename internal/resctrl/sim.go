@@ -1,0 +1,103 @@
+package resctrl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/machine"
+)
+
+// NewSimTree materializes a resctrl-shaped directory tree under dir,
+// advertising the limits of the given machine configuration: one cache
+// domain (id 0), an 11-way cbm_mask on the paper's machine, min_cbm_bits
+// of 1, and MBA from min 10 at granularity 10. The tree is plain files, so
+// the Client — and any external tool — drives it exactly like the real
+// /sys/fs/resctrl.
+func NewSimTree(dir string, cfg machine.Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cacheIDs := make([]int, cfg.SocketCount())
+	rootL3 := make(map[int]uint64, len(cacheIDs))
+	rootMB := make(map[int]int, len(cacheIDs))
+	for s := range cacheIDs {
+		cacheIDs[s] = s
+		rootL3[s] = cfg.FullMask()
+		rootMB[s] = 100
+	}
+	info := Info{
+		CBMMask:    cfg.FullMask(),
+		MinCBMBits: 1,
+		NumCLOSIDs: 16, // the paper's CPU exposes 16 CLOSIDs
+		MBAMin:     10,
+		MBAGran:    10,
+		CacheIDs:   cacheIDs,
+	}
+	for _, sub := range []string{
+		filepath.Join(dir, "info", "L3"),
+		filepath.Join(dir, "info", "MB"),
+		filepath.Join(dir, "info", "L3_MON"),
+	} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("resctrl: %w", err)
+		}
+	}
+	files := map[string]string{
+		filepath.Join("info", "L3", "cbm_mask"):         strconv.FormatUint(info.CBMMask, 16),
+		filepath.Join("info", "L3", "min_cbm_bits"):     strconv.Itoa(info.MinCBMBits),
+		filepath.Join("info", "L3", "num_closids"):      strconv.Itoa(info.NumCLOSIDs),
+		filepath.Join("info", "MB", "min_bandwidth"):    strconv.Itoa(info.MBAMin),
+		filepath.Join("info", "MB", "bandwidth_gran"):   strconv.Itoa(info.MBAGran),
+		filepath.Join("info", "MB", "num_closids"):      strconv.Itoa(info.NumCLOSIDs),
+		filepath.Join("info", "L3_MON", "num_rmids"):    "224", // the paper's CPU generation
+		filepath.Join("info", "L3_MON", "mon_features"): "llc_occupancy\nmbm_total_bytes\nmbm_local_bytes",
+		"schemata": Schemata{L3: rootL3, MB: rootMB}.Format(),
+		"tasks":    "",
+		"cpus":     fmt.Sprintf("0-%d\n", cfg.Cores*cfg.SocketCount()-1),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content+"\n"), 0o644); err != nil {
+			return nil, fmt.Errorf("resctrl: %w", err)
+		}
+	}
+	return Open(dir)
+}
+
+// ApplyToMachine pushes the current schemata of the given control groups
+// into the machine simulator: group names must equal application names.
+// This is the bridge that lets the file-level interface actuate the
+// simulated hardware, mirroring how the kernel programs MSRs on schemata
+// writes.
+func ApplyToMachine(c *Client, m *machine.Machine) error {
+	groups, err := c.Groups()
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		s, err := c.ReadSchemata(g)
+		if err != nil {
+			return err
+		}
+		// The application's home socket selects which cache domain of
+		// the schemata is authoritative for it.
+		model, err := m.Model(g)
+		if err != nil {
+			return fmt.Errorf("resctrl: applying group %s: %w", g, err)
+		}
+		domain := model.Socket
+		cbm, ok := s.L3[domain]
+		if !ok {
+			return fmt.Errorf("resctrl: group %s has no L3 domain %d", g, domain)
+		}
+		level, ok := s.MB[domain]
+		if !ok {
+			return fmt.Errorf("resctrl: group %s has no MB domain %d", g, domain)
+		}
+		if err := m.SetAllocation(g, machine.Alloc{CBM: cbm, MBALevel: level}); err != nil {
+			return fmt.Errorf("resctrl: applying group %s: %w", g, err)
+		}
+	}
+	return nil
+}

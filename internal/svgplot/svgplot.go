@@ -1,0 +1,337 @@
+// Package svgplot renders the repository's experiment results as
+// standalone SVG figures using only the standard library. The paper's
+// artifacts are plots — tile heatmaps (Figures 1–6), grouped bars
+// (Figures 12–14, 17), and time series (Figures 11, 15) — and the cmd
+// tools can emit faithful SVG versions next to their text tables.
+package svgplot
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+const (
+	canvasW = 860.0
+	canvasH = 520.0
+	marginL = 90.0
+	marginR = 30.0
+	marginT = 60.0
+	marginB = 80.0
+)
+
+func plotW() float64 { return canvasW - marginL - marginR }
+func plotH() float64 { return canvasH - marginT - marginB }
+
+// esc escapes text for SVG attribute/content positions.
+func esc(s string) string { return html.EscapeString(s) }
+
+type svgWriter struct {
+	b   strings.Builder
+	err error
+}
+
+func (s *svgWriter) printf(format string, args ...interface{}) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(&s.b, format, args...)
+}
+
+func (s *svgWriter) open(title string) {
+	s.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif">`+"\n",
+		canvasW, canvasH, canvasW, canvasH)
+	s.printf(`<rect width="%g" height="%g" fill="white"/>`+"\n", canvasW, canvasH)
+	if title != "" {
+		s.printf(`<text x="%g" y="28" font-size="16" text-anchor="middle">%s</text>`+"\n",
+			canvasW/2, esc(title))
+	}
+}
+
+func (s *svgWriter) close(w io.Writer) error {
+	s.printf("</svg>\n")
+	if s.err != nil {
+		return s.err
+	}
+	_, err := io.WriteString(w, s.b.String())
+	return err
+}
+
+// lerp interpolates linearly.
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// heatColor maps t∈[0,1] onto a light-to-dark blue ramp.
+func heatColor(t float64) string {
+	if math.IsNaN(t) {
+		t = 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// #f7fbff → #08306b
+	r := int(lerp(247, 8, t))
+	g := int(lerp(251, 48, t))
+	b := int(lerp(255, 107, t))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// seriesPalette is a color-blind-friendly categorical palette.
+var seriesPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#f0e442", "#56b4e9", "#e69f00",
+}
+
+// HeatmapSpec describes a tile plot: Values[row][col], rows rendered top
+// to bottom.
+type HeatmapSpec struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	YTicks []string
+	Values [][]float64
+}
+
+// WriteHeatmap renders the spec as SVG.
+func WriteHeatmap(w io.Writer, spec HeatmapSpec) error {
+	rows, cols := len(spec.YTicks), len(spec.XTicks)
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("svgplot: empty heatmap axes")
+	}
+	if len(spec.Values) != rows {
+		return fmt.Errorf("svgplot: %d value rows for %d y ticks", len(spec.Values), rows)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range spec.Values {
+		if len(row) != cols {
+			return fmt.Errorf("svgplot: ragged heatmap row (%d cells for %d x ticks)", len(row), cols)
+		}
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	s := &svgWriter{}
+	s.open(spec.Title)
+	cw := plotW() / float64(cols)
+	ch := plotH() / float64(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := spec.Values[r][c]
+			t := (v - lo) / (hi - lo)
+			x := marginL + float64(c)*cw
+			y := marginT + float64(r)*ch
+			s.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="white"/>`+"\n",
+				x, y, cw, ch, heatColor(t))
+			txt := "#000"
+			if t > 0.55 {
+				txt = "#fff"
+			}
+			s.printf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="%s">%.2f</text>`+"\n",
+				x+cw/2, y+ch/2+3, txt, v)
+		}
+	}
+	for c, tick := range spec.XTicks {
+		s.printf(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			marginL+(float64(c)+0.5)*cw, marginT+plotH()+18, esc(tick))
+	}
+	for r, tick := range spec.YTicks {
+		s.printf(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, marginT+(float64(r)+0.5)*ch+4, esc(tick))
+	}
+	if spec.XLabel != "" {
+		s.printf(`<text x="%g" y="%g" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW()/2, canvasH-20, esc(spec.XLabel))
+	}
+	if spec.YLabel != "" {
+		s.printf(`<text x="20" y="%g" font-size="13" text-anchor="middle" transform="rotate(-90 20 %g)">%s</text>`+"\n",
+			marginT+plotH()/2, marginT+plotH()/2, esc(spec.YLabel))
+	}
+	return s.close(w)
+}
+
+// BarSeries is one named series of a grouped bar chart.
+type BarSeries struct {
+	Name   string
+	Values []float64
+}
+
+// BarSpec describes a grouped bar chart: one group per X label, one bar
+// per series within each group.
+type BarSpec struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Series []BarSeries
+}
+
+// WriteBars renders the spec as SVG.
+func WriteBars(w io.Writer, spec BarSpec) error {
+	if len(spec.Groups) == 0 || len(spec.Series) == 0 {
+		return fmt.Errorf("svgplot: empty bar chart")
+	}
+	hi := 0.0
+	for _, sr := range spec.Series {
+		if len(sr.Values) != len(spec.Groups) {
+			return fmt.Errorf("svgplot: series %q has %d values for %d groups",
+				sr.Name, len(sr.Values), len(spec.Groups))
+		}
+		for _, v := range sr.Values {
+			if v < 0 {
+				return fmt.Errorf("svgplot: negative bar value %v in %q", v, sr.Name)
+			}
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	hi *= 1.1 // headroom
+	s := &svgWriter{}
+	s.open(spec.Title)
+	groups := float64(len(spec.Groups))
+	perGroup := plotW() / groups
+	barW := perGroup * 0.8 / float64(len(spec.Series))
+	// Y grid lines.
+	for i := 0; i <= 4; i++ {
+		v := hi * float64(i) / 4
+		y := marginT + plotH() - v/hi*plotH()
+		s.printf(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, marginL+plotW(), y)
+		s.printf(`<text x="%g" y="%.1f" font-size="10" text-anchor="end">%.2f</text>`+"\n",
+			marginL-6, y+3, v)
+	}
+	for gi, group := range spec.Groups {
+		gx := marginL + float64(gi)*perGroup + perGroup*0.1
+		for si, sr := range spec.Series {
+			v := sr.Values[gi]
+			h := v / hi * plotH()
+			x := gx + float64(si)*barW
+			y := marginT + plotH() - h
+			s.printf(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, h, seriesPalette[si%len(seriesPalette)])
+		}
+		s.printf(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+perGroup*0.4, marginT+plotH()+18, esc(group))
+	}
+	writeLegend(s, seriesNames(spec.Series))
+	if spec.YLabel != "" {
+		s.printf(`<text x="20" y="%g" font-size="13" text-anchor="middle" transform="rotate(-90 20 %g)">%s</text>`+"\n",
+			marginT+plotH()/2, marginT+plotH()/2, esc(spec.YLabel))
+	}
+	return s.close(w)
+}
+
+func seriesNames(series []BarSeries) []string {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func writeLegend(s *svgWriter, names []string) {
+	x := marginL
+	y := marginT - 18.0
+	for i, name := range names {
+		s.printf(`<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			x, y-9, seriesPalette[i%len(seriesPalette)])
+		s.printf(`<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", x+14, y, esc(name))
+		x += 16 + 8*float64(len(name)) + 14
+	}
+}
+
+// LineSeries is one named series of a line chart.
+type LineSeries struct {
+	Name   string
+	Values []float64
+}
+
+// LineSpec describes a multi-series line chart over a shared X axis.
+type LineSpec struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []LineSeries
+}
+
+// WriteLines renders the spec as SVG.
+func WriteLines(w io.Writer, spec LineSpec) error {
+	if len(spec.X) < 2 || len(spec.Series) == 0 {
+		return fmt.Errorf("svgplot: a line chart needs ≥2 x points and ≥1 series")
+	}
+	xlo, xhi := spec.X[0], spec.X[0]
+	for _, x := range spec.X {
+		xlo = math.Min(xlo, x)
+		xhi = math.Max(xhi, x)
+	}
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, sr := range spec.Series {
+		if len(sr.Values) != len(spec.X) {
+			return fmt.Errorf("svgplot: series %q has %d values for %d x points",
+				sr.Name, len(sr.Values), len(spec.X))
+		}
+		for _, v := range sr.Values {
+			ylo = math.Min(ylo, v)
+			yhi = math.Max(yhi, v)
+		}
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	ylo = math.Min(ylo, 0)
+	yhi *= 1.05
+	px := func(x float64) float64 { return marginL + (x-xlo)/(xhi-xlo)*plotW() }
+	py := func(y float64) float64 { return marginT + plotH() - (y-ylo)/(yhi-ylo)*plotH() }
+
+	s := &svgWriter{}
+	s.open(spec.Title)
+	for i := 0; i <= 4; i++ {
+		v := ylo + (yhi-ylo)*float64(i)/4
+		s.printf(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py(v), marginL+plotW(), py(v))
+		s.printf(`<text x="%g" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			marginL-6, py(v)+3, v)
+	}
+	for i := 0; i <= 5; i++ {
+		v := xlo + (xhi-xlo)*float64(i)/5
+		s.printf(`<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			px(v), marginT+plotH()+18, v)
+	}
+	for si, sr := range spec.Series {
+		var pts strings.Builder
+		for i, v := range sr.Values {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", px(spec.X[i]), py(v))
+		}
+		s.printf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			pts.String(), seriesPalette[si%len(seriesPalette)])
+	}
+	lineNames := make([]string, len(spec.Series))
+	for i, sr := range spec.Series {
+		lineNames[i] = sr.Name
+	}
+	writeLegend(s, lineNames)
+	if spec.XLabel != "" {
+		s.printf(`<text x="%g" y="%g" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW()/2, canvasH-20, esc(spec.XLabel))
+	}
+	if spec.YLabel != "" {
+		s.printf(`<text x="20" y="%g" font-size="13" text-anchor="middle" transform="rotate(-90 20 %g)">%s</text>`+"\n",
+			marginT+plotH()/2, marginT+plotH()/2, esc(spec.YLabel))
+	}
+	return s.close(w)
+}

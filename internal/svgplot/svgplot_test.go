@@ -1,0 +1,182 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks that the output parses as XML and counts elements.
+func wellFormed(t *testing.T, b []byte) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(b))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("not well-formed XML: %v\n%s", err, b)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestWriteHeatmap(t *testing.T) {
+	var b bytes.Buffer
+	spec := HeatmapSpec{
+		Title:  "Fig 1 <WN>",
+		XLabel: "MBA", YLabel: "ways",
+		XTicks: []string{"10", "50", "100"},
+		YTicks: []string{"1", "11"},
+		Values: [][]float64{{0.2, 0.5, 0.6}, {0.9, 1.0, 1.0}},
+	}
+	if err := WriteHeatmap(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, b.Bytes())
+	// Background + 6 cells.
+	if counts["rect"] != 7 {
+		t.Errorf("rect count %d, want 7", counts["rect"])
+	}
+	if !strings.Contains(b.String(), "&lt;WN&gt;") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestWriteHeatmapValidation(t *testing.T) {
+	if err := WriteHeatmap(&bytes.Buffer{}, HeatmapSpec{}); err == nil {
+		t.Error("empty axes should error")
+	}
+	bad := HeatmapSpec{
+		XTicks: []string{"a"}, YTicks: []string{"b"},
+		Values: [][]float64{{1, 2}},
+	}
+	if err := WriteHeatmap(&bytes.Buffer{}, bad); err == nil {
+		t.Error("ragged rows should error")
+	}
+	short := HeatmapSpec{
+		XTicks: []string{"a"}, YTicks: []string{"b", "c"},
+		Values: [][]float64{{1}},
+	}
+	if err := WriteHeatmap(&bytes.Buffer{}, short); err == nil {
+		t.Error("missing rows should error")
+	}
+}
+
+func TestWriteHeatmapConstantValues(t *testing.T) {
+	// A flat surface must not divide by zero.
+	var b bytes.Buffer
+	spec := HeatmapSpec{
+		XTicks: []string{"a", "b"}, YTicks: []string{"c"},
+		Values: [][]float64{{1, 1}},
+	}
+	if err := WriteHeatmap(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.Bytes())
+}
+
+func TestWriteBars(t *testing.T) {
+	var b bytes.Buffer
+	spec := BarSpec{
+		Title:  "Figure 12",
+		YLabel: "unfairness",
+		Groups: []string{"H-LLC", "H-BW"},
+		Series: []BarSeries{
+			{Name: "EQ", Values: []float64{1, 1}},
+			{Name: "CoPart", Values: []float64{0.02, 0.66}},
+		},
+	}
+	if err := WriteBars(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, b.Bytes())
+	// Background + 4 bars + 2 legend swatches.
+	if counts["rect"] != 7 {
+		t.Errorf("rect count %d, want 7", counts["rect"])
+	}
+	if counts["line"] != 5 {
+		t.Errorf("grid line count %d, want 5", counts["line"])
+	}
+}
+
+func TestWriteBarsValidation(t *testing.T) {
+	if err := WriteBars(&bytes.Buffer{}, BarSpec{}); err == nil {
+		t.Error("empty chart should error")
+	}
+	bad := BarSpec{
+		Groups: []string{"a", "b"},
+		Series: []BarSeries{{Name: "s", Values: []float64{1}}},
+	}
+	if err := WriteBars(&bytes.Buffer{}, bad); err == nil {
+		t.Error("length mismatch should error")
+	}
+	neg := BarSpec{
+		Groups: []string{"a"},
+		Series: []BarSeries{{Name: "s", Values: []float64{-1}}},
+	}
+	if err := WriteBars(&bytes.Buffer{}, neg); err == nil {
+		t.Error("negative values should error")
+	}
+}
+
+func TestWriteBarsAllZero(t *testing.T) {
+	var b bytes.Buffer
+	spec := BarSpec{
+		Groups: []string{"a"},
+		Series: []BarSeries{{Name: "s", Values: []float64{0}}},
+	}
+	if err := WriteBars(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.Bytes())
+}
+
+func TestWriteLines(t *testing.T) {
+	var b bytes.Buffer
+	spec := LineSpec{
+		Title:  "Figure 15",
+		XLabel: "t (s)", YLabel: "unfairness",
+		X: []float64{0, 100, 200, 300},
+		Series: []LineSeries{
+			{Name: "CoPart", Values: []float64{0.1, 0.02, 0.11, 0.02}},
+			{Name: "EQ", Values: []float64{0.15, 0.15, 0.15, 0.15}},
+		},
+	}
+	if err := WriteLines(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	counts := wellFormed(t, b.Bytes())
+	if counts["polyline"] != 2 {
+		t.Errorf("polyline count %d, want 2", counts["polyline"])
+	}
+}
+
+func TestWriteLinesValidation(t *testing.T) {
+	if err := WriteLines(&bytes.Buffer{}, LineSpec{X: []float64{1}}); err == nil {
+		t.Error("single x point should error")
+	}
+	bad := LineSpec{
+		X:      []float64{1, 2},
+		Series: []LineSeries{{Name: "s", Values: []float64{1}}},
+	}
+	if err := WriteLines(&bytes.Buffer{}, bad); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, tt := range []float64{-1, 0, 0.5, 1, 2} {
+		c := heatColor(tt)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("heatColor(%v)=%q", tt, c)
+		}
+	}
+}

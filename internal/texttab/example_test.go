@@ -1,0 +1,20 @@
+package texttab_test
+
+import (
+	"os"
+
+	"repro/internal/texttab"
+)
+
+func ExampleTable() {
+	t := texttab.New("Policies", "name", "unfairness")
+	t.AddRow("EQ", "1.000")
+	t.AddRow("CoPart", "0.220")
+	_ = t.Render(os.Stdout)
+	// Output:
+	// Policies
+	// name    unfairness
+	// ------  ----------
+	// EQ      1.000
+	// CoPart  0.220
+}

@@ -1,0 +1,216 @@
+// Package texttab renders plain-text tables and heatmaps.
+//
+// All experiment binaries in this repository print their results as text
+// tables whose rows mirror the series of the corresponding paper table or
+// figure; heatmaps (Figures 1–6) are printed as value grids with row/column
+// headers so the paper's tile plots can be compared cell by cell.
+package texttab
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Cells beyond the header count are still rendered;
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row, applying fmt.Sprintf to each (format, value) pair
+// supplied as alternating arguments is impractical in Go; instead this
+// helper formats every value with %v.
+func (t *Table) AddRowv(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%v", v)
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows reports how many data rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.headers {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		sep := make([]string, cols)
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string, ignoring write errors (strings
+// never fail to build).
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Heatmap holds a dense numeric grid with labeled axes, rendered with a
+// fixed numeric format. Rows index the Y axis (printed top to bottom in the
+// order given), columns the X axis.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	YTicks []string
+	Format string // e.g. "%.2f"; defaults to "%.3f"
+	cells  [][]float64
+}
+
+// NewHeatmap allocates a heatmap with len(yTicks) rows and len(xTicks)
+// columns, all zero.
+func NewHeatmap(title string, xTicks, yTicks []string) *Heatmap {
+	cells := make([][]float64, len(yTicks))
+	for i := range cells {
+		cells[i] = make([]float64, len(xTicks))
+	}
+	return &Heatmap{Title: title, XTicks: xTicks, YTicks: yTicks, cells: cells}
+}
+
+// Set stores a value at (row, col). Out-of-range indices panic, as they
+// indicate a harness bug rather than a runtime condition.
+func (h *Heatmap) Set(row, col int, v float64) {
+	h.cells[row][col] = v
+}
+
+// At returns the value at (row, col).
+func (h *Heatmap) At(row, col int) float64 { return h.cells[row][col] }
+
+// Render writes the grid to w.
+func (h *Heatmap) Render(w io.Writer) error {
+	format := h.Format
+	if format == "" {
+		format = "%.3f"
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		b.WriteString(h.Title)
+		b.WriteByte('\n')
+	}
+	if h.XLabel != "" || h.YLabel != "" {
+		fmt.Fprintf(&b, "rows: %s, cols: %s\n", h.YLabel, h.XLabel)
+	}
+	// Compute column widths from the rendered cells.
+	rendered := make([][]string, len(h.cells))
+	for i, row := range h.cells {
+		rendered[i] = make([]string, len(row))
+		for j, v := range row {
+			rendered[i][j] = fmt.Sprintf(format, v)
+		}
+	}
+	yw := 0
+	for _, t := range h.YTicks {
+		if len(t) > yw {
+			yw = len(t)
+		}
+	}
+	colw := make([]int, len(h.XTicks))
+	for j, t := range h.XTicks {
+		colw[j] = len(t)
+	}
+	for _, row := range rendered {
+		for j, c := range row {
+			if len(c) > colw[j] {
+				colw[j] = len(c)
+			}
+		}
+	}
+	var hdr strings.Builder
+	hdr.WriteString(pad("", yw))
+	for j, t := range h.XTicks {
+		hdr.WriteString("  ")
+		hdr.WriteString(pad(t, colw[j]))
+	}
+	b.WriteString(strings.TrimRight(hdr.String(), " "))
+	b.WriteByte('\n')
+	for i, row := range rendered {
+		var line strings.Builder
+		line.WriteString(pad(h.YTicks[i], yw))
+		for j, c := range row {
+			line.WriteString("  ")
+			line.WriteString(pad(c, colw[j]))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the heatmap to a string.
+func (h *Heatmap) String() string {
+	var b strings.Builder
+	_ = h.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := New("My Table", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "12345")
+	out := tab.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing headers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Alignment: columns should start at the same offset on all data rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows=%d want 2", tab.NumRows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow("x", "extra", "more")
+	tab.AddRow()
+	out := tab.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "more") {
+		t.Errorf("extra cells must still render:\n%s", out)
+	}
+}
+
+func TestTableAddRowv(t *testing.T) {
+	tab := New("", "n", "f")
+	tab.AddRowv(42, 3.5)
+	out := tab.String()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3.5") {
+		t.Errorf("AddRowv formatting failed:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap("grid", []string{"10", "20"}, []string{"w1", "w11"})
+	h.XLabel = "MBA"
+	h.YLabel = "ways"
+	h.Set(0, 0, 0.5)
+	h.Set(1, 1, 1.0)
+	if h.At(0, 0) != 0.5 || h.At(1, 1) != 1.0 {
+		t.Error("Set/At mismatch")
+	}
+	out := h.String()
+	if !strings.Contains(out, "grid") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "rows: ways, cols: MBA") {
+		t.Errorf("missing axis labels:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "1.000") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func TestHeatmapCustomFormat(t *testing.T) {
+	h := NewHeatmap("", []string{"a"}, []string{"b"})
+	h.Format = "%.1f"
+	h.Set(0, 0, 0.25)
+	if !strings.Contains(h.String(), "0.2") {
+		t.Errorf("custom format not applied:\n%s", h.String())
+	}
+}
+
+func TestHeatmapOutOfRangePanics(t *testing.T) {
+	h := NewHeatmap("", []string{"a"}, []string{"b"})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range Set")
+		}
+	}()
+	h.Set(5, 5, 1)
+}

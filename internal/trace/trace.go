@@ -1,0 +1,257 @@
+// Package trace generates synthetic memory-address traces.
+//
+// The paper characterizes its benchmarks by locality and working-set size
+// (§3.3): LLC-sensitive applications have high locality and working sets
+// smaller than the LLC; bandwidth-sensitive applications stream with low
+// locality or working sets exceeding the LLC; dual-sensitive applications
+// mix both behaviours. This package provides generators for each behaviour
+// so the trace-driven cache simulator (internal/cachesim) can derive
+// miss-ratio curves that ground the analytic application models.
+//
+// Generators are deterministic given their seed, so every experiment in the
+// repository is reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator produces an infinite stream of byte addresses. Implementations
+// need not be safe for concurrent use; drive each from a single goroutine.
+type Generator interface {
+	// Next returns the next address in the trace.
+	Next() uint64
+	// Reset restarts the trace from its beginning (same seed).
+	Reset()
+}
+
+// Sequential streams through a region of memory front to back, wrapping
+// around, touching one address per cache line. It models STREAM-like
+// behaviour: zero temporal locality beyond the line, unbounded effective
+// working set when Region exceeds the cache.
+type Sequential struct {
+	Base   uint64 // starting byte address
+	Region uint64 // region size in bytes; must be > 0
+	Stride uint64 // bytes between accesses; typically the line size
+
+	off uint64
+}
+
+// NewSequential returns a sequential generator over [base, base+region).
+func NewSequential(base, region, stride uint64) (*Sequential, error) {
+	if region == 0 {
+		return nil, fmt.Errorf("trace: zero region")
+	}
+	if stride == 0 {
+		return nil, fmt.Errorf("trace: zero stride")
+	}
+	return &Sequential{Base: base, Region: region, Stride: stride}, nil
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() uint64 {
+	a := s.Base + s.off
+	s.off += s.Stride
+	if s.off >= s.Region {
+		s.off = 0
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (s *Sequential) Reset() { s.off = 0 }
+
+// Loop repeatedly walks a fixed working set in order. With a working set
+// that fits the allocated cache capacity almost every access hits after the
+// first pass; once the capacity falls below the working-set size an LRU
+// cache thrashes and the miss ratio jumps towards 1 — the cliff shape that
+// makes an application LLC-sensitive.
+type Loop struct {
+	Base    uint64
+	WorkSet uint64 // working-set size in bytes
+	Stride  uint64
+
+	off uint64
+}
+
+// NewLoop returns a looping generator over a working set.
+func NewLoop(base, workSet, stride uint64) (*Loop, error) {
+	if workSet == 0 {
+		return nil, fmt.Errorf("trace: zero working set")
+	}
+	if stride == 0 {
+		return nil, fmt.Errorf("trace: zero stride")
+	}
+	return &Loop{Base: base, WorkSet: workSet, Stride: stride}, nil
+}
+
+// Next implements Generator.
+func (l *Loop) Next() uint64 {
+	a := l.Base + l.off
+	l.off += l.Stride
+	if l.off >= l.WorkSet {
+		l.off = 0
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (l *Loop) Reset() { l.off = 0 }
+
+// Uniform draws addresses uniformly at random from a working set, modeling
+// pointer-chasing over an in-memory structure. Its miss ratio under LRU
+// degrades smoothly (not cliff-like) as capacity shrinks below the set.
+type Uniform struct {
+	Base    uint64
+	WorkSet uint64
+	Stride  uint64
+
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewUniform returns a uniform random generator over a working set.
+func NewUniform(base, workSet, stride uint64, seed int64) (*Uniform, error) {
+	if workSet == 0 {
+		return nil, fmt.Errorf("trace: zero working set")
+	}
+	if stride == 0 {
+		return nil, fmt.Errorf("trace: zero stride")
+	}
+	u := &Uniform{Base: base, WorkSet: workSet, Stride: stride, seed: seed}
+	u.Reset()
+	return u, nil
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() uint64 {
+	lines := u.WorkSet / u.Stride
+	if lines == 0 {
+		lines = 1
+	}
+	return u.Base + uint64(u.rng.Int63n(int64(lines)))*u.Stride
+}
+
+// Reset implements Generator.
+func (u *Uniform) Reset() { u.rng = rand.New(rand.NewSource(u.seed)) }
+
+// Zipf draws addresses from a working set with a Zipfian popularity skew,
+// modeling hot/cold structures: a small hot subset absorbs most accesses,
+// producing high locality with a long cold tail.
+type Zipf struct {
+	Base    uint64
+	WorkSet uint64
+	Stride  uint64
+	S       float64 // Zipf skew parameter, > 1
+
+	seed int64
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewZipf returns a Zipfian generator over a working set. s must be > 1
+// (required by math/rand's Zipf).
+func NewZipf(base, workSet, stride uint64, s float64, seed int64) (*Zipf, error) {
+	if workSet == 0 {
+		return nil, fmt.Errorf("trace: zero working set")
+	}
+	if stride == 0 {
+		return nil, fmt.Errorf("trace: zero stride")
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("trace: zipf skew %v must be > 1", s)
+	}
+	z := &Zipf{Base: base, WorkSet: workSet, Stride: stride, S: s, seed: seed}
+	z.Reset()
+	return z, nil
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() uint64 {
+	return z.Base + z.zipf.Uint64()*z.Stride
+}
+
+// Reset implements Generator.
+func (z *Zipf) Reset() {
+	z.rng = rand.New(rand.NewSource(z.seed))
+	lines := z.WorkSet / z.Stride
+	if lines == 0 {
+		lines = 1
+	}
+	z.zipf = rand.NewZipf(z.rng, z.S, 1, lines-1)
+}
+
+// Component pairs a generator with a relative weight in a Mixture.
+type Component struct {
+	Gen    Generator
+	Weight float64 // must be > 0
+}
+
+// Mixture interleaves several generators, choosing each next access from a
+// component with probability proportional to its weight. It models
+// applications whose access stream blends a hot structure with streaming
+// traffic (the paper's LLC- and bandwidth-sensitive class).
+type Mixture struct {
+	comps []Component
+	cum   []float64 // cumulative normalized weights
+	seed  int64
+	rng   *rand.Rand
+}
+
+// NewMixture builds a mixture from components. At least one component is
+// required and all weights must be positive.
+func NewMixture(seed int64, comps ...Component) (*Mixture, error) {
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("trace: empty mixture")
+	}
+	total := 0.0
+	for i, c := range comps {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("trace: component %d has non-positive weight %v", i, c.Weight)
+		}
+		if c.Gen == nil {
+			return nil, fmt.Errorf("trace: component %d has nil generator", i)
+		}
+		total += c.Weight
+	}
+	m := &Mixture{comps: comps, seed: seed}
+	m.cum = make([]float64, len(comps))
+	run := 0.0
+	for i, c := range comps {
+		run += c.Weight / total
+		m.cum[i] = run
+	}
+	m.cum[len(m.cum)-1] = 1.0 // guard against FP drift
+	m.Reset()
+	return m, nil
+}
+
+// Next implements Generator.
+func (m *Mixture) Next() uint64 {
+	r := m.rng.Float64()
+	for i, c := range m.cum {
+		if r < c {
+			return m.comps[i].Gen.Next()
+		}
+	}
+	return m.comps[len(m.comps)-1].Gen.Next()
+}
+
+// Reset implements Generator.
+func (m *Mixture) Reset() {
+	m.rng = rand.New(rand.NewSource(m.seed))
+	for _, c := range m.comps {
+		c.Gen.Reset()
+	}
+}
+
+// Take drains n addresses from g into a new slice — a convenience for tests
+// and the MRC profiler.
+func Take(g Generator, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialWraps(t *testing.T) {
+	g, err := NewSequential(0, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Take(g, 6)
+	want := []uint64{0, 64, 128, 192, 0, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0, 0, 64); err == nil {
+		t.Error("zero region should error")
+	}
+	if _, err := NewSequential(0, 64, 0); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+func TestSequentialReset(t *testing.T) {
+	g, _ := NewSequential(100, 1024, 64)
+	first := Take(g, 5)
+	g.Reset()
+	second := Take(g, 5)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("Reset not deterministic at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestLoopStaysInWorkingSet(t *testing.T) {
+	g, err := NewLoop(4096, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		a := g.Next()
+		if a < 4096 || a >= 4096+512 {
+			t.Fatalf("address %d out of working set", a)
+		}
+	}
+}
+
+func TestLoopValidation(t *testing.T) {
+	if _, err := NewLoop(0, 0, 64); err == nil {
+		t.Error("zero working set should error")
+	}
+	if _, err := NewLoop(0, 64, 0); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+func TestUniformDeterministicAndBounded(t *testing.T) {
+	g1, err := NewUniform(0, 1<<20, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewUniform(0, 1<<20, 64, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a >= 1<<20 {
+			t.Fatalf("address %d out of working set", a)
+		}
+		if a%64 != 0 {
+			t.Fatalf("address %d not stride-aligned", a)
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	if _, err := NewUniform(0, 0, 64, 1); err == nil {
+		t.Error("zero working set should error")
+	}
+	if _, err := NewUniform(0, 64, 0, 1); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+func TestUniformTinyWorkingSet(t *testing.T) {
+	// Working set smaller than one stride still yields the base address.
+	g, err := NewUniform(128, 32, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if a := g.Next(); a != 128 {
+			t.Fatalf("expected base address, got %d", a)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewZipf(0, 1<<20, 64, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	// The most popular line (rank 0 → address 0) should dominate.
+	if counts[0] < n/10 {
+		t.Errorf("zipf rank-0 share %d/%d too small; skew not applied", counts[0], n)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1024, 64, 0.5, 1); err == nil {
+		t.Error("skew <= 1 should error")
+	}
+	if _, err := NewZipf(0, 0, 64, 1.5, 1); err == nil {
+		t.Error("zero working set should error")
+	}
+	if _, err := NewZipf(0, 1024, 0, 1.5, 1); err == nil {
+		t.Error("zero stride should error")
+	}
+}
+
+func TestZipfReset(t *testing.T) {
+	g, _ := NewZipf(0, 1<<16, 64, 1.2, 3)
+	a := Take(g, 50)
+	g.Reset()
+	b := Take(g, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Reset not deterministic at %d", i)
+		}
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(1); err == nil {
+		t.Error("empty mixture should error")
+	}
+	seq, _ := NewSequential(0, 1024, 64)
+	if _, err := NewMixture(1, Component{Gen: seq, Weight: 0}); err == nil {
+		t.Error("zero weight should error")
+	}
+	if _, err := NewMixture(1, Component{Gen: nil, Weight: 1}); err == nil {
+		t.Error("nil generator should error")
+	}
+}
+
+func TestMixtureProportions(t *testing.T) {
+	hot, _ := NewLoop(0, 1024, 64)               // addresses < 1024
+	stream, _ := NewSequential(1<<30, 1<<20, 64) // addresses >= 1<<30
+	m, err := NewMixture(9,
+		Component{Gen: hot, Weight: 3},
+		Component{Gen: stream, Weight: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, hotCount := 40000, 0
+	for i := 0; i < n; i++ {
+		if m.Next() < 1<<20 {
+			hotCount++
+		}
+	}
+	frac := float64(hotCount) / float64(n)
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("hot fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixtureReset(t *testing.T) {
+	hot, _ := NewUniform(0, 1<<16, 64, 5)
+	stream, _ := NewSequential(1<<30, 1<<20, 64)
+	m, _ := NewMixture(11,
+		Component{Gen: hot, Weight: 1},
+		Component{Gen: stream, Weight: 1},
+	)
+	a := Take(m, 100)
+	m.Reset()
+	b := Take(m, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mixture Reset not deterministic at %d", i)
+		}
+	}
+}
+
+// Property: every generator's addresses stay within [base, base+region).
+func TestGeneratorBoundsProperty(t *testing.T) {
+	f := func(baseRaw uint32, sizeRaw uint16, seed int64) bool {
+		base := uint64(baseRaw) * 64
+		size := (uint64(sizeRaw)%1024 + 1) * 64
+		gens := []Generator{}
+		if g, err := NewSequential(base, size, 64); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := NewLoop(base, size, 64); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := NewUniform(base, size, 64, seed); err == nil {
+			gens = append(gens, g)
+		}
+		if g, err := NewZipf(base, size, 64, 1.3, seed); err == nil {
+			gens = append(gens, g)
+		}
+		for _, g := range gens {
+			for i := 0; i < 200; i++ {
+				a := g.Next()
+				if a < base || a >= base+size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

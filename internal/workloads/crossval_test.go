@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// crossvalCfg is a scaled-down 11-way cache so trace simulation stays
+// fast: 4096 sets × 11 ways × 64 B = 2.75 MB (way size 256 KB).
+var crossvalCfg = cachesim.Config{SizeBytes: 11 * 64 * 4096, Ways: 11, LineBytes: 64}
+
+// TestAnalyticModelMatchesCacheSim grounds the analytic working-set
+// mixture model (machine.AppModel.MissRatio) against the trace-driven
+// set-associative cache simulator across the three access regimes the
+// model composes.
+//
+// Random (uniform) reuse is the regime the fractional-coverage term
+// represents: with capacity C over a working set W, steady-state LRU
+// keeps ~C/W of the set resident, so the miss ratio is ≈ 1 − C/W. (A
+// strictly sequential loop instead thrashes to a miss ratio of 1 below
+// capacity; that LRU pathology is covered by cachesim's own tests.)
+func TestAnalyticModelMatchesCacheSim(t *testing.T) {
+	if err := crossvalCfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wayBytes := float64(crossvalCfg.SizeBytes) / float64(crossvalCfg.Ways)
+	hotBytes := uint64(6 * 64 * 4096) // 6 ways' worth of hot data
+
+	t.Run("hot-only", func(t *testing.T) {
+		model := machine.AppModel{
+			Name: "hot", Cores: 1, CPIBase: 1, AccPerInstr: 0.01,
+			Hot: []machine.WSComponent{{Bytes: float64(hotBytes), Weight: 1}},
+		}
+		gen, err := trace.NewUniform(0, hotBytes, 64, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrc, err := cachesim.ProfileMRC(crossvalCfg, gen, nil, 400_000, 400_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 1; w <= crossvalCfg.Ways; w++ {
+			analytic := model.MissRatio(float64(w) * wayBytes)
+			measured := mrc.At(w)
+			if diff := math.Abs(analytic - measured); diff > 0.08 {
+				t.Errorf("ways=%d: analytic %.3f vs simulated %.3f (Δ=%.3f)",
+					w, analytic, measured, diff)
+			}
+		}
+	})
+
+	t.Run("stream-only", func(t *testing.T) {
+		// A stream over a region far larger than the cache misses on
+		// (almost) every access at every capacity — the StreamFrac term.
+		gen, err := trace.NewSequential(1<<32, 256<<20, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrc, err := cachesim.ProfileMRC(crossvalCfg, gen, nil, 100_000, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 1; w <= crossvalCfg.Ways; w++ {
+			if mrc.At(w) < 0.99 {
+				t.Errorf("ways=%d: streaming miss ratio %.3f, want ~1", w, mrc.At(w))
+			}
+		}
+	})
+
+	t.Run("mixture", func(t *testing.T) {
+		const (
+			hotWeight  = 0.7
+			streamFrac = 0.3
+		)
+		model := machine.AppModel{
+			Name: "mix", Cores: 1, CPIBase: 1, AccPerInstr: 0.01,
+			Hot:        []machine.WSComponent{{Bytes: float64(hotBytes), Weight: hotWeight}},
+			StreamFrac: streamFrac,
+		}
+		hot, err := trace.NewUniform(0, hotBytes, 64, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := trace.NewSequential(1<<32, 256<<20, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := trace.NewMixture(13,
+			trace.Component{Gen: hot, Weight: hotWeight},
+			trace.Component{Gen: stream, Weight: streamFrac},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrc, err := cachesim.ProfileMRC(crossvalCfg, mix, nil, 400_000, 400_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Known approximation, documented here and in DESIGN.md: the
+		// analytic model ignores *self-pollution* — under LRU the
+		// application's own streaming insertions steal capacity from its
+		// hot set, so near the fit point the simulated miss ratio sits
+		// above the analytic one (we measure up to ~+0.28 at 6 ways, the
+		// exact fit point, shrinking in both directions).
+		// The analytic curve must remain a lower bound that converges at
+		// both ends: below the fit point pollution is second-order, and
+		// with ample headroom the hot set survives the stream.
+		for w := 1; w <= crossvalCfg.Ways; w++ {
+			analytic := model.MissRatio(float64(w) * wayBytes)
+			measured := mrc.At(w)
+			if measured < analytic-0.03 {
+				t.Errorf("ways=%d: simulated %.3f below analytic lower bound %.3f",
+					w, measured, analytic)
+			}
+			if measured > analytic+0.30 {
+				t.Errorf("ways=%d: simulated %.3f too far above analytic %.3f",
+					w, measured, analytic)
+			}
+		}
+		// Tight agreement at the ends, where the model is calibrated:
+		// one way (nearly everything misses) and full capacity (only the
+		// stream misses).
+		if one := mrc.At(1); math.Abs(one-model.MissRatio(wayBytes)) > 0.10 {
+			t.Errorf("1-way simulated miss ratio %.3f vs analytic %.3f",
+				one, model.MissRatio(wayBytes))
+		}
+		if full := mrc.At(crossvalCfg.Ways); math.Abs(full-streamFrac) > 0.08 {
+			t.Errorf("full-cache simulated miss ratio %.3f, want ≈ stream fraction %.2f",
+				full, streamFrac)
+		}
+	})
+}

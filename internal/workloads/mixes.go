@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// MixKind enumerates the seven workload-mix families of §6.1.
+type MixKind int
+
+const (
+	// HLLC is highly LLC-sensitive: n−1 LLC-sensitive benchmarks plus one
+	// insensitive benchmark.
+	HLLC MixKind = iota
+	// HBW is highly memory bandwidth-sensitive.
+	HBW
+	// HBoth is highly LLC- and memory bandwidth-sensitive.
+	HBoth
+	// MLLC is moderately LLC-sensitive: ⌊n/2⌋ LLC-sensitive benchmarks,
+	// the rest insensitive.
+	MLLC
+	// MBW is moderately memory bandwidth-sensitive.
+	MBW
+	// MBoth is moderately LLC- and memory bandwidth-sensitive.
+	MBoth
+	// IS is the all-insensitive mix.
+	IS
+)
+
+// MixKinds returns the seven kinds in the paper's order (Figure 12).
+func MixKinds() []MixKind {
+	return []MixKind{HLLC, HBW, HBoth, MLLC, MBW, MBoth, IS}
+}
+
+// String returns the paper's label for the mix.
+func (k MixKind) String() string {
+	switch k {
+	case HLLC:
+		return "H-LLC"
+	case HBW:
+		return "H-BW"
+	case HBoth:
+		return "H-Both"
+	case MLLC:
+		return "M-LLC"
+	case MBW:
+		return "M-BW"
+	case MBoth:
+		return "M-Both"
+	case IS:
+		return "IS"
+	default:
+		return fmt.Sprintf("MixKind(%d)", int(k))
+	}
+}
+
+// pools returns the benchmark names of each category, in Table 2 order.
+func pools() map[Category][]string {
+	return map[Category][]string{
+		LLCSensitive:  {"WN", "WS", "RT"},
+		BWSensitive:   {"OC", "CG", "FT"},
+		DualSensitive: {"SP", "ON", "FMM"},
+		Insensitive:   {"SW", "EP"},
+	}
+}
+
+// drawFrom picks count benchmarks from a category pool, cloning with a
+// numeric suffix once the pool is exhausted (the paper's sweeps to six
+// applications necessarily repeat benchmarks).
+func drawFrom(cfg machine.Config, cat Category, count int) ([]machine.AppModel, error) {
+	pool := pools()[cat]
+	out := make([]machine.AppModel, 0, count)
+	for i := 0; i < count; i++ {
+		spec, err := ByName(cfg, pool[i%len(pool)])
+		if err != nil {
+			return nil, err
+		}
+		model := spec.Model
+		if i >= len(pool) {
+			model.Name = fmt.Sprintf("%s#%d", model.Name, i/len(pool)+1)
+		}
+		out = append(out, model)
+	}
+	return out, nil
+}
+
+// Mix builds a workload mix of the given kind with n applications
+// (the paper sweeps n from 3 to 6; any n ≥ 2 that fits the machine is
+// accepted). Cores are split evenly: each application receives
+// ⌊cores/n⌋ dedicated cores, mirroring the paper's pinned-thread setup.
+func Mix(cfg machine.Config, kind MixKind, n int) ([]machine.AppModel, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: mix needs at least 2 apps, got %d", n)
+	}
+	if n > cfg.LLCWays {
+		return nil, fmt.Errorf("workloads: %d apps exceed %d LLC ways (each CLOS needs one way)",
+			n, cfg.LLCWays)
+	}
+	coresPer := cfg.Cores / n
+	if coresPer < 1 {
+		return nil, fmt.Errorf("workloads: %d apps exceed %d cores", n, cfg.Cores)
+	}
+
+	var sensitive Category
+	var sensCount int
+	switch kind {
+	case HLLC, HBW, HBoth:
+		sensCount = n - 1
+	case MLLC, MBW, MBoth:
+		sensCount = n / 2
+	case IS:
+		sensCount = 0
+	default:
+		return nil, fmt.Errorf("workloads: unknown mix kind %d", int(kind))
+	}
+	switch kind {
+	case HLLC, MLLC:
+		sensitive = LLCSensitive
+	case HBW, MBW:
+		sensitive = BWSensitive
+	case HBoth, MBoth:
+		sensitive = DualSensitive
+	}
+
+	models := make([]machine.AppModel, 0, n)
+	if sensCount > 0 {
+		sens, err := drawFrom(cfg, sensitive, sensCount)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, sens...)
+	}
+	ins, err := drawFrom(cfg, Insensitive, n-sensCount)
+	if err != nil {
+		return nil, err
+	}
+	models = append(models, ins...)
+
+	for i := range models {
+		models[i].Cores = coresPer
+	}
+	return models, nil
+}

@@ -1,0 +1,243 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func TestMixKindsOrder(t *testing.T) {
+	kinds := MixKinds()
+	if len(kinds) != 7 {
+		t.Fatalf("got %d kinds, want 7", len(kinds))
+	}
+	wantLabels := []string{"H-LLC", "H-BW", "H-Both", "M-LLC", "M-BW", "M-Both", "IS"}
+	for i, k := range kinds {
+		if k.String() != wantLabels[i] {
+			t.Errorf("kind %d = %s want %s", i, k, wantLabels[i])
+		}
+	}
+	if MixKind(42).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestMixCompositionAt4(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	tests := []struct {
+		kind      MixKind
+		wantNames []string
+	}{
+		{HLLC, []string{"WN", "WS", "RT", "SW"}},
+		{HBW, []string{"OC", "CG", "FT", "SW"}},
+		{HBoth, []string{"SP", "ON", "FMM", "SW"}},
+		{MLLC, []string{"WN", "WS", "SW", "EP"}},
+		{MBW, []string{"OC", "CG", "SW", "EP"}},
+		{MBoth, []string{"SP", "ON", "SW", "EP"}},
+		{IS, []string{"SW", "EP", "SW#2", "EP#2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.kind.String(), func(t *testing.T) {
+			models, err := Mix(cfg, tt.kind, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(models) != 4 {
+				t.Fatalf("got %d apps", len(models))
+			}
+			for i, m := range models {
+				if m.Name != tt.wantNames[i] {
+					t.Errorf("app %d = %s want %s", i, m.Name, tt.wantNames[i])
+				}
+				if m.Cores != 4 {
+					t.Errorf("app %s cores=%d want 4", m.Name, m.Cores)
+				}
+				if err := m.Validate(); err != nil {
+					t.Errorf("app %s invalid: %v", m.Name, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMixAppCountSweep(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	for _, n := range []int{3, 4, 5, 6} {
+		for _, kind := range MixKinds() {
+			models, err := Mix(cfg, kind, n)
+			if err != nil {
+				t.Fatalf("Mix(%v,%d): %v", kind, n, err)
+			}
+			if len(models) != n {
+				t.Errorf("Mix(%v,%d) has %d apps", kind, n, len(models))
+			}
+			// Unique names (clones get suffixes).
+			seen := map[string]bool{}
+			totalCores := 0
+			for _, m := range models {
+				if seen[m.Name] {
+					t.Errorf("Mix(%v,%d): duplicate name %s", kind, n, m.Name)
+				}
+				seen[m.Name] = true
+				totalCores += m.Cores
+			}
+			if totalCores > cfg.Cores {
+				t.Errorf("Mix(%v,%d): %d cores oversubscribed", kind, n, totalCores)
+			}
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	if _, err := Mix(cfg, HLLC, 1); err == nil {
+		t.Error("1-app mix should error")
+	}
+	if _, err := Mix(cfg, HLLC, 12); err == nil {
+		t.Error("more apps than ways should error")
+	}
+	if _, err := Mix(cfg, MixKind(99), 4); err == nil {
+		t.Error("unknown kind should error")
+	}
+	small := cfg
+	small.Cores = 2
+	if _, err := Mix(small, HLLC, 3); err == nil {
+		t.Error("more apps than cores should error")
+	}
+}
+
+func TestMixRunsOnMachine(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := Mix(cfg, HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatalf("AddApp(%s): %v", model.Name, err)
+		}
+	}
+	if err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcachedModel(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	lc := Memcached(cfg)
+	if err := lc.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lc.SLO != time.Millisecond {
+		t.Errorf("SLO=%v want 1ms (§6.3)", lc.SLO)
+	}
+}
+
+func TestP95Curve(t *testing.T) {
+	lc := Memcached(machine.DefaultConfig())
+	// Light load at full performance: near base latency.
+	light := lc.P95(1.0, 10_000)
+	if light < lc.BaseLatency || light > 2*lc.BaseLatency {
+		t.Errorf("light-load p95 %v implausible (base %v)", light, lc.BaseLatency)
+	}
+	// Latency rises with load.
+	heavy := lc.P95(1.0, 200_000)
+	if heavy <= light {
+		t.Errorf("p95 should rise with load: %v vs %v", heavy, light)
+	}
+	// Latency rises as performance is taken away.
+	squeezed := lc.P95(0.5, 100_000)
+	relaxed := lc.P95(1.0, 100_000)
+	if squeezed <= relaxed {
+		t.Errorf("p95 should rise as resources shrink: %v vs %v", squeezed, relaxed)
+	}
+	// Overload saturates instead of going negative/inf.
+	if lc.P95(0.1, 200_000) != time.Hour {
+		t.Error("overload should saturate")
+	}
+	if lc.P95(0, 100) != time.Hour {
+		t.Error("zero performance should saturate")
+	}
+	if lc.P95(1, -5) != time.Hour {
+		t.Error("negative load should saturate")
+	}
+}
+
+func TestMinPerfFraction(t *testing.T) {
+	lc := Memcached(machine.DefaultConfig())
+	lowLoad, err := lc.MinPerfFraction(75_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highLoad, err := lc.MinPerfFraction(150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if highLoad <= lowLoad {
+		t.Errorf("higher load should need more resources: %v vs %v", highLoad, lowLoad)
+	}
+	// The found fraction actually meets the SLO, and a slightly smaller
+	// one does not (tightness).
+	if lc.P95(highLoad, 150_000) > lc.SLO {
+		t.Error("MinPerfFraction result violates the SLO")
+	}
+	if lc.P95(highLoad*0.98, 150_000) <= lc.SLO {
+		t.Error("MinPerfFraction is not tight")
+	}
+	if _, err := lc.MinPerfFraction(-1); err == nil {
+		t.Error("negative load should error")
+	}
+	if _, err := lc.MinPerfFraction(10 * lc.PeakRPS); err == nil {
+		t.Error("impossible load should error")
+	}
+}
+
+func TestBatchModels(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := WordCount(cfg)
+	km := Kmeans(cfg)
+	if err := wc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Word Count is bandwidth-sensitive; Kmeans is dual-sensitive —
+	// distinct characteristics for CoPart to balance.
+	for _, tc := range []struct {
+		model   machine.AppModel
+		wantLLC bool
+		wantBW  bool
+	}{
+		{wc, false, true},
+		{km, true, true},
+	} {
+		full, err := m.SoloPerf(tc.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneWay, err := m.SoloPerfAt(tc.model, machine.Alloc{CBM: 1, MBALevel: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowBW, err := m.SoloPerfAt(tc.model, machine.Alloc{CBM: cfg.FullMask(), MBALevel: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLLC := 1-oneWay.IPS/full.IPS >= 0.15
+		gotBW := 1-lowBW.IPS/full.IPS >= 0.15
+		if gotLLC != tc.wantLLC || gotBW != tc.wantBW {
+			t.Errorf("%s: llc=%v bw=%v want llc=%v bw=%v",
+				tc.model.Name, gotLLC, gotBW, tc.wantLLC, tc.wantBW)
+		}
+	}
+}
