@@ -9,22 +9,40 @@
 // real /sys/fs/resctrl), demonstrating the deployment path on CAT/MBA
 // hardware.
 //
+// With -faults SPEC, the run is subjected to a fault-injection scenario
+// (see internal/faultinject for the spec grammar; "standard" is the
+// canonical chaos schedule) and the controller runs with resilience
+// enabled: transient errors are retried, and sustained outages push it
+// into a degraded equal-allocation mode until the substrate heals.
+//
+// On SIGINT/SIGTERM the daemon finishes the current control period,
+// stops, and — like on normal exit — restores every application to the
+// unrestricted default allocation (full cache mask, 100 % memory
+// bandwidth), so a controlled machine is never left with stale partition
+// restrictions.
+//
 // Usage:
 //
-//	copartd -mix H-LLC -apps 4 -duration 60s [-seed 1] [-resctrl DIR]
+//	copartd -mix H-LLC -apps 4 -duration 60s [-seed 1] [-resctrl DIR] [-faults SPEC]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eventlog"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
+	"repro/internal/membw"
 	"repro/internal/resctrl"
 	"repro/internal/workloads"
 )
@@ -36,9 +54,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "controller seed")
 	resctrlDir := flag.String("resctrl", "", "mirror decisions into a resctrl tree under this directory")
 	events := flag.Bool("events", false, "print the controller's structured event log at exit")
+	faults := flag.String("faults", "", `fault-injection scenario, e.g. "standard" or "readerr=0.05,wrap=30s"`)
 	flag.Parse()
 
-	if err := run(*mixName, *apps, *duration, *seed, *resctrlDir, *events); err != nil {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	if err := run(*mixName, *apps, *duration, *seed, *resctrlDir, *events, *faults, sigc); err != nil {
 		fmt.Fprintln(os.Stderr, "copartd:", err)
 		os.Exit(1)
 	}
@@ -53,12 +76,41 @@ func parseMix(name string) (workloads.MixKind, error) {
 	return 0, fmt.Errorf("unknown mix %q", name)
 }
 
-func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDir string, events bool) error {
+// parseScenario parses the -faults spec and resolves arrival names
+// against the workload catalog.
+func parseScenario(cfg machine.Config, spec string) (faultinject.Scenario, error) {
+	sc, err := faultinject.Parse(spec)
+	if err != nil {
+		return faultinject.Scenario{}, err
+	}
+	for i := range sc.Churn {
+		ev := &sc.Churn[i]
+		if !ev.Arrive {
+			continue
+		}
+		ws, err := workloads.ByName(cfg, ev.Name)
+		if err != nil {
+			return faultinject.Scenario{}, fmt.Errorf("resolving arrival %q: %w", ev.Name, err)
+		}
+		model := ws.Model
+		ev.Model = &model
+	}
+	return sc, nil
+}
+
+// run is the daemon body; sig may be nil when no signal handling is
+// wanted (tests).
+func run(mixName string, apps int, duration time.Duration, seed int64,
+	resctrlDir string, events bool, faultSpec string, sig <-chan os.Signal) error {
 	kind, err := parseMix(mixName)
 	if err != nil {
 		return err
 	}
 	cfg := machine.DefaultConfig()
+	sc, err := parseScenario(cfg, faultSpec)
+	if err != nil {
+		return err
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		return err
@@ -76,6 +128,7 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 	}
 
 	var rc *resctrl.Client
+	mirrored := make(map[string]bool)
 	if resctrlDir != "" {
 		rc, err = resctrl.NewSimTree(resctrlDir, cfg)
 		if err != nil {
@@ -85,18 +138,9 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 			if err := rc.CreateGroup(n); err != nil {
 				return err
 			}
+			mirrored[n] = true
 		}
 		fmt.Printf("mirroring schemata into %s\n", resctrlDir)
-	}
-
-	ref, err := workloads.StreamMissRates(m)
-	if err != nil {
-		return err
-	}
-	mgr, err := core.NewManager(m, core.DefaultParams(), ref,
-		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return err
 	}
 
 	var elog *eventlog.Log
@@ -105,7 +149,47 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 		if err != nil {
 			return err
 		}
-		mgr.Events = elog
+	}
+
+	var (
+		target core.Target = m
+		inj    *faultinject.Injector
+	)
+	if !sc.Empty() {
+		wrapped, err := faultinject.WrapTarget(m, sc, elog)
+		if err != nil {
+			return err
+		}
+		target = wrapped
+		inj = wrapped.Injector()
+		fmt.Println("fault injection active, resilient control loop enabled")
+	}
+
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return err
+	}
+	mgr, err := core.NewManager(target, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	if !sc.Empty() {
+		mgr.Resilience = core.DefaultResilience()
+	}
+	mgr.Events = elog
+
+	if sig != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case s := <-sig:
+				fmt.Fprintf(os.Stderr, "copartd: caught %v, stopping after the current period\n", s)
+				mgr.Stop()
+			case <-done:
+			}
+		}()
 	}
 
 	fmt.Printf("consolidating %v on %d cores, %d-way LLC\n", names, cfg.Cores, cfg.LLCWays)
@@ -118,7 +202,7 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 		}
 		fmt.Println(sb.String())
 		if rc != nil {
-			if err := mirror(rc, r); err != nil {
+			if err := mirror(rc, mirrored, r); err != nil {
 				fmt.Fprintln(os.Stderr, "copartd: resctrl mirror:", err)
 			}
 		}
@@ -127,6 +211,16 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 		return err
 	}
 	fmt.Printf("done at t=%.1fs in %v phase\n", m.Now().Seconds(), mgr.Phase())
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("injected faults: %d (reads=%d writes=%d overruns=%d wraps=%d stuck=%d departs=%d arrivals=%d)\n",
+			st.Total(), st.ReadErrors, st.WriteErrors, st.Overruns, st.Wraps,
+			st.StuckReads, st.Departures, st.Arrivals)
+	}
+	if err := restoreDefaults(m, rc, mirrored); err != nil {
+		return fmt.Errorf("restoring default allocations: %w", err)
+	}
+	fmt.Println("default allocations restored")
 	if elog != nil {
 		fmt.Printf("\nevent log (%d events, %d retained):\n", elog.Total(), elog.Len())
 		if err := elog.WriteText(os.Stdout); err != nil {
@@ -136,18 +230,56 @@ func run(mixName string, apps int, duration time.Duration, seed int64, resctrlDi
 	return nil
 }
 
-// mirror writes the report's system state into the resctrl tree.
-func mirror(rc *resctrl.Client, r core.PeriodReport) error {
+// mirror writes the report's system state into the resctrl tree, creating
+// control groups on demand for applications that arrived mid-run.
+func mirror(rc *resctrl.Client, mirrored map[string]bool, r core.PeriodReport) error {
 	masks, err := machine.AssignContiguousWays(r.State.Ways, 0, len64(rc.Info().CBMMask))
 	if err != nil {
 		return err
 	}
 	for i, app := range r.Apps {
+		if !mirrored[app] {
+			if err := rc.CreateGroup(app); err != nil {
+				return err
+			}
+			mirrored[app] = true
+		}
 		s := resctrl.Schemata{
 			L3: map[int]uint64{0: masks[i]},
 			MB: map[int]int{0: r.State.MBA[i]},
 		}
 		if err := rc.WriteSchemata(app, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreDefaults returns every application — live on the machine, and
+// every mirrored control group — to the unrestricted allocation: full
+// cache mask and 100 % memory bandwidth. Groups removed underneath us
+// are skipped.
+func restoreDefaults(m *machine.Machine, rc *resctrl.Client, mirrored map[string]bool) error {
+	full := m.Config().FullMask()
+	for _, name := range m.Apps() {
+		if err := m.SetAllocation(name, machine.Alloc{CBM: full, MBALevel: membw.MaxLevel}); err != nil {
+			return err
+		}
+	}
+	if rc == nil {
+		return nil
+	}
+	info := rc.Info()
+	s := resctrl.Schemata{L3: map[int]uint64{}, MB: map[int]int{}}
+	for _, id := range info.CacheIDs {
+		s.L3[id] = info.CBMMask
+		s.MB[id] = membw.MaxLevel
+	}
+	for group := range mirrored {
+		if err := rc.WriteSchemata(group, s); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
 			return err
 		}
 	}

@@ -6,6 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/resctrl"
 	"repro/internal/workloads"
 )
 
@@ -26,35 +29,110 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestRunSimulated(t *testing.T) {
-	if err := run("H-LLC", 4, 30*time.Second, 1, "", true); err != nil {
+	if err := run("H-LLC", 4, 30*time.Second, 1, "", true, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithResctrlMirror(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("M-BW", 4, 25*time.Second, 1, dir, false); err != nil {
+	if err := run("M-BW", 4, 25*time.Second, 1, dir, false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The mirror must contain one group per application with parseable
-	// schemata.
+	// schemata, and the shutdown path must have restored the defaults:
+	// full cache mask, 100 % memory bandwidth.
+	full := machine.DefaultConfig().FullMask()
 	for _, app := range []string{"OC", "CG", "SW", "EP"} {
 		b, err := os.ReadFile(filepath.Join(dir, app, "schemata"))
 		if err != nil {
 			t.Errorf("missing schemata for %s: %v", app, err)
 			continue
 		}
-		if len(b) == 0 {
-			t.Errorf("empty schemata for %s", app)
+		s, err := resctrl.ParseSchemata(string(b))
+		if err != nil {
+			t.Errorf("unparseable schemata for %s: %v", app, err)
+			continue
+		}
+		if s.L3[0] != full {
+			t.Errorf("%s: CBM %#x after exit, want restored full mask %#x", app, s.L3[0], full)
+		}
+		if s.MB[0] != membw.MaxLevel {
+			t.Errorf("%s: MBA %d%% after exit, want restored %d%%", app, s.MB[0], membw.MaxLevel)
 		}
 	}
 }
 
+// TestRunWithFaults drives the daemon through the full chaos path: a
+// probabilistic error background plus a read outage and churn must not
+// make run return an error once resilience is enabled.
+func TestRunWithFaults(t *testing.T) {
+	spec := "seed=3,readerr=0.1,writeerr=0.05,readburst=20s-25s,depart=@30s,arrive=WN@40s"
+	if err := run("H-Both", 4, 70*time.Second, 1, "", false, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWithFaultsAndMirror checks that churn arrivals get a control
+// group created on demand in the mirror tree. The mix must not already
+// contain WN: the machine rejects re-arrivals under a previously used
+// name, and a pre-existing group would make this check vacuous.
+func TestRunWithFaultsAndMirror(t *testing.T) {
+	dir := t.TempDir()
+	spec := "depart=@20s,arrive=WN@30s"
+	if err := run("H-Both", 4, 60*time.Second, 1, dir, false, spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "WN", "schemata")); err != nil {
+		t.Errorf("arrived app WN should have a mirrored control group: %v", err)
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	if err := run("H-LLC", 4, time.Second, 1, "", false, "bogus", nil); err == nil {
+		t.Error("malformed fault spec should error")
+	}
+	if err := run("H-LLC", 4, time.Second, 1, "", false, "arrive=NOPE@5s", nil); err == nil {
+		t.Error("unknown arrival benchmark should error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 4, time.Second, 1, "", false); err == nil {
+	if err := run("nope", 4, time.Second, 1, "", false, "", nil); err == nil {
 		t.Error("unknown mix should error")
 	}
-	if err := run("H-LLC", 40, time.Second, 1, "", false); err == nil {
+	if err := run("H-LLC", 40, time.Second, 1, "", false, "", nil); err == nil {
 		t.Error("too many apps should error")
+	}
+}
+
+// TestRunStopsOnSignal feeds the daemon a synthetic signal and expects a
+// clean early exit with defaults restored.
+func TestRunStopsOnSignal(t *testing.T) {
+	dir := t.TempDir()
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt
+	start := time.Now()
+	if err := run("H-LLC", 4, time.Hour, 1, dir, false, "", sig); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("run took %v after the stop signal", elapsed)
+	}
+	full := machine.DefaultConfig().FullMask()
+	for _, app := range []string{"NO", "LU", "UA", "BT"} {
+		b, err := os.ReadFile(filepath.Join(dir, app, "schemata"))
+		if err != nil {
+			// App set depends on the mix; only check groups that exist.
+			continue
+		}
+		s, err := resctrl.ParseSchemata(string(b))
+		if err != nil {
+			t.Errorf("unparseable schemata for %s: %v", app, err)
+			continue
+		}
+		if s.L3[0] != full || s.MB[0] != membw.MaxLevel {
+			t.Errorf("%s not restored to defaults: %+v", app, s)
+		}
 	}
 }

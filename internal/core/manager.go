@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/eventlog"
@@ -57,6 +58,9 @@ const (
 	PhaseProfile Phase = iota
 	PhaseExplore
 	PhaseIdle
+	// PhaseDegraded holds the safe EQ allocation after the resilience
+	// watchdog tripped; the manager probes for recovery every period.
+	PhaseDegraded
 )
 
 // String renders the phase name.
@@ -68,6 +72,8 @@ func (p Phase) String() string {
 		return "exploration"
 	case PhaseIdle:
 		return "idle"
+	case PhaseDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(p))
 	}
@@ -122,6 +128,19 @@ type Manager struct {
 	haveBest   bool
 
 	envChanged bool
+
+	// Resilience watchdog state: consecutive failed control periods,
+	// consecutive healthy degraded periods, whether the EQ fallback has
+	// been programmed, and the external stop request.
+	failStreak    int
+	recoverStreak int
+	eqApplied     bool
+	stop          atomic.Bool
+
+	// Resilience hardens the control loop against transient substrate
+	// failures (see the type's documentation). The zero value disables it,
+	// which keeps Run's decisions bit-identical to the fail-fast loop.
+	Resilience Resilience
 
 	// Features toggles the reconstruction mechanisms (ablation support);
 	// NewManager initializes it to DefaultFeatures. Set before Profile.
@@ -259,7 +278,7 @@ func (m *Manager) applyState(st AllocState) error {
 		return err
 	}
 	for i, a := range m.apps {
-		if err := m.target.SetAllocation(a.name, machine.Alloc{CBM: masks[i], MBALevel: st.MBA[i]}); err != nil {
+		if err := m.setAllocation(a.name, machine.Alloc{CBM: masks[i], MBALevel: st.MBA[i]}); err != nil {
 			return err
 		}
 		a.wayChange, a.mbaChange = NoChange, NoChange
@@ -287,23 +306,45 @@ func (m *Manager) applyState(st AllocState) error {
 }
 
 // measurePeriod advances one control period and returns each
-// application's windowed counter rates over it.
+// application's windowed counter rates over it. With resilience enabled,
+// failed counter reads and a failed period step are retried with backoff
+// before the period is declared failed.
 func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 	for _, a := range m.apps {
-		if _, _, err := m.sampler.Sample(a.name, m.target.Now()); err != nil {
+		name := a.name
+		err := m.retryOp("counter read", name, func() error {
+			_, _, err := m.sampler.Sample(name, m.target.Now())
+			return err
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
-	if err := m.target.Step(m.params.Period); err != nil {
+	if err := m.retryOp("period step", "", func() error {
+		return m.target.Step(m.params.Period)
+	}); err != nil {
 		return nil, err
 	}
 	out := make([]pmc.Rates, len(m.apps))
 	for i, a := range m.apps {
-		r, ok, err := m.sampler.Sample(a.name, m.target.Now())
+		var (
+			r  pmc.Rates
+			ok bool
+		)
+		name := a.name
+		err := m.retryOp("counter read", name, func() error {
+			var err error
+			r, ok, err = m.sampler.Sample(name, m.target.Now())
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
+			// A dropped sample (counter wraparound or reset) fails the
+			// period once; the sampler re-anchored its snapshot, so the
+			// next period measures cleanly. Not worth retrying: the window
+			// is already consumed.
 			return nil, fmt.Errorf("core: no sampling window for %s", a.name)
 		}
 		out[i] = r
@@ -359,7 +400,7 @@ func (m *Manager) Profile() error {
 		if err != nil {
 			return err
 		}
-		if err := m.target.SetAllocation(a.name, restore); err != nil {
+		if err := m.setAllocation(a.name, restore); err != nil {
 			return err
 		}
 		if ipsFull <= 0 {
@@ -395,7 +436,7 @@ func (m *Manager) Profile() error {
 // probe sets one application's allocation, lets a period pass, and
 // returns the application's IPS over it.
 func (m *Manager) probe(name string, alloc machine.Alloc) (float64, error) {
-	if err := m.target.SetAllocation(name, alloc); err != nil {
+	if err := m.setAllocation(name, alloc); err != nil {
 		return 0, err
 	}
 	rates, err := m.measurePeriod()
@@ -658,25 +699,79 @@ func sameNames(a, b []string) bool {
 	return true
 }
 
+// Stop asks Run to return after the current control period. It is safe
+// to call from another goroutine (e.g. a signal handler).
+func (m *Manager) Stop() { m.stop.Store(true) }
+
+// stepPhase executes one control period in the current phase.
+func (m *Manager) stepPhase() error {
+	switch m.phase {
+	case PhaseProfile:
+		return m.Profile()
+	case PhaseExplore:
+		_, err := m.ExploreStep()
+		return err
+	case PhaseIdle:
+		_, err := m.IdleStep()
+		return err
+	case PhaseDegraded:
+		return m.degradedStep()
+	default:
+		return fmt.Errorf("core: unknown phase %v", m.phase)
+	}
+}
+
 // Run drives the manager for a span of target time, cycling through the
 // profiling, exploration, and idle phases including re-adaptation on
 // detected changes.
+//
+// Without resilience the first failed period aborts Run with its error.
+// With Resilience.Enabled a watchdog counts consecutive failed periods:
+// after DegradeAfter of them (θ by default) the manager falls back to
+// the degraded EQ allocation, and once counter reads stay healthy it
+// re-enters profiling. Run then only returns an error when the target
+// clock is wedged — every failed period otherwise just advances time and
+// is retried.
 func (m *Manager) Run(d time.Duration) error {
+	if err := m.Resilience.Validate(); err != nil {
+		return err
+	}
+	// The stop flag is cleared on exit, not entry: a Stop that lands just
+	// before Run starts must still take effect.
+	defer m.stop.Store(false)
+	m.failStreak = 0
 	deadline := m.target.Now() + d
-	for m.target.Now() < deadline {
-		switch m.phase {
-		case PhaseProfile:
-			if err := m.Profile(); err != nil {
-				return err
+	stalls := 0
+	for m.target.Now() < deadline && !m.stop.Load() {
+		before := m.target.Now()
+		err := m.stepPhase()
+		if err == nil {
+			m.failStreak = 0
+			stalls = 0
+			continue
+		}
+		if !m.Resilience.Enabled {
+			return err
+		}
+		m.failStreak++
+		m.logf(eventlog.KindFault, "", "control period failed (streak %d): %v", m.failStreak, err)
+		if m.phase != PhaseDegraded && m.failStreak >= m.degradeAfter() {
+			m.enterDegraded()
+		}
+		if m.target.Now() > before {
+			stalls = 0
+			continue
+		}
+		// The failed period consumed no target time. Burn one period so the
+		// loop cannot spin on an instantly-failing operation, and give up
+		// when even that cannot advance the clock.
+		if serr := m.target.Step(m.params.Period); serr != nil || m.target.Now() == before {
+			stalls++
+			if stalls >= m.Resilience.MaxClockStalls {
+				return fmt.Errorf("core: target clock stalled across %d failed periods: %w", stalls, err)
 			}
-		case PhaseExplore:
-			if _, err := m.ExploreStep(); err != nil {
-				return err
-			}
-		case PhaseIdle:
-			if _, err := m.IdleStep(); err != nil {
-				return err
-			}
+		} else {
+			stalls = 0
 		}
 	}
 	return nil

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eventlog"
+	"repro/internal/machine"
+)
+
+// Resilience configures how the manager survives transient substrate
+// failures: counter reads that error, schemata writes that hit EBUSY,
+// steps that fail. The zero value disables all of it, which preserves
+// the original fail-fast behavior (every error surfaces from Run) and
+// keeps controller decisions bit-identical to the unhardened loop.
+//
+// With resilience enabled, failed target operations are retried with a
+// bounded linear backoff, a watchdog counts consecutive failed control
+// periods, and after DegradeAfter consecutive failures the manager stops
+// optimizing and falls back to the safe EQ allocation — equal LLC ways,
+// equal MBA shares — where it stays until counter reads succeed again,
+// then re-enters profiling from scratch.
+type Resilience struct {
+	// Enabled turns the hardened control loop on.
+	Enabled bool
+	// MaxRetries is how many extra attempts a failed counter read,
+	// schemata write, or step gets before the period is declared failed.
+	MaxRetries int
+	// RetryBackoff is the base backoff between attempts, in target time:
+	// attempt k waits k×RetryBackoff. Zero retries immediately.
+	RetryBackoff time.Duration
+	// DegradeAfter is the number of consecutive failed control periods
+	// before the EQ fallback; zero means "use Params.Theta", matching the
+	// exploration loop's retry budget θ.
+	DegradeAfter int
+	// RecoverAfter is the number of consecutive healthy degraded periods
+	// (step succeeded, every counter readable) before the manager leaves
+	// degraded mode and re-enters profiling.
+	RecoverAfter int
+	// MaxClockStalls bounds how many consecutive failed periods may pass
+	// without the target clock advancing before Run gives up. It guards
+	// against a permanently wedged Step, which would otherwise spin the
+	// control loop forever.
+	MaxClockStalls int
+}
+
+// DefaultResilience returns the hardened configuration used by copartd
+// and the chaos experiments.
+func DefaultResilience() Resilience {
+	return Resilience{
+		Enabled:        true,
+		MaxRetries:     2,
+		RetryBackoff:   100 * time.Millisecond,
+		DegradeAfter:   0, // θ
+		RecoverAfter:   2,
+		MaxClockStalls: 1000,
+	}
+}
+
+// Validate checks the configuration; only enabled configurations are
+// constrained.
+func (r Resilience) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("core: negative retry budget %d", r.MaxRetries)
+	}
+	if r.RetryBackoff < 0 {
+		return fmt.Errorf("core: negative retry backoff %v", r.RetryBackoff)
+	}
+	if r.DegradeAfter < 0 {
+		return fmt.Errorf("core: negative degrade threshold %d", r.DegradeAfter)
+	}
+	if r.RecoverAfter < 1 {
+		return fmt.Errorf("core: recovery threshold %d < 1", r.RecoverAfter)
+	}
+	if r.MaxClockStalls < 1 {
+		return fmt.Errorf("core: clock-stall budget %d < 1", r.MaxClockStalls)
+	}
+	return nil
+}
+
+// degradeAfter resolves the failed-period threshold, defaulting to θ.
+func (m *Manager) degradeAfter() int {
+	if m.Resilience.DegradeAfter > 0 {
+		return m.Resilience.DegradeAfter
+	}
+	return m.params.Theta
+}
+
+// retryOp runs op; when resilience is enabled and op fails with a
+// transient error, it is retried up to MaxRetries times with a linear
+// target-time backoff. Every retry and recovery is logged. The last
+// error is returned when the budget is exhausted.
+func (m *Manager) retryOp(what, app string, op func() error) error {
+	err := op()
+	if err == nil || !m.Resilience.Enabled {
+		return err
+	}
+	for attempt := 1; attempt <= m.Resilience.MaxRetries; attempt++ {
+		m.logf(eventlog.KindRetry, app, "%s failed, retrying (%d/%d): %v",
+			what, attempt, m.Resilience.MaxRetries, err)
+		if m.Resilience.RetryBackoff > 0 {
+			if serr := m.target.Step(time.Duration(attempt) * m.Resilience.RetryBackoff); serr != nil {
+				m.logf(eventlog.KindFault, app, "backoff step failed: %v", serr)
+			}
+		}
+		if err = op(); err == nil {
+			m.logf(eventlog.KindRetry, app, "%s recovered after %d retries", what, attempt)
+			return nil
+		}
+	}
+	return err
+}
+
+// setAllocation programs one application's allocation with retries.
+func (m *Manager) setAllocation(name string, a machine.Alloc) error {
+	return m.retryOp("allocation write", name, func() error {
+		return m.target.SetAllocation(name, a)
+	})
+}
+
+// enterDegraded switches the manager into degraded mode after the
+// watchdog tripped.
+func (m *Manager) enterDegraded() {
+	m.phase = PhaseDegraded
+	m.eqApplied = false
+	m.recoverStreak = 0
+	m.logf(eventlog.KindFallback, "", "degraded mode after %d consecutive failed periods, falling back to EQ",
+		m.failStreak)
+}
+
+// degradedStep runs one control period in degraded mode: hold (or keep
+// trying to apply) the safe EQ allocation, let a period pass, and probe
+// whether the substrate has healed. After RecoverAfter consecutive
+// healthy periods the manager re-enters profiling.
+func (m *Manager) degradedStep() error {
+	if !m.eqApplied {
+		if err := m.applyDegradedEQ(); err != nil {
+			return fmt.Errorf("core: degraded: EQ fallback: %w", err)
+		}
+		m.eqApplied = true
+		m.logf(eventlog.KindFallback, "", "EQ fallback allocation applied to %d apps", len(m.target.Apps()))
+	}
+	if err := m.target.Step(m.params.Period); err != nil {
+		return fmt.Errorf("core: degraded: step: %w", err)
+	}
+	names := m.target.Apps()
+	if len(names) == 0 {
+		return fmt.Errorf("core: degraded: no applications")
+	}
+	for _, name := range names {
+		if _, err := m.target.ReadCounters(name); err != nil {
+			m.recoverStreak = 0
+			return fmt.Errorf("core: degraded: probe %s: %w", name, err)
+		}
+	}
+	m.recoverStreak++
+	if m.recoverStreak >= m.Resilience.RecoverAfter {
+		m.phase = PhaseProfile
+		m.logf(eventlog.KindRecover, "", "counters healthy for %d periods, re-entering profiling",
+			m.recoverStreak)
+	}
+	return nil
+}
+
+// applyDegradedEQ programs the equal-split allocation directly from the
+// target's current application list. It deliberately bypasses the
+// manager's runtime state: applications may have arrived or departed
+// while periods were failing, and profiling will rebuild all state on
+// recovery anyway.
+func (m *Manager) applyDegradedEQ() error {
+	names := m.target.Apps()
+	if len(names) == 0 {
+		return fmt.Errorf("core: no applications to manage")
+	}
+	if err := m.env.Validate(m.target.Config(), len(names)); err != nil {
+		return err
+	}
+	counts, err := machine.EqualSplit(m.env.Ways, len(names))
+	if err != nil {
+		return err
+	}
+	masks, err := machine.AssignContiguousWays(counts, m.env.LoWay, m.env.Ways)
+	if err != nil {
+		return err
+	}
+	level := EqualMBAShare(len(names))
+	for i, name := range names {
+		if err := m.setAllocation(name, machine.Alloc{CBM: masks[i], MBALevel: level}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -30,6 +30,14 @@ const (
 	KindClassify
 	// KindChange: the idle phase detected a workload change.
 	KindChange
+	// KindFault: a target operation or control period failed.
+	KindFault
+	// KindRetry: a failed target operation was retried.
+	KindRetry
+	// KindFallback: the manager fell back to the degraded EQ allocation.
+	KindFallback
+	// KindRecover: the manager left degraded mode and re-entered profiling.
+	KindRecover
 )
 
 // String names the kind.
@@ -45,6 +53,14 @@ func (k Kind) String() string {
 		return "classify"
 	case KindChange:
 		return "change"
+	case KindFault:
+		return "fault"
+	case KindRetry:
+		return "retry"
+	case KindFallback:
+		return "fallback"
+	case KindRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

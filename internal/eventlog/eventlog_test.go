@@ -3,6 +3,7 @@ package eventlog
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -100,9 +101,13 @@ func TestWriteJSONL(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for _, k := range []Kind{KindPhase, KindProfile, KindState, KindClassify, KindChange} {
+	for _, k := range []Kind{KindPhase, KindProfile, KindState, KindClassify, KindChange,
+		KindFault, KindRetry, KindFallback, KindRecover} {
 		if k.String() == "" {
 			t.Errorf("empty name for kind %d", int(k))
+		}
+		if k.String() == fmt.Sprintf("Kind(%d)", int(k)) {
+			t.Errorf("kind %d has no dedicated name", int(k))
 		}
 	}
 	if Kind(42).String() == "" {

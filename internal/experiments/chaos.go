@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// ChaosResult compares the resilient controller's fairness with and
+// without an injected fault schedule. The paper evaluates CoPart on a
+// healthy testbed; this experiment asks the deployment question instead:
+// when the substrate misbehaves — counter reads failing, schemata writes
+// bouncing with EBUSY, counters wrapping, periods overrunning — does the
+// hardened control loop keep unfairness close to the fault-free run, and
+// how quickly does it re-converge once the faults clear?
+type ChaosResult struct {
+	Mix      workloads.MixKind
+	Apps     int
+	Duration time.Duration
+
+	// FaultFree and UnderChaos are the mean per-period unfairness of the
+	// two runs; Ratio is UnderChaos/FaultFree (1.0 = no degradation).
+	FaultFree  float64
+	UnderChaos float64
+	Ratio      float64
+
+	// Injected counts the faults the scenario actually delivered.
+	Injected faultinject.Stats
+	// Fallbacks and Recoveries count degraded-mode entries and exits.
+	Fallbacks  int
+	Recoveries int
+	// Recovered reports whether the controller reached the idle phase
+	// again after the last injected fault; RecoveryTime is how much
+	// target time that took.
+	Recovered    bool
+	RecoveryTime time.Duration
+}
+
+// chaosLeg is one controller run (fault-free or injected) of the chaos
+// experiment.
+type chaosLeg struct {
+	meanUnfairness float64
+	periods        int
+	fallbacks      int
+	recoveries     int
+	stats          faultinject.Stats
+	recovered      bool
+	recoveryTime   time.Duration
+}
+
+func runChaosLeg(cfg machine.Config, kind workloads.MixKind, apps int,
+	sc faultinject.Scenario, seed int64, duration time.Duration) (chaosLeg, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	models, err := workloads.Mix(cfg, kind, apps)
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return chaosLeg{}, err
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	elog, err := eventlog.New(1 << 15)
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	var (
+		target core.Target = m
+		inj    *faultinject.Injector
+	)
+	if !sc.Empty() {
+		wrapped, err := faultinject.WrapTarget(m, sc, elog)
+		if err != nil {
+			return chaosLeg{}, err
+		}
+		target = wrapped
+		inj = wrapped.Injector()
+	}
+	mgr, err := core.NewManager(target, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return chaosLeg{}, err
+	}
+	mgr.Resilience = core.DefaultResilience()
+	mgr.Events = elog
+
+	var reports []core.PeriodReport
+	mgr.OnPeriod = func(r core.PeriodReport) { reports = append(reports, r) }
+	if err := mgr.Run(duration); err != nil {
+		return chaosLeg{}, fmt.Errorf("experiments: chaos run: %w", err)
+	}
+
+	var leg chaosLeg
+	for _, r := range reports {
+		leg.meanUnfairness += r.Unfairness
+	}
+	leg.periods = len(reports)
+	if leg.periods == 0 {
+		return chaosLeg{}, fmt.Errorf("experiments: chaos run reported no periods")
+	}
+	leg.meanUnfairness /= float64(leg.periods)
+	for _, e := range elog.Events() {
+		switch e.Kind {
+		case eventlog.KindFallback:
+			// enterDegraded logs one "degraded mode" line per entry plus
+			// one "EQ fallback ... applied" line; count entries only.
+			if len(e.Detail) >= 8 && e.Detail[:8] == "degraded" {
+				leg.fallbacks++
+			}
+		case eventlog.KindRecover:
+			leg.recoveries++
+		}
+	}
+	if inj != nil {
+		leg.stats = inj.Stats()
+		if last := inj.LastFault(); last >= 0 {
+			for _, r := range reports {
+				if r.Phase == core.PhaseIdle && r.Time >= last {
+					leg.recovered = true
+					leg.recoveryTime = r.Time - last
+					break
+				}
+			}
+		}
+	}
+	return leg, nil
+}
+
+// Chaos runs the resilient controller on one mix twice — fault-free and
+// under the given scenario — and reports the fairness cost of the fault
+// schedule plus the recovery behavior. Both legs run with the default
+// resilience configuration so the comparison isolates the faults, not
+// the hardening.
+func Chaos(cfg machine.Config, sc faultinject.Scenario, seed int64,
+	duration time.Duration) (ChaosResult, *texttab.Table, error) {
+	const (
+		kind = workloads.HBoth
+		apps = 4
+	)
+	if sc.Empty() {
+		return ChaosResult{}, nil, fmt.Errorf("experiments: chaos scenario injects nothing")
+	}
+	clean, err := runChaosLeg(cfg, kind, apps, faultinject.Scenario{}, seed, duration)
+	if err != nil {
+		return ChaosResult{}, nil, err
+	}
+	chaotic, err := runChaosLeg(cfg, kind, apps, sc, seed, duration)
+	if err != nil {
+		return ChaosResult{}, nil, err
+	}
+	res := ChaosResult{
+		Mix:          kind,
+		Apps:         apps,
+		Duration:     duration,
+		FaultFree:    clean.meanUnfairness,
+		UnderChaos:   chaotic.meanUnfairness,
+		Injected:     chaotic.stats,
+		Fallbacks:    chaotic.fallbacks,
+		Recoveries:   chaotic.recoveries,
+		Recovered:    chaotic.recovered,
+		RecoveryTime: chaotic.recoveryTime,
+	}
+	// Guard the ratio against a (near-)perfectly fair baseline.
+	const fairFloor = 1e-9
+	base := clean.meanUnfairness
+	if base < fairFloor {
+		base = fairFloor
+	}
+	res.Ratio = chaotic.meanUnfairness / base
+
+	tab := texttab.New(
+		fmt.Sprintf("Chaos soak. %s, %d apps, %v under fault injection", kind, apps, duration),
+		"Metric", "Value")
+	tab.AddRow("mean unfairness (fault-free)", fmt.Sprintf("%.4f", res.FaultFree))
+	tab.AddRow("mean unfairness (chaos)", fmt.Sprintf("%.4f", res.UnderChaos))
+	tab.AddRow("ratio", fmt.Sprintf("%.3f", res.Ratio))
+	tab.AddRow("injected faults", fmt.Sprintf("%d", res.Injected.Total()))
+	tab.AddRow("  read errors", fmt.Sprintf("%d", res.Injected.ReadErrors))
+	tab.AddRow("  write errors", fmt.Sprintf("%d", res.Injected.WriteErrors))
+	tab.AddRow("  overruns", fmt.Sprintf("%d", res.Injected.Overruns))
+	tab.AddRow("  wraps", fmt.Sprintf("%d", res.Injected.Wraps))
+	tab.AddRow("  stuck reads", fmt.Sprintf("%d", res.Injected.StuckReads))
+	tab.AddRow("degraded-mode entries", fmt.Sprintf("%d", res.Fallbacks))
+	tab.AddRow("recoveries", fmt.Sprintf("%d", res.Recoveries))
+	if res.Recovered {
+		tab.AddRow("recovery time after last fault", res.RecoveryTime.String())
+	} else {
+		tab.AddRow("recovery time after last fault", "did not recover")
+	}
+	return res, tab, nil
+}

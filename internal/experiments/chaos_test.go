@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// TestChaosStandardScenario is the chaos soak: the resilient controller
+// rides out the standard fault schedule without Run erroring, falls back
+// to EQ at least once, recovers to idle after the faults clear, and its
+// mean unfairness stays within 1.5x of the fault-free run.
+func TestChaosStandardScenario(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, tab, err := Chaos(cfg, faultinject.Standard(), 1, 240*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.Total() == 0 {
+		t.Fatal("the standard scenario must inject faults")
+	}
+	if res.Injected.ReadErrors == 0 || res.Injected.WriteErrors == 0 ||
+		res.Injected.Wraps == 0 || res.Injected.StuckReads == 0 {
+		t.Errorf("standard scenario should exercise every fault class: %+v", res.Injected)
+	}
+	if res.Fallbacks == 0 {
+		t.Error("the 10s read outage must push the controller into degraded mode")
+	}
+	if res.Recoveries < res.Fallbacks {
+		t.Errorf("%d fallbacks but only %d recoveries", res.Fallbacks, res.Recoveries)
+	}
+	if !res.Recovered {
+		t.Error("controller must re-reach idle after the last injected fault")
+	}
+	if res.Ratio > 1.5 {
+		t.Errorf("chaos unfairness ratio %.3f exceeds the 1.5x budget (fault-free %.4f, chaos %.4f)",
+			res.Ratio, res.FaultFree, res.UnderChaos)
+	}
+	text := tab.String()
+	for _, want := range []string{"ratio", "degraded-mode entries", "recovery time"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestChaosRejectsEmptyScenario pins the guard against a meaningless
+// comparison.
+func TestChaosRejectsEmptyScenario(t *testing.T) {
+	if _, _, err := Chaos(machine.DefaultConfig(), faultinject.Scenario{}, 1, time.Minute); err == nil {
+		t.Fatal("an empty scenario must be rejected")
+	}
+}

@@ -30,10 +30,22 @@ type CounterSource interface {
 	ReadCounters(app string) (machine.Counters, error)
 }
 
+// Tree is the subset of the resctrl client the host drives.
+// *resctrl.Client implements it directly; fault injectors and test
+// doubles wrap it.
+type Tree interface {
+	Info() resctrl.Info
+	Groups() ([]string, error)
+	CreateGroup(group string) error
+	DeleteGroup(group string) error
+	AddTask(group string, pid int) error
+	WriteSchemata(group string, s resctrl.Schemata) error
+}
+
 // Options configure a Host.
 type Options struct {
 	// Client is the resctrl tree to actuate (required).
-	Client *resctrl.Client
+	Client Tree
 	// Counters supplies the PMCs (required).
 	Counters CounterSource
 	// Hardware describes the machine for the controller (core counts,
@@ -48,7 +60,7 @@ type Options struct {
 
 // Host adapts a resctrl tree plus a counter source to core.Target.
 type Host struct {
-	client   *resctrl.Client
+	client   Tree
 	counters CounterSource
 	hw       machine.Config
 	step     func(time.Duration) error
@@ -72,6 +84,17 @@ func New(opts Options) (*Host, error) {
 	if got := onesCount(info.CBMMask); got != opts.Hardware.LLCWays {
 		return nil, fmt.Errorf("hosttarget: tree advertises %d ways, hardware config says %d",
 			got, opts.Hardware.LLCWays)
+	}
+	// The controller emits MBA levels on membw's grid (multiples of
+	// membw.Granularity, at least membw.MinLevel). The tree must accept
+	// every such level, or schemata writes would fail mid-run.
+	if info.MBAGran <= 0 || membw.Granularity%info.MBAGran != 0 {
+		return nil, fmt.Errorf("hosttarget: tree MBA granularity %d incompatible with controller granularity %d",
+			info.MBAGran, membw.Granularity)
+	}
+	if info.MBAMin > membw.MinLevel {
+		return nil, fmt.Errorf("hosttarget: tree min bandwidth %d above controller minimum %d",
+			info.MBAMin, membw.MinLevel)
 	}
 	h := &Host{
 		client:   opts.Client,
@@ -168,6 +191,43 @@ func (h *Host) SetAllocation(name string, a machine.Alloc) error {
 		L3: map[int]uint64{0: a.CBM},
 		MB: map[int]int{0: a.MBALevel},
 	})
+}
+
+// Reset restores every registered application's schemata to the
+// hardware defaults — the full cache mask and 100 % memory bandwidth —
+// so a stopping controller does not leave stale partitions behind.
+// All groups are attempted; the first error is returned.
+func (h *Host) Reset() error {
+	info := h.client.Info()
+	var firstErr error
+	for _, name := range h.apps {
+		s := resctrl.Schemata{
+			L3: make(map[int]uint64, len(info.CacheIDs)),
+			MB: make(map[int]int, len(info.CacheIDs)),
+		}
+		for _, id := range info.CacheIDs {
+			s.L3[id] = info.CBMMask
+			s.MB[id] = 100
+		}
+		if err := h.client.WriteSchemata(name, s); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("hosttarget: reset %s: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// Close resets all schemata to the hardware defaults and deletes the
+// applications' control groups (their tasks fall back to the root group).
+// The host keeps no registered applications afterwards.
+func (h *Host) Close() error {
+	firstErr := h.Reset()
+	for _, name := range h.apps {
+		if err := h.client.DeleteGroup(name); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("hosttarget: close %s: %w", name, err)
+		}
+	}
+	h.apps = nil
+	return firstErr
 }
 
 // Config implements core.Target.

@@ -2,6 +2,8 @@ package hosttarget
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -233,5 +235,107 @@ func TestManagerOverHostTarget(t *testing.T) {
 			t.Errorf("%s still holds the boot-time full mask; schemata were not applied",
 				model.Name)
 		}
+	}
+}
+
+// rewriteInfo overwrites one info/ file of a sim tree and reopens the
+// client, simulating hardware with different advertised limits.
+func rewriteInfo(t *testing.T, dir, rel, content string) *resctrl.Client {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, rel), []byte(content+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	client, err := resctrl.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+func TestNewValidatesMBALimits(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := resctrl.NewSimTree(dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Granularity 30 does not divide the controller's 10 % steps.
+	client := rewriteInfo(t, dir, filepath.Join("info", "MB", "bandwidth_gran"), "30")
+	if _, err := New(Options{Client: client, Counters: m, Hardware: cfg}); err == nil {
+		t.Error("incompatible MBA granularity should be rejected")
+	}
+	client = rewriteInfo(t, dir, filepath.Join("info", "MB", "bandwidth_gran"), "10")
+
+	// A minimum bandwidth above the controller's lowest level means the
+	// controller would emit levels the tree rejects.
+	client = rewriteInfo(t, dir, filepath.Join("info", "MB", "min_bandwidth"), "20")
+	if _, err := New(Options{Client: client, Counters: m, Hardware: cfg}); err == nil {
+		t.Error("min bandwidth above controller minimum should be rejected")
+	}
+	client = rewriteInfo(t, dir, filepath.Join("info", "MB", "min_bandwidth"), "10")
+
+	// Granularity 5 divides 10 and min 10 matches: accepted.
+	client = rewriteInfo(t, dir, filepath.Join("info", "MB", "bandwidth_gran"), "5")
+	if _, err := New(Options{Client: client, Counters: m, Hardware: cfg}); err != nil {
+		t.Errorf("finer tree granularity should be accepted: %v", err)
+	}
+}
+
+func TestResetRestoresDefaults(t *testing.T) {
+	h, _, client := newHarness(t)
+	for _, name := range []string{"a", "b"} {
+		if err := h.AddApp(name, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.SetAllocation("a", machine.Alloc{CBM: 0x3, MBALevel: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAllocation("b", machine.Alloc{CBM: 0x1c, MBALevel: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	full := client.Info().CBMMask
+	for _, name := range []string{"a", "b"} {
+		s, err := client.ReadSchemata(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.L3[0] != full || s.MB[0] != 100 {
+			t.Errorf("%s schemata after Reset: %+v, want full mask %x and 100%%", name, s, full)
+		}
+	}
+	// The groups survive a Reset; the apps stay registered.
+	if got := h.Apps(); len(got) != 2 {
+		t.Errorf("Apps()=%v after Reset", got)
+	}
+}
+
+func TestCloseDeletesGroups(t *testing.T) {
+	h, _, client := newHarness(t)
+	if err := h.AddApp("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetAllocation("a", machine.Alloc{CBM: 0x3, MBALevel: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := client.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Errorf("groups after Close: %v", groups)
+	}
+	if got := h.Apps(); len(got) != 0 {
+		t.Errorf("Apps()=%v after Close", got)
 	}
 }

@@ -41,8 +41,9 @@ type Rates struct {
 // Sampler tracks the previous counter snapshot per application and
 // produces rates on each sampling round.
 type Sampler struct {
-	src  Source
-	last map[string]sample
+	src   Source
+	last  map[string]sample
+	drops int
 }
 
 type sample struct {
@@ -83,7 +84,13 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 	dAcc := cur.LLCAccesses - prev.counters.LLCAccesses
 	dMiss := cur.LLCMisses - prev.counters.LLCMisses
 	if dInstr < 0 || dAcc < 0 || dMiss < 0 {
-		return Rates{}, false, fmt.Errorf("pmc: counters for %s went backwards", app)
+		// A negative delta means the hardware counter wrapped around or
+		// was reset (the fd died and reopened, the app restarted). The
+		// absolute values carry no usable window, so the sample is
+		// dropped rather than turned into a bogus rate; the snapshot
+		// above re-anchors the next window at the post-wrap values.
+		s.drops++
+		return Rates{}, false, nil
 	}
 	r := Rates{
 		IPS:        dInstr / secs,
@@ -96,6 +103,10 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 	}
 	return r, true, nil
 }
+
+// Drops reports how many samples were discarded because a counter went
+// backwards (wraparound or reset) since the sampler was created.
+func (s *Sampler) Drops() int { return s.drops }
 
 // Forget drops the stored snapshot for app (e.g. after the application
 // terminates and a same-named one may launch later).

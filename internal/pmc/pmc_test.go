@@ -85,13 +85,67 @@ func TestMissRatioZeroWithoutAccesses(t *testing.T) {
 	}
 }
 
-func TestBackwardsCountersError(t *testing.T) {
-	src := &fakeSource{counters: map[string]machine.Counters{"a": {Instructions: 100}}}
+// TestWraparoundDropsSample models a counter wrapping mid-stream: the
+// wrapped sample must be discarded (no bogus negative rate, no error) and
+// the window re-anchored so the next sample is correct again.
+func TestWraparoundDropsSample(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{
+		"a": {Instructions: 1 << 32, LLCAccesses: 1000, LLCMisses: 100},
+	}}
 	s := NewSampler(src)
 	s.Sample("a", 0)
-	src.counters["a"] = machine.Counters{Instructions: 50}
-	if _, _, err := s.Sample("a", time.Second); err == nil {
-		t.Error("backwards counters should error")
+	// The instruction counter wraps: cumulative value becomes small again.
+	src.counters["a"] = machine.Counters{Instructions: 500, LLCAccesses: 1100, LLCMisses: 110}
+	r, ok, err := s.Sample("a", time.Second)
+	if err != nil {
+		t.Fatalf("wraparound must not error: %v", err)
+	}
+	if ok {
+		t.Fatalf("wrapped sample must be dropped, got rates %+v", r)
+	}
+	if s.Drops() != 1 {
+		t.Errorf("Drops()=%d want 1", s.Drops())
+	}
+	// The next window is anchored at the post-wrap snapshot and correct.
+	src.counters["a"] = machine.Counters{Instructions: 2500, LLCAccesses: 1300, LLCMisses: 130}
+	r, ok, err = s.Sample("a", 2*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if math.Abs(r.IPS-2000) > 1e-9 {
+		t.Errorf("post-wrap IPS=%v want 2000", r.IPS)
+	}
+	if math.Abs(r.AccessRate-200) > 1e-9 {
+		t.Errorf("post-wrap AccessRate=%v want 200", r.AccessRate)
+	}
+}
+
+// TestCounterResetDropsSample models a full counter reset (all counters
+// back to ~zero, e.g. the perf fd was reopened after its process died).
+func TestCounterResetDropsSample(t *testing.T) {
+	src := &fakeSource{counters: map[string]machine.Counters{
+		"a": {Instructions: 9000, LLCAccesses: 900, LLCMisses: 90},
+	}}
+	s := NewSampler(src)
+	s.Sample("a", 0)
+	src.counters["a"] = machine.Counters{}
+	r, ok, err := s.Sample("a", time.Second)
+	if err != nil {
+		t.Fatalf("reset must not error: %v", err)
+	}
+	if ok {
+		t.Fatalf("reset sample must be dropped, got rates %+v", r)
+	}
+	if s.Drops() != 1 {
+		t.Errorf("Drops()=%d want 1", s.Drops())
+	}
+	src.counters["a"] = machine.Counters{Instructions: 100, LLCAccesses: 10, LLCMisses: 1}
+	r, ok, err = s.Sample("a", 2*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if math.Abs(r.IPS-100) > 1e-9 {
+		t.Errorf("post-reset IPS=%v want 100", r.IPS)
 	}
 }
 

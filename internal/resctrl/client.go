@@ -122,7 +122,7 @@ func (c *Client) groupDir(group string) (string, error) {
 		return c.root, nil
 	}
 	if strings.ContainsAny(group, "/\\") || group == "." || group == ".." || group == "info" {
-		return "", fmt.Errorf("resctrl: invalid group name %q", group)
+		return "", fmt.Errorf("resctrl: %w %q", ErrInvalidGroup, group)
 	}
 	return filepath.Join(c.root, group), nil
 }

@@ -1,0 +1,105 @@
+package resctrl
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// newErrTree builds a sim tree with one control group for the error-path
+// tests.
+func newErrTree(t *testing.T) (*Client, string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := NewSimTree(dir, machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateGroup("app"); err != nil {
+		t.Fatal(err)
+	}
+	return c, dir
+}
+
+func TestReadSchemataMissingFile(t *testing.T) {
+	c, dir := newErrTree(t)
+	if err := os.Remove(filepath.Join(dir, "app", "schemata")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.ReadSchemata("app")
+	if err == nil {
+		t.Fatal("reading a missing schemata file must error")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("error %v should wrap fs.ErrNotExist so callers can branch on it", err)
+	}
+}
+
+func TestWriteSchemataToRemovedGroup(t *testing.T) {
+	c, _ := newErrTree(t)
+	if err := c.DeleteGroup("app"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.WriteSchemata("app", Schemata{MB: map[int]int{0: 50}})
+	if err == nil {
+		t.Fatal("writing to a removed group must error")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("error %v should wrap fs.ErrNotExist", err)
+	}
+}
+
+func TestParseSchemataMalformed(t *testing.T) {
+	cases := []string{
+		"L3;0=7ff",     // missing ':'
+		"L3:0=zz",      // bad CBM hex
+		"MB:0=fast",    // bad MB integer
+		"L3:0",         // missing '='
+		"L3:x=7ff",     // bad cache id
+		"L3:0=1;0=3",   // duplicate cache id
+		"MB:0=50;0=60", // duplicate cache id
+	}
+	for _, text := range cases {
+		_, err := ParseSchemata(text)
+		if err == nil {
+			t.Errorf("ParseSchemata(%q) should error", text)
+			continue
+		}
+		if !errors.Is(err, ErrMalformedSchemata) {
+			t.Errorf("ParseSchemata(%q) error %v should wrap ErrMalformedSchemata", text, err)
+		}
+	}
+}
+
+func TestMalformedSchemataFileSurfacesTypedError(t *testing.T) {
+	c, dir := newErrTree(t)
+	if err := os.WriteFile(filepath.Join(dir, "app", "schemata"),
+		[]byte("L3:0=notahexmask\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.ReadSchemata("app")
+	if !errors.Is(err, ErrMalformedSchemata) {
+		t.Errorf("error %v should wrap ErrMalformedSchemata", err)
+	}
+	// A malformed current schemata also fails the read-modify-write.
+	err = c.WriteSchemata("app", Schemata{MB: map[int]int{0: 50}})
+	if !errors.Is(err, ErrMalformedSchemata) {
+		t.Errorf("write over malformed schemata: error %v should wrap ErrMalformedSchemata", err)
+	}
+}
+
+func TestInvalidGroupNameTypedError(t *testing.T) {
+	c, _ := newErrTree(t)
+	for _, group := range []string{"a/b", "..", ".", "info", `a\b`} {
+		if _, err := c.ReadSchemata(group); !errors.Is(err, ErrInvalidGroup) {
+			t.Errorf("ReadSchemata(%q) error %v should wrap ErrInvalidGroup", group, err)
+		}
+		if err := c.CreateGroup(group); !errors.Is(err, ErrInvalidGroup) {
+			t.Errorf("CreateGroup(%q) error %v should wrap ErrInvalidGroup", group, err)
+		}
+	}
+}

@@ -15,11 +15,26 @@
 package resctrl
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Typed error sentinels. Callers that need to branch on a failure class —
+// "is this schemata text garbage, or did the group disappear under me?" —
+// test with errors.Is instead of matching message strings. File-level
+// failures (missing schemata file, removed group directory) additionally
+// wrap the underlying *fs.PathError, so errors.Is(err, fs.ErrNotExist)
+// works for those.
+var (
+	// ErrMalformedSchemata tags schemata text the parser rejects.
+	ErrMalformedSchemata = errors.New("malformed schemata")
+	// ErrInvalidGroup tags control-group names the client refuses to
+	// resolve (path separators, reserved names).
+	ErrInvalidGroup = errors.New("invalid group name")
 )
 
 // Schemata is the parsed contents of one schemata file.
@@ -43,7 +58,7 @@ func ParseSchemata(text string) (Schemata, error) {
 		}
 		resource, rest, found := strings.Cut(line, ":")
 		if !found {
-			return Schemata{}, fmt.Errorf("resctrl: line %d: missing ':' in %q", ln+1, line)
+			return Schemata{}, fmt.Errorf("resctrl: line %d: missing ':' in %q: %w", ln+1, line, ErrMalformedSchemata)
 		}
 		resource = strings.TrimSpace(resource)
 		switch resource {
@@ -59,7 +74,7 @@ func ParseSchemata(text string) (Schemata, error) {
 				s.L3[id] = mask
 				return nil
 			}); err != nil {
-				return Schemata{}, fmt.Errorf("resctrl: line %d: %v", ln+1, err)
+				return Schemata{}, fmt.Errorf("resctrl: line %d: %v: %w", ln+1, err, ErrMalformedSchemata)
 			}
 		case "MB":
 			if err := parsePairs(rest, func(id int, val string) error {
@@ -73,7 +88,7 @@ func ParseSchemata(text string) (Schemata, error) {
 				s.MB[id] = level
 				return nil
 			}); err != nil {
-				return Schemata{}, fmt.Errorf("resctrl: line %d: %v", ln+1, err)
+				return Schemata{}, fmt.Errorf("resctrl: line %d: %v: %w", ln+1, err, ErrMalformedSchemata)
 			}
 		default:
 			s.Other = append(s.Other, line)
