@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench figures clean
+.PHONY: all build vet test test-race cover bench bench-json figures clean
 
 all: build vet test
 
@@ -23,6 +23,16 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot of the solver and experiment-engine
+# hot paths: the heavy figure benchmarks at a fixed small iteration count
+# and the microbenchmarks at a larger one, merged into one JSON file.
+BENCHJSON_DATE ?= $(shell date +%F)
+bench-json:
+	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$' -benchtime 1000x -benchmem . ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_$(BENCHJSON_DATE).json
+	@cat BENCH_$(BENCHJSON_DATE).json
 
 # Regenerate every table and figure of the paper into ./out/ (text + SVG).
 figures:

@@ -17,9 +17,18 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/matching"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// sequential pins the experiment engine to one worker for the benchmark,
+// restoring the all-cores default afterwards. The Seq variants give the
+// single-thread baseline the parallel figures are compared against.
+func sequential(b *testing.B) {
+	parallel.SetWorkers(1)
+	b.Cleanup(func() { parallel.SetWorkers(0) })
+}
 
 func cfg() machine.Config { return machine.DefaultConfig() }
 
@@ -49,6 +58,11 @@ func benchPerfFigure(b *testing.B, fig int) {
 func BenchmarkFig1(b *testing.B) { benchPerfFigure(b, 1) }
 func BenchmarkFig2(b *testing.B) { benchPerfFigure(b, 2) }
 func BenchmarkFig3(b *testing.B) { benchPerfFigure(b, 3) }
+
+func BenchmarkFig1Seq(b *testing.B) {
+	sequential(b)
+	benchPerfFigure(b, 1)
+}
 
 func benchFairFigure(b *testing.B, fig int) {
 	for i := 0; i < b.N; i++ {
@@ -87,6 +101,15 @@ func BenchmarkFig11c(b *testing.B) {
 }
 
 func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure12(cfg(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Seq(b *testing.B) {
+	sequential(b)
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.Figure12(cfg(), 1); err != nil {
 			b.Fatal(err)
@@ -191,6 +214,67 @@ func BenchmarkMachineSolve(b *testing.B) {
 	}
 	for _, model := range models {
 		if err := m.AddApp(model); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineSolveCached measures the same solve with memoization
+// enabled and the allocation unchanged — the Dynamic controller's case of
+// revisiting an already-solved state.
+func BenchmarkMachineSolveCached(b *testing.B) {
+	m, err := machine.New(cfg(), machine.WithSolveCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := workloads.Mix(cfg(), workloads.HBoth, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := m.Solve(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineSolveExclusive measures the solver's fast path: every
+// application on a private contiguous LLC partition, which converges in
+// the short fixed-point schedule and is the allocation-guard target.
+func BenchmarkMachineSolveExclusive(b *testing.B) {
+	c := cfg()
+	m, err := machine.New(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := workloads.Mix(c, workloads.HBoth, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	masks, err := machine.AssignContiguousWays([]int{3, 3, 3, 2}, 0, c.LLCWays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, model := range models {
+		if err := m.AddApp(model); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetAllocation(model.Name, machine.Alloc{CBM: masks[i], MBALevel: 100}); err != nil {
 			b.Fatal(err)
 		}
 	}

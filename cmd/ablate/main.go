@@ -17,12 +17,15 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "seed for the controller")
+	workers := flag.Int("parallel", 0, "worker count for the experiment engine (0 = all cores)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
 	if err := run(*seed); err != nil {
 		fmt.Fprintln(os.Stderr, "ablate:", err)
 		os.Exit(1)

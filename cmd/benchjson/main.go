@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of benchmark records, one per result line.
+// It is the backend of `make bench-json`, which tracks the solver and
+// experiment-engine performance over time in BENCH_<date>.json files.
+//
+// Usage:
+//
+//	go test -bench X -benchmem . | benchjson > BENCH_$(date +%F).json
+//
+// Lines that are not benchmark results (the cpu/goos banner, PASS, ok)
+// are ignored. Units beyond ns/op, B/op, and allocs/op are preserved in
+// the record's "extra" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	recs, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Record, error) {
+	recs := []Record{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, sc.Err()
+}
+
+// parseLine decodes one result line of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op
+//
+// Returns ok=false for Benchmark-prefixed lines that are not results
+// (for example a bare benchmark name printed with -v).
+func parseLine(line string) (Record, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Record{}, false, nil
+	}
+	rec := Record{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(rec.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(rec.Name[i+1:]); err == nil && p > 0 {
+			rec.Name, rec.Procs = rec.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false, nil
+	}
+	rec.Iterations = iters
+	// The remainder alternates value, unit.
+	if (len(fields)-2)%2 != 0 {
+		return Record{}, false, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false, fmt.Errorf("bad value %q in %q", fields[i], line)
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			rec.BytesPerOp = &v
+		case "allocs/op":
+			rec.AllocsPerOp = &v
+		default:
+			if rec.Extra == nil {
+				rec.Extra = map[string]float64{}
+			}
+			rec.Extra[unit] = v
+		}
+	}
+	return rec, true, nil
+}

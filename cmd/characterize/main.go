@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/svgplot"
 )
 
@@ -28,10 +30,23 @@ func main() {
 	fig := flag.Int("fig", 0, "print the heatmaps of characterization figure 1, 2, or 3")
 	bench := flag.String("bench", "", "print one benchmark's (ways x MBA) heatmap")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	workers := flag.Int("parallel", 0, "worker count for the experiment engine (0 = all cores)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	svgOut = *svgDir
-	if err := run(*table1, *table2, *fig, *bench); err != nil {
+	parallel.SetWorkers(*workers)
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	err = run(*table1, *table2, *fig, *bench)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
 	}

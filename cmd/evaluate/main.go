@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	evaluate -fig 12 [-seed N]
+//	evaluate -fig 12 [-seed N] [-parallel N]
 //	evaluate -fig 13
 //	evaluate -fig 14
 //	evaluate -fig 17
@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/svgplot"
 	"repro/internal/texttab"
 )
@@ -29,17 +31,27 @@ func main() {
 	extended := flag.Bool("extended", false, "include the None and UCP extension baselines (fig 12 only)")
 	dualSocket := flag.Bool("dualsocket", false, "run the dual-socket extension experiment instead of a figure")
 	svgDir := flag.String("svg", "", "also write an SVG figure into this directory")
+	workers := flag.Int("parallel", 0, "worker count for the experiment engine (0 = all cores)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	svgOut = *svgDir
+	parallel.SetWorkers(*workers)
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
 
 	if *dualSocket {
-		if err := runDualSocket(*seed); err != nil {
-			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(1)
-		}
-		return
+		err = runDualSocket(*seed)
+	} else {
+		err = run(*fig, *seed, *extended)
 	}
-	if err := run(*fig, *seed, *extended); err != nil {
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}

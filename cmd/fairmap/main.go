@@ -18,14 +18,17 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/svgplot"
 )
 
 func main() {
 	fig := flag.Int("fig", 4, "fairness figure to regenerate (4, 5, or 6)")
 	svgDir := flag.String("svg", "", "also write an SVG figure into this directory")
+	workers := flag.Int("parallel", 0, "worker count for the experiment engine (0 = all cores)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
 	if err := run(*fig, *svgDir); err != nil {
 		fmt.Fprintln(os.Stderr, "fairmap:", err)
 		os.Exit(1)

@@ -16,13 +16,16 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 )
 
 func main() {
 	param := flag.String("param", "all", "parameter to sweep: perf, missratio, traffic, or all")
 	seed := flag.Int64("seed", 1, "seed for the controller")
+	workers := flag.Int("parallel", 0, "worker count for the experiment engine (0 = all cores)")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
 	if err := run(*param, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "sensitivity:", err)
 		os.Exit(1)

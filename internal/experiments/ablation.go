@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fairness"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/policies"
 	"repro/internal/texttab"
 	"repro/internal/workloads"
@@ -60,34 +61,42 @@ func Ablations(cfg machine.Config, seed int64) (AblationResult, *texttab.Table, 
 		workloads.HLLC, workloads.HBW, workloads.HBoth,
 		workloads.MLLC, workloads.MBW, workloads.MBoth,
 	}
-	run := func(f core.Features) (float64, error) {
-		vals := make([]float64, 0, len(kinds))
-		for _, kind := range kinds {
-			models, err := workloads.Mix(cfg, kind, 4)
-			if err != nil {
-				return 0, err
-			}
-			features := f
-			pol := &policies.Dynamic{Label: "CoPart", Features: &features, Seed: seed}
-			out, err := pol.Run(cfg, models)
-			if err != nil {
-				return 0, err
-			}
-			u := out.Unfairness
-			if u < 1e-4 {
-				u = 1e-4
-			}
-			vals = append(vals, u)
+	// The (variant × mix) grid cells are independent controller runs;
+	// fan them out. Each cell copies its feature set and builds its own
+	// machine and RNG inside Dynamic.Run.
+	variants := ablationVariants()
+	cells := make([][]float64, len(variants))
+	for i := range cells {
+		cells[i] = make([]float64, len(kinds))
+	}
+	err := parallel.ForEach(len(variants)*len(kinds), func(k int) error {
+		vi, ki := k/len(kinds), k%len(kinds)
+		f := core.DefaultFeatures()
+		variants[vi].mutate(&f)
+		models, err := workloads.Mix(cfg, kinds[ki], 4)
+		if err != nil {
+			return err
 		}
-		return fairness.GeoMean(vals)
+		pol := &policies.Dynamic{Label: "CoPart", Features: &f, Seed: seed}
+		out, err := pol.Run(cfg, models)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %q: %w", variants[vi].name, err)
+		}
+		u := out.Unfairness
+		if u < 1e-4 {
+			u = 1e-4
+		}
+		cells[vi][ki] = u
+		return nil
+	})
+	if err != nil {
+		return AblationResult{}, nil, err
 	}
 
 	var res AblationResult
 	var base float64
-	for i, v := range ablationVariants() {
-		f := core.DefaultFeatures()
-		v.mutate(&f)
-		raw, err := run(f)
+	for i, v := range variants {
+		raw, err := fairness.GeoMean(cells[i])
 		if err != nil {
 			return AblationResult{}, nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
 		}

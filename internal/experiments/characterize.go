@@ -6,6 +6,7 @@ import (
 	"repro/internal/fairness"
 	"repro/internal/machine"
 	"repro/internal/membw"
+	"repro/internal/parallel"
 	"repro/internal/texttab"
 	"repro/internal/workloads"
 )
@@ -31,12 +32,11 @@ type PerfGrid struct {
 }
 
 // PerfHeatmap sweeps one benchmark solo over the full (ways × MBA) grid,
-// reproducing its tile from Figures 1–3.
+// reproducing its tile from Figures 1–3. The grid cells are independent
+// solves, so they fan out across the worker pool; each cell builds its
+// own Machine (Machines are not concurrency-safe), which keeps the
+// results bit-identical to a sequential sweep.
 func PerfHeatmap(cfg machine.Config, bench string) (PerfGrid, *texttab.Heatmap, error) {
-	m, err := machine.New(cfg)
-	if err != nil {
-		return PerfGrid{}, nil, err
-	}
 	spec, err := workloads.ByName(cfg, bench)
 	if err != nil {
 		return PerfGrid{}, nil, err
@@ -47,18 +47,31 @@ func PerfHeatmap(cfg machine.Config, bench string) (PerfGrid, *texttab.Heatmap, 
 		grid.Ways = append(grid.Ways, w)
 	}
 	raw := make([][]float64, len(grid.Ways))
-	best := 0.0
-	for i, w := range grid.Ways {
+	for i := range raw {
 		raw[i] = make([]float64, len(levels))
-		for j, l := range levels {
-			cbm := (uint64(1) << w) - 1
-			perf, err := m.SoloPerfAt(spec.Model, machine.Alloc{CBM: cbm, MBALevel: l})
-			if err != nil {
-				return PerfGrid{}, nil, err
-			}
-			raw[i][j] = perf.IPS
-			if perf.IPS > best {
-				best = perf.IPS
+	}
+	err = parallel.ForEach(len(grid.Ways)*len(levels), func(k int) error {
+		i, j := k/len(levels), k%len(levels)
+		m, err := machine.New(cfg)
+		if err != nil {
+			return err
+		}
+		cbm := (uint64(1) << grid.Ways[i]) - 1
+		perf, err := m.SoloPerfAt(spec.Model, machine.Alloc{CBM: cbm, MBALevel: levels[j]})
+		if err != nil {
+			return err
+		}
+		raw[i][j] = perf.IPS
+		return nil
+	})
+	if err != nil {
+		return PerfGrid{}, nil, err
+	}
+	best := 0.0
+	for i := range raw {
+		for j := range raw[i] {
+			if raw[i][j] > best {
+				best = raw[i][j]
 			}
 		}
 	}
@@ -180,7 +193,7 @@ func FairnessHeatmap(cfg machine.Config, fig int) (FairGrid, *texttab.Heatmap, e
 		solo[i] = p.IPS
 	}
 
-	unfairnessOf := func(allocs []machine.Alloc) (float64, error) {
+	unfairnessOf := func(m *machine.Machine, allocs []machine.Alloc) (float64, error) {
 		perfs, err := m.SolveFor(models, allocs)
 		if err != nil {
 			return 0, err
@@ -196,7 +209,7 @@ func FairnessHeatmap(cfg machine.Config, fig int) (FairGrid, *texttab.Heatmap, e
 	for i := range noneAllocs {
 		noneAllocs[i] = machine.Alloc{CBM: cfg.FullMask(), MBALevel: membw.MaxLevel}
 	}
-	noneU, err := unfairnessOf(noneAllocs)
+	noneU, err := unfairnessOf(m, noneAllocs)
 	if err != nil {
 		return FairGrid{}, nil, err
 	}
@@ -228,22 +241,38 @@ func FairnessHeatmap(cfg machine.Config, fig int) (FairGrid, *texttab.Heatmap, e
 	hm.Format = "%.2f"
 
 	grid.Norm = make([][]float64, len(grid.LLCParts))
-	for r, waysTuple := range grid.LLCParts {
+	for r := range grid.Norm {
 		grid.Norm[r] = make([]float64, len(grid.MBAParts))
-		masks, err := machine.AssignContiguousWays(waysTuple, 0, cfg.LLCWays)
+	}
+	// Every (LLC partitioning, MBA partitioning) cell is an independent
+	// solve on a fresh machine; fan them out across the worker pool.
+	nc := len(grid.MBAParts)
+	err = parallel.ForEach(len(grid.LLCParts)*nc, func(k int) error {
+		r, c := k/nc, k%nc
+		masks, err := machine.AssignContiguousWays(grid.LLCParts[r], 0, cfg.LLCWays)
 		if err != nil {
-			return FairGrid{}, nil, err
+			return err
 		}
-		for c, mbaTuple := range grid.MBAParts {
-			allocs := make([]machine.Alloc, len(models))
-			for i := range allocs {
-				allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: mbaTuple[i]}
-			}
-			u, err := unfairnessOf(allocs)
-			if err != nil {
-				return FairGrid{}, nil, err
-			}
-			grid.Norm[r][c] = u / noneU
+		cm, err := machine.New(cfg)
+		if err != nil {
+			return err
+		}
+		allocs := make([]machine.Alloc, len(models))
+		for i := range allocs {
+			allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: grid.MBAParts[c][i]}
+		}
+		u, err := unfairnessOf(cm, allocs)
+		if err != nil {
+			return err
+		}
+		grid.Norm[r][c] = u / noneU
+		return nil
+	})
+	if err != nil {
+		return FairGrid{}, nil, err
+	}
+	for r := range grid.Norm {
+		for c := range grid.Norm[r] {
 			hm.Set(r, c, grid.Norm[r][c])
 		}
 	}

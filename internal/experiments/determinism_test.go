@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// atWorkers runs fn with the worker pool pinned to n and restores the
+// all-cores default afterwards.
+func atWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	fn()
+}
+
+// TestParallelDeterminism pins the engine's core contract: fanning the
+// experiment grids across workers must not change a single bit of the
+// output, because every cell builds its own machine and RNG and the pool
+// only decides when — not how — a cell runs. Each experiment is rendered
+// to text and compared byte for byte between one worker and several.
+func TestParallelDeterminism(t *testing.T) {
+	type run struct {
+		rendered string
+		result   any
+	}
+	cases := []struct {
+		name string
+		fn   func(t *testing.T) run
+	}{
+		{"Figure12", func(t *testing.T) run {
+			res, tab, err := Figure12(cfg(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return run{tab.String(), res}
+		}},
+		{"PerfHeatmap", func(t *testing.T) run {
+			grid, hm, err := PerfHeatmap(cfg(), "CG")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return run{hm.String(), grid}
+		}},
+		{"Figure11", func(t *testing.T) run {
+			res, tab, err := Figure11(cfg(), SensTraffic, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return run{tab.String(), res}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var seq, par run
+			atWorkers(t, 1, func() { seq = tc.fn(t) })
+			atWorkers(t, 8, func() { par = tc.fn(t) })
+			if seq.rendered != par.rendered {
+				t.Errorf("rendered output differs between 1 and 8 workers:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.rendered, par.rendered)
+			}
+			if !reflect.DeepEqual(seq.result, par.result) {
+				t.Errorf("result structs differ between 1 and 8 workers:\nseq: %+v\npar: %+v",
+					seq.result, par.result)
+			}
+		})
+	}
+}

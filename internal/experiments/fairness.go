@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fairness"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/policies"
 	"repro/internal/texttab"
 	"repro/internal/workloads"
@@ -71,30 +72,42 @@ func fairnessMatrixWith(cfg machine.Config, pols []policies.Policy, apps int) (F
 		res.Norm[p] = make([]float64, len(res.Mixes))
 		res.Raw[p] = make([]float64, len(res.Mixes))
 	}
+	// Build each mix once, then fan the independent (mix × policy) cells
+	// across the worker pool. Every Policy.Run builds its own machine
+	// and seeds its own RNG from the policy's fixed seed, so the matrix
+	// is bit-identical at any worker count.
+	mixModels := make([][]machine.AppModel, len(res.Mixes))
 	for mi, kind := range res.Mixes {
 		models, err := workloads.Mix(cfg, kind, apps)
 		if err != nil {
 			return Fig12Result{}, nil, err
 		}
-		var eqU float64
-		for pi, pol := range pols {
-			out, err := pol.Run(cfg, models)
-			if err != nil {
-				return Fig12Result{}, nil, fmt.Errorf("experiments: %s on %v: %w", pol.Name(), kind, err)
-			}
-			res.Raw[pi][mi] = out.Unfairness
-			if pi == 0 {
-				eqU = out.Unfairness
-			}
+		mixModels[mi] = models
+	}
+	err := parallel.ForEach(len(res.Mixes)*len(pols), func(k int) error {
+		mi, pi := k/len(pols), k%len(pols)
+		out, err := pols[pi].Run(cfg, mixModels[mi])
+		if err != nil {
+			return fmt.Errorf("experiments: %s on %v: %w", pols[pi].Name(), res.Mixes[mi], err)
+		}
+		res.Raw[pi][mi] = out.Unfairness
+		return nil
+	})
+	if err != nil {
+		return Fig12Result{}, nil, err
+	}
+	for mi := range res.Mixes {
+		eqU := res.Raw[0][mi]
+		for pi := range pols {
 			// Normalization guard: on mixes where both policies are
 			// essentially perfectly fair (the IS mix sits near zero for
 			// everyone), the ratio of two near-zero numbers is noise;
 			// report parity instead, as the paper's bars do.
 			const fairFloor = 0.01
-			if eqU < fairFloor && out.Unfairness < fairFloor {
+			if eqU < fairFloor && res.Raw[pi][mi] < fairFloor {
 				res.Norm[pi][mi] = 1
 			} else if eqU > 1e-9 {
-				res.Norm[pi][mi] = out.Unfairness / eqU
+				res.Norm[pi][mi] = res.Raw[pi][mi] / eqU
 			} else {
 				res.Norm[pi][mi] = 1
 			}
@@ -159,14 +172,20 @@ func Figure13(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, erro
 	for p := range res.Value {
 		res.Value[p] = make([]float64, len(res.Points))
 	}
-	for xi, n := range res.Points {
-		matrix, _, err := fairnessMatrix(cfg, seed, n)
+	// Sweep points are independent; fan them out (the per-point matrix
+	// fans out further — the pool bounds total concurrency globally).
+	err := parallel.ForEach(len(res.Points), func(xi int) error {
+		matrix, _, err := fairnessMatrix(cfg, seed, res.Points[xi])
 		if err != nil {
-			return SweepResult{}, nil, err
+			return err
 		}
 		for pi := range res.Policies {
 			res.Value[pi][xi] = matrix.GeoMean[pi]
 		}
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, nil, err
 	}
 	tab := sweepTable("Figure 13. Unfairness vs application count (normalized to EQ)",
 		"apps", res)
@@ -187,16 +206,20 @@ func Figure14(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, erro
 	for p := range res.Value {
 		res.Value[p] = make([]float64, len(res.Points))
 	}
-	for xi, ways := range res.Points {
+	err := parallel.ForEach(len(res.Points), func(xi int) error {
 		small := cfg
-		small.LLCWays = ways
+		small.LLCWays = res.Points[xi]
 		matrix, _, err := fairnessMatrix(small, seed, 4)
 		if err != nil {
-			return SweepResult{}, nil, err
+			return err
 		}
 		for pi := range res.Policies {
 			res.Value[pi][xi] = matrix.GeoMean[pi]
 		}
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, nil, err
 	}
 	tab := sweepTable("Figure 14. Unfairness vs total LLC ways (normalized to EQ)",
 		"ways", res)
@@ -216,25 +239,36 @@ func Figure17(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, erro
 	for p := range res.Value {
 		res.Value[p] = make([]float64, len(res.Points))
 	}
-	for xi, n := range res.Points {
-		perPolicy := make([][]float64, len(pols))
-		var eqTP []float64
-		for pi, pol := range pols {
-			for _, kind := range workloads.MixKinds() {
-				models, err := workloads.Mix(cfg, kind, n)
-				if err != nil {
-					return SweepResult{}, nil, err
-				}
-				out, err := pol.Run(cfg, models)
-				if err != nil {
-					return SweepResult{}, nil, err
-				}
-				perPolicy[pi] = append(perPolicy[pi], out.Throughput)
+	err := parallel.ForEach(len(res.Points), func(xi int) error {
+		n := res.Points[xi]
+		kinds := workloads.MixKinds()
+		// Build each mix once per sweep point and share it across the
+		// policies (the mix does not depend on the policy).
+		mixModels := make([][]machine.AppModel, len(kinds))
+		for ki, kind := range kinds {
+			models, err := workloads.Mix(cfg, kind, n)
+			if err != nil {
+				return err
 			}
-			if pi == 0 {
-				eqTP = perPolicy[0]
-			}
+			mixModels[ki] = models
 		}
+		perPolicy := make([][]float64, len(pols))
+		for pi := range perPolicy {
+			perPolicy[pi] = make([]float64, len(kinds))
+		}
+		err := parallel.ForEach(len(pols)*len(kinds), func(k int) error {
+			pi, ki := k/len(kinds), k%len(kinds)
+			out, err := pols[pi].Run(cfg, mixModels[ki])
+			if err != nil {
+				return err
+			}
+			perPolicy[pi][ki] = out.Throughput
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		eqTP := perPolicy[0]
 		for pi := range pols {
 			normed := make([]float64, len(perPolicy[pi]))
 			for k := range normed {
@@ -242,10 +276,14 @@ func Figure17(cfg machine.Config, seed int64) (SweepResult, *texttab.Table, erro
 			}
 			g, err := fairness.GeoMean(normed)
 			if err != nil {
-				return SweepResult{}, nil, err
+				return err
 			}
 			res.Value[pi][xi] = g
 		}
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, nil, err
 	}
 	tab := sweepTable("Figure 17. Throughput vs application count (normalized to EQ, higher is better)",
 		"apps", res)

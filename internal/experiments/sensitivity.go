@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fairness"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/policies"
 	"repro/internal/texttab"
 	"repro/internal/workloads"
@@ -107,48 +108,67 @@ func Figure11(cfg machine.Config, param SensitivityParam, seed int64) (Sensitivi
 		workloads.HLLC, workloads.HBW, workloads.HBoth,
 		workloads.MLLC, workloads.MBW, workloads.MBoth,
 	}
-	unfairAt := func(v float64) (float64, error) {
-		params, err := applyParam(param, v)
-		if err != nil {
-			return 0, err
+	// Sweep points (including the normalization default, appended as a
+	// hidden point when absent from the list) crossed with the mixes are
+	// independent controller runs; fan every (value, mix) cell out. Each
+	// cell builds its own machine and RNG inside Dynamic.Run, seeded
+	// only by the policy seed, so the panel is bit-identical at any
+	// worker count.
+	points := values
+	defIdx := -1
+	for i, v := range values {
+		if v == def {
+			defIdx = i
 		}
-		vals := make([]float64, 0, len(kinds))
-		for _, kind := range kinds {
-			models, err := workloads.Mix(cfg, kind, 4)
-			if err != nil {
-				return 0, err
-			}
-			pol := &policies.Dynamic{Label: "CoPart", Params: params, Seed: seed}
-			out, err := pol.Run(cfg, models)
-			if err != nil {
-				return 0, err
-			}
-			u := out.Unfairness
-			if u <= 0 {
-				u = 1e-4
-			}
-			vals = append(vals, u)
-		}
-		return fairness.GeoMean(vals)
 	}
-	base, err := unfairAt(def)
+	if defIdx < 0 {
+		points = append(append([]float64(nil), values...), def)
+		defIdx = len(points) - 1
+	}
+	cells := make([][]float64, len(points))
+	for vi := range cells {
+		cells[vi] = make([]float64, len(kinds))
+	}
+	err = parallel.ForEach(len(points)*len(kinds), func(k int) error {
+		vi, ki := k/len(kinds), k%len(kinds)
+		params, err := applyParam(param, points[vi])
+		if err != nil {
+			return err
+		}
+		models, err := workloads.Mix(cfg, kinds[ki], 4)
+		if err != nil {
+			return err
+		}
+		pol := &policies.Dynamic{Label: "CoPart", Params: params, Seed: seed}
+		out, err := pol.Run(cfg, models)
+		if err != nil {
+			return err
+		}
+		u := out.Unfairness
+		if u <= 0 {
+			u = 1e-4
+		}
+		cells[vi][ki] = u
+		return nil
+	})
 	if err != nil {
 		return SensitivityResult{}, nil, err
 	}
+	geo := make([]float64, len(points))
+	for vi := range points {
+		g, err := fairness.GeoMean(cells[vi])
+		if err != nil {
+			return SensitivityResult{}, nil, err
+		}
+		geo[vi] = g
+	}
+	base := geo[defIdx]
 	res := SensitivityResult{Param: param, Values: values, Default: def}
 	tab := texttab.New(
 		fmt.Sprintf("Figure 11. Sensitivity to the %s (normalized to default %.2f)", param, def),
 		"value", "normalized unfairness")
-	for _, v := range values {
-		var u float64
-		if v == def {
-			u = base
-		} else {
-			u, err = unfairAt(v)
-			if err != nil {
-				return SensitivityResult{}, nil, err
-			}
-		}
+	for vi, v := range values {
+		u := geo[vi]
 		res.Norm = append(res.Norm, u/base)
 		tab.AddRow(fmt.Sprintf("%.2f", v), fmt.Sprintf("%.3f", u/base))
 	}

@@ -1,0 +1,46 @@
+package machine
+
+import "testing"
+
+// TestSolveAllocationGuard pins the solver's allocation budget: a
+// steady-state solve of a consolidated 4-application system with
+// exclusive cache partitions must stay within a small fixed number of
+// heap allocations per call (the returned []Perf plus nothing else —
+// all intermediate state lives in the per-machine scratch buffers).
+// A regression here silently multiplies across the tens of thousands of
+// solves behind every figure; keep the budget tight rather than roomy.
+func TestSolveAllocationGuard(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []AppModel{
+		llcSensitiveModel(), bwSensitiveModel(), dualSensitiveModel(), insensitiveModel(),
+	}
+	masks, err := AssignContiguousWays([]int{3, 3, 3, 2}, 0, m.cfg.LLCWays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range models {
+		models[i].Name = string(rune('a' + i))
+		if err := m.AddApp(models[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetAllocation(models[i].Name, Alloc{CBM: masks[i], MBALevel: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up so the scratch buffers reach steady-state size.
+	if _, err := m.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2 // the fresh []Perf result, plus slack for the runtime
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := m.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("Machine.Solve allocates %.1f times per call, budget is %d", avg, budget)
+	}
+}

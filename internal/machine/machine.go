@@ -155,17 +155,56 @@ type Perf struct {
 }
 
 // Machine is the simulated server.
+//
+// A Machine is NOT safe for concurrent use: the solver reuses
+// per-Machine scratch buffers across calls (and Step mutates counters).
+// Concurrent experiment cells must each construct their own Machine —
+// construction is cheap, and the experiments harness does exactly that.
 type Machine struct {
 	cfg      Config
+	fullMask uint64 // cfg.FullMask(), hoisted out of the solve path
 	arbiter  *membw.Arbiter
 	apps     []*app
 	byName   map[string]int
 	now      time.Duration // virtual time since construction
 	noiseRNG *rand.Rand
+
+	hasPhases bool // any active app carries a phase schedule
+	scratch   solveScratch
+	cache     *solveCache // nil unless WithSolveCache
+}
+
+// solveScratch holds the solver's reusable buffers. solveDomainInto and
+// Solve would otherwise reallocate these every fixed-point round; the
+// scratch keeps the steady-state Solve path down to the one allocation
+// that is the returned []Perf.
+type solveScratch struct {
+	models   []AppModel     // Solve: resolved active models
+	allocs   []Alloc        // Solve: active allocations
+	caps     []float64      // per-app effective LLC capacity
+	next     []float64      // occupancyShares output buffer
+	mbaDelay []float64      // per-app MBA latency factor (fixed per solve)
+	bwCaps   []float64      // per-app MBA bandwidth cap (fixed per solve)
+	demands  []membw.Demand // arbitration input
+	arbRes   membw.Result   // arbitration output (Grants reused)
+}
+
+// Option configures a Machine at construction.
+type Option func(*Machine)
+
+// WithSolveCache enables memoization of steady-state solves, keyed by
+// the resolved models and allocations. Exploration policies revisit
+// allocation states constantly, so cached solves skip whole fixed-point
+// iterations. The cache is exact — a hit returns bit-identical results
+// to recomputing, because Solve is deterministic in its inputs — and is
+// invalidated on AddApp/RemoveApp and on phase advance (Step) when any
+// application is phased. See DESIGN.md §7.
+func WithSolveCache() Option {
+	return func(m *Machine) { m.cache = newSolveCache(defaultSolveCacheEntries) }
 }
 
 // New builds a machine with the given configuration.
-func New(cfg Config) (*Machine, error) {
+func New(cfg Config, opts ...Option) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -173,12 +212,20 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:      cfg,
+		fullMask: cfg.FullMask(),
 		arbiter:  arb,
 		byName:   make(map[string]int),
-		noiseRNG: rand.New(rand.NewSource(cfg.NoiseSeed)),
-	}, nil
+		// noiseRNG is seeded lazily on first use (see noiseFactors):
+		// seeding a math/rand source costs ~10µs and most machines run
+		// noise-free, which matters now that concurrent experiment
+		// cells construct one Machine each.
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
 }
 
 // Config returns the machine configuration.
@@ -213,9 +260,13 @@ func (m *Machine) AddApp(model AppModel) error {
 	m.byName[model.Name] = len(m.apps)
 	m.apps = append(m.apps, &app{
 		model:  model,
-		alloc:  Alloc{CBM: m.cfg.FullMask(), MBALevel: membw.MaxLevel},
+		alloc:  Alloc{CBM: m.fullMask, MBALevel: membw.MaxLevel},
 		active: true,
 	})
+	if len(model.Phases) > 0 {
+		m.hasPhases = true
+	}
+	m.cache.invalidate()
 	return nil
 }
 
@@ -230,6 +281,7 @@ func (m *Machine) RemoveApp(name string) error {
 		return fmt.Errorf("machine: app %q already removed", name)
 	}
 	m.apps[i].active = false
+	m.cache.invalidate()
 	return nil
 }
 
@@ -271,7 +323,7 @@ func (m *Machine) SetAllocation(name string, alloc Alloc) error {
 	if err != nil {
 		return err
 	}
-	if alloc.CBM == 0 || alloc.CBM&^m.cfg.FullMask() != 0 {
+	if alloc.CBM == 0 || alloc.CBM&^m.fullMask != 0 {
 		return fmt.Errorf("machine: invalid CBM %#x for %d ways", alloc.CBM, m.cfg.LLCWays)
 	}
 	if !contiguous(alloc.CBM) {
@@ -311,17 +363,6 @@ func contiguous(mask uint64) bool {
 	return shifted&(shifted+1) == 0
 }
 
-// activeApps returns the active applications in launch order.
-func (m *Machine) activeApps() []*app {
-	out := make([]*app, 0, len(m.apps))
-	for _, a := range m.apps {
-		if a.active {
-			out = append(out, a)
-		}
-	}
-	return out
-}
-
 // Step advances virtual time by dt, accumulating counters at the solved
 // steady-state rates.
 func (m *Machine) Step(dt time.Duration) error {
@@ -333,7 +374,12 @@ func (m *Machine) Step(dt time.Duration) error {
 		return err
 	}
 	secs := dt.Seconds()
-	for i, a := range m.activeApps() {
+	i := -1
+	for _, a := range m.apps {
+		if !a.active {
+			continue
+		}
+		i++
 		p := perfs[i]
 		perfNoise, missNoise := m.noiseFactors()
 		a.counters.Instructions += p.IPS * secs * perfNoise
@@ -342,6 +388,12 @@ func (m *Machine) Step(dt time.Duration) error {
 		a.counters.MemoryBytes += p.GrantBW * secs * perfNoise * missNoise
 	}
 	m.now += dt
+	// Phase advance changes which resolved models the next Solve sees;
+	// the cache key is exact over resolved models, so this flush is a
+	// memory bound rather than a correctness requirement.
+	if m.hasPhases {
+		m.cache.invalidate()
+	}
 	return nil
 }
 
@@ -353,6 +405,9 @@ func (m *Machine) noiseFactors() (perf, miss float64) {
 	sigma := m.cfg.MeasurementNoise
 	if sigma == 0 {
 		return 1, 1
+	}
+	if m.noiseRNG == nil {
+		m.noiseRNG = rand.New(rand.NewSource(m.cfg.NoiseSeed))
 	}
 	clamp := func(f float64) float64 {
 		if f < 0.5 {
@@ -389,21 +444,24 @@ func (m *Machine) Occupancy(name string) (float64, error) {
 // Solve computes the steady-state performance of every active application
 // at the current system state and virtual time (phased models resolve to
 // their active phase), in Apps() order. The machine state is not
-// modified.
+// modified. The returned slice is freshly allocated and safe to retain.
 func (m *Machine) Solve() ([]Perf, error) {
-	apps := m.activeApps()
-	allocs := make([]Alloc, len(apps))
-	models := make([]AppModel, len(apps))
-	for i, a := range apps {
-		allocs[i] = a.alloc
-		models[i] = a.model.AtTime(m.now)
+	sc := &m.scratch
+	sc.models = sc.models[:0]
+	sc.allocs = sc.allocs[:0]
+	for _, a := range m.apps {
+		if a.active {
+			sc.models = append(sc.models, a.model.AtTime(m.now))
+			sc.allocs = append(sc.allocs, a.alloc)
+		}
 	}
-	return m.SolveFor(models, allocs)
+	return m.SolveFor(sc.models, sc.allocs)
 }
 
 // SolveFor solves the model for an arbitrary hypothetical set of
 // applications and allocations — used by the ST oracle policy and the
-// characterization sweeps without touching machine state.
+// characterization sweeps without touching machine state. The returned
+// slice is freshly allocated and safe to retain.
 func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 	if len(models) != len(allocs) {
 		return nil, fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
@@ -411,25 +469,31 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 	if len(models) == 0 {
 		return nil, nil
 	}
+	sockets := m.cfg.SocketCount()
 	for i, al := range allocs {
-		if al.CBM == 0 || al.CBM&^m.cfg.FullMask() != 0 {
+		if al.CBM == 0 || al.CBM&^m.fullMask != 0 {
 			return nil, fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
 		}
 		if err := membw.ValidateLevel(al.MBALevel); err != nil {
 			return nil, fmt.Errorf("machine: app %d: %w", i, err)
 		}
-		if s := models[i].Socket; s < 0 || s >= m.cfg.SocketCount() {
+		if s := models[i].Socket; s < 0 || s >= sockets {
 			return nil, fmt.Errorf("machine: app %d on socket %d, machine has %d",
-				i, s, m.cfg.SocketCount())
+				i, s, sockets)
+		}
+	}
+	if m.cache != nil {
+		if perfs, ok := m.cache.lookup(models, allocs); ok {
+			return perfs, nil
 		}
 	}
 
+	perfs := make([]Perf, len(models))
 	// Sockets are independent resource domains: each has its own LLC and
 	// DRAM budget, so the solver runs per socket and the results are
 	// merged back in input order.
-	if m.cfg.SocketCount() > 1 {
-		perfs := make([]Perf, len(models))
-		for s := 0; s < m.cfg.SocketCount(); s++ {
+	if sockets > 1 {
+		for s := 0; s < sockets; s++ {
 			var idx []int
 			for i := range models {
 				if models[i].Socket == s {
@@ -441,29 +505,53 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 			}
 			subModels := make([]AppModel, len(idx))
 			subAllocs := make([]Alloc, len(idx))
+			subPerfs := make([]Perf, len(idx))
 			for j, i := range idx {
 				subModels[j] = models[i]
 				subAllocs[j] = allocs[i]
 			}
-			subPerfs, err := m.solveDomain(subModels, subAllocs)
-			if err != nil {
+			if err := m.solveDomainInto(subPerfs, subModels, subAllocs); err != nil {
 				return nil, err
 			}
 			for j, i := range idx {
 				perfs[i] = subPerfs[j]
 			}
 		}
-		return perfs, nil
+	} else if err := m.solveDomainInto(perfs, models, allocs); err != nil {
+		return nil, err
 	}
-	return m.solveDomain(models, allocs)
+	if m.cache != nil {
+		// lookup left the encoded key in the cache's scratch.
+		m.cache.store(perfs)
+	}
+	return perfs, nil
 }
 
-// solveDomain solves one socket's applications against one LLC and one
-// DRAM budget.
-func (m *Machine) solveDomain(models []AppModel, allocs []Alloc) ([]Perf, error) {
+// solveDomainInto solves one socket's applications against one LLC and
+// one DRAM budget, writing the steady state into perfs
+// (len(perfs) == len(models)). All intermediate state lives in the
+// per-Machine scratch, so the fixed-point rounds are allocation-free.
+func (m *Machine) solveDomainInto(perfs []Perf, models []AppModel, allocs []Alloc) error {
 	n := len(models)
-	caps := m.initialCapacities(models, allocs)
-	perfs := make([]Perf, n)
+	sc := &m.scratch
+	sc.caps = growFloats(sc.caps, n)
+	m.initialCapacitiesInto(sc.caps, allocs)
+	sc.demands = growDemands(sc.demands, n)
+	sc.mbaDelay = growFloats(sc.mbaDelay, n)
+	sc.bwCaps = growFloats(sc.bwCaps, n)
+	// The MBA latency factor and bandwidth cap depend only on the
+	// allocation, which is fixed across rounds — hoist both (and their
+	// math.Pow evaluations) out of the fixed-point loop.
+	for i := range models {
+		sc.mbaDelay[i] = 1 + m.cfg.MBALatencyK*math.Pow(1-float64(allocs[i].MBALevel)/100, m.cfg.MBALatencyP)
+		cap, err := m.arbiter.Cap(allocs[i].MBALevel, models[i].Cores)
+		if err != nil {
+			return err
+		}
+		sc.bwCaps[i] = cap
+		sc.demands[i].MBALevel = allocs[i].MBALevel
+		sc.demands[i].Cores = models[i].Cores
+	}
 
 	// Outer loop: occupancy shares (for overlapping CBMs) and bus
 	// congestion both depend on solved rates; damped fixed-point rounds
@@ -480,32 +568,52 @@ func (m *Machine) solveDomain(models []AppModel, allocs []Alloc) ([]Perf, error)
 	}
 	stretch := 1.0
 	for iter := 0; iter < iters; iter++ {
-		demands := make([]membw.Demand, n)
 		for i := range models {
-			perfs[i] = m.solveApp(models[i], allocs[i], caps[i], stretch, math.Inf(1))
-			demands[i] = membw.Demand{
-				Bytes:    perfs[i].DemandBW,
-				MBALevel: allocs[i].MBALevel,
-				Cores:    models[i].Cores,
-			}
+			perfs[i] = m.solveApp(models[i], sc.mbaDelay[i], sc.caps[i], stretch, math.Inf(1))
+			sc.demands[i].Bytes = perfs[i].DemandBW
 		}
-		res, err := m.arbiter.Allocate(demands)
-		if err != nil {
-			return nil, err
+		if err := m.arbiter.AllocateCapped(&sc.arbRes, sc.demands, sc.bwCaps); err != nil {
+			return err
 		}
-		stretch = res.Stretch
+		stretch = sc.arbRes.Stretch
 		for i := range models {
-			perfs[i] = m.solveApp(models[i], allocs[i], caps[i], stretch, res.Grants[i])
+			perfs[i] = m.solveApp(models[i], sc.mbaDelay[i], sc.caps[i], stretch, sc.arbRes.Grants[i])
 		}
 		if shared {
-			next := m.occupancyShares(models, allocs, perfs)
+			sc.next = growFloats(sc.next, n)
+			m.occupancySharesInto(sc.next, allocs, perfs)
 			// Damping stabilizes the insertion-pressure feedback loop.
-			for i := range caps {
-				caps[i] = 0.5*caps[i] + 0.5*next[i]
+			for i := range sc.caps {
+				sc.caps[i] = 0.5*sc.caps[i] + 0.5*sc.next[i]
 			}
 		}
 	}
-	return perfs, nil
+	return nil
+}
+
+// growFloats returns s resized to n (zeroed), reusing its backing array
+// when the capacity suffices.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// growDemands is growFloats for demand buffers.
+func growDemands(s []membw.Demand, n int) []membw.Demand {
+	if cap(s) < n {
+		return make([]membw.Demand, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = membw.Demand{}
+	}
+	return s
 }
 
 // anySharedWay reports whether any LLC way appears in more than one CBM.
@@ -519,10 +627,10 @@ func (m *Machine) anySharedWay(allocs []Alloc) bool {
 }
 
 // solveApp evaluates one application's performance at a fixed effective
-// capacity, congestion stretch, and bandwidth grant.
-func (m *Machine) solveApp(model AppModel, alloc Alloc, capBytes, stretch, grant float64) Perf {
+// capacity, congestion stretch, and bandwidth grant. mbaDelay is the
+// precomputed MBA latency factor for the application's allocation.
+func (m *Machine) solveApp(model AppModel, mbaDelay, capBytes, stretch, grant float64) Perf {
 	mr, weightedMiss := model.MissBreakdown(capBytes)
-	mbaDelay := 1 + m.cfg.MBALatencyK*math.Pow(1-float64(alloc.MBALevel)/100, m.cfg.MBALatencyP)
 	missCycles := m.cfg.MissCostCycles * stretch * mbaDelay * weightedMiss
 	cpi := model.CPIBase + model.AccPerInstr*(m.cfg.HitCostCycles*(1-mr)+missCycles)
 	ips := float64(model.Cores) * m.cfg.FreqHz / cpi
@@ -544,10 +652,10 @@ func (m *Machine) solveApp(model AppModel, alloc Alloc, capBytes, stretch, grant
 	}
 }
 
-// initialCapacities seeds the occupancy iteration: each way's capacity is
-// split evenly among the applications whose CBM includes it.
-func (m *Machine) initialCapacities(models []AppModel, allocs []Alloc) []float64 {
-	caps := make([]float64, len(models))
+// initialCapacitiesInto seeds the occupancy iteration: each way's
+// capacity is split evenly among the applications whose CBM includes
+// it. caps must be zeroed with len(caps) == len(allocs).
+func (m *Machine) initialCapacitiesInto(caps []float64, allocs []Alloc) {
 	for w := 0; w < m.cfg.LLCWays; w++ {
 		bit := uint64(1) << uint(w)
 		sharers := 0
@@ -566,10 +674,9 @@ func (m *Machine) initialCapacities(models []AppModel, allocs []Alloc) []float64
 			}
 		}
 	}
-	return caps
 }
 
-// occupancyShares refines effective capacities: within each way, the
+// occupancySharesInto refines effective capacities: within each way, the
 // sharing applications occupy space in proportion to their *insertion*
 // pressure — the miss rate, since every miss installs a line — with a
 // small access-rate term for reuse-driven recency protection. This is
@@ -579,7 +686,9 @@ func (m *Machine) initialCapacities(models []AppModel, allocs []Alloc) []float64
 // set, even though the neighbour's *access* rate may be far higher (the
 // interference premise of the paper's §1). Exclusive ways degenerate to
 // their full capacity, so partitioned runs are exact.
-func (m *Machine) occupancyShares(models []AppModel, allocs []Alloc, perfs []Perf) []float64 {
+//
+// caps must be zeroed with len(caps) == len(allocs).
+func (m *Machine) occupancySharesInto(caps []float64, allocs []Alloc, perfs []Perf) {
 	// reuseWeight credits a fraction of reuse (hit) traffic as retention
 	// pressure: LRU does protect re-referenced lines, just far less than
 	// proportionally.
@@ -588,7 +697,6 @@ func (m *Machine) occupancyShares(models []AppModel, allocs []Alloc, perfs []Per
 		hits := perfs[i].AccessRate - perfs[i].MissRate
 		return perfs[i].MissRate + reuseWeight*hits
 	}
-	caps := make([]float64, len(models))
 	for w := 0; w < m.cfg.LLCWays; w++ {
 		bit := uint64(1) << uint(w)
 		totalPressure := 0.0
@@ -613,7 +721,6 @@ func (m *Machine) occupancyShares(models []AppModel, allocs []Alloc, perfs []Per
 			}
 		}
 	}
-	return caps
 }
 
 // SoloPerf solves the performance of a single application running alone

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// defaultSolveCacheEntries bounds the memoization table. The largest
+// in-repo consumer is the ST oracle's exhaustive 4-application search
+// (~31k states); when the bound is exceeded the whole table is dropped,
+// which keeps behaviour deterministic (the cache only ever changes
+// speed, never values — Solve is a pure function of its inputs).
+const defaultSolveCacheEntries = 1 << 15
+
+// solveCache memoizes SolveFor results keyed by an exact binary
+// fingerprint of the resolved models and allocations. Because the key
+// covers every solver input except the immutable machine Config, a hit
+// is guaranteed bit-identical to recomputation; AddApp/RemoveApp/phase
+// flushes (see Machine) only bound staleness and memory.
+type solveCache struct {
+	entries map[string][]Perf
+	max     int
+	key     []byte // scratch for the current key
+
+	// Hits and Misses instrument the cache for tests and benchmarks.
+	hits, misses uint64
+}
+
+func newSolveCache(max int) *solveCache {
+	return &solveCache{entries: make(map[string][]Perf), max: max}
+}
+
+// invalidate drops every entry. Safe on a nil cache.
+func (c *solveCache) invalidate() {
+	if c == nil || len(c.entries) == 0 {
+		return
+	}
+	clear(c.entries)
+}
+
+// encodeKey writes the exact solver fingerprint of (models, allocs)
+// into the scratch key: every AppModel field the solver reads, plus the
+// allocation pair. Names are deliberately excluded — they do not affect
+// the solved steady state.
+func (c *solveCache) encodeKey(models []AppModel, allocs []Alloc) {
+	k := c.key[:0]
+	k = binary.AppendUvarint(k, uint64(len(models)))
+	for i := range models {
+		mo := &models[i]
+		k = binary.AppendUvarint(k, uint64(mo.Cores))
+		k = binary.AppendUvarint(k, uint64(mo.Socket))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.CPIBase))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.AccPerInstr))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.StreamFrac))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.MLP))
+		k = binary.AppendUvarint(k, uint64(len(mo.Hot)))
+		for _, h := range mo.Hot {
+			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.Bytes))
+			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.Weight))
+			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.MLP))
+		}
+		k = binary.LittleEndian.AppendUint64(k, allocs[i].CBM)
+		k = binary.AppendUvarint(k, uint64(allocs[i].MBALevel))
+	}
+	c.key = k
+}
+
+// lookup returns a fresh copy of the memoized solve for (models,
+// allocs), if present. It leaves the encoded key in the scratch so a
+// following store needs no re-encoding.
+func (c *solveCache) lookup(models []AppModel, allocs []Alloc) ([]Perf, bool) {
+	c.encodeKey(models, allocs)
+	cached, ok := c.entries[string(c.key)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	out := make([]Perf, len(cached))
+	copy(out, cached)
+	return out, true
+}
+
+// store memoizes perfs under the key left by the preceding lookup. The
+// entry keeps its own copy so later caller mutations cannot corrupt it.
+func (c *solveCache) store(perfs []Perf) {
+	if len(c.entries) >= c.max {
+		clear(c.entries)
+	}
+	cp := make([]Perf, len(perfs))
+	copy(cp, perfs)
+	c.entries[string(c.key)] = cp
+}
+
+// SolveCacheStats reports the machine's memoization counters (zeroes
+// when the cache is disabled) — exposed for tests and benchmarks.
+func (m *Machine) SolveCacheStats() (hits, misses uint64, entries int) {
+	if m.cache == nil {
+		return 0, 0, 0
+	}
+	return m.cache.hits, m.cache.misses, len(m.cache.entries)
+}

@@ -1,0 +1,181 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// twinMachines returns one memoizing and one bare machine with the same
+// configuration and the standard 4-application test mix added to both.
+func twinMachines(t *testing.T, cfg Config) (cached, bare *Machine, models []AppModel) {
+	t.Helper()
+	var err error
+	cached, err = New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models = []AppModel{
+		llcSensitiveModel(), bwSensitiveModel(), dualSensitiveModel(), insensitiveModel(),
+	}
+	for i := range models {
+		models[i].Name = string(rune('a' + i))
+		if err := cached.AddApp(models[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := bare.AddApp(models[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cached, bare, models
+}
+
+// TestSolveCacheTransparent checks the memoized solver is bit-identical
+// to the bare one across a sweep of allocations, including repeats that
+// exercise cache hits.
+func TestSolveCacheTransparent(t *testing.T) {
+	cfg := DefaultConfig()
+	cached, bare, models := twinMachines(t, cfg)
+	sweep := [][]int{{3, 3, 3, 2}, {5, 2, 2, 2}, {2, 2, 2, 5}, {3, 3, 3, 2}, {5, 2, 2, 2}}
+	levels := []int{100, 50, 30, 100, 50}
+	for si, counts := range sweep {
+		masks, err := AssignContiguousWays(counts, 0, cfg.LLCWays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range models {
+			al := Alloc{CBM: masks[i], MBALevel: levels[si]}
+			if err := cached.SetAllocation(models[i].Name, al); err != nil {
+				t.Fatal(err)
+			}
+			if err := bare.SetAllocation(models[i].Name, al); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := cached.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bare.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sweep %d: cached solve diverged:\ncached: %+v\nbare:   %+v", si, got, want)
+		}
+	}
+	hits, misses, entries := cached.SolveCacheStats()
+	if hits == 0 {
+		t.Error("sweep repeats states but the cache recorded no hits")
+	}
+	if misses == 0 || entries == 0 {
+		t.Errorf("cache recorded %d misses, %d entries; want both > 0", misses, entries)
+	}
+}
+
+// TestSolveCacheReturnsFreshSlices checks a cache hit cannot alias the
+// stored entry: callers may retain and mutate the returned perfs.
+func TestSolveCacheReturnsFreshSlices(t *testing.T) {
+	cached, _, _ := twinMachines(t, DefaultConfig())
+	first, err := cached.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.Solve() // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] == &second[0] {
+		t.Fatal("cache hit returned the same backing array twice")
+	}
+	saved := second[0]
+	first[0].IPS = -1
+	if second[0] != saved {
+		t.Fatal("mutating one returned slice changed another")
+	}
+}
+
+// TestSolveCacheInvalidation checks the membership-change hooks drop all
+// entries: stale results must be impossible after AddApp/RemoveApp.
+func TestSolveCacheInvalidation(t *testing.T) {
+	cached, _, models := twinMachines(t, DefaultConfig())
+	if _, err := cached.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries := cached.SolveCacheStats(); entries == 0 {
+		t.Fatal("solve did not populate the cache")
+	}
+	if err := cached.RemoveApp(models[3].Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries := cached.SolveCacheStats(); entries != 0 {
+		t.Errorf("RemoveApp left %d cache entries", entries)
+	}
+	if _, err := cached.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	newcomer := insensitiveModel()
+	newcomer.Name = "e"
+	if err := cached.AddApp(newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries := cached.SolveCacheStats(); entries != 0 {
+		t.Errorf("AddApp left %d cache entries", entries)
+	}
+}
+
+// TestSolveCachePhased checks time-varying models stay correct under
+// memoization: advancing time across a phase boundary must not serve the
+// previous phase's solution. The cached machine is compared against a
+// bare machine stepped identically.
+func TestSolveCachePhased(t *testing.T) {
+	cfg := DefaultConfig()
+	phased := llcSensitiveModel()
+	phased.Name = "p"
+	phased.Phases = []ModelPhase{
+		{Duration: 2 * time.Second},
+		{Duration: 2 * time.Second, AccScale: 3},
+	}
+	other := bwSensitiveModel()
+	other.Name = "q"
+
+	cached, err := New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Machine{cached, bare} {
+		if err := m.AddApp(phased); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddApp(other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 5; step++ {
+		got, err := cached.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bare.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: phased cached solve diverged:\ncached: %+v\nbare:   %+v", step, got, want)
+		}
+		if err := cached.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := bare.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

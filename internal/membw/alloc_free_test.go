@@ -1,0 +1,73 @@
+package membw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAllocateIntoMatchesAllocate checks that the allocation-free entry
+// point is behaviorally identical to the original Allocate across random
+// demand sets, and that reusing one Result across calls cannot leak
+// state from a previous (larger) call into a later one.
+func TestAllocateIntoMatchesAllocate(t *testing.T) {
+	a := testArbiter(t)
+	rng := rand.New(rand.NewSource(7))
+	var res Result
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(6)
+		demands := make([]Demand, n)
+		for i := range demands {
+			demands[i] = Demand{
+				Bytes:    rng.Float64() * 12 * GB,
+				MBALevel: ClampLevel(10 + rng.Intn(10)*10),
+				Cores:    1 + rng.Intn(4),
+			}
+		}
+		want, err := a.Allocate(demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AllocateInto(&res, demands); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Grants) != n || len(res.Caps) != n {
+			t.Fatalf("iter %d: result sized %d/%d, want %d", iter, len(res.Grants), len(res.Caps), n)
+		}
+		for i := range demands {
+			if res.Grants[i] != want.Grants[i] {
+				t.Fatalf("iter %d app %d: grant %v != %v", iter, i, res.Grants[i], want.Grants[i])
+			}
+			if res.Caps[i] != want.Caps[i] {
+				t.Fatalf("iter %d app %d: cap %v != %v", iter, i, res.Caps[i], want.Caps[i])
+			}
+		}
+		if res.Utilization != want.Utilization || res.Stretch != want.Stretch {
+			t.Fatalf("iter %d: util/stretch %v/%v != %v/%v",
+				iter, res.Utilization, res.Stretch, want.Utilization, want.Stretch)
+		}
+	}
+}
+
+// TestAllocateIntoNoAllocs pins the point of the Into variant: after the
+// first call sizes the scratch, repeated allocations are heap-free.
+func TestAllocateIntoNoAllocs(t *testing.T) {
+	a := testArbiter(t)
+	demands := []Demand{
+		{Bytes: 9 * GB, MBALevel: 100, Cores: 4},
+		{Bytes: 6 * GB, MBALevel: 50, Cores: 4},
+		{Bytes: 3 * GB, MBALevel: 30, Cores: 4},
+		{Bytes: 1 * GB, MBALevel: 10, Cores: 4},
+	}
+	var res Result
+	if err := a.AllocateInto(&res, demands); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := a.AllocateInto(&res, demands); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AllocateInto allocates %.1f times per call after warm-up, want 0", avg)
+	}
+}

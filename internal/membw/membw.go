@@ -120,9 +120,18 @@ type Result struct {
 }
 
 // Arbiter shares the DRAM budget across applications.
+//
+// An Arbiter is not safe for concurrent use: the allocation-free entry
+// points (AllocateInto, AllocateCapped) reuse internal scratch buffers.
+// Give each concurrent solver its own Arbiter (machine.Machine does).
 type Arbiter struct {
 	cfg   Config
 	curve func(level int) float64
+
+	// scratch for the allocation-free paths.
+	wants  []float64
+	caps   []float64
+	active []int
 }
 
 // New creates an Arbiter.
@@ -154,28 +163,58 @@ func (a *Arbiter) TotalBandwidth() float64 { return a.cfg.TotalBandwidth }
 
 // Allocate runs the arbitration. It returns an error on malformed demands.
 func (a *Arbiter) Allocate(demands []Demand) (Result, error) {
-	if len(demands) == 0 {
-		return Result{Stretch: 1}, nil
-	}
-	wants := make([]float64, len(demands))
-	caps := make([]float64, len(demands))
-	for i, d := range demands {
-		if d.Bytes < 0 || math.IsNaN(d.Bytes) || math.IsInf(d.Bytes, 0) {
-			return Result{}, fmt.Errorf("membw: invalid demand %v at index %d", d.Bytes, i)
-		}
-		cap, err := a.Cap(d.MBALevel, d.Cores)
-		if err != nil {
-			return Result{}, fmt.Errorf("membw: demand %d: %w", i, err)
-		}
-		caps[i] = cap
-		wants[i] = math.Min(d.Bytes, cap)
-	}
-	grants, err := waterfill(wants, a.cfg.TotalBandwidth)
-	if err != nil {
+	var res Result
+	if err := a.AllocateInto(&res, demands); err != nil {
 		return Result{}, err
 	}
+	return res, nil
+}
+
+// AllocateInto is Allocate without per-call allocations: res's Grants
+// and Caps slices are reused when their capacity suffices, and the
+// intermediate buffers live on the Arbiter. The solver's fixed-point
+// loop calls this every round.
+func (a *Arbiter) AllocateInto(res *Result, demands []Demand) error {
+	a.caps = growFloats(a.caps, len(demands))
+	for i, d := range demands {
+		cap, err := a.Cap(d.MBALevel, d.Cores)
+		if err != nil {
+			return fmt.Errorf("membw: demand %d: %w", i, err)
+		}
+		a.caps[i] = cap
+	}
+	return a.AllocateCapped(res, demands, a.caps)
+}
+
+// AllocateCapped runs the arbitration with precomputed MBA caps:
+// caps[i] must be Cap(demands[i].MBALevel, demands[i].Cores). The
+// solver precomputes caps once per solve (allocations are fixed across
+// fixed-point rounds), which keeps the per-round path free of the
+// level→fraction curve evaluation. res.Caps aliases caps on return.
+func (a *Arbiter) AllocateCapped(res *Result, demands []Demand, caps []float64) error {
+	if len(demands) == 0 {
+		res.Grants = res.Grants[:0]
+		res.Caps = caps
+		res.Utilization = 0
+		res.Stretch = 1
+		return nil
+	}
+	if len(caps) != len(demands) {
+		return fmt.Errorf("membw: %d caps for %d demands", len(caps), len(demands))
+	}
+	a.wants = growFloats(a.wants, len(demands))
+	for i, d := range demands {
+		if d.Bytes < 0 || math.IsNaN(d.Bytes) || math.IsInf(d.Bytes, 0) {
+			return fmt.Errorf("membw: invalid demand %v at index %d", d.Bytes, i)
+		}
+		a.wants[i] = math.Min(d.Bytes, caps[i])
+	}
+	res.Grants = growFloats(res.Grants, len(demands))
+	if err := a.waterfillInto(res.Grants, a.wants, a.cfg.TotalBandwidth); err != nil {
+		return err
+	}
 	total := 0.0
-	for _, g := range grants {
+	for _, g := range res.Grants {
 		total += g
 	}
 	rho := total / a.cfg.TotalBandwidth
@@ -186,18 +225,48 @@ func (a *Arbiter) Allocate(demands []Demand) (Result, error) {
 	if a.cfg.CongestionK > 0 {
 		stretch = 1 + a.cfg.CongestionK*math.Pow(rho, a.cfg.CongestionP)
 	}
-	return Result{Grants: grants, Caps: caps, Utilization: rho, Stretch: stretch}, nil
+	res.Caps = caps
+	res.Utilization = rho
+	res.Stretch = stretch
+	return nil
+}
+
+// growFloats returns s resized to n, reusing its backing array when
+// possible and zeroing the visible elements.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // waterfill computes the max–min fair allocation of budget across wants:
 // everyone receives min(want, fair share), and capacity freed by
 // under-demanding applications is redistributed among the rest.
 func waterfill(wants []float64, budget float64) ([]float64, error) {
-	if budget <= 0 {
-		return nil, errors.New("membw: non-positive budget")
-	}
 	grants := make([]float64, len(wants))
-	active := make([]int, 0, len(wants))
+	var a Arbiter
+	if err := a.waterfillInto(grants, wants, budget); err != nil {
+		return nil, err
+	}
+	return grants, nil
+}
+
+// waterfillInto is waterfill writing into a caller-provided grants
+// slice (len(grants) == len(wants), zeroed) and reusing the arbiter's
+// active-index scratch.
+func (a *Arbiter) waterfillInto(grants, wants []float64, budget float64) error {
+	if budget <= 0 {
+		return errors.New("membw: non-positive budget")
+	}
+	if cap(a.active) < len(wants) {
+		a.active = make([]int, 0, len(wants))
+	}
+	active := a.active[:0]
 	for i, w := range wants {
 		if w > 0 {
 			active = append(active, i)
@@ -228,5 +297,5 @@ func waterfill(wants []float64, budget float64) ([]float64, error) {
 			break
 		}
 	}
-	return grants, nil
+	return nil
 }

@@ -1,0 +1,186 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the pool bound set to n, restoring the
+// default afterwards.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		withWorkers(t, w, func() {
+			const n = 1000
+			seen := make([]int32, n)
+			if err := ForEach(n, func(i int) error {
+				atomic.AddInt32(&seen[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	calls := 0
+	if err := ForEach(0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn called %d times for empty ranges", calls)
+	}
+}
+
+func TestForEachErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			err := ForEach(100, func(i int) error {
+				if i == 37 {
+					return fmt.Errorf("cell %d: %w", i, boom)
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("workers=%d: got %v, want wrapped boom", w, err)
+			}
+		})
+	}
+}
+
+func TestForEachErrorCancelsRemaining(t *testing.T) {
+	withWorkers(t, 2, func() {
+		var ran atomic.Int32
+		_ = ForEach(10000, func(i int) error {
+			ran.Add(1)
+			return errors.New("immediate")
+		})
+		// Cancellation is best-effort; with 2 workers only a handful of
+		// cells may start after the first error.
+		if n := ran.Load(); n > 100 {
+			t.Fatalf("%d cells ran after an immediate error", n)
+		}
+	})
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	const w = 3
+	withWorkers(t, w, func() {
+		var cur, max atomic.Int32
+		if err := ForEach(200, func(i int) error {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if m := max.Load(); m > w {
+			t.Fatalf("observed %d concurrent cells, bound is %d", m, w)
+		}
+	})
+}
+
+func TestNestedForEachDoesNotDeadlockAndStaysBounded(t *testing.T) {
+	const w = 4
+	withWorkers(t, w, func() {
+		var cur, max atomic.Int32
+		body := func() {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+		}
+		if err := ForEach(8, func(i int) error {
+			return ForEach(8, func(j int) error {
+				body()
+				return nil
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// The caller of each nested ForEach participates without a
+		// token, so the hard bound is Workers() executing cells.
+		if m := max.Load(); m > w {
+			t.Fatalf("observed %d concurrent nested cells, bound is %d", m, w)
+		}
+	})
+}
+
+func TestMap(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			out, err := Map(50, func(i int) (int, error) { return i * i, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("out[%d]=%d", i, v)
+				}
+			}
+		})
+	}
+	if _, err := Map(3, func(i int) (int, error) { return 0, errors.New("x") }); err == nil {
+		t.Fatal("Map should propagate errors")
+	}
+}
+
+func TestSetWorkersConcurrentWithForEach(t *testing.T) {
+	// Resizing the pool while work is in flight must not race or leak.
+	defer SetWorkers(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 8; i++ {
+			SetWorkers(i)
+		}
+	}()
+	for r := 0; r < 8; r++ {
+		if err := ForEach(100, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestWorkersDefault(t *testing.T) {
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers()=%d", Workers())
+	}
+	SetWorkers(5)
+	defer SetWorkers(0)
+	if Workers() != 5 {
+		t.Fatalf("Workers()=%d, want 5", Workers())
+	}
+}

@@ -157,6 +157,8 @@ func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
 			return Result{}, err
 		}
 	}
+	// The exhaustive search never revisits a state, so the solve cache
+	// would be pure hashing overhead here; run the solver bare.
 	m, err := machine.New(cfg)
 	if err != nil {
 		return Result{}, err
@@ -173,13 +175,17 @@ func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
 	best := Result{Unfairness: -1}
 	counts := make([]int, n)
 	mbaIdx := make([]int, n)
+	// Scratch reused across the tens of thousands of scored states; the
+	// best state's slices are copied out before the scratch is reused.
+	allocs := make([]machine.Alloc, n)
+	slowdowns := make([]float64, n)
+	ips := make([]float64, n)
 	var search func(app, remaining int) error
 	scoreState := func() error {
 		masks, err := machine.AssignContiguousWays(counts, 0, cfg.LLCWays)
 		if err != nil {
 			return err
 		}
-		allocs := make([]machine.Alloc, n)
 		for i := range allocs {
 			allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: grid[mbaIdx[i]]}
 		}
@@ -187,8 +193,6 @@ func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
 		if err != nil {
 			return err
 		}
-		slowdowns := make([]float64, n)
-		ips := make([]float64, n)
 		for i := range perfs {
 			slowdowns[i] = solo[i] / perfs[i].IPS
 			ips[i] = perfs[i].IPS
@@ -208,8 +212,8 @@ func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
 			}
 			best = Result{
 				Names:      names,
-				Allocs:     allocs,
-				Slowdowns:  slowdowns,
+				Allocs:     append([]machine.Alloc(nil), allocs...),
+				Slowdowns:  append([]float64(nil), slowdowns...),
 				Unfairness: u,
 				Throughput: tp,
 			}
@@ -294,9 +298,12 @@ func (d *Dynamic) Name() string {
 	return d.Label
 }
 
-// Run implements Policy.
+// Run implements Policy. It is safe for concurrent use: every call
+// builds its own machine (with the solve cache — exploration revisits
+// allocation states constantly, and each revisit skips a whole
+// fixed-point solve) and seeds its own RNG from d.Seed.
 func (d *Dynamic) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
-	m, err := machine.New(cfg)
+	m, err := machine.New(cfg, machine.WithSolveCache())
 	if err != nil {
 		return Result{}, err
 	}
