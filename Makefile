@@ -30,7 +30,8 @@ bench:
 BENCHJSON_DATE ?= $(shell date +%F)
 bench-json:
 	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -benchmem . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$' -benchtime 1000x -benchmem . ; } \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$|BenchmarkManagerPeriod$$' -benchtime 1000x -benchmem . ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_$(BENCHJSON_DATE).json
 	@cat BENCH_$(BENCHJSON_DATE).json
 

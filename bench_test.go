@@ -15,6 +15,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/machine"
 	"repro/internal/matching"
 	"repro/internal/parallel"
@@ -200,6 +201,60 @@ func BenchmarkGetNextSystemState3(b *testing.B) { benchGetNext(b, 3) }
 func BenchmarkGetNextSystemState4(b *testing.B) { benchGetNext(b, 4) }
 func BenchmarkGetNextSystemState5(b *testing.B) { benchGetNext(b, 5) }
 func BenchmarkGetNextSystemState6(b *testing.B) { benchGetNext(b, 6) }
+
+// BenchmarkManagerPeriod measures one steady-state exploration control
+// period — sample, step, classify, match, actuate — the per-second work
+// of a deployed controller. An effectively infinite θ keeps the manager
+// exploring (repeated states perturb instead of parking), so every
+// iteration exercises the same path; the allocation budget this loop
+// runs under is pinned by TestManagerPeriodAllocationGuard.
+func BenchmarkManagerPeriod(b *testing.B) {
+	c := cfg()
+	m, err := machine.New(c, machine.WithSolveCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := workloads.Mix(c, workloads.HBoth, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.Theta = 1 << 30
+	mgr, err := core.NewManager(m, params, ref, core.Envelope{LoWay: 0, Ways: c.LLCWays},
+		rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mgr.Profile(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.ExploreStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleet256 measures the fleet driver at the cmd/fleetbench
+// default scale: 256 independent nodes, each profiling and then running
+// 10 control periods, fanned across the worker pool.
+func BenchmarkFleet256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(fleet.Config{Nodes: 256, Periods: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkMachineSolve measures one steady-state solve of a consolidated
 // 4-application system — the inner loop of every experiment.

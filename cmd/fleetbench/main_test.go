@@ -1,0 +1,12 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	if err := run(os.Stdout, 8, 10, 4, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,23 @@ func (s AllocState) Clone() AllocState {
 	return AllocState{Ways: w, MBA: m}
 }
 
+// CopyFrom makes s an element-wise copy of o in place, reusing s's
+// backing arrays when their capacity suffices. It is the allocation-free
+// alternative to Clone for states that live across control periods (the
+// manager's current/best/next states are all reused this way).
+func (s *AllocState) CopyFrom(o AllocState) {
+	if cap(s.Ways) < len(o.Ways) {
+		s.Ways = make([]int, len(o.Ways))
+	}
+	s.Ways = s.Ways[:len(o.Ways)]
+	copy(s.Ways, o.Ways)
+	if cap(s.MBA) < len(o.MBA) {
+		s.MBA = make([]int, len(o.MBA))
+	}
+	s.MBA = s.MBA[:len(o.MBA)]
+	copy(s.MBA, o.MBA)
+}
+
 // Equal reports whether two states are identical.
 func (s AllocState) Equal(o AllocState) bool {
 	if len(s.Ways) != len(o.Ways) || len(s.MBA) != len(o.MBA) {
@@ -84,12 +101,29 @@ const (
 )
 
 // participant tracks one consumer application through the matching.
+// The preference list is a fixed array plus a cursor (never more than
+// three entries: a specific pool or two, then ANY), so participants can
+// live in a reusable scratch slice without per-consumer allocations.
 type participant struct {
-	app   int
-	prefs []resourceType // remaining preference list, most preferred first
+	app    int
+	prefs  [3]resourceType // preference list, most preferred first
+	nprefs int             // number of valid prefs entries
+	next   int             // cursor: next preference to try
 	// demanded is the consumer's own resource need: resLLC, resMBA, or
 	// resANY when it demands both.
 	demanded resourceType
+}
+
+// AllocatorScratch holds the reusable working set of
+// GetNextSystemStateInto: the producer pools, the consumer list, and the
+// tentative admissions. A zero value is ready to use; after the first
+// few calls the buffers reach steady-state size and every subsequent
+// allocation step is allocation-free. A scratch must not be shared
+// between concurrent callers.
+type AllocatorScratch struct {
+	producers [numResourceTypes][]int
+	consumers []participant
+	admitted  [numResourceTypes][]int // indices into consumers
 }
 
 // GetNextSystemState implements Algorithm 2: one step of the
@@ -106,35 +140,58 @@ type participant struct {
 // Hospital preferences are the slowdown order — higher slowdown is served
 // first; when a pool is oversubscribed the least-slowed tentative consumer
 // is displaced and chains to its next preference.
+//
+// The returned state is freshly allocated; per-period callers should use
+// GetNextSystemStateInto with reused destination and scratch instead.
 func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand.Rand) (AllocState, error) {
-	if len(apps) != len(cur.Ways) {
-		return AllocState{}, fmt.Errorf("core: %d apps, state for %d", len(apps), len(cur.Ways))
-	}
-	if err := cur.Validate(totalWays); err != nil {
+	var next AllocState
+	var sc AllocatorScratch
+	if err := GetNextSystemStateInto(&next, cur, apps, totalWays, rng, &sc); err != nil {
 		return AllocState{}, err
 	}
-	if rng == nil {
-		return AllocState{}, fmt.Errorf("core: nil rng")
+	return next, nil
+}
+
+// GetNextSystemStateInto is GetNextSystemState writing the next state
+// into next (overwritten via CopyFrom, so its backing arrays are reused)
+// with all intermediate bookkeeping in sc. It draws from rng in exactly
+// the order GetNextSystemState does, so the two are interchangeable
+// without disturbing seeded runs. next must not alias cur's slices.
+func GetNextSystemStateInto(next *AllocState, cur AllocState, apps []AppInfo, totalWays int, rng *rand.Rand, sc *AllocatorScratch) error {
+	if len(apps) != len(cur.Ways) {
+		return fmt.Errorf("core: %d apps, state for %d", len(apps), len(cur.Ways))
 	}
-	next := cur.Clone()
+	if err := cur.Validate(totalWays); err != nil {
+		return err
+	}
+	if rng == nil {
+		return fmt.Errorf("core: nil rng")
+	}
+	if sc == nil {
+		return fmt.Errorf("core: nil allocator scratch")
+	}
+	next.CopyFrom(cur)
+	for t := range sc.producers {
+		sc.producers[t] = sc.producers[t][:0]
+		sc.admitted[t] = sc.admitted[t][:0]
+	}
+	sc.consumers = sc.consumers[:0]
 
 	// Build the producer pools (lines 2–5 of Algorithm 2).
-	producers := make([][]int, numResourceTypes)
 	for i, a := range apps {
 		canWay := a.LLCState == Supply && cur.Ways[i] > 1
 		canMBA := a.MBAState == Supply && cur.MBA[i] > membw.MinLevel
 		switch {
 		case canWay && canMBA:
-			producers[resANY] = append(producers[resANY], i)
+			sc.producers[resANY] = append(sc.producers[resANY], i)
 		case canWay:
-			producers[resLLC] = append(producers[resLLC], i)
+			sc.producers[resLLC] = append(sc.producers[resLLC], i)
 		case canMBA:
-			producers[resMBA] = append(producers[resMBA], i)
+			sc.producers[resMBA] = append(sc.producers[resMBA], i)
 		}
 	}
 
 	// Build the consumers with their preference lists (line 6).
-	var consumers []*participant
 	for i, a := range apps {
 		wantsLLC := a.LLCState == Demand
 		wantsMBA := a.MBAState == Demand && cur.MBA[i] < membw.MaxLevel
@@ -144,19 +201,19 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 			if rng.Intn(2) == 0 {
 				first, second = second, first
 			}
-			consumers = append(consumers, &participant{
+			sc.consumers = append(sc.consumers, participant{
 				app: i, demanded: resANY,
-				prefs: []resourceType{first, second, resANY},
+				prefs: [3]resourceType{first, second, resANY}, nprefs: 3,
 			})
 		case wantsLLC:
-			consumers = append(consumers, &participant{
+			sc.consumers = append(sc.consumers, participant{
 				app: i, demanded: resLLC,
-				prefs: []resourceType{resLLC, resANY},
+				prefs: [3]resourceType{resLLC, resANY}, nprefs: 2,
 			})
 		case wantsMBA:
-			consumers = append(consumers, &participant{
+			sc.consumers = append(sc.consumers, participant{
 				app: i, demanded: resMBA,
-				prefs: []resourceType{resMBA, resANY},
+				prefs: [3]resourceType{resMBA, resANY}, nprefs: 2,
 			})
 		}
 	}
@@ -164,28 +221,29 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 	// Step 1 (lines 7–18): tentatively place each consumer, displacing the
 	// least-slowed holder when a pool oversubscribes (instability
 	// chaining).
-	admitted := make([][]*participant, numResourceTypes)
-	for _, c := range consumers {
-		consumer := c
+	for ci := range sc.consumers {
+		cursor := ci
 		for {
-			if len(consumer.prefs) == 0 {
+			c := &sc.consumers[cursor]
+			if c.next >= c.nprefs {
 				break
 			}
-			t := consumer.prefs[0]
-			consumer.prefs = consumer.prefs[1:]
-			admitted[t] = append(admitted[t], consumer)
-			if len(admitted[t]) > len(producers[t]) {
+			t := c.prefs[c.next]
+			c.next++
+			sc.admitted[t] = append(sc.admitted[t], cursor)
+			if len(sc.admitted[t]) > len(sc.producers[t]) {
 				// Displace the tentative consumer with the lowest
 				// slowdown — higher slowdowns deserve the resource.
 				victimIdx := 0
-				for j, cand := range admitted[t] {
-					if apps[cand.app].Slowdown < apps[admitted[t][victimIdx].app].Slowdown {
+				for j, cand := range sc.admitted[t] {
+					if apps[sc.consumers[cand].app].Slowdown <
+						apps[sc.consumers[sc.admitted[t][victimIdx]].app].Slowdown {
 						victimIdx = j
 					}
 				}
-				victim := admitted[t][victimIdx]
-				admitted[t] = append(admitted[t][:victimIdx], admitted[t][victimIdx+1:]...)
-				consumer = victim
+				victim := sc.admitted[t][victimIdx]
+				sc.admitted[t] = append(sc.admitted[t][:victimIdx], sc.admitted[t][victimIdx+1:]...)
+				cursor = victim
 				continue
 			}
 			break
@@ -195,7 +253,8 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 	// Step 2 (lines 19–29): reclaim one unit from the least-slowed
 	// producer of each matched pool and grant it to the consumer.
 	for t := resLLC; t < numResourceTypes; t++ {
-		for _, c := range admitted[t] {
+		for _, ci := range sc.admitted[t] {
+			c := &sc.consumers[ci]
 			var rt resourceType
 			switch {
 			case t != resANY:
@@ -208,11 +267,11 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 					rt = resMBA
 				}
 			}
-			pool := producers[t]
+			pool := sc.producers[t]
 			if len(pool) == 0 {
 				// Step 1 guarantees |consumers| ≤ |producers| per pool;
 				// an empty pool here is an internal invariant violation.
-				return AllocState{}, fmt.Errorf("core: pool %d drained with consumers pending", t)
+				return fmt.Errorf("core: pool %d drained with consumers pending", t)
 			}
 			minIdx := 0
 			for j, p := range pool {
@@ -221,7 +280,7 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 				}
 			}
 			p := pool[minIdx]
-			producers[t] = append(pool[:minIdx], pool[minIdx+1:]...)
+			sc.producers[t] = append(pool[:minIdx], pool[minIdx+1:]...)
 
 			switch rt {
 			case resLLC:
@@ -237,36 +296,49 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 		}
 	}
 	if err := next.Validate(totalWays); err != nil {
-		return AllocState{}, fmt.Errorf("core: produced invalid state: %w", err)
+		return fmt.Errorf("core: produced invalid state: %w", err)
 	}
-	return next, nil
+	return nil
 }
 
 // NeighborState returns a random valid single-unit perturbation of cur:
 // either one LLC way moved between two applications or one application's
 // MBA level nudged one step. Algorithm 1 uses it to escape repeated
 // states (lines 11–14). When no perturbation is possible (single app at
-// the boundary), the input state is returned unchanged.
+// the boundary), the input state is returned unchanged. The returned
+// state is freshly allocated; per-period callers should use
+// NeighborStateInto with a reused destination.
 func NeighborState(cur AllocState, totalWays int, rng *rand.Rand) (AllocState, error) {
-	return neighborState(cur, totalWays, rng, true, true)
-}
-
-// neighborState optionally restricts which resource may be perturbed —
-// the CAT-only and MBA-only baselines freeze one axis.
-func neighborState(cur AllocState, totalWays int, rng *rand.Rand, allowWays, allowMBA bool) (AllocState, error) {
-	if err := cur.Validate(totalWays); err != nil {
+	var next AllocState
+	if err := neighborStateInto(&next, cur, totalWays, rng, true, true); err != nil {
 		return AllocState{}, err
 	}
+	return next, nil
+}
+
+// NeighborStateInto is NeighborState writing the perturbed state into
+// next (overwritten via CopyFrom). It draws from rng in exactly the
+// order NeighborState does. next must not alias cur's slices.
+func NeighborStateInto(next *AllocState, cur AllocState, totalWays int, rng *rand.Rand) error {
+	return neighborStateInto(next, cur, totalWays, rng, true, true)
+}
+
+// neighborStateInto optionally restricts which resource may be perturbed
+// — the CAT-only and MBA-only baselines freeze one axis.
+func neighborStateInto(next *AllocState, cur AllocState, totalWays int, rng *rand.Rand, allowWays, allowMBA bool) error {
+	if err := cur.Validate(totalWays); err != nil {
+		return err
+	}
 	if rng == nil {
-		return AllocState{}, fmt.Errorf("core: nil rng")
+		return fmt.Errorf("core: nil rng")
 	}
 	n := len(cur.Ways)
 	if n == 0 || (!allowWays && !allowMBA) {
-		return cur, nil
+		next.CopyFrom(cur)
+		return nil
 	}
 	const attempts = 64
 	for try := 0; try < attempts; try++ {
-		next := cur.Clone()
 		move := rng.Intn(3)
 		if !allowWays && move == 0 {
 			continue
@@ -280,25 +352,29 @@ func neighborState(cur AllocState, totalWays int, rng *rand.Rand, allowWays, all
 				continue
 			}
 			from, to := rng.Intn(n), rng.Intn(n)
-			if from == to || next.Ways[from] <= 1 {
+			if from == to || cur.Ways[from] <= 1 {
 				continue
 			}
+			next.CopyFrom(cur)
 			next.Ways[from]--
 			next.Ways[to]++
 		case 1: // raise an MBA level
 			i := rng.Intn(n)
-			if next.MBA[i] >= membw.MaxLevel {
+			if cur.MBA[i] >= membw.MaxLevel {
 				continue
 			}
+			next.CopyFrom(cur)
 			next.MBA[i] += membw.Granularity
 		default: // lower an MBA level
 			i := rng.Intn(n)
-			if next.MBA[i] <= membw.MinLevel {
+			if cur.MBA[i] <= membw.MinLevel {
 				continue
 			}
+			next.CopyFrom(cur)
 			next.MBA[i] -= membw.Granularity
 		}
-		return next, nil
+		return nil
 	}
-	return cur, nil
+	next.CopyFrom(cur)
+	return nil
 }

@@ -117,6 +117,20 @@ type Manager struct {
 	phase Phase
 	retry int
 
+	// Per-period scratch, reused across control periods so that a
+	// steady-state period performs no heap allocations (pinned by
+	// TestManagerPeriodAllocationGuard; budget in DESIGN.md §8).
+	// names is rebuilt — freshly allocated — by resetApps, so PeriodReport
+	// observers may retain it; everything else is manager-private.
+	names       []string    // cached Apps() order, immutable between resets
+	rates       []pmc.Rates // measurePeriod output
+	infos       []AppInfo   // ExploreStep classifier snapshot
+	slowdowns   []float64   // per-period Equation 1 values
+	nextState   AllocState  // GetNextSystemStateInto destination
+	masks       []uint64    // applyState CBM layout
+	targetNames []string    // targetApps poll buffer
+	matchSc     AllocatorScratch
+
 	// bestState is the lowest-unfairness state observed during the
 	// current exploration; the manager settles into it when it goes
 	// idle. Algorithm 1's random neighbor perturbations mean the *last*
@@ -200,14 +214,30 @@ func NewManager(target Target, params Params, streamRef map[int]float64, env Env
 	return m, nil
 }
 
-// resetApps rebuilds runtime state for the given application set.
+// resetApps rebuilds runtime state for the given application set. The
+// cached name slice is freshly allocated — never recycled — because
+// PeriodReport hands it to observers, who may retain it across a
+// re-profile.
 func (m *Manager) resetApps(names []string) {
 	m.apps = make([]*appRT, len(names))
+	m.names = make([]string, len(names))
 	for i, n := range names {
 		m.apps[i] = &appRT{name: n}
+		m.names[i] = n
 	}
 	m.sampler.Reset()
 	m.retry = 0
+}
+
+// targetApps polls the target's application list. When the target
+// supports AppsInto (the simulated machine does), the poll reuses a
+// manager-owned buffer; the returned slice is valid until the next call.
+func (m *Manager) targetApps() []string {
+	if t, ok := m.target.(interface{ AppsInto([]string) []string }); ok {
+		m.targetNames = t.AppsInto(m.targetNames)
+		return m.targetNames
+	}
+	return m.target.Apps()
 }
 
 // Phase returns the manager's current phase.
@@ -269,14 +299,15 @@ func EqualMBAShare(n int) int {
 }
 
 // applyState programs the target with st and records per-application
-// change kinds relative to the previous state.
+// change kinds relative to the previous state. st may alias the
+// manager's own scratch (nextState); the masks buffer and the in-place
+// state copy keep the call allocation-free at steady state.
 func (m *Manager) applyState(st AllocState) error {
-	counts := make([]int, len(st.Ways))
-	copy(counts, st.Ways)
-	masks, err := machine.AssignContiguousWays(counts, m.env.LoWay, m.env.Ways)
+	masks, err := machine.AssignContiguousWaysInto(m.masks, st.Ways, m.env.LoWay, m.env.Ways)
 	if err != nil {
 		return err
 	}
+	m.masks = masks
 	for i, a := range m.apps {
 		if err := m.setAllocation(a.name, machine.Alloc{CBM: masks[i], MBALevel: st.MBA[i]}); err != nil {
 			return err
@@ -295,48 +326,70 @@ func (m *Manager) applyState(st AllocState) error {
 			case st.MBA[i] < m.state.MBA[i]:
 				a.mbaChange = LostMBA
 			}
-			if a.wayChange != NoChange || a.mbaChange != NoChange {
+			if m.Events.Enabled() && (a.wayChange != NoChange || a.mbaChange != NoChange) {
 				m.logf(eventlog.KindState, a.name, "%s %s → ways=%d mba=%d",
 					a.wayChange, a.mbaChange, st.Ways[i], st.MBA[i])
 			}
 		}
 	}
-	m.state = st.Clone()
+	m.state.CopyFrom(st)
 	return nil
 }
 
 // measurePeriod advances one control period and returns each
 // application's windowed counter rates over it. With resilience enabled,
 // failed counter reads and a failed period step are retried with backoff
-// before the period is declared failed.
+// before the period is declared failed; with it disabled (the default
+// and the simulation configuration) the loop calls the sampler and
+// target directly, avoiding the retry closures. The returned slice is
+// manager-owned scratch, valid until the next period.
 func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
+	retry := m.Resilience.Enabled
 	for _, a := range m.apps {
-		name := a.name
-		err := m.retryOp("counter read", name, func() error {
-			_, _, err := m.sampler.Sample(name, m.target.Now())
-			return err
-		})
+		var err error
+		if retry {
+			name := a.name
+			err = m.retryOp("counter read", name, func() error {
+				_, _, err := m.sampler.Sample(name, m.target.Now())
+				return err
+			})
+		} else {
+			_, _, err = m.sampler.Sample(a.name, m.target.Now())
+		}
 		if err != nil {
 			return nil, err
 		}
 	}
-	if err := m.retryOp("period step", "", func() error {
-		return m.target.Step(m.params.Period)
-	}); err != nil {
+	var err error
+	if retry {
+		err = m.retryOp("period step", "", func() error {
+			return m.target.Step(m.params.Period)
+		})
+	} else {
+		err = m.target.Step(m.params.Period)
+	}
+	if err != nil {
 		return nil, err
 	}
-	out := make([]pmc.Rates, len(m.apps))
+	if cap(m.rates) < len(m.apps) {
+		m.rates = make([]pmc.Rates, len(m.apps))
+	}
+	m.rates = m.rates[:len(m.apps)]
 	for i, a := range m.apps {
 		var (
 			r  pmc.Rates
 			ok bool
 		)
-		name := a.name
-		err := m.retryOp("counter read", name, func() error {
-			var err error
-			r, ok, err = m.sampler.Sample(name, m.target.Now())
-			return err
-		})
+		if retry {
+			name := a.name
+			err = m.retryOp("counter read", name, func() error {
+				var err error
+				r, ok, err = m.sampler.Sample(name, m.target.Now())
+				return err
+			})
+		} else {
+			r, ok, err = m.sampler.Sample(a.name, m.target.Now())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -347,9 +400,9 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 			// is already consumed.
 			return nil, fmt.Errorf("core: no sampling window for %s", a.name)
 		}
-		out[i] = r
+		m.rates[i] = r
 	}
-	return out, nil
+	return m.rates, nil
 }
 
 // Profile runs the application profiling phase (§5.4.1): it measures each
@@ -492,7 +545,7 @@ func (m *Manager) ExploreStep() (bool, error) {
 	// Consolidation changes can happen mid-exploration too, not only in
 	// the idle phase; restarting from profiling keeps every downstream
 	// assumption (ipsFull, classifier seeds) coherent.
-	if !sameNames(m.target.Apps(), m.appNames()) {
+	if !sameNames(m.targetApps(), m.names) {
 		m.phase = PhaseProfile
 		return false, nil
 	}
@@ -500,8 +553,7 @@ func (m *Manager) ExploreStep() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	infos := make([]AppInfo, len(m.apps))
-	slowdowns := make([]float64, len(m.apps))
+	infos, slowdowns := m.growPeriodScratch()
 	for i, a := range m.apps {
 		slowdowns[i], err = fairness.Slowdown(a.ipsFull, rates[i].IPS)
 		if err != nil {
@@ -531,7 +583,7 @@ func (m *Manager) ExploreStep() (bool, error) {
 		if !m.FreezeLLC {
 			prev := a.llc.State()
 			infos[i].LLCState = a.llc.Update(obs)
-			if infos[i].LLCState != prev {
+			if m.Events.Enabled() && infos[i].LLCState != prev {
 				m.logf(eventlog.KindClassify, a.name, "llc %v→%v (missRatio=%.3f Δperf=%+.1f%%)",
 					prev, infos[i].LLCState, obs.MissRatio, obs.PerfDelta*100)
 			}
@@ -546,7 +598,7 @@ func (m *Manager) ExploreStep() (bool, error) {
 			}
 			prev := a.mba.State()
 			infos[i].MBAState = a.mba.Update(mbaObs)
-			if infos[i].MBAState != prev {
+			if m.Events.Enabled() && infos[i].MBAState != prev {
 				m.logf(eventlog.KindClassify, a.name, "mba %v→%v (traffic=%.3f Δperf=%+.1f%%)",
 					prev, infos[i].MBAState, obs.TrafficRatio, obs.PerfDelta*100)
 			}
@@ -558,26 +610,21 @@ func (m *Manager) ExploreStep() (bool, error) {
 		return false, err
 	}
 	if !m.haveBest || unf < m.bestUnfair {
-		m.bestState = m.state.Clone()
+		m.bestState.CopyFrom(m.state)
 		m.bestUnfair = unf
 		m.haveBest = true
 	}
-	m.report(PeriodReport{
-		Time: m.target.Now(), Phase: PhaseExplore,
-		Apps: m.appNames(), Slowdowns: slowdowns, Unfairness: unf,
-		State: m.state.Clone(),
-	})
+	m.report(PhaseExplore, slowdowns, unf)
 
 	start := time.Now()
-	next, err := GetNextSystemState(m.state, infos, m.env.Ways, m.rng)
+	err = GetNextSystemStateInto(&m.nextState, m.state, infos, m.env.Ways, m.rng, &m.matchSc)
 	m.ExploreTimes = append(m.ExploreTimes, time.Since(start))
 	if err != nil {
 		return false, err
 	}
-	if next.Equal(m.state) {
+	if m.nextState.Equal(m.state) {
 		if m.retry < m.params.Theta {
-			next, err = neighborState(m.state, m.env.Ways, m.rng, !m.FreezeLLC, !m.FreezeMBA)
-			if err != nil {
+			if err := neighborStateInto(&m.nextState, m.state, m.env.Ways, m.rng, !m.FreezeLLC, !m.FreezeMBA); err != nil {
 				return false, err
 			}
 			m.retry++
@@ -587,21 +634,39 @@ func (m *Manager) ExploreStep() (bool, error) {
 	} else {
 		m.retry = 0
 	}
-	return false, m.applyState(next)
+	return false, m.applyState(m.nextState)
 }
 
-func (m *Manager) appNames() []string {
-	out := make([]string, len(m.apps))
-	for i, a := range m.apps {
-		out[i] = a.name
+// growPeriodScratch sizes the per-period classifier and slowdown buffers
+// to the current application count.
+func (m *Manager) growPeriodScratch() ([]AppInfo, []float64) {
+	n := len(m.apps)
+	if cap(m.infos) < n {
+		m.infos = make([]AppInfo, n)
 	}
-	return out
+	if cap(m.slowdowns) < n {
+		m.slowdowns = make([]float64, n)
+	}
+	m.infos, m.slowdowns = m.infos[:n], m.slowdowns[:n]
+	return m.infos, m.slowdowns
 }
 
-func (m *Manager) report(r PeriodReport) {
-	if m.OnPeriod != nil {
-		m.OnPeriod(r)
+// report delivers a PeriodReport to the observer, if any. The report's
+// slices are built only when an observer is attached — observers retain
+// reports (the runtime figures are drawn from them), so they receive
+// copies, and an unobserved control period pays nothing.
+func (m *Manager) report(phase Phase, slowdowns []float64, unfairness float64) {
+	if m.OnPeriod == nil {
+		return
 	}
+	m.OnPeriod(PeriodReport{
+		Time:       m.target.Now(),
+		Phase:      phase,
+		Apps:       m.names,
+		Slowdowns:  append([]float64(nil), slowdowns...),
+		Unfairness: unfairness,
+		State:      m.state.Clone(),
+	})
 }
 
 // logf appends telemetry when an event log is attached.
@@ -637,8 +702,8 @@ func (m *Manager) IdleStep() (bool, error) {
 	if m.phase != PhaseIdle {
 		return false, fmt.Errorf("core: IdleStep called in %v phase", m.phase)
 	}
-	names := m.target.Apps()
-	if !sameNames(names, m.appNames()) || m.envChanged {
+	names := m.targetApps()
+	if !sameNames(names, m.names) || m.envChanged {
 		if m.envChanged {
 			m.logf(eventlog.KindChange, "", "envelope changed to [%d,%d), re-adapting",
 				m.env.LoWay, m.env.LoWay+m.env.Ways)
@@ -653,7 +718,7 @@ func (m *Manager) IdleStep() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	slowdowns := make([]float64, len(m.apps))
+	_, slowdowns := m.growPeriodScratch()
 	changed := false
 	for i, a := range m.apps {
 		slowdowns[i], err = fairness.Slowdown(a.ipsFull, rates[i].IPS)
@@ -673,11 +738,7 @@ func (m *Manager) IdleStep() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	m.report(PeriodReport{
-		Time: m.target.Now(), Phase: PhaseIdle,
-		Apps: m.appNames(), Slowdowns: slowdowns, Unfairness: unf,
-		State: m.state.Clone(),
-	})
+	m.report(PhaseIdle, slowdowns, unf)
 	if changed {
 		m.logf(eventlog.KindChange, "", "IPS drift beyond %.0f%%, re-adapting",
 			m.params.IdleChangeThreshold*100)

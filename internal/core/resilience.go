@@ -114,8 +114,13 @@ func (m *Manager) retryOp(what, app string, op func() error) error {
 	return err
 }
 
-// setAllocation programs one application's allocation with retries.
+// setAllocation programs one application's allocation, with retries when
+// resilience is enabled. The direct call in the disabled case keeps the
+// per-period path free of retry-closure allocations.
 func (m *Manager) setAllocation(name string, a machine.Alloc) error {
+	if !m.Resilience.Enabled {
+		return m.target.SetAllocation(name, a)
+	}
 	return m.retryOp("allocation write", name, func() error {
 		return m.target.SetAllocation(name, a)
 	})

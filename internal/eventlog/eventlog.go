@@ -91,6 +91,14 @@ func New(capacity int) (*Log, error) {
 	return &Log{ring: make([]Event, capacity)}, nil
 }
 
+// Enabled reports whether the log is attached (non-nil). It is the
+// hot-path guard for telemetry producers: formatting an event's detail
+// string costs allocations (fmt boxing and the formatted string), so
+// callers on a control-period path must skip the whole Appendf call —
+// arguments included — when Enabled is false. The method is safe on a
+// nil receiver precisely so that the guard stays a single branch.
+func (l *Log) Enabled() bool { return l != nil }
+
 // Append records an event, evicting the oldest when full.
 func (l *Log) Append(e Event) {
 	l.mu.Lock()

@@ -1,0 +1,221 @@
+// Package fleet drives many independent simulated CoPart nodes
+// concurrently — the fleet-scale benchmark behind cmd/fleetbench.
+//
+// Each node is a self-contained consolidation scenario: its own
+// simulated machine (with the solve cache), its own workload mix drawn
+// deterministically from the fleet seed, and its own resource manager.
+// Nodes share nothing, so the fleet fans out over internal/parallel
+// under its determinism contract: node i's outcome is a pure function
+// of (Config, i), results land by index, and the deterministic part of
+// the result — everything in NodeResult — is bit-identical at any
+// worker count. Wall-clock figures (throughput, period-latency
+// percentiles) are reported separately and are the only nondeterministic
+// outputs.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/parallel"
+	"repro/internal/workloads"
+)
+
+// Config sizes the fleet.
+type Config struct {
+	// Nodes is the number of simulated nodes.
+	Nodes int
+	// Periods is the number of control periods each node executes after
+	// its initial profiling phase.
+	Periods int
+	// Seed derives every node's workload mix and manager RNG; two runs
+	// with the same Config produce identical NodeResults.
+	Seed int64
+	// Machine configures each node's hardware; the zero value selects
+	// machine.DefaultConfig().
+	Machine machine.Config
+}
+
+// NodeResult is one node's deterministic outcome.
+type NodeResult struct {
+	// Node is the node index.
+	Node int
+	// Mix and Apps describe the workload drawn for the node.
+	Mix  string
+	Apps int
+	// Periods is the number of control periods executed; Reprofiles
+	// counts re-entries into the profiling phase (change detections).
+	Periods    int
+	Reprofiles int
+	// Unfairness is Equation 2 at the last reported period.
+	Unfairness float64
+	// Ways and MBA are the final allocation state.
+	Ways []int
+	MBA  []int
+}
+
+// Result aggregates the fleet run.
+type Result struct {
+	// Nodes holds per-node outcomes, by node index. This is the
+	// deterministic part of the result.
+	Nodes []NodeResult
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+	// TotalPeriods is the number of control periods executed fleet-wide;
+	// PeriodsPerSec is TotalPeriods/Elapsed (node-periods per second).
+	TotalPeriods  int
+	PeriodsPerSec float64
+	// P50 and P99 are percentiles of the per-period wall-clock latency
+	// across every node's post-profiling control periods.
+	P50, P99 time.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("fleet: %d nodes", c.Nodes)
+	}
+	if c.Periods < 1 {
+		return fmt.Errorf("fleet: %d periods per node", c.Periods)
+	}
+	return nil
+}
+
+// nodeSeed derives node i's RNG seed from the fleet seed. The golden-ratio
+// stride keeps neighboring nodes' streams uncorrelated.
+func (c Config) nodeSeed(i int) int64 {
+	return c.Seed + i64(0x9E3779B97F4A7C15)*int64(i)
+}
+
+// i64 reinterprets an unsigned 64-bit constant as int64.
+func i64(u uint64) int64 { return int64(u) }
+
+// runNode executes one node end to end and writes its per-period
+// wall-clock latencies into lat (len == cfg.Periods).
+func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
+	mcfg := cfg.Machine
+	if mcfg.LLCWays == 0 {
+		mcfg = machine.DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.nodeSeed(node)))
+	kinds := workloads.MixKinds()
+	kind := kinds[rng.Intn(len(kinds))]
+	maxApps := mcfg.LLCWays
+	if mcfg.Cores < maxApps {
+		maxApps = mcfg.Cores
+	}
+	if maxApps > 6 {
+		maxApps = 6
+	}
+	if maxApps < 3 {
+		return NodeResult{}, fmt.Errorf("fleet: machine too small for a mix (max %d apps)", maxApps)
+	}
+	nApps := 3 + rng.Intn(maxApps-2) // 3..maxApps
+
+	m, err := machine.New(mcfg, machine.WithSolveCache())
+	if err != nil {
+		return NodeResult{}, err
+	}
+	models, err := workloads.Mix(mcfg, kind, nApps)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return NodeResult{}, err
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	mgr, err := core.NewManager(m, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: mcfg.LLCWays}, rng)
+	if err != nil {
+		return NodeResult{}, err
+	}
+	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps}
+	mgr.OnPeriod = func(r core.PeriodReport) { res.Unfairness = r.Unfairness }
+
+	if err := mgr.Profile(); err != nil {
+		return NodeResult{}, err
+	}
+	for p := 0; p < cfg.Periods; p++ {
+		start := time.Now()
+		switch mgr.Phase() {
+		case core.PhaseExplore:
+			_, err = mgr.ExploreStep()
+		case core.PhaseIdle:
+			_, err = mgr.IdleStep()
+		default:
+			err = fmt.Errorf("fleet: node %d in unexpected phase %v", node, mgr.Phase())
+		}
+		lat[p] = time.Since(start)
+		if err != nil {
+			return NodeResult{}, err
+		}
+		res.Periods++
+		if mgr.Phase() == core.PhaseProfile {
+			// A change detection sends the manager back to profiling;
+			// re-profile outside the latency measurement (it spans many
+			// probe periods, not one control period).
+			res.Reprofiles++
+			if err := mgr.Profile(); err != nil {
+				return NodeResult{}, err
+			}
+		}
+	}
+	final := mgr.State()
+	res.Ways, res.MBA = final.Ways, final.MBA
+	return res, nil
+}
+
+// Run executes the fleet, fanning nodes across the parallel worker pool.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
+	// One flat latency buffer, pre-sliced per node, keeps the recording
+	// race-free under ForEach without locks.
+	lats := make([]time.Duration, cfg.Nodes*cfg.Periods)
+	start := time.Now()
+	err := parallel.ForEach(cfg.Nodes, func(i int) error {
+		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods])
+		if err != nil {
+			return fmt.Errorf("fleet: node %d: %w", i, err)
+		}
+		res.Nodes[i] = nr
+		return nil
+	})
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, nr := range res.Nodes {
+		res.TotalPeriods += nr.Periods
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.PeriodsPerSec = float64(res.TotalPeriods) / secs
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P50 = percentile(lats, 50)
+	res.P99 = percentile(lats, 99)
+	return res, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

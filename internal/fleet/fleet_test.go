@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// runAtWorkers runs the fleet under a fixed worker count, restoring the
+// pool afterwards.
+func runAtWorkers(t *testing.T, workers int, cfg Config) Result {
+	t.Helper()
+	parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(0)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFleetDeterminism pins the determinism contract: the per-node
+// outcomes are a pure function of (Config, node index), so the fleet
+// produces bit-identical NodeResults at any worker count. Only the
+// wall-clock aggregates (Elapsed, PeriodsPerSec, P50/P99) may differ.
+func TestFleetDeterminism(t *testing.T) {
+	cfg := Config{Nodes: 12, Periods: 20, Seed: 42}
+	seq := runAtWorkers(t, 1, cfg)
+	par := runAtWorkers(t, 8, cfg)
+	if !reflect.DeepEqual(seq.Nodes, par.Nodes) {
+		t.Fatalf("node results differ between 1 and 8 workers:\nseq: %+v\npar: %+v",
+			seq.Nodes, par.Nodes)
+	}
+	again := runAtWorkers(t, 8, cfg)
+	if !reflect.DeepEqual(par.Nodes, again.Nodes) {
+		t.Fatal("node results differ between identical parallel runs")
+	}
+}
+
+// TestFleetRun sanity-checks the aggregates on a small fleet.
+func TestFleetRun(t *testing.T) {
+	res, err := Run(Config{Nodes: 4, Periods: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("got %d node results, want 4", len(res.Nodes))
+	}
+	if res.TotalPeriods != 40 {
+		t.Fatalf("got %d total periods, want 40", res.TotalPeriods)
+	}
+	if res.PeriodsPerSec <= 0 {
+		t.Fatalf("nonpositive throughput %f", res.PeriodsPerSec)
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("p99 %v below p50 %v", res.P99, res.P50)
+	}
+	for _, nr := range res.Nodes {
+		if nr.Apps < 3 || nr.Apps > 6 {
+			t.Errorf("node %d has %d apps, want 3..6", nr.Node, nr.Apps)
+		}
+		if nr.Unfairness <= 0 {
+			t.Errorf("node %d reported no unfairness", nr.Node)
+		}
+		if len(nr.Ways) != nr.Apps || len(nr.MBA) != nr.Apps {
+			t.Errorf("node %d final state sized %d/%d for %d apps",
+				nr.Node, len(nr.Ways), len(nr.MBA), nr.Apps)
+		}
+	}
+}
+
+// TestFleetValidate rejects degenerate configurations.
+func TestFleetValidate(t *testing.T) {
+	if _, err := Run(Config{Nodes: 0, Periods: 1}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Run(Config{Nodes: 1, Periods: 0}); err == nil {
+		t.Error("zero periods accepted")
+	}
+}

@@ -14,6 +14,14 @@ import (
 // partitions; this helper converts the "number of ways" abstraction used
 // by the controller into hardware CBMs.
 func AssignContiguousWays(counts []int, lo, totalWays int) ([]uint64, error) {
+	return AssignContiguousWaysInto(nil, counts, lo, totalWays)
+}
+
+// AssignContiguousWaysInto is AssignContiguousWays writing into dst,
+// reusing its backing array when the capacity suffices. The controller
+// calls it every control period; with a manager-owned dst the layout
+// step is allocation-free.
+func AssignContiguousWaysInto(dst []uint64, counts []int, lo, totalWays int) ([]uint64, error) {
 	if lo < 0 || totalWays < 1 {
 		return nil, fmt.Errorf("machine: invalid layout window lo=%d totalWays=%d", lo, totalWays)
 	}
@@ -27,13 +35,16 @@ func AssignContiguousWays(counts []int, lo, totalWays int) ([]uint64, error) {
 	if sum > totalWays {
 		return nil, fmt.Errorf("machine: %d ways assigned, only %d available", sum, totalWays)
 	}
-	masks := make([]uint64, len(counts))
+	if cap(dst) < len(counts) {
+		dst = make([]uint64, len(counts))
+	}
+	dst = dst[:len(counts)]
 	at := lo
 	for i, c := range counts {
-		masks[i] = ((uint64(1) << uint(c)) - 1) << uint(at)
+		dst[i] = ((uint64(1) << uint(c)) - 1) << uint(at)
 		at += c
 	}
-	return masks, nil
+	return dst, nil
 }
 
 // WayCounts extracts the way count of each mask.

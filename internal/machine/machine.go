@@ -187,6 +187,7 @@ type solveScratch struct {
 	bwCaps   []float64      // per-app MBA bandwidth cap (fixed per solve)
 	demands  []membw.Demand // arbitration input
 	arbRes   membw.Result   // arbitration output (Grants reused)
+	perfs    []Perf         // solveActiveScratch result buffer (Step, Occupancy)
 }
 
 // Option configures a Machine at construction.
@@ -285,15 +286,26 @@ func (m *Machine) RemoveApp(name string) error {
 	return nil
 }
 
-// Apps lists the names of active applications in launch order.
+// Apps lists the names of active applications in launch order. The
+// returned slice is freshly allocated; hot-path callers should prefer
+// AppsInto with a reused buffer.
 func (m *Machine) Apps() []string {
-	out := make([]string, 0, len(m.apps))
+	return m.AppsInto(make([]string, 0, len(m.apps)))
+}
+
+// AppsInto appends the active application names to dst[:0] and returns
+// it, reusing dst's backing array when the capacity suffices. The
+// controller polls the application list every control period to detect
+// consolidation changes; with a caller-owned dst that poll is
+// allocation-free.
+func (m *Machine) AppsInto(dst []string) []string {
+	dst = dst[:0]
 	for _, a := range m.apps {
 		if a.active {
-			out = append(out, a.model.Name)
+			dst = append(dst, a.model.Name)
 		}
 	}
-	return out
+	return dst
 }
 
 // Model returns the model of a (possibly inactive) application.
@@ -369,7 +381,10 @@ func (m *Machine) Step(dt time.Duration) error {
 	if dt <= 0 {
 		return fmt.Errorf("machine: non-positive step %v", dt)
 	}
-	perfs, err := m.Solve()
+	// The solved rates are consumed within this call, so Step reads them
+	// from the machine-owned scratch instead of Solve's retained copy —
+	// the per-control-period path stays allocation-free.
+	perfs, err := m.solveActiveScratch()
 	if err != nil {
 		return err
 	}
@@ -424,28 +439,35 @@ func (m *Machine) noiseFactors() (perf, miss float64) {
 
 // Occupancy returns an application's current effective LLC occupancy in
 // bytes (its capacity share at the solved steady state) — the quantity
-// resctrl's llc_occupancy monitoring file reports.
+// resctrl's llc_occupancy monitoring file reports. The application's
+// index among the active apps is resolved from the name table directly,
+// so the call costs one scratch solve and nothing else.
 func (m *Machine) Occupancy(name string) (float64, error) {
-	if _, err := m.lookup(name); err != nil {
-		return 0, err
+	i, ok := m.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("machine: unknown app %q", name)
 	}
-	perfs, err := m.Solve()
+	if !m.apps[i].active {
+		return 0, fmt.Errorf("machine: app %q is not active", name)
+	}
+	// Perf results are indexed over active applications in launch order;
+	// count the active predecessors instead of materializing Apps().
+	active := 0
+	for j := 0; j < i; j++ {
+		if m.apps[j].active {
+			active++
+		}
+	}
+	perfs, err := m.solveActiveScratch()
 	if err != nil {
 		return 0, err
 	}
-	for i, app := range m.Apps() {
-		if app == name {
-			return perfs[i].CapBytes, nil
-		}
-	}
-	return 0, fmt.Errorf("machine: app %q vanished", name)
+	return perfs[active].CapBytes, nil
 }
 
-// Solve computes the steady-state performance of every active application
-// at the current system state and virtual time (phased models resolve to
-// their active phase), in Apps() order. The machine state is not
-// modified. The returned slice is freshly allocated and safe to retain.
-func (m *Machine) Solve() ([]Perf, error) {
+// gatherActive resolves the active models and allocations into the
+// scratch buffers shared by Solve and solveActiveScratch.
+func (m *Machine) gatherActive() ([]AppModel, []Alloc) {
 	sc := &m.scratch
 	sc.models = sc.models[:0]
 	sc.allocs = sc.allocs[:0]
@@ -455,7 +477,36 @@ func (m *Machine) Solve() ([]Perf, error) {
 			sc.allocs = append(sc.allocs, a.alloc)
 		}
 	}
-	return m.SolveFor(sc.models, sc.allocs)
+	return sc.models, sc.allocs
+}
+
+// Solve computes the steady-state performance of every active application
+// at the current system state and virtual time (phased models resolve to
+// their active phase), in Apps() order. The machine state is not
+// modified. The returned slice is freshly allocated and safe to retain.
+func (m *Machine) Solve() ([]Perf, error) {
+	models, allocs := m.gatherActive()
+	return m.SolveFor(models, allocs)
+}
+
+// solveActiveScratch is Solve writing into the machine-owned perfs
+// scratch: zero allocations at steady state, valid only until the next
+// solve. Step and Occupancy consume the results immediately and use it
+// instead of Solve.
+func (m *Machine) solveActiveScratch() ([]Perf, error) {
+	models, allocs := m.gatherActive()
+	if len(models) == 0 {
+		return nil, nil
+	}
+	sc := &m.scratch
+	if cap(sc.perfs) < len(models) {
+		sc.perfs = make([]Perf, len(models))
+	}
+	sc.perfs = sc.perfs[:len(models)]
+	if err := m.solveForInto(sc.perfs, models, allocs); err != nil {
+		return nil, err
+	}
+	return sc.perfs, nil
 }
 
 // SolveFor solves the model for an arbitrary hypothetical set of
@@ -463,32 +514,54 @@ func (m *Machine) Solve() ([]Perf, error) {
 // characterization sweeps without touching machine state. The returned
 // slice is freshly allocated and safe to retain.
 func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
-	if len(models) != len(allocs) {
-		return nil, fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
-	}
-	if len(models) == 0 {
+	if len(models) == 0 && len(allocs) == 0 {
 		return nil, nil
+	}
+	perfs := make([]Perf, len(models))
+	if err := m.solveForInto(perfs, models, allocs); err != nil {
+		return nil, err
+	}
+	return perfs, nil
+}
+
+// SolveForInto is SolveFor writing the steady state into perfs
+// (len(perfs) must equal len(models)). Callers that score many
+// hypothetical states — the ST oracle's exhaustive search evaluates tens
+// of thousands per mix — reuse one perfs buffer and keep the scoring
+// loop allocation-free.
+func (m *Machine) SolveForInto(perfs []Perf, models []AppModel, allocs []Alloc) error {
+	if len(perfs) != len(models) {
+		return fmt.Errorf("machine: %d perf slots for %d models", len(perfs), len(models))
+	}
+	return m.solveForInto(perfs, models, allocs)
+}
+
+// solveForInto is the common solver entry: validate, consult the memo
+// cache, and solve per socket domain, writing the steady state into
+// perfs (len(perfs) == len(models)).
+func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc) error {
+	if len(models) != len(allocs) {
+		return fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
 	}
 	sockets := m.cfg.SocketCount()
 	for i, al := range allocs {
 		if al.CBM == 0 || al.CBM&^m.fullMask != 0 {
-			return nil, fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
+			return fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
 		}
 		if err := membw.ValidateLevel(al.MBALevel); err != nil {
-			return nil, fmt.Errorf("machine: app %d: %w", i, err)
+			return fmt.Errorf("machine: app %d: %w", i, err)
 		}
 		if s := models[i].Socket; s < 0 || s >= sockets {
-			return nil, fmt.Errorf("machine: app %d on socket %d, machine has %d",
+			return fmt.Errorf("machine: app %d on socket %d, machine has %d",
 				i, s, sockets)
 		}
 	}
 	if m.cache != nil {
-		if perfs, ok := m.cache.lookup(models, allocs); ok {
-			return perfs, nil
+		if cached, ok := m.cache.lookup(models, allocs); ok {
+			copy(perfs, cached)
+			return nil
 		}
 	}
-
-	perfs := make([]Perf, len(models))
 	// Sockets are independent resource domains: each has its own LLC and
 	// DRAM budget, so the solver runs per socket and the results are
 	// merged back in input order.
@@ -511,20 +584,20 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 				subAllocs[j] = allocs[i]
 			}
 			if err := m.solveDomainInto(subPerfs, subModels, subAllocs); err != nil {
-				return nil, err
+				return err
 			}
 			for j, i := range idx {
 				perfs[i] = subPerfs[j]
 			}
 		}
 	} else if err := m.solveDomainInto(perfs, models, allocs); err != nil {
-		return nil, err
+		return err
 	}
 	if m.cache != nil {
 		// lookup left the encoded key in the cache's scratch.
 		m.cache.store(perfs)
 	}
-	return perfs, nil
+	return nil
 }
 
 // solveDomainInto solves one socket's applications against one LLC and

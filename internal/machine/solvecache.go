@@ -65,9 +65,11 @@ func (c *solveCache) encodeKey(models []AppModel, allocs []Alloc) {
 	c.key = k
 }
 
-// lookup returns a fresh copy of the memoized solve for (models,
-// allocs), if present. It leaves the encoded key in the scratch so a
-// following store needs no re-encoding.
+// lookup returns the memoized solve for (models, allocs), if present.
+// The returned slice is the cache's own entry: the caller must copy it
+// into its destination and never mutate or retain it (solveForInto does
+// exactly that), which keeps a hit allocation-free. It leaves the
+// encoded key in the scratch so a following store needs no re-encoding.
 func (c *solveCache) lookup(models []AppModel, allocs []Alloc) ([]Perf, bool) {
 	c.encodeKey(models, allocs)
 	cached, ok := c.entries[string(c.key)]
@@ -76,9 +78,7 @@ func (c *solveCache) lookup(models []AppModel, allocs []Alloc) ([]Perf, bool) {
 		return nil, false
 	}
 	c.hits++
-	out := make([]Perf, len(cached))
-	copy(out, cached)
-	return out, true
+	return cached, true
 }
 
 // store memoizes perfs under the key left by the preceding lookup. The

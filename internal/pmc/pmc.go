@@ -39,10 +39,13 @@ type Rates struct {
 }
 
 // Sampler tracks the previous counter snapshot per application and
-// produces rates on each sampling round.
+// produces rates on each sampling round. Snapshots are held by pointer
+// so the steady-state Sample path updates them in place: one map lookup
+// per call, no map write, no allocation (the snapshot allocates once,
+// the first time an application is seen).
 type Sampler struct {
 	src   Source
-	last  map[string]sample
+	last  map[string]*sample
 	drops int
 }
 
@@ -53,7 +56,7 @@ type sample struct {
 
 // NewSampler creates a sampler over src.
 func NewSampler(src Source) *Sampler {
-	return &Sampler{src: src, last: make(map[string]sample)}
+	return &Sampler{src: src, last: make(map[string]*sample)}
 }
 
 // Sample reads app's counters at virtual time now and returns the rates
@@ -64,12 +67,12 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 	if err != nil {
 		return Rates{}, false, err
 	}
-	prev, seen := s.last[app]
+	snap, seen := s.last[app]
 	if !seen {
-		s.last[app] = sample{counters: cur, at: now}
+		s.last[app] = &sample{counters: cur, at: now}
 		return Rates{}, false, nil
 	}
-	window := now - prev.at
+	window := now - snap.at
 	if window < 0 {
 		return Rates{}, false, fmt.Errorf("pmc: negative window %v for %s", window, app)
 	}
@@ -78,7 +81,8 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 		// keep the existing snapshot so the eventual window stays anchored.
 		return Rates{}, false, nil
 	}
-	s.last[app] = sample{counters: cur, at: now}
+	prev := *snap
+	snap.counters, snap.at = cur, now
 	secs := window.Seconds()
 	dInstr := cur.Instructions - prev.counters.Instructions
 	dAcc := cur.LLCAccesses - prev.counters.LLCAccesses
@@ -88,7 +92,7 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 		// was reset (the fd died and reopened, the app restarted). The
 		// absolute values carry no usable window, so the sample is
 		// dropped rather than turned into a bogus rate; the snapshot
-		// above re-anchors the next window at the post-wrap values.
+		// update above re-anchors the next window at the post-wrap values.
 		s.drops++
 		return Rates{}, false, nil
 	}
@@ -116,5 +120,5 @@ func (s *Sampler) Forget(app string) {
 
 // Reset drops all snapshots.
 func (s *Sampler) Reset() {
-	s.last = make(map[string]sample)
+	s.last = make(map[string]*sample)
 }

@@ -180,17 +180,18 @@ func (s ST) Run(cfg machine.Config, models []machine.AppModel) (Result, error) {
 	allocs := make([]machine.Alloc, n)
 	slowdowns := make([]float64, n)
 	ips := make([]float64, n)
+	masks := make([]uint64, n)
+	perfs := make([]machine.Perf, n)
 	var search func(app, remaining int) error
 	scoreState := func() error {
-		masks, err := machine.AssignContiguousWays(counts, 0, cfg.LLCWays)
+		masks, err := machine.AssignContiguousWaysInto(masks, counts, 0, cfg.LLCWays)
 		if err != nil {
 			return err
 		}
 		for i := range allocs {
 			allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: grid[mbaIdx[i]]}
 		}
-		perfs, err := m.SolveFor(models, allocs)
-		if err != nil {
+		if err := m.SolveForInto(perfs, models, allocs); err != nil {
 			return err
 		}
 		for i := range perfs {
