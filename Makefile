@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench bench-json figures clean
+.PHONY: all build vet test test-race cover bench bench-json bench-guard figures clean
 
 all: build vet test
 
@@ -28,12 +28,27 @@ bench:
 # hot paths: the heavy figure benchmarks at a fixed small iteration count
 # and the microbenchmarks at a larger one, merged into one JSON file.
 BENCHJSON_DATE ?= $(shell date +%F)
+# The heavy macro benchmarks run with -count 3 so the snapshot records
+# the run-to-run spread; benchguard compares the fastest record per name.
 bench-json:
-	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -benchmem . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -benchmem . ; \
+	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$|BenchmarkManagerPeriod$$' -benchtime 1000x -benchmem . ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_$(BENCHJSON_DATE).json
 	@cat BENCH_$(BENCHJSON_DATE).json
+
+# Guard the headline benchmarks against the newest committed BENCH_*.json:
+# rerun them at the bench-json iteration counts and fail on a >20 % ns/op
+# regression. Run this BEFORE bench-json — regenerating the snapshot first
+# would compare the fresh run against itself. Baselines are machine-
+# specific; see DESIGN.md §9 for the cross-machine caveat.
+BENCHGUARD_CUR ?= /tmp/bench-guard-cur.json
+bench-guard:
+	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$' -benchtime 2x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$' -benchtime 1000x -count 3 -benchmem . ; } \
+	| $(GO) run ./cmd/benchjson > $(BENCHGUARD_CUR)
+	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR)
 
 # Regenerate every table and figure of the paper into ./out/ (text + SVG).
 figures:

@@ -101,7 +101,34 @@ func BenchmarkFig11c(b *testing.B) {
 	}
 }
 
+// reportShared attaches the process-wide solve-cache deltas of the
+// benchmark loop as custom metrics (benchjson surfaces them in Extra).
+func reportShared(b *testing.B, before machine.SharedCacheStats) {
+	after := machine.SharedSolveCacheStats()
+	n := float64(b.N)
+	b.ReportMetric(float64(after.Hits-before.Hits)/n, "L2hits/op")
+	b.ReportMetric(float64(after.Misses-before.Misses)/n, "L2misses/op")
+	b.ReportMetric(float64(after.Evictions-before.Evictions)/n, "L2evict/op")
+}
+
 func BenchmarkFig12(b *testing.B) {
+	before := machine.SharedSolveCacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure12(cfg(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportShared(b, before)
+}
+
+// BenchmarkFig12NoShared is Figure 12 with the process-wide L2 disabled —
+// the ablation that isolates what cross-run sharing contributes.
+func BenchmarkFig12NoShared(b *testing.B) {
+	prev := machine.SetSharedSolveCache(false)
+	b.Cleanup(func() { machine.SetSharedSolveCache(prev) })
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.Figure12(cfg(), 1); err != nil {
 			b.Fatal(err)
@@ -249,11 +276,15 @@ func BenchmarkManagerPeriod(b *testing.B) {
 // default scale: 256 independent nodes, each profiling and then running
 // 10 control periods, fanned across the worker pool.
 func BenchmarkFleet256(b *testing.B) {
+	before := machine.SharedSolveCacheStats()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fleet.Run(fleet.Config{Nodes: 256, Periods: 10, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reportShared(b, before)
 }
 
 // BenchmarkMachineSolve measures one steady-state solve of a consolidated
@@ -303,6 +334,41 @@ func BenchmarkMachineSolveCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineSolveSessionHit measures the warm two-tier hit path —
+// a SolveSession revisiting an already-solved state, the ST oracle's
+// per-state cost once the shared cache is warm. Pinned at 0 allocs/op
+// by TestCachedSolveAllocationGuard.
+func BenchmarkMachineSolveSessionHit(b *testing.B) {
+	c := cfg()
+	m, err := machine.New(c, machine.WithSolveCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := workloads.Mix(c, workloads.HBoth, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	masks, err := machine.AssignContiguousWays([]int{3, 3, 3, 2}, 0, c.LLCWays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	allocs := make([]machine.Alloc, len(models))
+	for i := range allocs {
+		allocs[i] = machine.Alloc{CBM: masks[i], MBALevel: 100}
+	}
+	session := m.NewSolveSession(models)
+	perfs := make([]machine.Perf, len(models))
+	if err := session.SolveInto(perfs, allocs); err != nil { // warm both tiers
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := session.SolveInto(perfs, allocs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,123 @@
+// Command benchguard compares two benchjson snapshots and fails when a
+// watched benchmark regressed beyond a threshold. It is the backend of
+// `make bench-guard`, which CI runs against the committed BENCH_*.json
+// baseline before regenerating it, so a solver or cache regression
+// breaks the build instead of silently rebasing the record.
+//
+// Usage:
+//
+//	benchguard -base BENCH_2026-08-05.json -cur /tmp/fresh.json \
+//	    -bench BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256
+//
+// A benchmark missing from the current snapshot fails the guard (the
+// suite lost coverage); one missing from the baseline only warns (the
+// baseline predates the benchmark and the next bench-json run records
+// it). The comparison is ns/op only: alloc counts are pinned exactly by
+// the allocation-guard tests, and the cache-counter extras are workload
+// metrics, not timings. When a snapshot holds several records for one
+// benchmark (a -count>1 run), the guard compares the fastest on each
+// side — the minimum is the noise-robust estimator of a benchmark's
+// true cost. Baselines are machine-specific — compare snapshots from
+// the same hardware (see DESIGN.md §9).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// record mirrors the benchjson fields the guard needs.
+type record struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		base       = flag.String("base", "", "baseline benchjson file (committed BENCH_*.json)")
+		cur        = flag.String("cur", "", "current benchjson file (fresh run)")
+		benches    = flag.String("bench", "BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256", "comma-separated benchmarks to guard")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum tolerated ns/op regression (0.20 = +20%)")
+	)
+	flag.Parse()
+	if *base == "" || *cur == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -base and -cur are required")
+		os.Exit(2)
+	}
+	baseRecs, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	curRecs, err := load(*cur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	names := strings.Split(*benches, ",")
+	if ok := compare(os.Stdout, baseRecs, curRecs, names, *maxRegress); !ok {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func parse(r io.Reader) (map[string]record, error) {
+	var recs []record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	byName := make(map[string]record, len(recs))
+	for _, rec := range recs {
+		if prev, ok := byName[rec.Name]; !ok || rec.NsPerOp < prev.NsPerOp {
+			byName[rec.Name] = rec // fastest of repeated runs wins
+		}
+	}
+	return byName, nil
+}
+
+// compare prints a benchstat-style delta line per watched benchmark and
+// reports whether every one is present and within the regression budget.
+func compare(w io.Writer, base, cur map[string]record, names []string, maxRegress float64) bool {
+	ok := true
+	fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, haveCur := cur[name]
+		if !haveCur {
+			fmt.Fprintf(w, "%-28s %14s %14s %9s  FAIL: missing from current run\n", name, "-", "-", "-")
+			ok = false
+			continue
+		}
+		b, haveBase := base[name]
+		if !haveBase {
+			fmt.Fprintf(w, "%-28s %14s %14.0f %9s  warn: missing from baseline\n", name, "-", c.NsPerOp, "-")
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
+			ok = false
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	return ok
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, doc string) map[string]record {
+	t.Helper()
+	recs, err := parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+const baseDoc = `[
+  {"name": "BenchmarkFig12", "procs": 1, "iterations": 2, "ns_per_op": 100000000},
+  {"name": "BenchmarkMachineSolve", "procs": 1, "iterations": 1000, "ns_per_op": 7500}
+]`
+
+func TestCompareWithinBudget(t *testing.T) {
+	base := mustParse(t, baseDoc)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFig12", "ns_per_op": 110000000},
+      {"name": "BenchmarkMachineSolve", "ns_per_op": 7400}
+    ]`)
+	var out strings.Builder
+	if !compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+		t.Fatalf("+10%% flagged as a regression with a 20%% budget:\n%s", out.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := mustParse(t, baseDoc)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFig12", "ns_per_op": 130000000},
+      {"name": "BenchmarkMachineSolve", "ns_per_op": 7400}
+    ]`)
+	var out strings.Builder
+	if compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+		t.Fatalf("+30%% passed a 20%% budget:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("no FAIL marker in output:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingFromCurrentFails(t *testing.T) {
+	base := mustParse(t, baseDoc)
+	cur := mustParse(t, `[{"name": "BenchmarkMachineSolve", "ns_per_op": 7400}]`)
+	var out strings.Builder
+	if compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+		t.Fatal("benchmark missing from the current run passed the guard")
+	}
+}
+
+func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
+	recs := mustParse(t, `[
+      {"name": "BenchmarkFig12", "ns_per_op": 120000000},
+      {"name": "BenchmarkFig12", "ns_per_op": 90000000},
+      {"name": "BenchmarkFig12", "ns_per_op": 105000000}
+    ]`)
+	if got := recs["BenchmarkFig12"].NsPerOp; got != 90000000 {
+		t.Fatalf("parse kept %v ns/op, want the fastest run (9e7)", got)
+	}
+}
+
+func TestCompareMissingFromBaselineWarns(t *testing.T) {
+	base := mustParse(t, baseDoc)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFig12", "ns_per_op": 100000000},
+      {"name": "BenchmarkMachineSolve", "ns_per_op": 7400},
+      {"name": "BenchmarkFleet256", "ns_per_op": 30000000}
+    ]`)
+	var out strings.Builder
+	if !compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve", "BenchmarkFleet256"}, 0.20) {
+		t.Fatalf("benchmark new in the current run failed the guard:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "warn: missing from baseline") {
+		t.Fatalf("no baseline warning in output:\n%s", out.String())
+	}
+}

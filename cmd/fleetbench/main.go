@@ -1,14 +1,15 @@
 // Command fleetbench drives a fleet of independent simulated CoPart
 // nodes concurrently and reports controller throughput: node-periods
-// per second plus the p50/p99 wall-clock latency of one control period.
-// The per-node outcomes are deterministic in -seed — identical at any
-// -parallel setting — so the tool doubles as a scale-level determinism
-// check (-verify runs the fleet twice, sequentially and in parallel,
-// and compares).
+// per second plus the p50/p99 wall-clock latency of one control period,
+// and the solve-cache/score-memo hit rates behind them. The per-node
+// outcomes are deterministic in -seed — identical at any -parallel
+// setting and with the shared L2 cache on or off — so the tool doubles
+// as a scale-level determinism check (-verify re-runs the fleet
+// sequentially and with the shared cache disabled, and compares).
 //
 // Usage:
 //
-//	fleetbench [-nodes 256] [-periods 50] [-parallel N] [-seed 1] [-verify]
+//	fleetbench [-nodes 256] [-periods 50] [-parallel N] [-seed 1] [-l2] [-verify]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"reflect"
 
 	"repro/internal/fleet"
+	"repro/internal/machine"
 	"repro/internal/parallel"
 )
 
@@ -26,18 +28,28 @@ func main() {
 	periods := flag.Int("periods", 50, "control periods per node after profiling")
 	workers := flag.Int("parallel", 0, "worker bound (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "fleet seed")
-	verify := flag.Bool("verify", false, "re-run sequentially and check per-node determinism")
+	l2 := flag.Bool("l2", true, "enable the process-wide shared solve cache")
+	verify := flag.Bool("verify", false, "re-run sequentially and with the shared cache toggled, check per-node determinism")
 	flag.Parse()
 
-	if err := run(os.Stdout, *nodes, *periods, *workers, *seed, *verify); err != nil {
+	if err := run(os.Stdout, *nodes, *periods, *workers, *seed, *l2, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, nodes, periods, workers int, seed int64, verify bool) error {
+// pct renders hits/(hits+misses) as a percentage.
+func pct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
+}
+
+func run(w *os.File, nodes, periods, workers int, seed int64, l2, verify bool) error {
 	parallel.SetWorkers(workers)
 	defer parallel.SetWorkers(0)
+	machine.SetSharedSolveCache(l2)
 	cfg := fleet.Config{Nodes: nodes, Periods: periods, Seed: seed}
 	res, err := fleet.Run(cfg)
 	if err != nil {
@@ -53,6 +65,17 @@ func run(w *os.File, nodes, periods, workers int, seed int64, verify bool) error
 	fmt.Fprintf(w, "node-periods/sec: %.0f\n", res.PeriodsPerSec)
 	fmt.Fprintf(w, "period latency:   p50 %v  p99 %v\n", res.P50, res.P99)
 	fmt.Fprintf(w, "reprofiles:       %d\n", reprofiles)
+	fmt.Fprintf(w, "solve cache L1:   %.1f%% hit (%d hits, %d misses, %d evictions)\n",
+		pct(res.CacheHits, res.CacheMisses), res.CacheHits, res.CacheMisses, res.CacheEvictions)
+	if l2 {
+		fmt.Fprintf(w, "solve cache L2:   %.1f%% hit (%d hits, %d misses, %d evictions, %d entries)\n",
+			pct(res.Shared.Hits, res.Shared.Misses), res.Shared.Hits, res.Shared.Misses,
+			res.Shared.Evictions, res.Shared.Entries)
+	} else {
+		fmt.Fprintf(w, "solve cache L2:   disabled\n")
+	}
+	fmt.Fprintf(w, "score memo:       %.1f%% hit (%d hits, %d misses)\n",
+		pct(res.ScoreHits, res.ScoreMisses), res.ScoreHits, res.ScoreMisses)
 	if verify {
 		parallel.SetWorkers(1)
 		seq, err := fleet.Run(cfg)
@@ -62,7 +85,17 @@ func run(w *os.File, nodes, periods, workers int, seed int64, verify bool) error
 		if !reflect.DeepEqual(res.Nodes, seq.Nodes) {
 			return fmt.Errorf("per-node results differ between parallel and sequential runs")
 		}
-		fmt.Fprintln(w, "determinism:      verified (parallel == sequential)")
+		parallel.SetWorkers(workers)
+		machine.SetSharedSolveCache(!l2)
+		toggled, err := fleet.Run(cfg)
+		machine.SetSharedSolveCache(l2)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(res.Nodes, toggled.Nodes) {
+			return fmt.Errorf("per-node results differ with the shared solve cache toggled")
+		}
+		fmt.Fprintln(w, "determinism:      verified (parallel == sequential == shared-cache toggled)")
 	}
 	return nil
 }

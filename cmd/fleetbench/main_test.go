@@ -6,7 +6,7 @@ import (
 )
 
 func TestRun(t *testing.T) {
-	if err := run(os.Stdout, 8, 10, 4, 1, true); err != nil {
+	if err := run(os.Stdout, 8, 10, 4, 1, true, true); err != nil {
 		t.Fatal(err)
 	}
 }

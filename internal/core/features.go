@@ -20,6 +20,16 @@ type Features struct {
 	// CumulativeGuard: exit Supply when reclaims that were individually
 	// cheap add up to δ_P (note 3).
 	CumulativeGuard bool
+	// ScoreMemo: memoize the measured per-period rates of repeat
+	// allocation states during exploration, skipping the two sampler
+	// passes when the current state was already measured under the
+	// current app set. Only engaged when the target guarantees steady
+	// measurements (no noise, no phases — see
+	// machine.SteadyMeasurement), so a memoized period equals a
+	// re-measured one up to float cancellation in the counter windows
+	// (see the exactness caveat on scoreMemo); seeded runs stay fully
+	// reproducible either way.
+	ScoreMemo bool
 }
 
 // DefaultFeatures enables every mechanism.
@@ -29,5 +39,6 @@ func DefaultFeatures() Features {
 		ProfilePinning:  true,
 		HurtMemory:      true,
 		CumulativeGuard: true,
+		ScoreMemo:       true,
 	}
 }

@@ -88,6 +88,16 @@ type PeriodReport struct {
 	Slowdowns  []float64
 	Unfairness float64
 	State      AllocState
+
+	// ScoreHits and ScoreMisses are the manager's cumulative
+	// exploration-level score-memo counters (Features.ScoreMemo); both
+	// stay zero when the memo is disabled or the target's measurements
+	// are not steady.
+	ScoreHits   uint64
+	ScoreMisses uint64
+	// SolveCache snapshots the target's solve-cache counters, when the
+	// target exposes them (machine.Machine with WithSolveCache does).
+	SolveCache machine.CacheStats
 }
 
 // appRT is the manager's per-application runtime state.
@@ -140,6 +150,12 @@ type Manager struct {
 	bestState  AllocState
 	bestUnfair float64
 	haveBest   bool
+
+	// scores memoizes measured rates per allocation state (see
+	// scoreMemo); memoOK caches whether the memo may engage for the
+	// current target and feature set, decided once per Profile.
+	scores scoreMemo
+	memoOK bool
 
 	envChanged bool
 
@@ -226,6 +242,7 @@ func (m *Manager) resetApps(names []string) {
 		m.names[i] = n
 	}
 	m.sampler.Reset()
+	m.scores.flush()
 	m.retry = 0
 }
 
@@ -257,6 +274,9 @@ func (m *Manager) SetEnvelope(env Envelope) error {
 	}
 	m.env = env
 	m.envChanged = true
+	// The memo keys on way *counts*; a new envelope maps the same counts
+	// to different CBMs, so memoized measurements no longer apply.
+	m.scores.flush()
 	return nil
 }
 
@@ -481,6 +501,11 @@ func (m *Manager) Profile() error {
 	m.retry = 0
 	m.envChanged = false
 	m.haveBest = false
+	// The score memo is sound only when re-measuring a state reproduces
+	// the same rates: steady targets (no noise, no phases), no fault
+	// injection between the manager and the counters (resilience off
+	// implies none is expected), and the feature enabled.
+	m.memoOK = m.Features.ScoreMemo && !m.Resilience.Enabled && steadyTarget(m.target)
 	m.logf(eventlog.KindPhase, "", "profiling done, exploring %d apps in envelope [%d,%d)",
 		len(m.apps), m.env.LoWay, m.env.LoWay+m.env.Ways)
 	return nil
@@ -549,12 +574,33 @@ func (m *Manager) ExploreStep() (bool, error) {
 		m.phase = PhaseProfile
 		return false, nil
 	}
-	rates, err := m.measurePeriod()
-	if err != nil {
-		return false, err
+	var rates []pmc.Rates
+	memoHit := false
+	if m.memoOK {
+		if r, ok := m.scores.lookup(m.state); ok {
+			// The period still passes — only the measurement is skipped.
+			// The sampler keeps its last anchor; measurePeriod's first
+			// pass re-anchors before the next real measurement, so the
+			// following window spans exactly one period either way.
+			if err := m.target.Step(m.params.Period); err != nil {
+				return false, err
+			}
+			rates, memoHit = r, true
+		}
+	}
+	if !memoHit {
+		var err error
+		rates, err = m.measurePeriod()
+		if err != nil {
+			return false, err
+		}
+		if m.memoOK {
+			m.scores.store(m.state, rates)
+		}
 	}
 	infos, slowdowns := m.growPeriodScratch()
 	for i, a := range m.apps {
+		var err error
 		slowdowns[i], err = fairness.Slowdown(a.ipsFull, rates[i].IPS)
 		if err != nil {
 			return false, fmt.Errorf("core: %s: %w", a.name, err)
@@ -659,14 +705,35 @@ func (m *Manager) report(phase Phase, slowdowns []float64, unfairness float64) {
 	if m.OnPeriod == nil {
 		return
 	}
-	m.OnPeriod(PeriodReport{
-		Time:       m.target.Now(),
-		Phase:      phase,
-		Apps:       m.names,
-		Slowdowns:  append([]float64(nil), slowdowns...),
-		Unfairness: unfairness,
-		State:      m.state.Clone(),
-	})
+	rep := PeriodReport{
+		Time:        m.target.Now(),
+		Phase:       phase,
+		Apps:        m.names,
+		Slowdowns:   append([]float64(nil), slowdowns...),
+		Unfairness:  unfairness,
+		State:       m.state.Clone(),
+		ScoreHits:   m.scores.hits,
+		ScoreMisses: m.scores.misses,
+	}
+	if t, ok := m.target.(interface{ SolveCacheDetail() machine.CacheStats }); ok {
+		rep.SolveCache = t.SolveCacheDetail()
+	}
+	m.OnPeriod(rep)
+}
+
+// ScoreMemoStats reports the cumulative score-memo counters (zeroes
+// when the memo never engaged).
+func (m *Manager) ScoreMemoStats() (hits, misses uint64) {
+	return m.scores.hits, m.scores.misses
+}
+
+// steadyTarget reports whether the target certifies steady per-period
+// measurements (see machine.Machine.SteadyMeasurement). Targets without
+// the method — including fault-injection wrappers — are conservatively
+// treated as unsteady.
+func steadyTarget(t Target) bool {
+	s, ok := t.(interface{ SteadyMeasurement() bool })
+	return ok && s.SteadyMeasurement()
 }
 
 // logf appends telemetry when an event log is attached.

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/pmc"
+)
+
+// scoreMemo memoizes the measured per-period rates of allocation states
+// the exploration has already visited under the current application
+// set. The exploration revisits states constantly — convergence holds
+// the same state for θ retry periods, and supply/demand oscillations
+// bounce between a small set — and on a steady target (no measurement
+// noise, no phases; see machine.SteadyMeasurement) re-measuring a
+// visited state yields the same windowed rates, so the manager can skip
+// both sampler passes and feed the memoized rates straight into the
+// classifier pipeline. Virtual time still advances (the period is
+// stepped either way), so Run's clock and period structure are
+// unchanged.
+//
+// Exactness caveat, unlike the solve caches: counters are cumulative
+// floats, so a later window of the same state computes (c2−c1)/Δt with
+// different low-order cancellation. Memoized rates therefore match
+// re-measurement exactly in real arithmetic but can differ in the last
+// ULPs in float64 (the memoized first window is the one with the least
+// cancellation error). Memoized runs remain fully deterministic —
+// repeating a seeded run reproduces bit-identical trajectories — which
+// is what fleet determinism verification requires; equivalence with the
+// memo disabled holds to ~1e-9 relative on slowdowns (pinned by
+// TestScoreMemoIdenticalTrajectory) rather than bit-for-bit.
+//
+// Entries are flushed whenever their premise breaks: re-profiling, app
+// churn (resetApps), and envelope changes (the same way counts map to
+// different CBMs). The hit/miss counters are cumulative over the
+// manager's lifetime — they survive flushes — so fleet aggregation and
+// PeriodReport observers see monotone values.
+type scoreMemo struct {
+	entries map[string][]pmc.Rates
+	key     []byte // scratch for the current key
+	hits    uint64
+	misses  uint64
+}
+
+// scoreMemoMaxEntries bounds the table. Exploration epochs visit at
+// most a few hundred distinct states before going idle, so the bound
+// exists only to cap pathological runs (e.g. the benchmark's infinite
+// retry budget); when it is reached new states are simply not stored,
+// which — like every cache decision here — changes speed, never values.
+const scoreMemoMaxEntries = 4096
+
+// encodeKey writes the allocation state's exact fingerprint into the
+// scratch key. Ways and MBA levels are small non-negative ints; the
+// length prefix keeps (Ways, MBA) pairs unambiguous.
+func (c *scoreMemo) encodeKey(st AllocState) {
+	k := c.key[:0]
+	k = binary.AppendUvarint(k, uint64(len(st.Ways)))
+	for _, w := range st.Ways {
+		k = binary.AppendUvarint(k, uint64(w))
+	}
+	for _, l := range st.MBA {
+		k = binary.AppendUvarint(k, uint64(l))
+	}
+	c.key = k
+}
+
+// lookup returns the memoized rates for st, if present. The returned
+// slice is the memo's own immutable entry; callers read it and never
+// mutate it.
+func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
+	if len(c.entries) == 0 {
+		c.misses++
+		return nil, false
+	}
+	c.encodeKey(st)
+	rates, ok := c.entries[string(c.key)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return rates, true
+}
+
+// store memoizes a copy of rates under st.
+func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
+	if c.entries == nil {
+		c.entries = make(map[string][]pmc.Rates)
+	} else if len(c.entries) >= scoreMemoMaxEntries {
+		return
+	}
+	c.encodeKey(st)
+	cp := make([]pmc.Rates, len(rates))
+	copy(cp, rates)
+	c.entries[string(c.key)] = cp
+}
+
+// flush drops every entry, keeping the cumulative counters.
+func (c *scoreMemo) flush() {
+	if len(c.entries) > 0 {
+		clear(c.entries)
+	}
+}

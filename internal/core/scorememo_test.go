@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// periodTrace is the physical trajectory of one manager run: everything
+// a PeriodReport carries except the cache counters themselves.
+type periodTrace struct {
+	Time       time.Duration
+	Phase      Phase
+	Slowdowns  []float64
+	Unfairness float64
+	State      AllocState
+}
+
+func traceRun(t *testing.T, memo bool, d time.Duration) ([]periodTrace, uint64) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := workloads.Mix(cfg, workloads.HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 7's exploration path revisits states (verified empirically),
+	// so the memoized run actually exercises the hit path.
+	mgr, err := NewManager(m, DefaultParams(), ref, Envelope{LoWay: 0, Ways: cfg.LLCWays},
+		rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Features.ScoreMemo = memo
+	var trace []periodTrace
+	mgr.OnPeriod = func(rep PeriodReport) {
+		trace = append(trace, periodTrace{
+			Time:       rep.Time,
+			Phase:      rep.Phase,
+			Slowdowns:  append([]float64(nil), rep.Slowdowns...),
+			Unfairness: rep.Unfairness,
+			State:      rep.State.Clone(),
+		})
+	}
+	if err := mgr.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := mgr.ScoreMemoStats()
+	return trace, hits
+}
+
+// TestScoreMemoIdenticalTrajectory pins the memo's contract on a steady
+// target: the discrete control trajectory — virtual time, phases,
+// allocation states — matches the unmemoized run exactly, slowdowns and
+// unfairness agree to within float cancellation noise (see the
+// exactness caveat on scoreMemo), repeated memoized runs are
+// bit-identical, and the memo actually gets hits.
+func TestScoreMemoIdenticalTrajectory(t *testing.T) {
+	const d = 120 * time.Second
+	plain, plainHits := traceRun(t, false, d)
+	memo, memoHits := traceRun(t, true, d)
+	memo2, _ := traceRun(t, true, d)
+	if plainHits != 0 {
+		t.Fatalf("disabled memo recorded %d hits", plainHits)
+	}
+	if memoHits == 0 {
+		t.Fatal("enabled memo never hit; convergence retries should revisit states")
+	}
+	if !reflect.DeepEqual(memo, memo2) {
+		t.Fatal("memoized runs are not reproducible (determinism broken)")
+	}
+	if len(plain) != len(memo) {
+		t.Fatalf("period counts differ: %d plain vs %d memoized", len(plain), len(memo))
+	}
+	const relTol = 1e-9
+	within := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		return diff <= relTol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for i := range plain {
+		p, q := plain[i], memo[i]
+		if p.Time != q.Time || p.Phase != q.Phase || !p.State.Equal(q.State) {
+			t.Fatalf("period %d: discrete trajectory differs:\nplain: %+v\nmemo:  %+v", i, p, q)
+		}
+		if !within(p.Unfairness, q.Unfairness) {
+			t.Fatalf("period %d: unfairness diverged beyond tolerance: %v vs %v", i, p.Unfairness, q.Unfairness)
+		}
+		if len(p.Slowdowns) != len(q.Slowdowns) {
+			t.Fatalf("period %d: slowdown counts differ", i)
+		}
+		for j := range p.Slowdowns {
+			if !within(p.Slowdowns[j], q.Slowdowns[j]) {
+				t.Fatalf("period %d app %d: slowdown diverged beyond tolerance: %v vs %v",
+					i, j, p.Slowdowns[j], q.Slowdowns[j])
+			}
+		}
+	}
+}
+
+// TestScoreMemoFlush pins the invalidation points: re-profiling and
+// envelope changes must drop memoized measurements (their premise — same
+// state, same measurement — no longer holds), while the cumulative
+// counters survive so observers see monotone values.
+func TestScoreMemoFlush(t *testing.T) {
+	_, mgr := testSetup(t, workloads.HBoth, 4)
+	explore := func() {
+		t.Helper()
+		if err := mgr.Profile(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10 && mgr.Phase() == PhaseExplore; i++ {
+			if done, err := mgr.ExploreStep(); err != nil {
+				t.Fatal(err)
+			} else if done {
+				break
+			}
+		}
+		if len(mgr.scores.entries) == 0 {
+			t.Fatal("exploration stored nothing in the score memo")
+		}
+	}
+	explore()
+	hits, misses := mgr.ScoreMemoStats()
+	cfg := mgr.target.Config()
+	if err := mgr.SetEnvelope(Envelope{LoWay: 1, Ways: cfg.LLCWays - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.scores.entries) != 0 {
+		t.Fatalf("envelope change left %d memo entries", len(mgr.scores.entries))
+	}
+	if h2, m2 := mgr.ScoreMemoStats(); h2 != hits || m2 != misses {
+		t.Fatalf("flush reset the cumulative counters: %d/%d → %d/%d", hits, misses, h2, m2)
+	}
+	explore() // repopulates under the new envelope
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.scores.entries) != 0 {
+		t.Fatalf("re-profiling left %d memo entries", len(mgr.scores.entries))
+	}
+}
+
+// TestScoreMemoGating pins when the memo may engage: only when the
+// feature is on, resilience is off, and the target certifies steady
+// measurements. A noisy or phased target re-measures every period.
+func TestScoreMemoGating(t *testing.T) {
+	_, mgr := testSetup(t, workloads.HBoth, 4)
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.memoOK {
+		t.Fatal("memo gated off on a steady default setup")
+	}
+
+	_, mgr = testSetup(t, workloads.HBoth, 4)
+	mgr.Features.ScoreMemo = false
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.memoOK {
+		t.Fatal("memo engaged with Features.ScoreMemo disabled")
+	}
+
+	_, mgr = testSetup(t, workloads.HBoth, 4)
+	mgr.Resilience = Resilience{Enabled: true, RecoverAfter: 1, MaxClockStalls: 5}
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.memoOK {
+		t.Fatal("memo engaged under the resilience watchdog")
+	}
+
+	// A noisy machine does not certify steady measurements.
+	cfg := machine.DefaultConfig()
+	cfg.MeasurementNoise = 0.01
+	cfg.NoiseSeed = 9
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := workloads.Mix(cfg, workloads.HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewManager(m, DefaultParams(), ref, Envelope{LoWay: 0, Ways: cfg.LLCWays},
+		rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noisy.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	if noisy.memoOK {
+		t.Fatal("memo engaged on a target with measurement noise")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/machine"
 	"repro/internal/parallel"
 )
 
@@ -66,5 +67,37 @@ func TestParallelDeterminism(t *testing.T) {
 					seq.result, par.result)
 			}
 		})
+	}
+}
+
+// TestSharedCacheDeterminism pins the L2 contract at the experiment
+// level: the process-wide shared solve cache is an exact memo, so
+// toggling it — with a warm table left over from other tests, and at
+// several worker counts — must not change a single bit of Figure 12.
+func TestSharedCacheDeterminism(t *testing.T) {
+	figure12 := func() (Fig12Result, string) {
+		res, tab, err := Figure12(cfg(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tab.String()
+	}
+	prev := machine.SharedSolveCacheEnabled()
+	defer machine.SetSharedSolveCache(prev)
+
+	machine.SetSharedSolveCache(false)
+	baseRes, baseTab := figure12()
+	machine.SetSharedSolveCache(true)
+	for _, workers := range []int{1, 4} {
+		var res Fig12Result
+		var tab string
+		atWorkers(t, workers, func() { res, tab = figure12() })
+		if tab != baseTab {
+			t.Errorf("workers=%d: rendered output differs with the shared cache on:\n--- off ---\n%s\n--- on ---\n%s",
+				workers, baseTab, tab)
+		}
+		if !reflect.DeepEqual(res, baseRes) {
+			t.Errorf("workers=%d: results differ with the shared cache on", workers)
+		}
 	}
 }

@@ -56,6 +56,18 @@ type NodeResult struct {
 	// Ways and MBA are the final allocation state.
 	Ways []int
 	MBA  []int
+	// CacheHits/CacheMisses/CacheEvictions are the node machine's L1
+	// solve-cache counters and ScoreHits/ScoreMisses the manager's score
+	// memo counters. All are deterministic — an L2 hit is adopted into
+	// the L1 exactly like a fresh solve, so these values are identical
+	// with the shared cache enabled or disabled, at any worker count
+	// (the L2's own hit/miss split is timing-dependent and lives in
+	// Result.Shared instead).
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	ScoreHits      uint64
+	ScoreMisses    uint64
 }
 
 // Result aggregates the fleet run.
@@ -72,6 +84,16 @@ type Result struct {
 	// P50 and P99 are percentiles of the per-period wall-clock latency
 	// across every node's post-profiling control periods.
 	P50, P99 time.Duration
+	// CacheHits/CacheMisses/CacheEvictions and ScoreHits/ScoreMisses sum
+	// the per-node counters (deterministic). Shared is the process-wide
+	// L2 delta over this run: its hit/miss split depends on which node
+	// solved a state first and is the one nondeterministic cache figure.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	ScoreHits      uint64
+	ScoreMisses    uint64
+	Shared         machine.SharedCacheStats
 }
 
 // Validate checks the configuration.
@@ -171,6 +193,9 @@ func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
 	}
 	final := mgr.State()
 	res.Ways, res.MBA = final.Ways, final.MBA
+	cs := m.SolveCacheDetail()
+	res.CacheHits, res.CacheMisses, res.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	res.ScoreHits, res.ScoreMisses = mgr.ScoreMemoStats()
 	return res, nil
 }
 
@@ -183,6 +208,7 @@ func Run(cfg Config) (Result, error) {
 	// One flat latency buffer, pre-sliced per node, keeps the recording
 	// race-free under ForEach without locks.
 	lats := make([]time.Duration, cfg.Nodes*cfg.Periods)
+	sharedBefore := machine.SharedSolveCacheStats()
 	start := time.Now()
 	err := parallel.ForEach(cfg.Nodes, func(i int) error {
 		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods])
@@ -196,8 +222,20 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sharedAfter := machine.SharedSolveCacheStats()
+	res.Shared = machine.SharedCacheStats{
+		Hits:      sharedAfter.Hits - sharedBefore.Hits,
+		Misses:    sharedAfter.Misses - sharedBefore.Misses,
+		Evictions: sharedAfter.Evictions - sharedBefore.Evictions,
+		Entries:   sharedAfter.Entries,
+	}
 	for _, nr := range res.Nodes {
 		res.TotalPeriods += nr.Periods
+		res.CacheHits += nr.CacheHits
+		res.CacheMisses += nr.CacheMisses
+		res.CacheEvictions += nr.CacheEvictions
+		res.ScoreHits += nr.ScoreHits
+		res.ScoreMisses += nr.ScoreMisses
 	}
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.PeriodsPerSec = float64(res.TotalPeriods) / secs

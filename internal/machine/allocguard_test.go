@@ -1,0 +1,47 @@
+package machine
+
+import "testing"
+
+// TestCachedSolveAllocationGuard pins the perf contract of the warm
+// paths: a repeated solve served by the per-machine L1 and a session
+// solve served by the shared L2 must both be allocation-free. A
+// regression here silently reintroduces GC pressure into the solver
+// hot path that the benchmarks were built to eliminate.
+func TestCachedSolveAllocationGuard(t *testing.T) {
+	prev := SetSharedSolveCache(true)
+	defer SetSharedSolveCache(prev)
+	ResetSharedSolveCache()
+	defer ResetSharedSolveCache()
+
+	cfg := DefaultConfig()
+	models := sharedTestModels(4)
+	allocs := sweepAllocs(cfg, 4, 1, 1)[0]
+
+	m, err := New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfs := make([]Perf, len(models))
+	if err := m.SolveForInto(perfs, models, allocs); err != nil {
+		t.Fatal(err) // cold: populates L1 and L2
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := m.SolveForInto(perfs, models, allocs); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm L1 hit allocates %.1f allocs/op, want 0", avg)
+	}
+
+	session := m.NewSolveSession(models)
+	if err := session.SolveInto(perfs, allocs); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := session.SolveInto(perfs, allocs); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm session (L2) hit allocates %.1f allocs/op, want 0", avg)
+	}
+}

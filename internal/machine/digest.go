@@ -1,0 +1,93 @@
+package machine
+
+import "math"
+
+// Incremental fingerprints: every solver input is condensed into 64-bit
+// FNV-1a digests so a cache key is O(apps) fixed-width appends instead
+// of re-encoding every model field and Hot entry per lookup. The digest
+// covers exactly the fields the solver reads — and nothing else — so
+// two models with equal digest inputs are interchangeable to Solve:
+//
+//   - modelDigest folds the per-app fields (Cores, Socket, CPIBase,
+//     AccPerInstr, StreamFrac, MLP, and each Hot component). Name is
+//     deliberately excluded (it never affects the solved steady state)
+//     and Phases are excluded because callers digest the *resolved*
+//     model (AtTime already folded the active phase into the flat
+//     fields; the solver itself never reads Phases).
+//   - configDigest folds the machine geometry and cost model.
+//     MeasurementNoise and NoiseSeed are excluded: they perturb Step's
+//     counter accumulation, never Solve.
+//
+// FNV-1a is not collision-proof, but a collision requires two distinct
+// 64-bit digests to collide within one process — with at most a few
+// hundred distinct models alive at once the birthday bound is ~1e-15,
+// far below the simulator's own float reproducibility concerns. The
+// full allocation state still enters the key verbatim (see encodeKey),
+// so the search-space explosion lives in exact bits, not in the hash.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// digestWord folds one 64-bit word into the running FNV-1a state,
+// byte by byte in little-endian order.
+func digestWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime64
+		w >>= 8
+	}
+	return h
+}
+
+// modelDigest fingerprints one resolved model. Order-sensitive over the
+// Hot components, exactly like the solver's traversal.
+func modelDigest(mo *AppModel) uint64 {
+	h := uint64(fnvOffset64)
+	h = digestWord(h, uint64(mo.Cores))
+	h = digestWord(h, uint64(mo.Socket))
+	h = digestWord(h, math.Float64bits(mo.CPIBase))
+	h = digestWord(h, math.Float64bits(mo.AccPerInstr))
+	h = digestWord(h, math.Float64bits(mo.StreamFrac))
+	h = digestWord(h, math.Float64bits(mo.MLP))
+	h = digestWord(h, uint64(len(mo.Hot)))
+	for i := range mo.Hot {
+		c := &mo.Hot[i]
+		h = digestWord(h, math.Float64bits(c.Bytes))
+		h = digestWord(h, math.Float64bits(c.Weight))
+		h = digestWord(h, math.Float64bits(c.MLP))
+	}
+	return h
+}
+
+// configDigest fingerprints the solver-visible machine configuration.
+func configDigest(c Config) uint64 {
+	h := uint64(fnvOffset64)
+	h = digestWord(h, uint64(c.Cores))
+	h = digestWord(h, uint64(c.LLCWays))
+	h = digestWord(h, math.Float64bits(c.WayBytes))
+	h = digestWord(h, math.Float64bits(c.LineBytes))
+	h = digestWord(h, math.Float64bits(c.FreqHz))
+	h = digestWord(h, uint64(c.SocketCount()))
+	h = digestWord(h, math.Float64bits(c.HitCostCycles))
+	h = digestWord(h, math.Float64bits(c.MissCostCycles))
+	h = digestWord(h, math.Float64bits(c.WritebackFactor))
+	h = digestWord(h, math.Float64bits(c.MBALatencyK))
+	h = digestWord(h, math.Float64bits(c.MBALatencyP))
+	h = digestWord(h, math.Float64bits(c.BW.TotalBandwidth))
+	h = digestWord(h, math.Float64bits(c.BW.PerCoreCap))
+	h = digestWord(h, math.Float64bits(c.BW.CongestionK))
+	h = digestWord(h, math.Float64bits(c.BW.CongestionP))
+	return h
+}
+
+// hashKey hashes an encoded cache key (shared-cache shard selection).
+func hashKey(key []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}

@@ -140,6 +140,14 @@ type app struct {
 	alloc    Alloc
 	counters Counters
 	active   bool
+
+	// digest fingerprints the model resolved at virtual time digestAt
+	// (phases folded). Maintained incrementally — computed on AddApp and
+	// recomputed only when a phased app is solved at a new time — so
+	// cache-key encoding never re-walks the model fields.
+	digest   uint64
+	digestAt time.Duration
+	phased   bool
 }
 
 // Perf is the solved steady-state performance of one application at the
@@ -161,13 +169,14 @@ type Perf struct {
 // Concurrent experiment cells must each construct their own Machine —
 // construction is cheap, and the experiments harness does exactly that.
 type Machine struct {
-	cfg      Config
-	fullMask uint64 // cfg.FullMask(), hoisted out of the solve path
-	arbiter  *membw.Arbiter
-	apps     []*app
-	byName   map[string]int
-	now      time.Duration // virtual time since construction
-	noiseRNG *rand.Rand
+	cfg       Config
+	fullMask  uint64 // cfg.FullMask(), hoisted out of the solve path
+	cfgDigest uint64 // configDigest(cfg), hoisted out of key encoding
+	arbiter   *membw.Arbiter
+	apps      []*app
+	byName    map[string]int
+	now       time.Duration // virtual time since construction
+	noiseRNG  *rand.Rand
 
 	hasPhases bool // any active app carries a phase schedule
 	scratch   solveScratch
@@ -181,6 +190,7 @@ type Machine struct {
 type solveScratch struct {
 	models   []AppModel     // Solve: resolved active models
 	allocs   []Alloc        // Solve: active allocations
+	digests  []uint64       // resolved-model digests for cache keys
 	caps     []float64      // per-app effective LLC capacity
 	next     []float64      // occupancyShares output buffer
 	mbaDelay []float64      // per-app MBA latency factor (fixed per solve)
@@ -199,7 +209,10 @@ type Option func(*Machine)
 // iterations. The cache is exact — a hit returns bit-identical results
 // to recomputing, because Solve is deterministic in its inputs — and is
 // invalidated on AddApp/RemoveApp and on phase advance (Step) when any
-// application is phased. See DESIGN.md §7.
+// application is phased. Cache-enabled machines also consult the
+// process-wide shared L2 (sharedcache.go) under the per-machine table,
+// so states solved by other machines — grid cells, fleet nodes, oracle
+// searches — are lookups here. See DESIGN.md §7 and §9.
 func WithSolveCache() Option {
 	return func(m *Machine) { m.cache = newSolveCache(defaultSolveCacheEntries) }
 }
@@ -214,10 +227,11 @@ func New(cfg Config, opts ...Option) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:      cfg,
-		fullMask: cfg.FullMask(),
-		arbiter:  arb,
-		byName:   make(map[string]int),
+		cfg:       cfg,
+		fullMask:  cfg.FullMask(),
+		cfgDigest: configDigest(cfg),
+		arbiter:   arb,
+		byName:    make(map[string]int),
 		// noiseRNG is seeded lazily on first use (see noiseFactors):
 		// seeding a math/rand source costs ~10µs and most machines run
 		// noise-free, which matters now that concurrent experiment
@@ -259,10 +273,14 @@ func (m *Machine) AddApp(model AppModel) error {
 			used, model.Socket, m.cfg.Cores)
 	}
 	m.byName[model.Name] = len(m.apps)
+	resolved := model.AtTime(m.now)
 	m.apps = append(m.apps, &app{
-		model:  model,
-		alloc:  Alloc{CBM: m.fullMask, MBALevel: membw.MaxLevel},
-		active: true,
+		model:    model,
+		alloc:    Alloc{CBM: m.fullMask, MBALevel: membw.MaxLevel},
+		active:   true,
+		digest:   modelDigest(&resolved),
+		digestAt: m.now,
+		phased:   len(model.Phases) > 0,
 	})
 	if len(model.Phases) > 0 {
 		m.hasPhases = true
@@ -465,19 +483,32 @@ func (m *Machine) Occupancy(name string) (float64, error) {
 	return perfs[active].CapBytes, nil
 }
 
-// gatherActive resolves the active models and allocations into the
-// scratch buffers shared by Solve and solveActiveScratch.
-func (m *Machine) gatherActive() ([]AppModel, []Alloc) {
+// gatherActive resolves the active models, allocations, and model
+// digests into the scratch buffers shared by Solve and
+// solveActiveScratch. Digests are maintained incrementally: unphased
+// apps keep their AddApp-time digest forever; phased apps recompute
+// only when solved at a new virtual time.
+func (m *Machine) gatherActive() ([]AppModel, []Alloc, []uint64) {
 	sc := &m.scratch
 	sc.models = sc.models[:0]
 	sc.allocs = sc.allocs[:0]
+	sc.digests = sc.digests[:0]
 	for _, a := range m.apps {
-		if a.active {
-			sc.models = append(sc.models, a.model.AtTime(m.now))
-			sc.allocs = append(sc.allocs, a.alloc)
+		if !a.active {
+			continue
+		}
+		mo := a.model.AtTime(m.now)
+		sc.models = append(sc.models, mo)
+		sc.allocs = append(sc.allocs, a.alloc)
+		if m.cache != nil {
+			if a.phased && a.digestAt != m.now {
+				a.digest = modelDigest(&mo)
+				a.digestAt = m.now
+			}
+			sc.digests = append(sc.digests, a.digest)
 		}
 	}
-	return sc.models, sc.allocs
+	return sc.models, sc.allocs, sc.digests
 }
 
 // Solve computes the steady-state performance of every active application
@@ -485,8 +516,15 @@ func (m *Machine) gatherActive() ([]AppModel, []Alloc) {
 // their active phase), in Apps() order. The machine state is not
 // modified. The returned slice is freshly allocated and safe to retain.
 func (m *Machine) Solve() ([]Perf, error) {
-	models, allocs := m.gatherActive()
-	return m.SolveFor(models, allocs)
+	models, allocs, digests := m.gatherActive()
+	if len(models) == 0 {
+		return nil, nil
+	}
+	perfs := make([]Perf, len(models))
+	if err := m.solveForInto(perfs, models, allocs, digests); err != nil {
+		return nil, err
+	}
+	return perfs, nil
 }
 
 // solveActiveScratch is Solve writing into the machine-owned perfs
@@ -494,7 +532,7 @@ func (m *Machine) Solve() ([]Perf, error) {
 // solve. Step and Occupancy consume the results immediately and use it
 // instead of Solve.
 func (m *Machine) solveActiveScratch() ([]Perf, error) {
-	models, allocs := m.gatherActive()
+	models, allocs, digests := m.gatherActive()
 	if len(models) == 0 {
 		return nil, nil
 	}
@@ -503,7 +541,7 @@ func (m *Machine) solveActiveScratch() ([]Perf, error) {
 		sc.perfs = make([]Perf, len(models))
 	}
 	sc.perfs = sc.perfs[:len(models)]
-	if err := m.solveForInto(sc.perfs, models, allocs); err != nil {
+	if err := m.solveForInto(sc.perfs, models, allocs, digests); err != nil {
 		return nil, err
 	}
 	return sc.perfs, nil
@@ -518,7 +556,7 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 		return nil, nil
 	}
 	perfs := make([]Perf, len(models))
-	if err := m.solveForInto(perfs, models, allocs); err != nil {
+	if err := m.solveForInto(perfs, models, allocs, nil); err != nil {
 		return nil, err
 	}
 	return perfs, nil
@@ -528,18 +566,76 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 // (len(perfs) must equal len(models)). Callers that score many
 // hypothetical states — the ST oracle's exhaustive search evaluates tens
 // of thousands per mix — reuse one perfs buffer and keep the scoring
-// loop allocation-free.
+// loop allocation-free. Callers solving one fixed model set at many
+// allocations should prefer a SolveSession, which hoists the model
+// digests out of the loop.
 func (m *Machine) SolveForInto(perfs []Perf, models []AppModel, allocs []Alloc) error {
 	if len(perfs) != len(models) {
 		return fmt.Errorf("machine: %d perf slots for %d models", len(perfs), len(models))
 	}
-	return m.solveForInto(perfs, models, allocs)
+	return m.solveForInto(perfs, models, allocs, nil)
+}
+
+// SolveSession solves one fixed set of models at many allocations with
+// the model digests computed once. The models slice is captured by
+// reference and must not be mutated while the session is in use; the
+// session shares the machine's scratch and is no more goroutine-safe
+// than the machine itself.
+type SolveSession struct {
+	m       *Machine
+	models  []AppModel
+	digests []uint64
+}
+
+// NewSolveSession prepares a digest-hoisted solving session over models.
+func (m *Machine) NewSolveSession(models []AppModel) *SolveSession {
+	s := &SolveSession{m: m, models: models}
+	if m.cache != nil {
+		s.digests = make([]uint64, len(models))
+		for i := range models {
+			s.digests[i] = modelDigest(&models[i])
+		}
+	}
+	return s
+}
+
+// SolveInto solves the session's models at allocs into perfs
+// (len(perfs) must equal len(models)). Sessions cache through the
+// shared L2 only: their canonical user — the ST oracle's exhaustive
+// search — never revisits a state within one run, so populating the
+// per-machine L1 would be pure map churn; the cross-run reuse all lives
+// in the process-wide tier.
+func (s *SolveSession) SolveInto(perfs []Perf, allocs []Alloc) error {
+	if len(perfs) != len(s.models) {
+		return fmt.Errorf("machine: %d perf slots for %d models", len(perfs), len(s.models))
+	}
+	return s.m.solveInto(perfs, s.models, allocs, s.digests, false)
+}
+
+// SteadyMeasurement reports whether stepping this machine by a fixed
+// period at a fixed allocation state always accumulates identical
+// counter deltas: true unless measurement noise or phase schedules make
+// nominally-identical periods differ. Controllers use it to decide
+// whether period-level measurements may be memoized (see core's score
+// memo).
+func (m *Machine) SteadyMeasurement() bool {
+	return m.cfg.MeasurementNoise == 0 && !m.hasPhases
 }
 
 // solveForInto is the common solver entry: validate, consult the memo
-// cache, and solve per socket domain, writing the steady state into
-// perfs (len(perfs) == len(models)).
-func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc) error {
+// caches (per-machine L1, then the process-wide shared L2), and solve
+// per socket domain, writing the steady state into perfs
+// (len(perfs) == len(models)). digests must either be nil (computed on
+// demand into scratch) or hold modelDigest of each resolved model.
+func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64) error {
+	return m.solveInto(perfs, models, allocs, digests, true)
+}
+
+// solveInto is solveForInto with tier selection: useL1 false restricts
+// caching to the shared L2 (the SolveSession path — states an
+// exhaustive search never revisits intra-run would only churn the
+// per-machine table).
+func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1 bool) error {
 	if len(models) != len(allocs) {
 		return fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
 	}
@@ -556,10 +652,36 @@ func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc) 
 				i, s, sockets)
 		}
 	}
-	if m.cache != nil {
-		if cached, ok := m.cache.lookup(models, allocs); ok {
-			copy(perfs, cached)
-			return nil
+	shared := m.cache != nil && SharedSolveCacheEnabled()
+	if m.cache != nil && (useL1 || shared) {
+		if digests == nil {
+			sc := &m.scratch
+			sc.digests = sc.digests[:0]
+			for i := range models {
+				sc.digests = append(sc.digests, modelDigest(&models[i]))
+			}
+			digests = sc.digests
+		}
+		m.cache.encodeKey(m.cfgDigest, digests, allocs)
+		if useL1 {
+			if cached, ok := m.cache.lookup(); ok {
+				copy(perfs, cached)
+				return nil
+			}
+		}
+		if shared {
+			if cached, ok := sharedSolve.lookup(m.cache.key); ok {
+				m.cache.sharedHits.Add(1)
+				if useL1 {
+					// Adopt the entry into the L1 exactly as a fresh solve
+					// would store it, so the L1 trajectory (and its
+					// counters) is independent of whether the L2 served
+					// the miss.
+					m.cache.store(cached)
+				}
+				copy(perfs, cached)
+				return nil
+			}
 		}
 	}
 	// Sockets are independent resource domains: each has its own LLC and
@@ -593,9 +715,19 @@ func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc) 
 	} else if err := m.solveDomainInto(perfs, models, allocs); err != nil {
 		return err
 	}
-	if m.cache != nil {
-		// lookup left the encoded key in the cache's scratch.
-		m.cache.store(perfs)
+	if m.cache != nil && (useL1 || shared) {
+		// encodeKey left the key in the cache's scratch. One fresh
+		// immutable copy backs both tiers: the L1 owns it, and the L2
+		// publishes the same slice to other machines (nobody writes
+		// through a stored entry, so aliasing is safe).
+		entry := make([]Perf, len(perfs))
+		copy(entry, perfs)
+		if useL1 {
+			m.cache.store(entry)
+		}
+		if shared {
+			sharedSolve.store(m.cache.key, entry)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The process-wide L2 solve cache. Every cache-enabled Machine — grid
+// cells, fleet nodes, oracle searches — consults it under its L1, so a
+// state solved once anywhere in the process is a lookup everywhere
+// else. Like the L1 it is a pure exact memo: keys carry the full solver
+// input (config digest + per-app model digest + allocation bits), a hit
+// is bit-identical to recomputation, and sharing therefore cannot
+// perturb any seeded run regardless of goroutine interleaving — only
+// which duplicate solve gets skipped is timing-dependent, never a
+// value. Lock striping (128 shards, each a mutex + map) keeps fleet
+// workers from serializing on one lock.
+const (
+	sharedShardCount = 128
+	sharedShardCap   = 4096 // entries per shard; ~524k process-wide
+)
+
+// SharedCacheStats is a snapshot of the process-wide cache counters.
+// Hits/Misses/Evictions are cumulative; Entries is the current size.
+type SharedCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+type sharedShard struct {
+	mu      sync.Mutex
+	entries map[string][]Perf
+}
+
+type sharedCache struct {
+	shards    [sharedShardCount]sharedShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+var (
+	sharedSolve sharedCache
+	// sharedOff gates the L2; the zero value means enabled, so the cache
+	// is on by default without an init step.
+	sharedOff atomic.Bool
+)
+
+// SetSharedSolveCache enables or disables the process-wide shared solve
+// cache and reports the previous setting. Disabling only stops lookups
+// and stores; entries are retained until ResetSharedSolveCache. The
+// shared cache is enabled by default; disabling it changes speed only —
+// results of every seeded run are bit-identical either way, which the
+// determinism tests pin.
+func SetSharedSolveCache(on bool) bool {
+	return !sharedOff.Swap(!on)
+}
+
+// SharedSolveCacheEnabled reports whether the process-wide cache is on.
+func SharedSolveCacheEnabled() bool { return !sharedOff.Load() }
+
+// SharedSolveCacheStats snapshots the process-wide cache counters.
+func SharedSolveCacheStats() SharedCacheStats {
+	st := SharedCacheStats{
+		Hits:      sharedSolve.hits.Load(),
+		Misses:    sharedSolve.misses.Load(),
+		Evictions: sharedSolve.evictions.Load(),
+	}
+	for i := range sharedSolve.shards {
+		s := &sharedSolve.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ResetSharedSolveCache drops every shared entry and zeroes the
+// counters — used by tests and benchmarks that need a cold cache.
+func ResetSharedSolveCache() {
+	for i := range sharedSolve.shards {
+		s := &sharedSolve.shards[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.mu.Unlock()
+	}
+	sharedSolve.hits.Store(0)
+	sharedSolve.misses.Store(0)
+	sharedSolve.evictions.Store(0)
+}
+
+func (c *sharedCache) shard(key []byte) *sharedShard {
+	return &c.shards[hashKey(key)%sharedShardCount]
+}
+
+// lookup returns the shared entry for key, if present. The returned
+// slice is immutable by contract: readers copy out of it and an adopting
+// L1 may alias it, but nobody writes through it.
+func (c *sharedCache) lookup(key []byte) ([]Perf, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	entry, ok := s.entries[string(key)]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return entry, ok
+}
+
+// store publishes an immutable entry under key, evicting a bounded
+// batch from the shard when it is full (same policy as the L1: eviction
+// affects only speed and counters, never values).
+func (c *sharedCache) store(key []byte, entry []Perf) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = make(map[string][]Perf, sharedShardCap/4)
+	}
+	if len(s.entries) >= sharedShardCap {
+		if _, exists := s.entries[string(key)]; !exists {
+			evicted := uint64(0)
+			for k := range s.entries {
+				delete(s.entries, k)
+				if evicted++; evicted >= sharedShardCap/8 {
+					break
+				}
+			}
+			c.evictions.Add(evicted)
+		}
+	}
+	s.entries[string(key)] = entry
+	s.mu.Unlock()
+}

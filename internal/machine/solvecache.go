@@ -2,28 +2,37 @@ package machine
 
 import (
 	"encoding/binary"
-	"math"
+	"sync/atomic"
 )
 
-// defaultSolveCacheEntries bounds the memoization table. The largest
-// in-repo consumer is the ST oracle's exhaustive 4-application search
-// (~31k states); when the bound is exceeded the whole table is dropped,
-// which keeps behaviour deterministic (the cache only ever changes
-// speed, never values — Solve is a pure function of its inputs).
+// defaultSolveCacheEntries bounds the per-machine memoization table.
+// The largest in-repo consumer is the ST oracle's exhaustive
+// 4-application search (~31k states); when the bound is exceeded a
+// bounded batch is evicted (see store), which keeps behaviour
+// deterministic (the cache only ever changes speed, never values —
+// Solve is a pure function of its inputs).
 const defaultSolveCacheEntries = 1 << 15
 
-// solveCache memoizes SolveFor results keyed by an exact binary
-// fingerprint of the resolved models and allocations. Because the key
-// covers every solver input except the immutable machine Config, a hit
-// is guaranteed bit-identical to recomputation; AddApp/RemoveApp/phase
-// flushes (see Machine) only bound staleness and memory.
+// solveCache is the per-machine L1: it memoizes SolveFor results keyed
+// by an exact binary fingerprint of the machine config, the resolved
+// model digests, and the allocations. Because the key covers every
+// solver input, a hit is guaranteed bit-identical to recomputation;
+// AddApp/RemoveApp/phase flushes (see Machine) only bound staleness and
+// memory. Entries are immutable and may be shared with the process-wide
+// L2 (sharedcache.go): both tiers hand out slices that callers copy
+// from and never mutate.
 type solveCache struct {
 	entries map[string][]Perf
 	max     int
 	key     []byte // scratch for the current key
 
-	// Hits and Misses instrument the cache for tests and benchmarks.
-	hits, misses uint64
+	// The counters are atomics because fleet drivers snapshot stats
+	// while nodes are mid-run; the maps themselves are still owned by
+	// one Machine (a Machine is not safe for concurrent use).
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	sharedHits atomic.Uint64 // L1 misses served by the shared L2
 }
 
 func newSolveCache(max int) *solveCache {
@@ -38,58 +47,76 @@ func (c *solveCache) invalidate() {
 	clear(c.entries)
 }
 
-// encodeKey writes the exact solver fingerprint of (models, allocs)
-// into the scratch key: every AppModel field the solver reads, plus the
-// allocation pair. Names are deliberately excluded — they do not affect
-// the solved steady state.
-func (c *solveCache) encodeKey(models []AppModel, allocs []Alloc) {
+// encodeKey writes the exact solver fingerprint into the scratch key:
+// the config digest, then per application its resolved-model digest and
+// allocation pair. digests[i] must be modelDigest of the *resolved*
+// models[i] (phases folded); Machine maintains these incrementally so
+// the key costs O(apps) fixed-width appends.
+func (c *solveCache) encodeKey(cfgDigest uint64, digests []uint64, allocs []Alloc) {
 	k := c.key[:0]
-	k = binary.AppendUvarint(k, uint64(len(models)))
-	for i := range models {
-		mo := &models[i]
-		k = binary.AppendUvarint(k, uint64(mo.Cores))
-		k = binary.AppendUvarint(k, uint64(mo.Socket))
-		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.CPIBase))
-		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.AccPerInstr))
-		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.StreamFrac))
-		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(mo.MLP))
-		k = binary.AppendUvarint(k, uint64(len(mo.Hot)))
-		for _, h := range mo.Hot {
-			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.Bytes))
-			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.Weight))
-			k = binary.LittleEndian.AppendUint64(k, math.Float64bits(h.MLP))
-		}
+	k = binary.LittleEndian.AppendUint64(k, cfgDigest)
+	k = binary.AppendUvarint(k, uint64(len(digests)))
+	for i, d := range digests {
+		k = binary.LittleEndian.AppendUint64(k, d)
 		k = binary.LittleEndian.AppendUint64(k, allocs[i].CBM)
 		k = binary.AppendUvarint(k, uint64(allocs[i].MBALevel))
 	}
 	c.key = k
 }
 
-// lookup returns the memoized solve for (models, allocs), if present.
-// The returned slice is the cache's own entry: the caller must copy it
-// into its destination and never mutate or retain it (solveForInto does
-// exactly that), which keeps a hit allocation-free. It leaves the
-// encoded key in the scratch so a following store needs no re-encoding.
-func (c *solveCache) lookup(models []AppModel, allocs []Alloc) ([]Perf, bool) {
-	c.encodeKey(models, allocs)
+// lookup returns the memoized solve for the key left by encodeKey. The
+// returned slice is the cache's own entry: the caller must copy it into
+// its destination and never mutate or retain it (solveForInto does
+// exactly that), which keeps a hit allocation-free. The encoded key
+// stays in the scratch so a following store needs no re-encoding.
+func (c *solveCache) lookup() ([]Perf, bool) {
 	cached, ok := c.entries[string(c.key)]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	return cached, true
 }
 
-// store memoizes perfs under the key left by the preceding lookup. The
-// entry keeps its own copy so later caller mutations cannot corrupt it.
-func (c *solveCache) store(perfs []Perf) {
+// store memoizes an immutable entry under the key left by the preceding
+// lookup, taking ownership of the slice (solveForInto passes a fresh
+// copy, possibly shared with the L2). When the table is full a bounded
+// batch (max/8) is evicted instead of dropping the whole table — Go's
+// randomized map iteration picks the victims, which is fine because
+// eviction affects only speed and counters, never values.
+func (c *solveCache) store(entry []Perf) {
 	if len(c.entries) >= c.max {
-		clear(c.entries)
+		if _, exists := c.entries[string(c.key)]; !exists {
+			batch := c.max / 8
+			if batch < 1 {
+				batch = 1
+			}
+			evicted := uint64(0)
+			for k := range c.entries {
+				delete(c.entries, k)
+				if evicted++; evicted >= uint64(batch) {
+					break
+				}
+			}
+			c.evictions.Add(evicted)
+		}
 	}
-	cp := make([]Perf, len(perfs))
-	copy(cp, perfs)
-	c.entries[string(c.key)] = cp
+	c.entries[string(c.key)] = entry
+}
+
+// CacheStats is a snapshot of one machine's L1 counters. Hits, Misses,
+// and Evictions are deterministic for a seeded run even with the shared
+// L2 enabled (an L2 hit is adopted into the L1, so the L1 trajectory
+// matches a solve-and-store exactly); SharedHits — the portion of
+// misses served by the L2 — depends on what the rest of the process
+// solved first and is excluded from determinism comparisons.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	SharedHits uint64
+	Entries    int
 }
 
 // SolveCacheStats reports the machine's memoization counters (zeroes
@@ -98,5 +125,20 @@ func (m *Machine) SolveCacheStats() (hits, misses uint64, entries int) {
 	if m.cache == nil {
 		return 0, 0, 0
 	}
-	return m.cache.hits, m.cache.misses, len(m.cache.entries)
+	return m.cache.hits.Load(), m.cache.misses.Load(), len(m.cache.entries)
+}
+
+// SolveCacheDetail reports the full L1 counter snapshot (zero value
+// when the cache is disabled).
+func (m *Machine) SolveCacheDetail() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:       m.cache.hits.Load(),
+		Misses:     m.cache.misses.Load(),
+		Evictions:  m.cache.evictions.Load(),
+		SharedHits: m.cache.sharedHits.Load(),
+		Entries:    len(m.cache.entries),
+	}
 }
