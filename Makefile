@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench bench-json bench-guard figures clean
+.PHONY: all build vet lint test test-race cover bench bench-json bench-guard figures clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus copartlint, the repo's own go/analysis-style
+# suite (determinism, noalloc, directive hygiene, floatcmp — see DESIGN.md
+# §10). CI runs this before the tests.
+lint: vet
+	$(GO) run ./cmd/copartlint ./...
 
 test:
 	$(GO) test ./...

@@ -59,7 +59,14 @@ func main() {
 		os.Exit(2)
 	}
 	names := strings.Split(*benches, ",")
-	if ok := compare(os.Stdout, baseRecs, curRecs, names, *maxRegress); !ok {
+	offenders, ok := compare(os.Stdout, baseRecs, curRecs, names, *maxRegress)
+	if !ok {
+		// Repeat the offending rows on stderr: CI surfaces the log tail,
+		// and the full table may have scrolled past by then.
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — %d guarded benchmark(s) out of budget:\n", len(offenders))
+		for _, line := range offenders {
+			fmt.Fprintf(os.Stderr, "benchguard:   %s\n", line)
+		}
 		os.Exit(1)
 	}
 }
@@ -89,8 +96,10 @@ func parse(r io.Reader) (map[string]record, error) {
 
 // compare prints a benchstat-style delta line per watched benchmark and
 // reports whether every one is present and within the regression budget.
-func compare(w io.Writer, base, cur map[string]record, names []string, maxRegress float64) bool {
-	ok := true
+// The returned offenders hold one summary line per failing benchmark,
+// for the caller to repeat wherever failures are read (CI tails stderr).
+func compare(w io.Writer, base, cur map[string]record, names []string, maxRegress float64) (offenders []string, ok bool) {
+	ok = true
 	fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -100,6 +109,7 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		c, haveCur := cur[name]
 		if !haveCur {
 			fmt.Fprintf(w, "%-28s %14s %14s %9s  FAIL: missing from current run\n", name, "-", "-", "-")
+			offenders = append(offenders, fmt.Sprintf("%s: missing from current run", name))
 			ok = false
 			continue
 		}
@@ -115,9 +125,11 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		verdict := "ok"
 		if delta > maxRegress {
 			verdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
+			offenders = append(offenders, fmt.Sprintf("%s: %.0f ns/op → %.0f ns/op (%+.1f%%, budget +%.0f%%)",
+				name, b.NsPerOp, c.NsPerOp, delta*100, maxRegress*100))
 			ok = false
 		}
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
 	}
-	return ok
+	return offenders, ok
 }

@@ -26,8 +26,12 @@ func TestCompareWithinBudget(t *testing.T) {
       {"name": "BenchmarkMachineSolve", "ns_per_op": 7400}
     ]`)
 	var out strings.Builder
-	if !compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20)
+	if !ok {
 		t.Fatalf("+10%% flagged as a regression with a 20%% budget:\n%s", out.String())
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("passing comparison produced offenders: %v", offenders)
 	}
 }
 
@@ -38,11 +42,22 @@ func TestCompareRegressionFails(t *testing.T) {
       {"name": "BenchmarkMachineSolve", "ns_per_op": 7400}
     ]`)
 	var out strings.Builder
-	if compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20)
+	if ok {
 		t.Fatalf("+30%% passed a 20%% budget:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL") {
 		t.Fatalf("no FAIL marker in output:\n%s", out.String())
+	}
+	// The offender summary names only the regressed benchmark, with both
+	// timings and the budget — what a CI log tail needs to show.
+	if len(offenders) != 1 {
+		t.Fatalf("offenders = %v, want exactly one", offenders)
+	}
+	for _, frag := range []string{"BenchmarkFig12", "100000000", "130000000", "+30.0%", "budget +20%"} {
+		if !strings.Contains(offenders[0], frag) {
+			t.Errorf("offender line missing %q: %s", frag, offenders[0])
+		}
 	}
 }
 
@@ -50,8 +65,12 @@ func TestCompareMissingFromCurrentFails(t *testing.T) {
 	base := mustParse(t, baseDoc)
 	cur := mustParse(t, `[{"name": "BenchmarkMachineSolve", "ns_per_op": 7400}]`)
 	var out strings.Builder
-	if compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20) {
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve"}, 0.20)
+	if ok {
 		t.Fatal("benchmark missing from the current run passed the guard")
+	}
+	if len(offenders) != 1 || !strings.Contains(offenders[0], "missing from current run") {
+		t.Fatalf("offenders = %v, want one missing-from-current line", offenders)
 	}
 }
 
@@ -74,8 +93,12 @@ func TestCompareMissingFromBaselineWarns(t *testing.T) {
       {"name": "BenchmarkFleet256", "ns_per_op": 30000000}
     ]`)
 	var out strings.Builder
-	if !compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve", "BenchmarkFleet256"}, 0.20) {
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFig12", "BenchmarkMachineSolve", "BenchmarkFleet256"}, 0.20)
+	if !ok {
 		t.Fatalf("benchmark new in the current run failed the guard:\n%s", out.String())
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("baseline warning counted as an offender: %v", offenders)
 	}
 	if !strings.Contains(out.String(), "warn: missing from baseline") {
 		t.Fatalf("no baseline warning in output:\n%s", out.String())

@@ -1,0 +1,77 @@
+// Command copartlint runs the repo's custom static-analysis suite
+// (internal/analysis) over the module: determinism, noalloc, directive
+// hygiene, and floatcmp. It is the compile-time counterpart of the
+// runtime guard tests — `make lint` and CI run it before the test
+// suite, so a wall-clock read added to internal/machine or an
+// allocation slipped into a //copart:noalloc function fails the build
+// instead of waiting for the one test that might notice.
+//
+// Usage:
+//
+//	copartlint [-dir .] [-list] [./...]
+//
+// The module rooted at -dir is always analyzed in its entirety (the
+// optional ./... argument is accepted for familiarity). Exit status is
+// 1 when findings are reported, 2 on internal failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("copartlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	dir := fs.String("dir", ".", "module root to analyze")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, arg := range fs.Args() {
+		if arg != "./..." {
+			fmt.Fprintf(errOut, "copartlint: only the whole module is analyzed; unsupported argument %q\n", arg)
+			return 2
+		}
+	}
+	diags, err := lint(*dir, analyzers)
+	if err != nil {
+		fmt.Fprintln(errOut, "copartlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "copartlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func lint(dir string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, analyzers)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "noalloc", "directives", "floatcmp"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnsupportedArgument(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./cmd/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(./cmd/...) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unsupported argument") {
+		t.Errorf("stderr missing explanation: %s", errOut.String())
+	}
+}
+
+func TestMissingModule(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", t.TempDir()}, &out, &errOut); code != 2 {
+		t.Fatalf("run on dir without go.mod = %d, want 2", code)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	// A module named repro puts internal/core inside the determinism
+	// scope, so a bare time.Now there must surface as a finding.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/core/clock.go": `package core
+
+import "time"
+
+// Stamp reads the wall clock where determinism is required.
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "wall-clock read time.Now") {
+		t.Errorf("stdout missing the diagnostic:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Errorf("stderr missing the summary: %s", errOut.String())
+	}
+}
+
+func TestCleanModuleExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"lib.go": `package lib
+
+// Add is free of anything the suite checks.
+func Add(a, b int) int {
+	return a + b
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean module produced output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,99 @@
+// Package analysis is copartlint's engine: a small, dependency-free
+// reimplementation of the go/analysis analyzer shape (golang.org/x/tools
+// is deliberately not vendored) plus the four CoPart-specific passes
+// that turn the repo's load-bearing runtime guarantees into
+// compile-time checks:
+//
+//   - determinism: deterministic packages must not read wall clocks,
+//     draw from the global math/rand source, or let map iteration order
+//     reach slices, reports, or digests unsorted.
+//   - noalloc: functions annotated //copart:noalloc must not contain
+//     allocating constructs outside recognized amortized-grow and
+//     cold-error-path patterns.
+//   - directives: every //copart: annotation must be spelled correctly
+//     and attached to a real declaration or statement, so annotations
+//     cannot rot when the code under them moves.
+//   - floatcmp: scoring and fairness packages must not compare floats
+//     with == or != (the scoreMemo float-cancellation caveat), except
+//     against an exact-zero sentinel.
+//
+// The division of labor with the runtime guard tests
+// (TestSolveAllocationGuard, TestManagerPeriodAllocationGuard,
+// TestParallelDeterminism) is deliberate: the guard tests pin the
+// end-to-end property on the inputs they exercise; these passes pin the
+// local hygiene of every function in every build. See DESIGN.md §10.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned for editors and CI logs.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named pass. Run inspects the package held by the Pass
+// and reports findings through it; returning an error aborts the whole
+// lint run (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Pkg        *Package
+	Directives *DirectiveIndex
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. The DirectiveIndex is built once per
+// package and shared across analyzers.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ix := IndexDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Directives: ix, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

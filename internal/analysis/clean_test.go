@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean is the acceptance gate behind `make lint`: the default
+// analyzer suite must run clean over the whole module. Any new finding
+// means either real nondeterminism/allocation crept in, or an
+// intentional site is missing its reviewed //copart: annotation.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	diags, err := Run(pkgs, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text       string
+		name, args string
+		ok         bool
+	}{
+		{"//copart:noalloc", "noalloc", "", true},
+		{"//copart:wallclock fleet latency percentiles", "wallclock", "fleet latency percentiles", true},
+		{"//copart:allocok  padded  reason ", "allocok", "padded  reason", true},
+		{"// copart:noalloc", "", "", false}, // space breaks the directive form
+		{"// ordinary comment", "", "", false},
+		{"//go:generate foo", "", "", false},
+	}
+	for _, c := range cases {
+		name, args, ok := ParseDirective(c.text)
+		if name != c.name || args != c.args || ok != c.ok {
+			t.Errorf("ParseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, args, ok, c.name, c.args, c.ok)
+		}
+	}
+}
+
+func TestInScope(t *testing.T) {
+	scope := []string{"repro/internal/core", "repro/internal/machine"}
+	for path, want := range map[string]bool{
+		"repro/internal/core":     true,
+		"repro/internal/core/sub": true,
+		"repro/internal/corelike": false,
+		"repro/internal/machine":  true,
+		"repro/internal/fleet":    false,
+		"repro/cmd/copartlint":    false,
+	} {
+		if got := inScope(path, scope); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, NewFloatCmp("fixture/floatfix"), "floatfix")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestDirectivesFixture(t *testing.T) {
+	runFixture(t, NewDirectives(), "directivefix")
+}

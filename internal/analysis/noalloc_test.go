@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNoAllocFixture(t *testing.T) {
+	runFixture(t, NewNoAlloc(), "noallocfix")
+}

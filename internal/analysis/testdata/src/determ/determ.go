@@ -1,0 +1,107 @@
+// Package determ is the determinism-analyzer fixture: each violation
+// line carries a want comment; suppressed and idiomatic sites carry
+// none.
+package determ
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClockViolation reads the wall clock without a directive.
+func wallClockViolation() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// wallClockSince measures a duration without a directive.
+func wallClockSince(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// wallClockSuppressed is a legitimate latency-measurement site.
+func wallClockSuppressed() time.Time {
+	//copart:wallclock fixture latency measurement
+	return time.Now()
+}
+
+// wallClockInline is suppressed by an inline directive.
+func wallClockInline() time.Time {
+	return time.Now() //copart:wallclock fixture latency measurement
+}
+
+// globalRand draws from the global unseeded source.
+func globalRand() int {
+	return rand.Intn(10) // want "top-level rand.Intn draws from the global unseeded source"
+}
+
+// globalRandFloat draws a float from the global source.
+func globalRandFloat() float64 {
+	return rand.Float64() // want "top-level rand.Float64"
+}
+
+// seededRand follows the repo convention and is fine.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// mapOrderLeak appends map keys without sorting them.
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration leaks randomized order"
+	}
+	return keys
+}
+
+// mapOrderSorted collects then sorts: the deterministic idiom.
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapOrderPrint emits during iteration; no later sort can fix that.
+func mapOrderPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside map iteration emits in randomized order"
+	}
+}
+
+// mapOrderUnordered is annotated: the loop only counts.
+func mapOrderUnordered(m map[string]int) []string {
+	var keys []string
+	//copart:unordered fixture: order scrambled downstream anyway
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapOrderLocal appends to a loop-local slice; nothing escapes per
+// iteration, so order cannot leak through it.
+func mapOrderLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+// mapDelete mutates the map during iteration (the eviction idiom);
+// order affects which entries go, never a value.
+func mapDelete(m map[string]int, n int) {
+	for k := range m {
+		delete(m, k)
+		if n--; n <= 0 {
+			break
+		}
+	}
+}

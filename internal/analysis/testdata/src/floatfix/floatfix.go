@@ -1,0 +1,45 @@
+// Package floatfix is the float-equality fixture: exact comparisons
+// carry wants; zero-sentinel, suppressed, and integer comparisons do
+// not.
+package floatfix
+
+type score struct {
+	value float64
+	apps  int
+}
+
+func eqViolation(a, b float64) bool {
+	return a == b // want "== compares floating-point operands exactly"
+}
+
+func neqViolation(a, b float64) bool {
+	return a != b // want "!= compares floating-point operands exactly"
+}
+
+func structViolation(a, b score) bool {
+	return a == b // want "== compares a struct with floating-point fields exactly"
+}
+
+func arrayViolation(a, b [2]float64) bool {
+	return a == b // want "== compares floating-point operands exactly"
+}
+
+func constViolation(a float64) bool {
+	return a == 1.5 // want "== compares floating-point operands exactly"
+}
+
+func zeroExempt(a float64) bool {
+	return a == 0
+}
+
+func zeroLeftExempt(a float64) bool {
+	return 0.0 != a
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //copart:floateq fixture: inputs are bit-identical by construction
+}
+
+func intsFine(a, b int) bool {
+	return a == b
+}

@@ -28,6 +28,8 @@ func (s AllocState) Clone() AllocState {
 // backing arrays when their capacity suffices. It is the allocation-free
 // alternative to Clone for states that live across control periods (the
 // manager's current/best/next states are all reused this way).
+//
+//copart:noalloc
 func (s *AllocState) CopyFrom(o AllocState) {
 	if cap(s.Ways) < len(o.Ways) {
 		s.Ways = make([]int, len(o.Ways))
@@ -157,6 +159,8 @@ func GetNextSystemState(cur AllocState, apps []AppInfo, totalWays int, rng *rand
 // with all intermediate bookkeeping in sc. It draws from rng in exactly
 // the order GetNextSystemState does, so the two are interchangeable
 // without disturbing seeded runs. next must not alias cur's slices.
+//
+//copart:noalloc
 func GetNextSystemStateInto(next *AllocState, cur AllocState, apps []AppInfo, totalWays int, rng *rand.Rand, sc *AllocatorScratch) error {
 	if len(apps) != len(cur.Ways) {
 		return fmt.Errorf("core: %d apps, state for %d", len(apps), len(cur.Ways))
@@ -319,12 +323,16 @@ func NeighborState(cur AllocState, totalWays int, rng *rand.Rand) (AllocState, e
 // NeighborStateInto is NeighborState writing the perturbed state into
 // next (overwritten via CopyFrom). It draws from rng in exactly the
 // order NeighborState does. next must not alias cur's slices.
+//
+//copart:noalloc
 func NeighborStateInto(next *AllocState, cur AllocState, totalWays int, rng *rand.Rand) error {
 	return neighborStateInto(next, cur, totalWays, rng, true, true)
 }
 
 // neighborStateInto optionally restricts which resource may be perturbed
 // — the CAT-only and MBA-only baselines freeze one axis.
+//
+//copart:noalloc
 func neighborStateInto(next *AllocState, cur AllocState, totalWays int, rng *rand.Rand, allowWays, allowMBA bool) error {
 	if err := cur.Validate(totalWays); err != nil {
 		return err

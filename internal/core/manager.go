@@ -187,6 +187,11 @@ type Manager struct {
 	// ExploreTimes records the wall-clock duration of every
 	// getNextSystemState invocation (Figure 16's overhead metric).
 	ExploreTimes []time.Duration
+	// clock is the wall-clock source behind ExploreTimes. It defaults
+	// to the real clock and is injectable via SetClock so the overhead
+	// telemetry is testable with exact values; nothing else in the
+	// manager reads it — control decisions run on virtual time.
+	clock func() time.Time
 	// OnPeriod, when non-nil, receives a report after every control
 	// period in the exploration and idle phases.
 	OnPeriod func(PeriodReport)
@@ -225,9 +230,21 @@ func NewManager(target Target, params Params, streamRef map[int]float64, env Env
 		sampler:   pmc.NewSampler(target),
 		phase:     PhaseProfile,
 		Features:  DefaultFeatures(),
+		clock:     time.Now, //copart:wallclock ExploreTimes telemetry measures real solver latency
 	}
 	m.resetApps(names)
 	return m, nil
+}
+
+// SetClock replaces the wall-clock source behind the ExploreTimes
+// telemetry. Tests inject a scripted clock to pin exact durations; nil
+// restores the real clock. Control decisions never read this clock, so
+// substituting it cannot perturb a seeded run.
+func (m *Manager) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now //copart:wallclock restoring the real telemetry clock
+	}
+	m.clock = now
 }
 
 // resetApps rebuilds runtime state for the given application set. The
@@ -662,9 +679,9 @@ func (m *Manager) ExploreStep() (bool, error) {
 	}
 	m.report(PhaseExplore, slowdowns, unf)
 
-	start := time.Now()
+	start := m.clock()
 	err = GetNextSystemStateInto(&m.nextState, m.state, infos, m.env.Ways, m.rng, &m.matchSc)
-	m.ExploreTimes = append(m.ExploreTimes, time.Since(start))
+	m.ExploreTimes = append(m.ExploreTimes, m.clock().Sub(start))
 	if err != nil {
 		return false, err
 	}
@@ -685,6 +702,8 @@ func (m *Manager) ExploreStep() (bool, error) {
 
 // growPeriodScratch sizes the per-period classifier and slowdown buffers
 // to the current application count.
+//
+//copart:noalloc
 func (m *Manager) growPeriodScratch() ([]AppInfo, []float64) {
 	n := len(m.apps)
 	if cap(m.infos) < n {

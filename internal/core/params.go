@@ -76,6 +76,20 @@ func DefaultParams() Params {
 	}
 }
 
+// IsZero reports whether p is the zero value — the "use defaults"
+// sentinel the policy layer accepts in place of explicit parameters.
+// The fields are compared to literal zero individually rather than
+// comparing whole Params values with ==: exact struct equality over
+// float fields is the hazard copartlint's floatcmp pass flags, and the
+// zero sentinel is the one comparison that is legitimately exact.
+func (p Params) IsZero() bool {
+	return p.Alpha == 0 && p.BetaLow == 0 && p.BetaHigh == 0 &&
+		p.DeltaPerf == 0 && p.GammaLow == 0 && p.GammaHigh == 0 &&
+		p.Theta == 0 && p.ProfileWays == 0 && p.ProfileMBA == 0 &&
+		p.ProfileDemandThreshold == 0 && p.ProfileSupplyThreshold == 0 &&
+		p.Period == 0 && p.IdleChangeThreshold == 0
+}
+
 // Validate checks parameter consistency.
 func (p Params) Validate() error {
 	if p.Alpha < 0 {

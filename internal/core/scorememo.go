@@ -51,6 +51,8 @@ const scoreMemoMaxEntries = 4096
 // encodeKey writes the allocation state's exact fingerprint into the
 // scratch key. Ways and MBA levels are small non-negative ints; the
 // length prefix keeps (Ways, MBA) pairs unambiguous.
+//
+//copart:noalloc
 func (c *scoreMemo) encodeKey(st AllocState) {
 	k := c.key[:0]
 	k = binary.AppendUvarint(k, uint64(len(st.Ways)))
@@ -66,6 +68,8 @@ func (c *scoreMemo) encodeKey(st AllocState) {
 // lookup returns the memoized rates for st, if present. The returned
 // slice is the memo's own immutable entry; callers read it and never
 // mutate it.
+//
+//copart:noalloc
 func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
 	if len(c.entries) == 0 {
 		c.misses++

@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// TestScriptedClock swaps fleetClock for a deterministic script: every
+// read advances time by exactly one tick. With a single worker the
+// clock-read order is fixed — Run reads once before and once after the
+// fan-out, and every period reads twice — so the throughput and latency
+// figures stop being nondeterministic and can be asserted exactly.
+func TestScriptedClock(t *testing.T) {
+	const tick = 3 * time.Millisecond
+	base := time.Unix(1_700_000_000, 0)
+	var reads atomic.Int64
+	orig := fleetClock
+	fleetClock = func() time.Time {
+		n := reads.Add(1)
+		return base.Add(time.Duration(n) * tick)
+	}
+	parallel.SetWorkers(1)
+	defer func() {
+		fleetClock = orig
+		parallel.SetWorkers(0)
+	}()
+
+	cfg := Config{Nodes: 3, Periods: 5, Seed: 11}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantReads := int64(2 + 2*cfg.Nodes*cfg.Periods)
+	if got := reads.Load(); got != wantReads {
+		t.Errorf("clock reads = %d, want %d", got, wantReads)
+	}
+	// Each period spans exactly one tick between its two reads.
+	if res.P50 != tick || res.P99 != tick {
+		t.Errorf("P50/P99 = %v/%v, want both %v", res.P50, res.P99, tick)
+	}
+	// Elapsed spans every read between Run's first and last.
+	wantElapsed := time.Duration(wantReads-1) * tick
+	if res.Elapsed != wantElapsed {
+		t.Errorf("Elapsed = %v, want %v", res.Elapsed, wantElapsed)
+	}
+	wantPeriods := cfg.Nodes * cfg.Periods
+	if res.TotalPeriods != wantPeriods {
+		t.Errorf("TotalPeriods = %d, want %d", res.TotalPeriods, wantPeriods)
+	}
+	wantRate := float64(wantPeriods) / wantElapsed.Seconds()
+	if res.PeriodsPerSec != wantRate {
+		t.Errorf("PeriodsPerSec = %v, want %v", res.PeriodsPerSec, wantRate)
+	}
+}

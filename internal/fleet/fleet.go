@@ -107,6 +107,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// fleetClock is the wall-clock source behind the fleet's throughput
+// and latency figures — the one intentionally nondeterministic input.
+// It is a package variable so tests can substitute a scripted clock
+// and assert exact percentile values (see clock_test.go); production
+// always reads the real monotonic clock.
+//
+//copart:wallclock fleet throughput and latency percentiles measure real elapsed time
+var fleetClock = time.Now
+
 // nodeSeed derives node i's RNG seed from the fleet seed. The golden-ratio
 // stride keeps neighboring nodes' streams uncorrelated.
 func (c Config) nodeSeed(i int) int64 {
@@ -167,7 +176,7 @@ func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
 		return NodeResult{}, err
 	}
 	for p := 0; p < cfg.Periods; p++ {
-		start := time.Now()
+		start := fleetClock()
 		switch mgr.Phase() {
 		case core.PhaseExplore:
 			_, err = mgr.ExploreStep()
@@ -176,7 +185,7 @@ func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
 		default:
 			err = fmt.Errorf("fleet: node %d in unexpected phase %v", node, mgr.Phase())
 		}
-		lat[p] = time.Since(start)
+		lat[p] = fleetClock().Sub(start)
 		if err != nil {
 			return NodeResult{}, err
 		}
@@ -209,7 +218,7 @@ func Run(cfg Config) (Result, error) {
 	// race-free under ForEach without locks.
 	lats := make([]time.Duration, cfg.Nodes*cfg.Periods)
 	sharedBefore := machine.SharedSolveCacheStats()
-	start := time.Now()
+	start := fleetClock()
 	err := parallel.ForEach(cfg.Nodes, func(i int) error {
 		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods])
 		if err != nil {
@@ -218,7 +227,7 @@ func Run(cfg Config) (Result, error) {
 		res.Nodes[i] = nr
 		return nil
 	})
-	res.Elapsed = time.Since(start)
+	res.Elapsed = fleetClock().Sub(start)
 	if err != nil {
 		return Result{}, err
 	}

@@ -110,8 +110,8 @@ func New(opts Options) (*Host, error) {
 		}
 	}
 	if h.now == nil {
-		start := time.Now()
-		h.now = func() time.Duration { return time.Since(start) }
+		start := time.Now()                                       //copart:wallclock host fallback clock anchors real elapsed time
+		h.now = func() time.Duration { return time.Since(start) } //copart:wallclock host fallback clock reads real elapsed time
 	}
 	return h, nil
 }

@@ -488,6 +488,8 @@ func (m *Machine) Occupancy(name string) (float64, error) {
 // solveActiveScratch. Digests are maintained incrementally: unphased
 // apps keep their AddApp-time digest forever; phased apps recompute
 // only when solved at a new virtual time.
+//
+//copart:noalloc
 func (m *Machine) gatherActive() ([]AppModel, []Alloc, []uint64) {
 	sc := &m.scratch
 	sc.models = sc.models[:0]
@@ -515,12 +517,14 @@ func (m *Machine) gatherActive() ([]AppModel, []Alloc, []uint64) {
 // at the current system state and virtual time (phased models resolve to
 // their active phase), in Apps() order. The machine state is not
 // modified. The returned slice is freshly allocated and safe to retain.
+//
+//copart:noalloc
 func (m *Machine) Solve() ([]Perf, error) {
 	models, allocs, digests := m.gatherActive()
 	if len(models) == 0 {
 		return nil, nil
 	}
-	perfs := make([]Perf, len(models))
+	perfs := make([]Perf, len(models)) //copart:allocok the returned slice is the API contract: callers may retain it
 	if err := m.solveForInto(perfs, models, allocs, digests); err != nil {
 		return nil, err
 	}
@@ -531,6 +535,8 @@ func (m *Machine) Solve() ([]Perf, error) {
 // scratch: zero allocations at steady state, valid only until the next
 // solve. Step and Occupancy consume the results immediately and use it
 // instead of Solve.
+//
+//copart:noalloc
 func (m *Machine) solveActiveScratch() ([]Perf, error) {
 	models, allocs, digests := m.gatherActive()
 	if len(models) == 0 {
@@ -627,6 +633,8 @@ func (m *Machine) SteadyMeasurement() bool {
 // per socket domain, writing the steady state into perfs
 // (len(perfs) == len(models)). digests must either be nil (computed on
 // demand into scratch) or hold modelDigest of each resolved model.
+//
+//copart:noalloc
 func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64) error {
 	return m.solveInto(perfs, models, allocs, digests, true)
 }
@@ -635,6 +643,8 @@ func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, 
 // caching to the shared L2 (the SolveSession path — states an
 // exhaustive search never revisits intra-run would only churn the
 // per-machine table).
+//
+//copart:noalloc
 func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1 bool) error {
 	if len(models) != len(allocs) {
 		return fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
@@ -689,18 +699,18 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 	// merged back in input order.
 	if sockets > 1 {
 		for s := 0; s < sockets; s++ {
-			var idx []int
+			var idx []int //copart:allocok multi-socket split is off the guarded single-socket hot path
 			for i := range models {
 				if models[i].Socket == s {
-					idx = append(idx, i)
+					idx = append(idx, i) //copart:allocok multi-socket split is off the guarded single-socket hot path
 				}
 			}
 			if len(idx) == 0 {
 				continue
 			}
-			subModels := make([]AppModel, len(idx))
-			subAllocs := make([]Alloc, len(idx))
-			subPerfs := make([]Perf, len(idx))
+			subModels := make([]AppModel, len(idx)) //copart:allocok multi-socket split is off the guarded single-socket hot path
+			subAllocs := make([]Alloc, len(idx))    //copart:allocok multi-socket split is off the guarded single-socket hot path
+			subPerfs := make([]Perf, len(idx))      //copart:allocok multi-socket split is off the guarded single-socket hot path
 			for j, i := range idx {
 				subModels[j] = models[i]
 				subAllocs[j] = allocs[i]
@@ -720,7 +730,7 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 		// immutable copy backs both tiers: the L1 owns it, and the L2
 		// publishes the same slice to other machines (nobody writes
 		// through a stored entry, so aliasing is safe).
-		entry := make([]Perf, len(perfs))
+		entry := make([]Perf, len(perfs)) //copart:allocok cache-miss path: one immutable entry backs both cache tiers
 		copy(entry, perfs)
 		if useL1 {
 			m.cache.store(entry)

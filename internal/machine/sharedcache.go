@@ -91,6 +91,7 @@ func ResetSharedSolveCache() {
 	sharedSolve.evictions.Store(0)
 }
 
+//copart:noalloc
 func (c *sharedCache) shard(key []byte) *sharedShard {
 	return &c.shards[hashKey(key)%sharedShardCount]
 }
@@ -98,6 +99,8 @@ func (c *sharedCache) shard(key []byte) *sharedShard {
 // lookup returns the shared entry for key, if present. The returned
 // slice is immutable by contract: readers copy out of it and an adopting
 // L1 may alias it, but nobody writes through it.
+//
+//copart:noalloc
 func (c *sharedCache) lookup(key []byte) ([]Perf, bool) {
 	s := c.shard(key)
 	s.mu.Lock()

@@ -52,6 +52,8 @@ func (c *solveCache) invalidate() {
 // allocation pair. digests[i] must be modelDigest of the *resolved*
 // models[i] (phases folded); Machine maintains these incrementally so
 // the key costs O(apps) fixed-width appends.
+//
+//copart:noalloc
 func (c *solveCache) encodeKey(cfgDigest uint64, digests []uint64, allocs []Alloc) {
 	k := c.key[:0]
 	k = binary.LittleEndian.AppendUint64(k, cfgDigest)
@@ -69,6 +71,8 @@ func (c *solveCache) encodeKey(cfgDigest uint64, digests []uint64, allocs []Allo
 // its destination and never mutate or retain it (solveForInto does
 // exactly that), which keeps a hit allocation-free. The encoded key
 // stays in the scratch so a following store needs no re-encoding.
+//
+//copart:noalloc
 func (c *solveCache) lookup() ([]Perf, bool) {
 	cached, ok := c.entries[string(c.key)]
 	if !ok {

@@ -174,6 +174,8 @@ func (a *Arbiter) Allocate(demands []Demand) (Result, error) {
 // and Caps slices are reused when their capacity suffices, and the
 // intermediate buffers live on the Arbiter. The solver's fixed-point
 // loop calls this every round.
+//
+//copart:noalloc
 func (a *Arbiter) AllocateInto(res *Result, demands []Demand) error {
 	a.caps = growFloats(a.caps, len(demands))
 	for i, d := range demands {
@@ -191,6 +193,8 @@ func (a *Arbiter) AllocateInto(res *Result, demands []Demand) error {
 // solver precomputes caps once per solve (allocations are fixed across
 // fixed-point rounds), which keeps the per-round path free of the
 // level→fraction curve evaluation. res.Caps aliases caps on return.
+//
+//copart:noalloc
 func (a *Arbiter) AllocateCapped(res *Result, demands []Demand, caps []float64) error {
 	if len(demands) == 0 {
 		res.Grants = res.Grants[:0]
@@ -233,6 +237,8 @@ func (a *Arbiter) AllocateCapped(res *Result, demands []Demand, caps []float64) 
 
 // growFloats returns s resized to n, reusing its backing array when
 // possible and zeroing the visible elements.
+//
+//copart:noalloc
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -259,6 +265,8 @@ func waterfill(wants []float64, budget float64) ([]float64, error) {
 // waterfillInto is waterfill writing into a caller-provided grants
 // slice (len(grants) == len(wants), zeroed) and reusing the arbiter's
 // active-index scratch.
+//
+//copart:noalloc
 func (a *Arbiter) waterfillInto(grants, wants []float64, budget float64) error {
 	if budget <= 0 {
 		return errors.New("membw: non-positive budget")

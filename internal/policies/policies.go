@@ -326,7 +326,7 @@ func (d *Dynamic) Run(cfg machine.Config, models []machine.AppModel) (Result, er
 		return Result{}, err
 	}
 	params := d.Params
-	if params == (core.Params{}) {
+	if params.IsZero() {
 		params = core.DefaultParams()
 	}
 	mgr, err := core.NewManager(m, params, ref, core.Envelope{LoWay: 0, Ways: cfg.LLCWays},
@@ -387,7 +387,7 @@ func (d *Dynamic) ExploreTime(cfg machine.Config, models []machine.AppModel) (ti
 		return 0, err
 	}
 	params := d.Params
-	if params == (core.Params{}) {
+	if params.IsZero() {
 		params = core.DefaultParams()
 	}
 	mgr, err := core.NewManager(m, params, ref, core.Envelope{LoWay: 0, Ways: cfg.LLCWays},
