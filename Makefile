@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race cover bench bench-json bench-guard figures clean
+.PHONY: all build vet lint test test-race cover bench bench-json bench-guard figures verify smoke clean
 
 all: build lint test
 
@@ -55,6 +55,27 @@ bench-guard:
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$' -benchtime 1000x -count 3 -benchmem . ; } \
 	| $(GO) run ./cmd/benchjson > $(BENCHGUARD_CUR)
 	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR)
+
+# Crash-safety gate: capture a real snapshot from copartd, verify its
+# replay is deterministic (snap2test -check), then generate a pinned
+# regression test from it and run it. The generated test lands in
+# _verify/ — underscore-prefixed so ./... wildcards never pick it up;
+# it is removed again on success and left behind for inspection on
+# failure.
+VERIFY_SNAP ?= /tmp/copart-verify-snap.json
+verify: build
+	$(GO) run ./cmd/copartd -mix H-Both -apps 4 -duration 60s -seed 1 -snapshot-exit $(VERIFY_SNAP) > /dev/null
+	$(GO) run ./cmd/snap2test -snapshot $(VERIFY_SNAP) -duration 30s -check
+	rm -rf _verify && mkdir _verify
+	$(GO) run ./cmd/snap2test -snapshot $(VERIFY_SNAP) -duration 30s -name Verify -o _verify/replay_test.go
+	$(GO) test ./_verify/
+	rm -rf _verify
+
+# Black-box control-plane smoke: boot copartd with the admission API on
+# loopback and drive add/reweight/remove, snapshot round-trip, and a
+# /metrics scrape with curl. See scripts/smoke_copartd.sh.
+smoke: build
+	./scripts/smoke_copartd.sh
 
 # Regenerate every table and figure of the paper into ./out/ (text + SVG).
 figures:

@@ -15,29 +15,46 @@
 // enabled: transient errors are retried, and sustained outages push it
 // into a degraded equal-allocation mode until the substrate heals.
 //
-// On SIGINT/SIGTERM the daemon finishes the current control period,
-// stops, and — like on normal exit — restores every application to the
-// unrestricted default allocation (full cache mask, 100 % memory
-// bandwidth), so a controlled machine is never left with stale partition
-// restrictions.
+// With -listen ADDR, the daemon serves the control plane: runtime
+// admission (POST/DELETE/PATCH /apps), deterministic state snapshots
+// (GET /snapshot), health and readiness probes (/healthz, /readyz), and
+// Prometheus metrics (/metrics). Combine with -pace to slow the
+// simulated clock to something a human (or a curl loop) can interact
+// with. A snapshot taken from a running daemon can be handed to
+// -restore to resume the run bit-identically; -snapshot-exit writes one
+// on the way out.
+//
+// On SIGINT/SIGTERM the daemon drains: admission closes, the current
+// control period finishes, the optional exit snapshot is flushed, and —
+// like on normal exit, and even if the controller panics — every
+// application is restored to the unrestricted default allocation (full
+// cache mask, 100 % memory bandwidth), so a controlled machine is never
+// left with stale partition restrictions.
 //
 // Usage:
 //
-//	copartd -mix H-LLC -apps 4 -duration 60s [-seed 1] [-resctrl DIR] [-faults SPEC]
+//	copartd -mix H-LLC -apps 4 -duration 60s [-seed 1] [-resctrl DIR]
+//	        [-faults SPEC] [-listen 127.0.0.1:7090] [-pace 100ms]
+//	        [-restore FILE] [-snapshot-exit FILE]
+//
+// Flag validation failures exit with status 2; runtime failures with 1.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
-	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/eventlog"
 	"repro/internal/faultinject"
@@ -47,24 +64,111 @@ import (
 	"repro/internal/workloads"
 )
 
+// config carries every copartd setting; tests drive run with a literal.
+type config struct {
+	mix          string
+	apps         int
+	duration     time.Duration
+	seed         int64
+	resctrlDir   string
+	events       bool
+	faults       string
+	listen       string
+	pace         time.Duration
+	restore      string
+	snapshotExit string
+
+	// sig delivers shutdown signals; nil disables signal handling (tests).
+	sig <-chan os.Signal
+	// setFlags records which flags the user passed explicitly, for
+	// conflict detection; nil means "none".
+	setFlags map[string]bool
+}
+
 func main() {
-	mixName := flag.String("mix", "H-Both", "workload mix: H-LLC, H-BW, H-Both, M-LLC, M-BW, M-Both, IS")
-	apps := flag.Int("apps", 4, "number of consolidated applications (3-6)")
-	duration := flag.Duration("duration", 60*time.Second, "virtual time to run")
-	seed := flag.Int64("seed", 1, "controller seed")
-	resctrlDir := flag.String("resctrl", "", "mirror decisions into a resctrl tree under this directory")
-	events := flag.Bool("events", false, "print the controller's structured event log at exit")
-	faults := flag.String("faults", "", `fault-injection scenario, e.g. "standard" or "readerr=0.05,wrap=30s"`)
+	var cfg config
+	flag.StringVar(&cfg.mix, "mix", "H-Both", "workload mix: "+mixNames())
+	flag.IntVar(&cfg.apps, "apps", 4, "number of consolidated applications")
+	flag.DurationVar(&cfg.duration, "duration", 60*time.Second, "virtual time to run")
+	flag.Int64Var(&cfg.seed, "seed", 1, "controller seed")
+	flag.StringVar(&cfg.resctrlDir, "resctrl", "", "mirror decisions into a resctrl tree under this directory")
+	flag.BoolVar(&cfg.events, "events", false, "print the controller's structured event log at exit")
+	flag.StringVar(&cfg.faults, "faults", "", `fault-injection scenario, e.g. "standard" or "readerr=0.05,wrap=30s"`)
+	flag.StringVar(&cfg.listen, "listen", "", "serve the control-plane HTTP API on this address (e.g. 127.0.0.1:7090)")
+	flag.DurationVar(&cfg.pace, "pace", 0, "wall-clock sleep per control period (slows the simulation for interactive use)")
+	flag.StringVar(&cfg.restore, "restore", "", "resume from a snapshot file instead of booting a mix")
+	flag.StringVar(&cfg.snapshotExit, "snapshot-exit", "", "write a state snapshot to this file on exit")
 	flag.Parse()
+
+	cfg.setFlags = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { cfg.setFlags[f.Name] = true })
+
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "copartd:", err)
+		os.Exit(2)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
+	cfg.sig = sigc
 
-	if err := run(*mixName, *apps, *duration, *seed, *resctrlDir, *events, *faults, sigc); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "copartd:", err)
 		os.Exit(1)
 	}
+}
+
+func mixNames() string {
+	kinds := workloads.MixKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+func (c *config) flagSet(name string) bool { return c.setFlags[name] }
+
+// validate rejects invalid flag combinations before anything is built.
+// Errors enumerate the valid values so a typo is fixable from the
+// message alone; main exits with status 2 on them.
+func (c *config) validate() error {
+	mcfg := machine.DefaultConfig()
+	if c.restore != "" {
+		// A snapshot carries its own machine, apps, and fault-free state;
+		// flags that would contradict it are refused rather than ignored.
+		for _, f := range []string{"mix", "apps", "faults", "seed"} {
+			if c.flagSet(f) {
+				return fmt.Errorf("-restore resumes the snapshot's own configuration; drop -%s", f)
+			}
+		}
+		if _, err := os.Stat(c.restore); err != nil {
+			return fmt.Errorf("-restore: %v", err)
+		}
+	} else {
+		if _, err := parseMix(c.mix); err != nil {
+			return err
+		}
+		maxApps := mcfg.LLCWays
+		if mcfg.Cores < maxApps {
+			maxApps = mcfg.Cores
+		}
+		if c.apps < 2 || c.apps > maxApps {
+			return fmt.Errorf("-apps %d out of range: valid range is 2-%d (each app needs one exclusive LLC way and at least one core; machine has %d ways, %d cores)",
+				c.apps, maxApps, mcfg.LLCWays, mcfg.Cores)
+		}
+		if _, err := parseScenario(mcfg, c.faults); err != nil {
+			return err
+		}
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration %v must be positive", c.duration)
+	}
+	if c.pace < 0 {
+		return fmt.Errorf("-pace %v must be >= 0", c.pace)
+	}
+	return nil
 }
 
 func parseMix(name string) (workloads.MixKind, error) {
@@ -73,7 +177,7 @@ func parseMix(name string) (workloads.MixKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown mix %q", name)
+	return 0, fmt.Errorf("unknown mix %q (valid: %s)", name, mixNames())
 }
 
 // parseScenario parses the -faults spec and resolves arrival names
@@ -90,7 +194,9 @@ func parseScenario(cfg machine.Config, spec string) (faultinject.Scenario, error
 		}
 		ws, err := workloads.ByName(cfg, ev.Name)
 		if err != nil {
-			return faultinject.Scenario{}, fmt.Errorf("resolving arrival %q: %w", ev.Name, err)
+			return faultinject.Scenario{}, fmt.Errorf(
+				"resolving arrival %q: %v (valid benchmarks: %s)",
+				ev.Name, err, strings.Join(workloads.Names(), ", "))
 		}
 		model := ws.Model
 		ev.Model = &model
@@ -98,101 +204,189 @@ func parseScenario(cfg machine.Config, spec string) (faultinject.Scenario, error
 	return sc, nil
 }
 
-// run is the daemon body; sig may be nil when no signal handling is
-// wanted (tests).
-func run(mixName string, apps int, duration time.Duration, seed int64,
-	resctrlDir string, events bool, faultSpec string, sig <-chan os.Signal) error {
-	kind, err := parseMix(mixName)
-	if err != nil {
+// Test hooks. onListen receives the control plane's bound address once
+// the listener is up; periodHook runs inside OnPeriod (panic-injection
+// tests use it to blow up the controller mid-run).
+var (
+	onListen   func(addr string)
+	periodHook func(core.PeriodReport)
+)
+
+// run is the daemon body.
+func run(cfg config) (err error) {
+	if err := cfg.validate(); err != nil {
 		return err
-	}
-	cfg := machine.DefaultConfig()
-	sc, err := parseScenario(cfg, faultSpec)
-	if err != nil {
-		return err
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return err
-	}
-	models, err := workloads.Mix(cfg, kind, apps)
-	if err != nil {
-		return err
-	}
-	names := make([]string, len(models))
-	for i, model := range models {
-		if err := m.AddApp(model); err != nil {
-			return err
-		}
-		names[i] = model.Name
 	}
 
-	var rc *resctrl.Client
-	mirrored := make(map[string]bool)
-	if resctrlDir != "" {
-		rc, err = resctrl.NewSimTree(resctrlDir, cfg)
-		if err != nil {
-			return err
-		}
-		for _, n := range names {
-			if err := rc.CreateGroup(n); err != nil {
-				return err
-			}
-			mirrored[n] = true
-		}
-		fmt.Printf("mirroring schemata into %s\n", resctrlDir)
-	}
+	var (
+		m   *machine.Machine
+		mgr *core.Manager
+		sc  faultinject.Scenario
+	)
+	mcfg := machine.DefaultConfig()
 
 	var elog *eventlog.Log
-	if events {
+	if cfg.events {
 		elog, err = eventlog.New(8192)
 		if err != nil {
 			return err
 		}
 	}
 
-	var (
-		target core.Target = m
-		inj    *faultinject.Injector
-	)
-	if !sc.Empty() {
-		wrapped, err := faultinject.WrapTarget(m, sc, elog)
+	var inj *faultinject.Injector
+	if cfg.restore != "" {
+		data, err := os.ReadFile(cfg.restore)
 		if err != nil {
 			return err
 		}
-		target = wrapped
-		inj = wrapped.Injector()
-		fmt.Println("fault injection active, resilient control loop enabled")
-	}
+		snap, err := core.ParseSnapshot(data)
+		if err != nil {
+			return err
+		}
+		mgr, m, err = core.RestoreSnapshot(snap)
+		if err != nil {
+			return err
+		}
+		mcfg = m.Config()
+		fmt.Printf("restored snapshot %s at t=%.1fs in %v phase\n",
+			cfg.restore, m.Now().Seconds(), mgr.Phase())
+	} else {
+		kind, err := parseMix(cfg.mix)
+		if err != nil {
+			return err
+		}
+		sc, err = parseScenario(mcfg, cfg.faults)
+		if err != nil {
+			return err
+		}
+		m, err = machine.New(mcfg)
+		if err != nil {
+			return err
+		}
+		models, err := workloads.Mix(mcfg, kind, cfg.apps)
+		if err != nil {
+			return err
+		}
+		for _, model := range models {
+			if err := m.AddApp(model); err != nil {
+				return err
+			}
+		}
 
-	ref, err := workloads.StreamMissRates(m)
-	if err != nil {
-		return err
-	}
-	mgr, err := core.NewManager(target, core.DefaultParams(), ref,
-		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return err
-	}
-	if !sc.Empty() {
-		mgr.Resilience = core.DefaultResilience()
+		var target core.Target = m
+		if !sc.Empty() {
+			wrapped, err := faultinject.WrapTarget(m, sc, elog)
+			if err != nil {
+				return err
+			}
+			target = wrapped
+			inj = wrapped.Injector()
+			fmt.Println("fault injection active, resilient control loop enabled")
+		}
+
+		ref, err := workloads.StreamMissRates(m)
+		if err != nil {
+			return err
+		}
+		// The counting source produces the exact stream of a plain
+		// rand.NewSource(seed) while tracking the position, so snapshots
+		// can restore it.
+		rng, src := core.NewSeededRand(cfg.seed)
+		mgr, err = core.NewManager(target, core.DefaultParams(), ref,
+			core.Envelope{LoWay: 0, Ways: mcfg.LLCWays}, rng)
+		if err != nil {
+			return err
+		}
+		mgr.SnapshotSource = src
+		if !sc.Empty() {
+			mgr.Resilience = core.DefaultResilience()
+		}
 	}
 	mgr.Events = elog
 
-	if sig != nil {
+	var rc *resctrl.Client
+	mirrored := make(map[string]bool)
+	if cfg.resctrlDir != "" {
+		rc, err = resctrl.NewSimTree(cfg.resctrlDir, mcfg)
+		if err != nil {
+			return err
+		}
+		for _, n := range m.Apps() {
+			if err := rc.CreateGroup(n); err != nil {
+				return err
+			}
+			mirrored[n] = true
+		}
+		fmt.Printf("mirroring schemata into %s\n", cfg.resctrlDir)
+	}
+
+	// The restore guard: whatever happens from here on — normal exit,
+	// error, or a controller panic — the machine and every mirrored
+	// control group go back to the unrestricted default allocation. A
+	// crashed controller must never leave a machine partitioned.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("controller panic: %v", r)
+		}
+		if rerr := restoreDefaults(m, rc, mirrored); rerr != nil {
+			if err == nil {
+				err = fmt.Errorf("restoring default allocations: %w", rerr)
+			} else {
+				fmt.Fprintln(os.Stderr, "copartd: restoring default allocations:", rerr)
+			}
+			return
+		}
+		fmt.Println("default allocations restored")
+	}()
+
+	// Control plane: admission ops queue here and apply between periods.
+	var plane *controlplane.Plane
+	var srv *http.Server
+	if cfg.listen != "" {
+		adm := &controlplane.MachineAdmitter{M: m, Mgr: mgr}
+		plane = controlplane.New(adm, mgr, elog)
+		ln, lerr := net.Listen("tcp", cfg.listen)
+		if lerr != nil {
+			return fmt.Errorf("control plane: %w", lerr)
+		}
+		srv = &http.Server{Handler: plane.Handler()}
+		go srv.Serve(ln) //nolint:errcheck // Shutdown's ErrServerClosed
+		fmt.Printf("control plane listening on http://%s\n", ln.Addr())
+		if onListen != nil {
+			onListen(ln.Addr().String())
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck
+		}()
+	}
+	mgr.BetweenPeriods = func() {
+		if cfg.pace > 0 {
+			time.Sleep(cfg.pace)
+		}
+		if plane != nil {
+			plane.Drain()
+		}
+	}
+
+	if cfg.sig != nil {
 		done := make(chan struct{})
 		defer close(done)
 		go func() {
 			select {
-			case s := <-sig:
-				fmt.Fprintf(os.Stderr, "copartd: caught %v, stopping after the current period\n", s)
+			case s := <-cfg.sig:
+				fmt.Fprintf(os.Stderr, "copartd: caught %v, draining and stopping after the current period\n", s)
+				if plane != nil {
+					plane.SetDraining()
+				}
 				mgr.Stop()
 			case <-done:
 			}
 		}()
 	}
 
-	fmt.Printf("consolidating %v on %d cores, %d-way LLC\n", names, cfg.Cores, cfg.LLCWays)
+	fmt.Printf("consolidating %v on %d cores, %d-way LLC\n", m.Apps(), mcfg.Cores, mcfg.LLCWays)
 	mgr.OnPeriod = func(r core.PeriodReport) {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "t=%6.1fs %-11s unfairness=%.4f ", r.Time.Seconds(), r.Phase, r.Unfairness)
@@ -201,14 +395,26 @@ func run(mixName string, apps int, duration time.Duration, seed int64,
 				app, r.State.Ways[i], r.State.MBA[i], r.Slowdowns[i])
 		}
 		fmt.Println(sb.String())
+		if plane != nil {
+			plane.Observe(r)
+		}
+		if periodHook != nil {
+			periodHook(r)
+		}
 		if rc != nil {
 			if err := mirror(rc, mirrored, r); err != nil {
 				fmt.Fprintln(os.Stderr, "copartd: resctrl mirror:", err)
 			}
 		}
 	}
-	if err := mgr.Run(duration); err != nil {
+	if err := mgr.Run(cfg.duration); err != nil {
 		return err
+	}
+	if plane != nil {
+		// Answer stragglers that queued during the last period; with the
+		// drain flag set they are rejected rather than left hanging.
+		plane.SetDraining()
+		plane.Drain()
 	}
 	fmt.Printf("done at t=%.1fs in %v phase\n", m.Now().Seconds(), mgr.Phase())
 	if inj != nil {
@@ -217,10 +423,12 @@ func run(mixName string, apps int, duration time.Duration, seed int64,
 			st.Total(), st.ReadErrors, st.WriteErrors, st.Overruns, st.Wraps,
 			st.StuckReads, st.Departures, st.Arrivals)
 	}
-	if err := restoreDefaults(m, rc, mirrored); err != nil {
-		return fmt.Errorf("restoring default allocations: %w", err)
+	if cfg.snapshotExit != "" {
+		if err := writeSnapshot(mgr, cfg.snapshotExit); err != nil {
+			return err
+		}
+		fmt.Printf("state snapshot written to %s\n", cfg.snapshotExit)
 	}
-	fmt.Println("default allocations restored")
 	if elog != nil {
 		fmt.Printf("\nevent log (%d events, %d retained):\n", elog.Total(), elog.Len())
 		if err := elog.WriteText(os.Stdout); err != nil {
@@ -228,6 +436,19 @@ func run(mixName string, apps int, duration time.Duration, seed int64,
 		}
 	}
 	return nil
+}
+
+// writeSnapshot serializes the manager's full state into path.
+func writeSnapshot(mgr *core.Manager, path string) error {
+	snap, err := mgr.Snapshot()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	data, err := snap.Marshal()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // mirror writes the report's system state into the resctrl tree, creating

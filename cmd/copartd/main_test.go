@@ -29,14 +29,14 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestRunSimulated(t *testing.T) {
-	if err := run("H-LLC", 4, 30*time.Second, 1, "", true, "", nil); err != nil {
+	if err := run(config{mix: "H-LLC", apps: 4, duration: 30 * time.Second, seed: 1, events: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithResctrlMirror(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("M-BW", 4, 25*time.Second, 1, dir, false, "", nil); err != nil {
+	if err := run(config{mix: "M-BW", apps: 4, duration: 25 * time.Second, seed: 1, resctrlDir: dir}); err != nil {
 		t.Fatal(err)
 	}
 	// The mirror must contain one group per application with parseable
@@ -68,7 +68,7 @@ func TestRunWithResctrlMirror(t *testing.T) {
 // make run return an error once resilience is enabled.
 func TestRunWithFaults(t *testing.T) {
 	spec := "seed=3,readerr=0.1,writeerr=0.05,readburst=20s-25s,depart=@30s,arrive=WN@40s"
-	if err := run("H-Both", 4, 70*time.Second, 1, "", false, spec, nil); err != nil {
+	if err := run(config{mix: "H-Both", apps: 4, duration: 70 * time.Second, seed: 1, faults: spec}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +80,7 @@ func TestRunWithFaults(t *testing.T) {
 func TestRunWithFaultsAndMirror(t *testing.T) {
 	dir := t.TempDir()
 	spec := "depart=@20s,arrive=WN@30s"
-	if err := run("H-Both", 4, 60*time.Second, 1, dir, false, spec, nil); err != nil {
+	if err := run(config{mix: "H-Both", apps: 4, duration: 60 * time.Second, seed: 1, resctrlDir: dir, faults: spec}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "WN", "schemata")); err != nil {
@@ -89,19 +89,19 @@ func TestRunWithFaultsAndMirror(t *testing.T) {
 }
 
 func TestRunBadFaultSpec(t *testing.T) {
-	if err := run("H-LLC", 4, time.Second, 1, "", false, "bogus", nil); err == nil {
+	if err := run(config{mix: "H-LLC", apps: 4, duration: time.Second, seed: 1, faults: "bogus"}); err == nil {
 		t.Error("malformed fault spec should error")
 	}
-	if err := run("H-LLC", 4, time.Second, 1, "", false, "arrive=NOPE@5s", nil); err == nil {
+	if err := run(config{mix: "H-LLC", apps: 4, duration: time.Second, seed: 1, faults: "arrive=NOPE@5s"}); err == nil {
 		t.Error("unknown arrival benchmark should error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", 4, time.Second, 1, "", false, "", nil); err == nil {
+	if err := run(config{mix: "nope", apps: 4, duration: time.Second, seed: 1}); err == nil {
 		t.Error("unknown mix should error")
 	}
-	if err := run("H-LLC", 40, time.Second, 1, "", false, "", nil); err == nil {
+	if err := run(config{mix: "H-LLC", apps: 40, duration: time.Second, seed: 1}); err == nil {
 		t.Error("too many apps should error")
 	}
 }
@@ -113,7 +113,7 @@ func TestRunStopsOnSignal(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	sig <- os.Interrupt
 	start := time.Now()
-	if err := run("H-LLC", 4, time.Hour, 1, dir, false, "", sig); err != nil {
+	if err := run(config{mix: "H-LLC", apps: 4, duration: time.Hour, seed: 1, resctrlDir: dir, sig: sig}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {

@@ -76,6 +76,8 @@ func run(w *os.File, nodes, periods, workers int, seed int64, l2, verify bool) e
 	}
 	fmt.Fprintf(w, "score memo:       %.1f%% hit (%d hits, %d misses)\n",
 		pct(res.ScoreHits, res.ScoreMisses), res.ScoreHits, res.ScoreMisses)
+	fmt.Fprintf(w, "health:           %d healthy, %d degraded (max fail streak %d)\n",
+		res.Health.Healthy, res.Health.Degraded, res.Health.MaxFailStreak)
 	if verify {
 		parallel.SetWorkers(1)
 		seq, err := fleet.Run(cfg)

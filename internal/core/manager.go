@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,7 @@ type appRT struct {
 	wayChange ChangeKind // change applied at the start of the period
 	mbaChange ChangeKind
 	idleIPS   float64 // baseline recorded at idle entry
+	weight    float64 // fairness weight (1 = unweighted; see SetWeight)
 }
 
 // Manager is CoPart's resource manager.
@@ -126,6 +128,14 @@ type Manager struct {
 	state AllocState
 	phase Phase
 	retry int
+
+	// weights holds per-application fairness weights by name (nil or a
+	// missing entry means 1). A weight w scales an application's Equation 1
+	// slowdown by 1/w before it enters the unfairness objective and the
+	// allocator, so w > 1 means "tolerate proportionally more slowdown"
+	// and w < 1 means "protect". Weights survive re-profiling (resetApps
+	// re-reads them) and are dropped with DropWeight.
+	weights map[string]float64
 
 	// Per-period scratch, reused across control periods so that a
 	// steady-state period performs no heap allocations (pinned by
@@ -195,6 +205,16 @@ type Manager struct {
 	// OnPeriod, when non-nil, receives a report after every control
 	// period in the exploration and idle phases.
 	OnPeriod func(PeriodReport)
+	// BetweenPeriods, when non-nil, is called by Run at the top of every
+	// loop iteration — between control periods, when no phase step is in
+	// flight. It is the safe point for runtime admission: the control
+	// plane drains queued add/remove/reweight operations here, on the
+	// controller goroutine, so they never race a period's target access.
+	BetweenPeriods func()
+	// SnapshotSource, when non-nil, is the counting source behind rng;
+	// it is what lets Snapshot record the RNG stream position. Construct
+	// the manager's rng with NewSeededRand and hand the source here.
+	SnapshotSource *CountingSource
 	// Events, when non-nil, receives structured telemetry: phase
 	// transitions, profiling results, resource transfers, classifier
 	// decisions, and change detections.
@@ -255,7 +275,7 @@ func (m *Manager) resetApps(names []string) {
 	m.apps = make([]*appRT, len(names))
 	m.names = make([]string, len(names))
 	for i, n := range names {
-		m.apps[i] = &appRT{name: n}
+		m.apps[i] = &appRT{name: n, weight: m.weightFor(n)}
 		m.names[i] = n
 	}
 	m.sampler.Reset()
@@ -276,6 +296,54 @@ func (m *Manager) targetApps() []string {
 
 // Phase returns the manager's current phase.
 func (m *Manager) Phase() Phase { return m.phase }
+
+// FailStreak returns the resilience watchdog's count of consecutive
+// failed control periods (0 while healthy). Together with Phase it is
+// the manager's health surface (/healthz, /readyz, fleet rollups).
+func (m *Manager) FailStreak() int { return m.failStreak }
+
+// weightFor resolves an application's fairness weight (default 1).
+func (m *Manager) weightFor(name string) float64 {
+	if w, ok := m.weights[name]; ok {
+		return w
+	}
+	return 1
+}
+
+// SetWeight assigns an application's fairness weight: its slowdown is
+// divided by w before entering the unfairness objective, so w > 1 lets
+// the application absorb proportionally more slowdown and w < 1
+// protects it. The weight takes effect from the next control period and
+// survives re-profiling; it must be positive and finite. Callers must
+// invoke it from the controller goroutine (e.g. a BetweenPeriods hook).
+func (m *Manager) SetWeight(name string, w float64) error {
+	if !(w > 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("core: weight %v for %s is not a positive finite number", w, name)
+	}
+	if m.weights == nil {
+		m.weights = make(map[string]float64)
+	}
+	m.weights[name] = w
+	for _, a := range m.apps {
+		if a.name == name {
+			a.weight = w
+		}
+	}
+	return nil
+}
+
+// DropWeight removes an application's weight override (back to 1).
+func (m *Manager) DropWeight(name string) {
+	delete(m.weights, name)
+	for _, a := range m.apps {
+		if a.name == name {
+			a.weight = 1
+		}
+	}
+}
+
+// Weight reports an application's current fairness weight.
+func (m *Manager) Weight(name string) float64 { return m.weightFor(name) }
 
 // State returns a copy of the current system state.
 func (m *Manager) State() AllocState { return m.state.Clone() }
@@ -622,6 +690,9 @@ func (m *Manager) ExploreStep() (bool, error) {
 		if err != nil {
 			return false, fmt.Errorf("core: %s: %w", a.name, err)
 		}
+		// The division by the default weight 1 is bit-exact in IEEE 754,
+		// so unweighted runs keep their historical trajectories.
+		slowdowns[i] /= a.weight
 		infos[i] = AppInfo{LLCState: a.llc.State(), MBAState: a.mba.State(), Slowdown: slowdowns[i]}
 	}
 	for i, a := range m.apps {
@@ -811,6 +882,7 @@ func (m *Manager) IdleStep() (bool, error) {
 		if err != nil {
 			return false, fmt.Errorf("core: %s: %w", a.name, err)
 		}
+		slowdowns[i] /= a.weight
 		if a.idleIPS > 0 {
 			drift := (rates[i].IPS - a.idleIPS) / a.idleIPS
 			if drift > m.params.IdleChangeThreshold || drift < -m.params.IdleChangeThreshold {
@@ -890,6 +962,9 @@ func (m *Manager) Run(d time.Duration) error {
 	deadline := m.target.Now() + d
 	stalls := 0
 	for m.target.Now() < deadline && !m.stop.Load() {
+		if m.BetweenPeriods != nil {
+			m.BetweenPeriods()
+		}
 		before := m.target.Now()
 		err := m.stepPhase()
 		if err == nil {

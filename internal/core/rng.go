@@ -1,0 +1,64 @@
+package core
+
+import "math/rand"
+
+// CountingSource is a seeded math/rand source that counts how many
+// values it has handed out. The count is the RNG's stream position: a
+// snapshot records (seed, draws), and RestoreCountingSource re-creates
+// the source and burns that many draws, leaving the restored stream
+// exactly where the original one was. Every rand.Rand method the
+// manager uses (Intn, Float64, Perm, NormFloat64) consumes the source
+// through Int63, and each Int63 advances the underlying generator by
+// exactly one step, so replaying the draw count reproduces the stream
+// bit-for-bit.
+//
+// CountingSource deliberately implements only rand.Source (not
+// Source64): rand.Rand derives every method the controller uses from
+// Int63 identically either way, and leaving Uint64 out keeps the
+// counted stream position unambiguous.
+type CountingSource struct {
+	seed  int64
+	draws uint64
+	src   rand.Source
+}
+
+// NewCountingSource returns a counting source seeded like
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{seed: seed, src: rand.NewSource(seed)}
+}
+
+// RestoreCountingSource re-creates a source at a recorded stream
+// position by burning draws values.
+func RestoreCountingSource(seed int64, draws uint64) *CountingSource {
+	s := NewCountingSource(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.Int63()
+	}
+	return s
+}
+
+// NewSeededRand builds the manager's RNG over a counting source and
+// returns both. Constructing the rng this way (and handing the source
+// to Manager.SnapshotSource) is what makes Manager.Snapshot possible.
+func NewSeededRand(seed int64) (*rand.Rand, *CountingSource) {
+	src := NewCountingSource(seed)
+	return rand.New(src), src
+}
+
+// Int63 draws the next value, counting it.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Seed reseeds the source and resets the stream position.
+func (s *CountingSource) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// State returns the seed and the number of values drawn so far.
+func (s *CountingSource) State() (seed int64, draws uint64) {
+	return s.seed, s.draws
+}

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/membw"
+	"repro/internal/pmc"
+)
+
+// SnapshotVersion identifies the snapshot wire format. Restore rejects
+// blobs with a different version: the format is an exact serialization
+// of internal state, so cross-version compatibility would be a silent
+// determinism break, not a convenience.
+const SnapshotVersion = 1
+
+// Snapshot is the complete serializable state of a manager and its
+// simulated machine at a between-periods boundary. Restoring it and
+// running for a span of target time produces bit-identical
+// PeriodReports to the uninterrupted original run (pinned by
+// TestSnapshotRestoreBitIdentity and the CI smoke job) — which is what
+// turns a production incident into a replayable regression test.
+type Snapshot struct {
+	Version int              `json:"version"`
+	Taken   int64            `json:"takenNs"` // target time at capture, nanoseconds
+	Machine machine.Snapshot `json:"machine"`
+	Manager ManagerSnapshot  `json:"manager"`
+}
+
+// ManagerSnapshot serializes the Manager's control state.
+type ManagerSnapshot struct {
+	Params    Params             `json:"params"`
+	StreamRef map[int]float64    `json:"streamRef"`
+	Env       Envelope           `json:"env"`
+	Phase     Phase              `json:"phase"`
+	Retry     int                `json:"retry"`
+	Apps      []AppStateSnapshot `json:"apps"`
+
+	State      AllocState `json:"state"`
+	BestState  AllocState `json:"bestState"`
+	BestUnfair float64    `json:"bestUnfair"`
+	HaveBest   bool       `json:"haveBest"`
+	EnvChanged bool       `json:"envChanged,omitempty"`
+
+	FailStreak    int  `json:"failStreak,omitempty"`
+	RecoverStreak int  `json:"recoverStreak,omitempty"`
+	EqApplied     bool `json:"eqApplied,omitempty"`
+
+	Resilience Resilience `json:"resilience"`
+	Features   Features   `json:"features"`
+	FreezeLLC  bool       `json:"freezeLLC,omitempty"`
+	FreezeMBA  bool       `json:"freezeMBA,omitempty"`
+
+	MemoOK    bool                `json:"memoOK,omitempty"`
+	ScoreMemo []ScoreMemoEntry    `json:"scoreMemo,omitempty"`
+	ScoreHits uint64              `json:"scoreHits,omitempty"`
+	ScoreMiss uint64              `json:"scoreMisses,omitempty"`
+	Sampler   pmc.SamplerSnapshot `json:"sampler"`
+	RNGSeed   int64               `json:"rngSeed"`
+	RNGDraws  uint64              `json:"rngDraws"`
+	Weights   map[string]float64  `json:"weights,omitempty"`
+}
+
+// AppStateSnapshot is one application's manager-side runtime state.
+type AppStateSnapshot struct {
+	Name      string             `json:"name"`
+	LLC       ClassifierSnapshot `json:"llc"`
+	MBA       ClassifierSnapshot `json:"mba"`
+	IPSFull   float64            `json:"ipsFull"`
+	LastIPS   float64            `json:"lastIPS"`
+	HavePerf  bool               `json:"havePerf"`
+	WayChange ChangeKind         `json:"wayChange"`
+	MBAChange ChangeKind         `json:"mbaChange"`
+	IdleIPS   float64            `json:"idleIPS"`
+	Weight    float64            `json:"weight"`
+}
+
+// ClassifierSnapshot serializes one per-application FSM. Present is
+// false before the first profiling pass has built the classifier.
+type ClassifierSnapshot struct {
+	Present        bool    `json:"present"`
+	State          State   `json:"state"`
+	ProfiledDemand bool    `json:"profiledDemand,omitempty"`
+	Hurt           int     `json:"hurt,omitempty"` // hurtWays / hurtLevel floor
+	EntryIPS       float64 `json:"entryIPS,omitempty"`
+}
+
+// ScoreMemoEntry is one memoized (allocation state → rates) pair; the
+// key is the memo's binary state fingerprint. Entries are sorted by key
+// so the snapshot bytes are deterministic.
+type ScoreMemoEntry struct {
+	Key   []byte      `json:"key"`
+	Rates []pmc.Rates `json:"rates"`
+}
+
+// Snapshot captures the manager's and its target machine's full state.
+// It requires SnapshotSource (the RNG stream position must be
+// recordable) and a target that exports machine state — the bare
+// *machine.Machine does; fault-injection wrappers do not, so a run
+// under -faults cannot be snapshotted (the injector's probabilistic
+// stream has no export surface), and the error says so.
+//
+// Call it only between control periods (e.g. from a BetweenPeriods
+// hook, or with Run stopped): mid-period state lives in scratch buffers
+// the snapshot does not cover.
+func (m *Manager) Snapshot() (*Snapshot, error) {
+	if m.SnapshotSource == nil {
+		return nil, fmt.Errorf("core: snapshot: manager has no SnapshotSource (construct the rng with core.NewSeededRand)")
+	}
+	exp, ok := m.target.(interface{ Snapshot() machine.Snapshot })
+	if !ok {
+		return nil, fmt.Errorf("core: snapshot: target %T does not export machine state (fault-injection wrappers cannot be snapshotted)", m.target)
+	}
+	msnap := exp.Snapshot()
+	if msnap.Config.BW.Curve != nil {
+		return nil, fmt.Errorf("core: snapshot: machine uses a custom MBA curve, which cannot be serialized")
+	}
+	seed, draws := m.SnapshotSource.State()
+	ms := ManagerSnapshot{
+		Params:        m.params,
+		StreamRef:     m.streamRef,
+		Env:           m.env,
+		Phase:         m.phase,
+		Retry:         m.retry,
+		Apps:          make([]AppStateSnapshot, len(m.apps)),
+		State:         m.state.Clone(),
+		BestState:     m.bestState.Clone(),
+		BestUnfair:    m.bestUnfair,
+		HaveBest:      m.haveBest,
+		EnvChanged:    m.envChanged,
+		FailStreak:    m.failStreak,
+		RecoverStreak: m.recoverStreak,
+		EqApplied:     m.eqApplied,
+		Resilience:    m.Resilience,
+		Features:      m.Features,
+		FreezeLLC:     m.FreezeLLC,
+		FreezeMBA:     m.FreezeMBA,
+		MemoOK:        m.memoOK,
+		ScoreMemo:     m.scores.snapshot(),
+		ScoreHits:     m.scores.hits,
+		ScoreMiss:     m.scores.misses,
+		Sampler:       m.sampler.Snapshot(),
+		RNGSeed:       seed,
+		RNGDraws:      draws,
+		Weights:       m.weights,
+	}
+	for i, a := range m.apps {
+		ms.Apps[i] = AppStateSnapshot{
+			Name:      a.name,
+			LLC:       snapshotLLC(a.llc),
+			MBA:       snapshotMBA(a.mba),
+			IPSFull:   a.ipsFull,
+			LastIPS:   a.lastIPS,
+			HavePerf:  a.havePerf,
+			WayChange: a.wayChange,
+			MBAChange: a.mbaChange,
+			IdleIPS:   a.idleIPS,
+			Weight:    a.weight,
+		}
+	}
+	return &Snapshot{
+		Version: SnapshotVersion,
+		Taken:   int64(m.target.Now()),
+		Machine: msnap,
+		Manager: ms,
+	}, nil
+}
+
+func snapshotLLC(c *LLCClassifier) ClassifierSnapshot {
+	if c == nil {
+		return ClassifierSnapshot{}
+	}
+	return ClassifierSnapshot{
+		Present:        true,
+		State:          c.state,
+		ProfiledDemand: c.profiledDemand,
+		Hurt:           c.hurtWays,
+		EntryIPS:       c.entryIPS,
+	}
+}
+
+func snapshotMBA(c *MBAClassifier) ClassifierSnapshot {
+	if c == nil {
+		return ClassifierSnapshot{}
+	}
+	return ClassifierSnapshot{
+		Present:        true,
+		State:          c.state,
+		ProfiledDemand: c.profiledDemand,
+		Hurt:           c.hurtLevel,
+		EntryIPS:       c.entryIPS,
+	}
+}
+
+// snapshot exports the memo's entries sorted by key, plus nothing else
+// (the cumulative counters are serialized by the caller).
+func (c *scoreMemo) snapshot() []ScoreMemoEntry {
+	if len(c.entries) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ScoreMemoEntry, len(keys))
+	for i, k := range keys {
+		out[i] = ScoreMemoEntry{Key: []byte(k), Rates: c.entries[k]}
+	}
+	return out
+}
+
+// restore replaces the memo's contents and counters.
+func (c *scoreMemo) restore(entries []ScoreMemoEntry, hits, misses uint64) {
+	c.entries = make(map[string][]pmc.Rates, len(entries))
+	for _, e := range entries {
+		rates := make([]pmc.Rates, len(e.Rates))
+		copy(rates, e.Rates)
+		c.entries[string(e.Key)] = rates
+	}
+	c.hits, c.misses = hits, misses
+}
+
+// Marshal encodes the snapshot as deterministic, versioned JSON:
+// encoding/json emits map keys sorted and float64 values in their
+// shortest exact representation, so the same state always produces the
+// same bytes and a JSON round-trip reproduces every float bit-for-bit.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", " ")
+}
+
+// ParseSnapshot decodes and version-checks a snapshot blob.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, this build reads version %d", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}
+
+// RestoreSnapshot rebuilds the machine and the manager from a snapshot.
+// The machine gets its solve cache back when the snapshot recorded one.
+// The restored manager owns a fresh CountingSource advanced to the
+// recorded stream position, so its future decisions are bit-identical
+// to the original manager's.
+func RestoreSnapshot(snap *Snapshot) (*Manager, *machine.Machine, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, nil, fmt.Errorf("core: snapshot version %d, this build reads version %d", snap.Version, SnapshotVersion)
+	}
+	var opts []machine.Option
+	if snap.Machine.SolveCache != nil {
+		opts = append(opts, machine.WithSolveCache())
+	}
+	mach, err := machine.RestoreSnapshot(snap.Machine, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := &snap.Manager
+	if err := ms.Params.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	if err := ms.Resilience.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	cfg := mach.Config()
+	if ms.Env.LoWay < 0 || ms.Env.Ways < 1 || ms.Env.LoWay+ms.Env.Ways > cfg.LLCWays {
+		return nil, nil, fmt.Errorf("core: snapshot: envelope [%d,%d) outside %d ways",
+			ms.Env.LoWay, ms.Env.LoWay+ms.Env.Ways, cfg.LLCWays)
+	}
+	for level := membw.MinLevel; level <= membw.MaxLevel; level += membw.Granularity {
+		if ms.StreamRef[level] <= 0 {
+			return nil, nil, fmt.Errorf("core: snapshot: missing STREAM reference for MBA level %d", level)
+		}
+	}
+	if ms.Phase < PhaseProfile || ms.Phase > PhaseDegraded {
+		return nil, nil, fmt.Errorf("core: snapshot: unknown phase %d", int(ms.Phase))
+	}
+	src := RestoreCountingSource(ms.RNGSeed, ms.RNGDraws)
+	m := &Manager{
+		target:         mach,
+		params:         ms.Params,
+		streamRef:      ms.StreamRef,
+		env:            ms.Env,
+		rng:            rand.New(src),
+		sampler:        pmc.NewSampler(mach),
+		phase:          ms.Phase,
+		retry:          ms.Retry,
+		bestUnfair:     ms.BestUnfair,
+		haveBest:       ms.HaveBest,
+		envChanged:     ms.EnvChanged,
+		failStreak:     ms.FailStreak,
+		recoverStreak:  ms.RecoverStreak,
+		eqApplied:      ms.EqApplied,
+		memoOK:         ms.MemoOK,
+		Resilience:     ms.Resilience,
+		Features:       ms.Features,
+		FreezeLLC:      ms.FreezeLLC,
+		FreezeMBA:      ms.FreezeMBA,
+		clock:          time.Now, //copart:wallclock ExploreTimes telemetry measures real solver latency
+		SnapshotSource: src,
+	}
+	m.state.CopyFrom(ms.State)
+	m.bestState.CopyFrom(ms.BestState)
+	m.scores.restore(ms.ScoreMemo, ms.ScoreHits, ms.ScoreMiss)
+	m.sampler.RestoreSnapshot(ms.Sampler)
+	if len(ms.Weights) > 0 {
+		m.weights = make(map[string]float64, len(ms.Weights))
+		for name, w := range ms.Weights {
+			if !(w > 0) || math.IsInf(w, 1) {
+				return nil, nil, fmt.Errorf("core: snapshot: weight %v for %s is not a positive finite number", w, name)
+			}
+			m.weights[name] = w
+		}
+	}
+	m.apps = make([]*appRT, len(ms.Apps))
+	m.names = make([]string, len(ms.Apps))
+	for i, as := range ms.Apps {
+		if as.Name == "" {
+			return nil, nil, fmt.Errorf("core: snapshot: app %d has no name", i)
+		}
+		if !(as.Weight > 0) || math.IsInf(as.Weight, 1) {
+			return nil, nil, fmt.Errorf("core: snapshot: app %q weight %v is not a positive finite number", as.Name, as.Weight)
+		}
+		m.apps[i] = &appRT{
+			name:      as.Name,
+			llc:       restoreLLC(ms.Params, ms.Features, as.LLC),
+			mba:       restoreMBA(ms.Params, ms.Features, as.MBA),
+			ipsFull:   as.IPSFull,
+			lastIPS:   as.LastIPS,
+			havePerf:  as.HavePerf,
+			wayChange: as.WayChange,
+			mbaChange: as.MBAChange,
+			idleIPS:   as.IdleIPS,
+			weight:    as.Weight,
+		}
+		m.names[i] = as.Name
+	}
+	if m.phase == PhaseExplore || m.phase == PhaseIdle {
+		if err := m.state.Validate(m.env.Ways); err != nil {
+			return nil, nil, fmt.Errorf("core: snapshot: %w", err)
+		}
+		if len(m.state.Ways) != len(m.apps) {
+			return nil, nil, fmt.Errorf("core: snapshot: state covers %d apps, manager has %d",
+				len(m.state.Ways), len(m.apps))
+		}
+		for _, a := range m.apps {
+			if a.llc == nil || a.mba == nil {
+				return nil, nil, fmt.Errorf("core: snapshot: app %q in phase %v without classifiers", a.name, m.phase)
+			}
+		}
+	}
+	return m, mach, nil
+}
+
+func restoreLLC(params Params, f Features, cs ClassifierSnapshot) *LLCClassifier {
+	if !cs.Present {
+		return nil
+	}
+	c := NewLLCClassifier(params, cs.State, cs.ProfiledDemand)
+	c.UseFeatures(f)
+	c.hurtWays = cs.Hurt
+	c.entryIPS = cs.EntryIPS
+	return c
+}
+
+func restoreMBA(params Params, f Features, cs ClassifierSnapshot) *MBAClassifier {
+	if !cs.Present {
+		return nil
+	}
+	c := NewMBAClassifier(params, cs.State, cs.ProfiledDemand)
+	c.UseFeatures(f)
+	c.hurtLevel = cs.Hurt
+	c.entryIPS = cs.EntryIPS
+	return c
+}
+
+// ReplaySnapshot restores a snapshot and runs the manager for d of
+// target time, returning the period reports — the primitive behind
+// copartd -restore and cmd/snap2test.
+func ReplaySnapshot(snap *Snapshot, d time.Duration) ([]PeriodReport, error) {
+	mgr, _, err := RestoreSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	var reports []PeriodReport
+	mgr.OnPeriod = func(r PeriodReport) { reports = append(reports, r) }
+	if err := mgr.Run(d); err != nil {
+		return reports, err
+	}
+	return reports, nil
+}
+
+// ReportsEqual reports whether two report sequences are bit-identical:
+// every float is compared by its IEEE 754 bit pattern, so even
+// sub-ULP divergence (a determinism break) is caught.
+func ReportsEqual(a, b []PeriodReport) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !reportEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func reportEqual(a, b PeriodReport) bool {
+	if a.Time != b.Time || a.Phase != b.Phase ||
+		len(a.Apps) != len(b.Apps) || len(a.Slowdowns) != len(b.Slowdowns) {
+		return false
+	}
+	for i := range a.Apps {
+		if a.Apps[i] != b.Apps[i] {
+			return false
+		}
+	}
+	for i := range a.Slowdowns {
+		if math.Float64bits(a.Slowdowns[i]) != math.Float64bits(b.Slowdowns[i]) {
+			return false
+		}
+	}
+	if math.Float64bits(a.Unfairness) != math.Float64bits(b.Unfairness) {
+		return false
+	}
+	return a.State.Equal(b.State)
+}
+
+// ReportsDigest hashes a report sequence (FNV-1a over an exact binary
+// encoding of times, phases, apps, slowdown bits, unfairness bits, and
+// states). Two sequences digest equal iff ReportsEqual would accept
+// them, which lets generated regression tests embed one uint64 instead
+// of the full report dump. Cache counters are excluded: they depend on
+// where in the run the snapshot was cut, not on the trajectory.
+func ReportsDigest(reports []PeriodReport) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(len(reports)))
+	for _, r := range reports {
+		wu(uint64(r.Time))
+		wu(uint64(r.Phase))
+		wu(uint64(len(r.Apps)))
+		for _, app := range r.Apps {
+			h.Write([]byte(app))
+			h.Write([]byte{0})
+		}
+		for _, s := range r.Slowdowns {
+			wu(math.Float64bits(s))
+		}
+		wu(math.Float64bits(r.Unfairness))
+		for _, w := range r.State.Ways {
+			wu(uint64(w))
+		}
+		for _, l := range r.State.MBA {
+			wu(uint64(l))
+		}
+	}
+	return h.Sum64()
+}

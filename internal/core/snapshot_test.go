@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// snapSetup builds a machine + manager pair with a snapshot-capable RNG.
+func snapSetup(t *testing.T, seed int64, noise float64, opts ...machine.Option) (*Manager, *machine.Machine) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.MeasurementNoise = noise
+	cfg.NoiseSeed = seed + 100
+	m, err := machine.New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := workloads.Mix(cfg, workloads.HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, src := NewSeededRand(seed)
+	mgr, err := NewManager(m, DefaultParams(), ref, Envelope{LoWay: 0, Ways: cfg.LLCWays}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SnapshotSource = src
+	return mgr, m
+}
+
+// cloneReport deep-copies a report so retained slices cannot alias the
+// manager's buffers across membership changes.
+func cloneReport(r PeriodReport) PeriodReport {
+	r.Apps = append([]string(nil), r.Apps...)
+	r.Slowdowns = append([]float64(nil), r.Slowdowns...)
+	r.State = r.State.Clone()
+	return r
+}
+
+func collect(mgr *Manager, into *[]PeriodReport) {
+	mgr.OnPeriod = func(r PeriodReport) { *into = append(*into, cloneReport(r)) }
+}
+
+// TestSnapshotBitIdentity is the core crash-safety contract: running T1,
+// snapshotting, JSON round-tripping the snapshot, restoring, and running
+// T2 must produce bit-identical period reports to the same T1+T2 run
+// snapshotted at the same boundary but never serialized. Verified
+// noise-free at two seeds and with measurement noise (which exercises
+// the noise-RNG replay) at a third.
+func TestSnapshotBitIdentity(t *testing.T) {
+	const (
+		t1 = 40 * time.Second
+		t2 = 60 * time.Second
+	)
+	cases := []struct {
+		seed  int64
+		noise float64
+		cache bool
+	}{
+		{seed: 1, noise: 0, cache: false},
+		{seed: 2, noise: 0, cache: true},
+		{seed: 3, noise: 0.02, cache: false},
+	}
+	for _, tc := range cases {
+		var opts []machine.Option
+		if tc.cache {
+			opts = append(opts, machine.WithSolveCache())
+		}
+
+		// Reference leg: run T1, then keep going for T2 uninterrupted.
+		ref, _ := snapSetup(t, tc.seed, tc.noise, opts...)
+		var refReports []PeriodReport
+		if err := ref.Run(t1); err != nil {
+			t.Fatalf("seed %d: reference T1: %v", tc.seed, err)
+		}
+		collect(ref, &refReports)
+		if err := ref.Run(t2); err != nil {
+			t.Fatalf("seed %d: reference T2: %v", tc.seed, err)
+		}
+		if len(refReports) == 0 {
+			t.Fatalf("seed %d: reference run produced no reports", tc.seed)
+		}
+
+		// Snapshot leg: identical run to T1, snapshot, serialize, parse,
+		// restore, resume for T2.
+		mgr, _ := snapSetup(t, tc.seed, tc.noise, opts...)
+		if err := mgr.Run(t1); err != nil {
+			t.Fatalf("seed %d: T1: %v", tc.seed, err)
+		}
+		snap, err := mgr.Snapshot()
+		if err != nil {
+			t.Fatalf("seed %d: snapshot: %v", tc.seed, err)
+		}
+		data, err := snap.Marshal()
+		if err != nil {
+			t.Fatalf("seed %d: marshal: %v", tc.seed, err)
+		}
+		parsed, err := ParseSnapshot(data)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", tc.seed, err)
+		}
+		restored, _, err := RestoreSnapshot(parsed)
+		if err != nil {
+			t.Fatalf("seed %d: restore: %v", tc.seed, err)
+		}
+		var resumed []PeriodReport
+		collect(restored, &resumed)
+		if err := restored.Run(t2); err != nil {
+			t.Fatalf("seed %d: resumed T2: %v", tc.seed, err)
+		}
+
+		if !ReportsEqual(refReports, resumed) {
+			t.Errorf("seed %d (noise=%v cache=%v): restored run diverged from uninterrupted run (%d vs %d reports)",
+				tc.seed, tc.noise, tc.cache, len(refReports), len(resumed))
+			for i := range refReports {
+				if i < len(resumed) && !reportEqual(refReports[i], resumed[i]) {
+					t.Errorf("  first divergence at report %d: t=%v vs t=%v, unfairness %v vs %v",
+						i, refReports[i].Time, resumed[i].Time, refReports[i].Unfairness, resumed[i].Unfairness)
+					break
+				}
+			}
+		}
+		if dr, ds := ReportsDigest(refReports), ReportsDigest(resumed); dr != ds {
+			t.Errorf("seed %d: report digests differ: %#x vs %#x", tc.seed, dr, ds)
+		}
+
+		// Serialization itself must be deterministic: same state, same bytes.
+		data2, err := mgr.Snapshot()
+		if err != nil {
+			t.Fatalf("seed %d: re-snapshot: %v", tc.seed, err)
+		}
+		b2, err := data2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(b2) {
+			t.Errorf("seed %d: snapshotting the same state twice produced different bytes", tc.seed)
+		}
+	}
+}
+
+// TestSnapshotReplayHelper: ReplaySnapshot must equal driving the
+// restored manager by hand.
+func TestSnapshotReplayHelper(t *testing.T) {
+	mgr, _ := snapSetup(t, 7, 0)
+	if err := mgr.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mgr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReplaySnapshot(snap, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplaySnapshot(snap, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !ReportsEqual(a, b) {
+		t.Fatalf("replay not deterministic: %d vs %d reports", len(a), len(b))
+	}
+}
+
+// TestSnapshotRequiresSource: a manager built with a plain rand.Rand
+// cannot be snapshotted, and says why.
+func TestSnapshotRequiresSource(t *testing.T) {
+	mgr, _ := snapSetup(t, 1, 0)
+	mgr.SnapshotSource = nil
+	if _, err := mgr.Snapshot(); err == nil || !strings.Contains(err.Error(), "SnapshotSource") {
+		t.Fatalf("want SnapshotSource error, got %v", err)
+	}
+}
+
+// TestSnapshotVersionAndTamper: version mismatches and config tampering
+// are rejected at parse/restore time.
+func TestSnapshotVersionAndTamper(t *testing.T) {
+	mgr, _ := snapSetup(t, 1, 0)
+	if err := mgr.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mgr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := *snap
+	bad.Version = SnapshotVersion + 1
+	data, err := bad.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSnapshot(data); err == nil {
+		t.Error("future snapshot version should be rejected")
+	}
+
+	tampered := *snap
+	tampered.Machine.Config.LLCWays++ // digest no longer matches
+	if _, _, err := RestoreSnapshot(&tampered); err == nil {
+		t.Error("config/digest mismatch should be rejected")
+	}
+
+	if _, err := ParseSnapshot([]byte("not json")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+// TestSnapshotWeightsSurvive: weights set at runtime are carried through
+// a snapshot/restore cycle.
+func TestSnapshotWeightsSurvive(t *testing.T) {
+	mgr, m := snapSetup(t, 1, 0)
+	apps := m.Apps()
+	if err := mgr.SetWeight(apps[0], 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mgr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := restored.Weight(apps[0]); w != 2 {
+		t.Fatalf("restored weight = %v, want 2", w)
+	}
+	if w := restored.Weight(apps[1]); w != 1 {
+		t.Fatalf("restored default weight = %v, want 1", w)
+	}
+}

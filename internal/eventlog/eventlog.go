@@ -38,6 +38,9 @@ const (
 	KindFallback
 	// KindRecover: the manager left degraded mode and re-entered profiling.
 	KindRecover
+	// KindAdmission: the control plane applied or rejected a runtime
+	// admission operation (add/remove/reweight/snapshot).
+	KindAdmission
 )
 
 // String names the kind.
@@ -61,6 +64,8 @@ func (k Kind) String() string {
 		return "fallback"
 	case KindRecover:
 		return "recover"
+	case KindAdmission:
+		return "admission"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -126,6 +131,29 @@ func (l *Log) Events() []Event {
 		start += len(l.ring)
 	}
 	for i := 0; i < l.count; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Tail returns the most recent n retained events, oldest first. n < 1
+// or n > Len returns everything retained. Safe on a nil receiver
+// (returns nil), so HTTP handlers can serve it without a log attached.
+func (l *Log) Tail(n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 1 || n > l.count {
+		n = l.count
+	}
+	out := make([]Event, 0, n)
+	start := l.next - n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < n; i++ {
 		out = append(out, l.ring[(start+i)%len(l.ring)])
 	}
 	return out

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/texttab"
+	"repro/internal/workloads"
+)
+
+// ChurnOp is one scheduled admission-API operation, applied between
+// control periods once target time reaches At — the same path a curl
+// against a live copartd takes, minus the HTTP layer.
+type ChurnOp struct {
+	At   time.Duration
+	Kind string // "add", "remove", or "reweight"
+	// Spec carries the app for "add"; only Spec.Name is read for
+	// "remove" and "reweight".
+	Spec   controlplane.AppSpec
+	Weight float64 // for "reweight"
+}
+
+// DefaultChurn is the admission schedule the soak test uses: an app
+// arrives mid-fault-storm, gets reweighted, departs, and a second app
+// cycles through after the storm clears. The single spare core on the
+// default machine under a 3-app H-Both mix is exactly enough for one
+// 1-core guest at a time.
+func DefaultChurn() []ChurnOp {
+	return []ChurnOp{
+		{At: 60 * time.Second, Kind: "add",
+			Spec: controlplane.AppSpec{Name: "churn-a", Benchmark: "EP", Cores: 1}},
+		{At: 110 * time.Second, Kind: "reweight",
+			Spec: controlplane.AppSpec{Name: "churn-a"}, Weight: 2},
+		{At: 150 * time.Second, Kind: "remove",
+			Spec: controlplane.AppSpec{Name: "churn-a"}},
+		{At: 180 * time.Second, Kind: "add",
+			Spec: controlplane.AppSpec{Name: "churn-b", Benchmark: "EP", Cores: 1}},
+		{At: 215 * time.Second, Kind: "remove",
+			Spec: controlplane.AppSpec{Name: "churn-b"}},
+	}
+}
+
+// ChaosAdmissionResult extends the chaos comparison with admission
+// churn: both legs replay the identical ChurnOp schedule, so Ratio
+// still isolates the cost of the faults — now measured while the
+// control plane is admitting and evicting apps through the same
+// between-periods path copartd uses.
+type ChaosAdmissionResult struct {
+	Mix      workloads.MixKind
+	Apps     int
+	Duration time.Duration
+
+	FaultFree  float64
+	UnderChaos float64
+	Ratio      float64
+
+	Injected   faultinject.Stats
+	Fallbacks  int
+	Recoveries int
+	Recovered  bool
+
+	// ChurnOps is the schedule length; ChurnApplied/ChurnRejected split
+	// the chaotic leg's admission-op outcomes. A correct run applies
+	// every op: the fault storm may degrade the controller but must
+	// never lose or reject a valid admission.
+	ChurnOps      int
+	ChurnApplied  uint64
+	ChurnRejected uint64
+	// FinalApps is the chaotic leg's app count after the last departure.
+	FinalApps int
+}
+
+// churnLegOut is one churn-soak leg plus the live objects the
+// allocation-guard test pokes at after the run.
+type churnLegOut struct {
+	chaosLeg
+	plane *controlplane.Plane
+	m     *machine.Machine
+}
+
+// runChurnLeg runs one chaos leg with the admission schedule applied
+// through a control plane between periods, exactly as copartd drains
+// its HTTP queue.
+func runChurnLeg(cfg machine.Config, kind workloads.MixKind, apps int,
+	sc faultinject.Scenario, churn []ChurnOp, seed int64,
+	duration time.Duration) (churnLegOut, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return churnLegOut{}, err
+	}
+	models, err := workloads.Mix(cfg, kind, apps)
+	if err != nil {
+		return churnLegOut{}, err
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			return churnLegOut{}, err
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		return churnLegOut{}, err
+	}
+	elog, err := eventlog.New(1 << 15)
+	if err != nil {
+		return churnLegOut{}, err
+	}
+	var (
+		target core.Target = m
+		inj    *faultinject.Injector
+	)
+	if !sc.Empty() {
+		wrapped, err := faultinject.WrapTarget(m, sc, elog)
+		if err != nil {
+			return churnLegOut{}, err
+		}
+		target = wrapped
+		inj = wrapped.Injector()
+	}
+	mgr, err := core.NewManager(target, core.DefaultParams(), ref,
+		core.Envelope{LoWay: 0, Ways: cfg.LLCWays}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return churnLegOut{}, err
+	}
+	mgr.Resilience = core.DefaultResilience()
+	mgr.Events = elog
+
+	plane := controlplane.New(&controlplane.MachineAdmitter{M: m, Mgr: mgr}, mgr, elog)
+	var (
+		reports  []core.PeriodReport
+		now      time.Duration
+		churnErr error
+	)
+	mgr.OnPeriod = func(r core.PeriodReport) {
+		now = r.Time
+		reports = append(reports, r)
+	}
+	next := 0
+	mgr.BetweenPeriods = func() {
+		for next < len(churn) && churn[next].At <= now {
+			op := churn[next]
+			next++
+			var err error
+			switch op.Kind {
+			case "add":
+				err = plane.EnqueueAdd(op.Spec)
+			case "remove":
+				err = plane.EnqueueRemove(op.Spec.Name)
+			case "reweight":
+				err = plane.EnqueueReweight(op.Spec.Name, op.Weight)
+			default:
+				err = fmt.Errorf("experiments: unknown churn op %q", op.Kind)
+			}
+			if err != nil && churnErr == nil {
+				churnErr = fmt.Errorf("experiments: churn op %d (%s %s): %w",
+					next-1, op.Kind, op.Spec.Name, err)
+			}
+		}
+		plane.Drain()
+	}
+	if err := mgr.Run(duration); err != nil {
+		return churnLegOut{}, fmt.Errorf("experiments: churn soak run: %w", err)
+	}
+	if churnErr != nil {
+		return churnLegOut{}, churnErr
+	}
+	if next != len(churn) {
+		return churnLegOut{}, fmt.Errorf("experiments: only %d of %d churn ops were due within %v",
+			next, len(churn), duration)
+	}
+
+	out := churnLegOut{plane: plane, m: m}
+	for _, r := range reports {
+		out.meanUnfairness += r.Unfairness
+	}
+	out.periods = len(reports)
+	if out.periods == 0 {
+		return churnLegOut{}, fmt.Errorf("experiments: churn soak reported no periods")
+	}
+	out.meanUnfairness /= float64(out.periods)
+	for _, e := range elog.Events() {
+		switch e.Kind {
+		case eventlog.KindFallback:
+			if len(e.Detail) >= 8 && e.Detail[:8] == "degraded" {
+				out.fallbacks++
+			}
+		case eventlog.KindRecover:
+			out.recoveries++
+		}
+	}
+	if inj != nil {
+		out.stats = inj.Stats()
+		if last := inj.LastFault(); last >= 0 {
+			for _, r := range reports {
+				if r.Phase == core.PhaseIdle && r.Time >= last {
+					out.recovered = true
+					out.recoveryTime = r.Time - last
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ChaosAdmission runs the chaos soak with live admission churn: both
+// legs (fault-free and under the scenario) replay the same ChurnOp
+// schedule through a control plane, so the reported ratio is the
+// fairness cost of the faults while the membership is in motion.
+func ChaosAdmission(cfg machine.Config, sc faultinject.Scenario, churn []ChurnOp,
+	seed int64, duration time.Duration) (ChaosAdmissionResult, *texttab.Table, error) {
+	const (
+		// Three H-Both apps leave one core of headroom on the default
+		// machine — enough for the schedule's 1-core guests.
+		kind = workloads.HBoth
+		apps = 3
+	)
+	if sc.Empty() {
+		return ChaosAdmissionResult{}, nil, fmt.Errorf("experiments: chaos scenario injects nothing")
+	}
+	if len(churn) == 0 {
+		return ChaosAdmissionResult{}, nil, fmt.Errorf("experiments: churn schedule is empty")
+	}
+	for i := 1; i < len(churn); i++ {
+		if churn[i].At < churn[i-1].At {
+			return ChaosAdmissionResult{}, nil, fmt.Errorf("experiments: churn schedule out of order at op %d", i)
+		}
+	}
+	if last := churn[len(churn)-1].At; last >= duration {
+		return ChaosAdmissionResult{}, nil, fmt.Errorf("experiments: churn op at %v is outside the %v soak", last, duration)
+	}
+
+	clean, err := runChurnLeg(cfg, kind, apps, faultinject.Scenario{}, churn, seed, duration)
+	if err != nil {
+		return ChaosAdmissionResult{}, nil, err
+	}
+	chaotic, err := runChurnLeg(cfg, kind, apps, sc, churn, seed, duration)
+	if err != nil {
+		return ChaosAdmissionResult{}, nil, err
+	}
+	applied, rejected := chaotic.plane.AdmissionStats()
+	res := ChaosAdmissionResult{
+		Mix:           kind,
+		Apps:          apps,
+		Duration:      duration,
+		FaultFree:     clean.meanUnfairness,
+		UnderChaos:    chaotic.meanUnfairness,
+		Injected:      chaotic.stats,
+		Fallbacks:     chaotic.fallbacks,
+		Recoveries:    chaotic.recoveries,
+		Recovered:     chaotic.recovered,
+		ChurnOps:      len(churn),
+		ChurnApplied:  applied,
+		ChurnRejected: rejected,
+		FinalApps:     len(chaotic.m.Apps()),
+	}
+	const fairFloor = 1e-9
+	base := clean.meanUnfairness
+	if base < fairFloor {
+		base = fairFloor
+	}
+	res.Ratio = chaotic.meanUnfairness / base
+
+	tab := texttab.New(
+		fmt.Sprintf("Chaos + admission churn. %s, %d apps, %d churn ops, %v under fault injection",
+			kind, apps, len(churn), duration),
+		"Metric", "Value")
+	tab.AddRow("mean unfairness (fault-free)", fmt.Sprintf("%.4f", res.FaultFree))
+	tab.AddRow("mean unfairness (chaos)", fmt.Sprintf("%.4f", res.UnderChaos))
+	tab.AddRow("ratio", fmt.Sprintf("%.3f", res.Ratio))
+	tab.AddRow("injected faults", fmt.Sprintf("%d", res.Injected.Total()))
+	tab.AddRow("churn ops applied", fmt.Sprintf("%d of %d", res.ChurnApplied, res.ChurnOps))
+	tab.AddRow("churn ops rejected", fmt.Sprintf("%d", res.ChurnRejected))
+	tab.AddRow("degraded-mode entries", fmt.Sprintf("%d", res.Fallbacks))
+	tab.AddRow("recoveries", fmt.Sprintf("%d", res.Recoveries))
+	tab.AddRow("final app count", fmt.Sprintf("%d", res.FinalApps))
+	return res, tab, nil
+}

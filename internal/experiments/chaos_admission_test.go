@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/controlplane"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// TestChaosAdmissionSoak: the controller rides out the standard fault
+// schedule while the control plane admits, reweights, and evicts apps
+// between periods. Every churn op must land (the storm may degrade the
+// controller but never lose an admission), the membership must end
+// where the schedule leaves it, and the fairness cost of the faults
+// stays within the same 1.5x budget as the churn-free soak.
+func TestChaosAdmissionSoak(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	res, tab, err := ChaosAdmission(cfg, faultinject.Standard(), DefaultChurn(), 1, 240*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected.Total() == 0 {
+		t.Fatal("the standard scenario must inject faults")
+	}
+	if res.ChurnApplied != uint64(res.ChurnOps) || res.ChurnRejected != 0 {
+		t.Errorf("churn: %d of %d applied, %d rejected — every scheduled op must land",
+			res.ChurnApplied, res.ChurnOps, res.ChurnRejected)
+	}
+	if res.FinalApps != res.Apps {
+		t.Errorf("final app count %d, want %d (both churn guests departed)", res.FinalApps, res.Apps)
+	}
+	if res.Fallbacks == 0 {
+		t.Error("the 10s read outage must push the controller into degraded mode")
+	}
+	if !res.Recovered {
+		t.Error("controller must re-reach idle after the last injected fault")
+	}
+	if res.Ratio > 1.5 {
+		t.Errorf("chaos unfairness ratio %.3f exceeds the 1.5x budget (fault-free %.4f, chaos %.4f)",
+			res.Ratio, res.FaultFree, res.UnderChaos)
+	}
+	text := tab.String()
+	for _, want := range []string{"churn ops applied", "ratio", "final app count"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestChaosAdmissionSteadyStateAllocs: once the churn schedule is spent,
+// the between-periods drain — the code that runs on every single control
+// period of a live copartd — must not allocate. A per-period leak in the
+// drain path would grow the daemon's heap without bound.
+func TestChaosAdmissionSteadyStateAllocs(t *testing.T) {
+	leg, err := runChurnLeg(machine.DefaultConfig(), workloads.HBoth, 3,
+		faultinject.Standard(), DefaultChurn(), 1, 240*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, leg.plane.Drain); avg > 0 {
+		t.Errorf("empty-queue Drain allocates %.1f times per period, want 0", avg)
+	}
+}
+
+// TestChaosAdmissionValidation pins the guards on degenerate inputs.
+func TestChaosAdmissionValidation(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	if _, _, err := ChaosAdmission(cfg, faultinject.Scenario{}, DefaultChurn(), 1, time.Minute); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	if _, _, err := ChaosAdmission(cfg, faultinject.Standard(), nil, 1, time.Minute); err == nil {
+		t.Error("empty churn schedule accepted")
+	}
+	out := []ChurnOp{
+		{At: 20 * time.Second, Kind: "add", Spec: controlplane.AppSpec{Name: "x", Cores: 1}},
+		{At: 10 * time.Second, Kind: "remove", Spec: controlplane.AppSpec{Name: "x"}},
+	}
+	if _, _, err := ChaosAdmission(cfg, faultinject.Standard(), out, 1, time.Minute); err == nil {
+		t.Error("out-of-order schedule accepted")
+	}
+	late := []ChurnOp{{At: 2 * time.Minute, Kind: "add", Spec: controlplane.AppSpec{Name: "x", Cores: 1}}}
+	if _, _, err := ChaosAdmission(cfg, faultinject.Standard(), late, 1, time.Minute); err == nil {
+		t.Error("churn op beyond the soak accepted")
+	}
+}

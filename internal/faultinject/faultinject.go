@@ -192,8 +192,13 @@ func Standard() Scenario {
 //
 // Durations use Go syntax ("90s", "2m30s"). "none" or the empty string
 // yield the zero scenario.
+//
+// A spec with several invalid tokens reports them all in one error
+// (joined with errors.Join), so a long -faults flag can be fixed in
+// one pass instead of one failure at a time.
 func Parse(spec string) (Scenario, error) {
 	var sc Scenario
+	var errs []error
 	fields := strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' || r == '\n' })
 	for _, tok := range fields {
 		switch tok {
@@ -209,7 +214,8 @@ func Parse(spec string) (Scenario, error) {
 		}
 		key, val, found := strings.Cut(tok, "=")
 		if !found {
-			return Scenario{}, fmt.Errorf("faultinject: token %q is not key=value", tok)
+			errs = append(errs, fmt.Errorf("token %q is not key=value", tok))
+			continue
 		}
 		var err error
 		switch key {
@@ -222,7 +228,8 @@ func Parse(spec string) (Scenario, error) {
 		case "overrun":
 			p, f, ok := strings.Cut(val, "x")
 			if !ok {
-				return Scenario{}, fmt.Errorf("faultinject: overrun %q wants PROBxFACTOR", val)
+				err = fmt.Errorf("overrun %q wants PROBxFACTOR", val)
+				break
 			}
 			if sc.OverrunProb, err = strconv.ParseFloat(p, 64); err == nil {
 				sc.OverrunFactor, err = strconv.ParseFloat(f, 64)
@@ -249,18 +256,26 @@ func Parse(spec string) (Scenario, error) {
 		case "depart", "arrive":
 			name, atStr, ok := strings.Cut(val, "@")
 			if !ok {
-				return Scenario{}, fmt.Errorf("faultinject: %s %q wants NAME@TIME", key, val)
+				err = fmt.Errorf("%s %q wants NAME@TIME", key, val)
+				break
 			}
 			var at time.Duration
 			if at, err = time.ParseDuration(atStr); err == nil {
 				sc.Churn = append(sc.Churn, ChurnEvent{At: at, Arrive: key == "arrive", Name: name})
 			}
 		default:
-			return Scenario{}, fmt.Errorf("faultinject: unknown key %q", key)
+			err = fmt.Errorf("unknown key %q (valid: standard, none, seed, readerr, writeerr, overrun, until, readburst, writeburst, wrap, stuck, depart, arrive)", key)
 		}
 		if err != nil {
-			return Scenario{}, fmt.Errorf("faultinject: bad value in %q: %v", tok, err)
+			errs = append(errs, fmt.Errorf("token %q: %v", tok, err))
 		}
+	}
+	switch len(errs) {
+	case 0:
+	case 1:
+		return Scenario{}, fmt.Errorf("faultinject: %w", errs[0])
+	default:
+		return Scenario{}, fmt.Errorf("faultinject: %d invalid tokens:\n%w", len(errs), errors.Join(errs...))
 	}
 	// Churn is replayed in time order regardless of spec order.
 	sortChurn(sc.Churn)

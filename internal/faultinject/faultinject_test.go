@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -87,6 +88,51 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) should error", spec)
 		}
+	}
+}
+
+// TestParseReportsAllInvalidTokens: a spec with several broken tokens
+// reports every one of them in a single error, so a long -faults flag
+// is fixable in one pass.
+func TestParseReportsAllInvalidTokens(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string // substrings that must all appear in the error
+	}{
+		{
+			spec: "bogus=1,readerr=nope,wrap=later",
+			want: []string{`"bogus=1"`, `"readerr=nope"`, `"wrap=later"`, "3 invalid tokens"},
+		},
+		{
+			spec: "overrun=0.1 depart=a keyonly",
+			want: []string{`"overrun=0.1"`, "PROBxFACTOR", `"depart=a"`, "NAME@TIME", `"keyonly"`, "not key=value"},
+		},
+		{
+			// One bad token: no count prefix, but still the token context.
+			spec: "readerr=0.1,writeerr=2x",
+			want: []string{`"writeerr=2x"`},
+		},
+		{
+			// Unknown keys enumerate the valid vocabulary.
+			spec: "frobnicate=1",
+			want: []string{`unknown key "frobnicate"`, "standard", "readburst", "arrive"},
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) should error", tc.spec)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("Parse(%q) error missing %q:\n%v", tc.spec, w, err)
+			}
+		}
+	}
+	// Valid tokens next to broken ones must not mask the failure.
+	if _, err := Parse("seed=3,bogus,readerr=0.1"); err == nil {
+		t.Error("mixed valid/invalid spec should error")
 	}
 }
 

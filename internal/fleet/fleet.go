@@ -68,6 +68,23 @@ type NodeResult struct {
 	CacheEvictions uint64
 	ScoreHits      uint64
 	ScoreMisses    uint64
+	// Phase is the controller's phase name after the last period and
+	// FailStreak its consecutive-failure count — both deterministic, and
+	// both all-healthy ("idle"/"exploration", streak 0) in a fault-free
+	// fleet. They exist so a fleet driver can roll node health up the
+	// same way copartd's /healthz reports it.
+	Phase      string
+	FailStreak int
+}
+
+// HealthRollup counts nodes by controller condition at run end.
+type HealthRollup struct {
+	// Healthy counts nodes that finished outside the degraded phase;
+	// Degraded counts the rest. MaxFailStreak is the worst node's
+	// consecutive-failure count.
+	Healthy       int
+	Degraded      int
+	MaxFailStreak int
 }
 
 // Result aggregates the fleet run.
@@ -94,6 +111,8 @@ type Result struct {
 	ScoreHits      uint64
 	ScoreMisses    uint64
 	Shared         machine.SharedCacheStats
+	// Health rolls node conditions up (deterministic).
+	Health HealthRollup
 }
 
 // Validate checks the configuration.
@@ -205,6 +224,8 @@ func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
 	cs := m.SolveCacheDetail()
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	res.ScoreHits, res.ScoreMisses = mgr.ScoreMemoStats()
+	res.Phase = mgr.Phase().String()
+	res.FailStreak = mgr.FailStreak()
 	return res, nil
 }
 
@@ -245,6 +266,14 @@ func Run(cfg Config) (Result, error) {
 		res.CacheEvictions += nr.CacheEvictions
 		res.ScoreHits += nr.ScoreHits
 		res.ScoreMisses += nr.ScoreMisses
+		if nr.Phase == core.PhaseDegraded.String() {
+			res.Health.Degraded++
+		} else {
+			res.Health.Healthy++
+		}
+		if nr.FailStreak > res.Health.MaxFailStreak {
+			res.Health.MaxFailStreak = nr.FailStreak
+		}
 	}
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.PeriodsPerSec = float64(res.TotalPeriods) / secs

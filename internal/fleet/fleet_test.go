@@ -67,6 +67,13 @@ func TestFleetRun(t *testing.T) {
 			t.Errorf("node %d final state sized %d/%d for %d apps",
 				nr.Node, len(nr.Ways), len(nr.MBA), nr.Apps)
 		}
+		if nr.Phase == "" || nr.Phase == "degraded" || nr.FailStreak != 0 {
+			t.Errorf("node %d health = %q streak %d, want healthy in a fault-free fleet",
+				nr.Node, nr.Phase, nr.FailStreak)
+		}
+	}
+	if res.Health.Healthy != 4 || res.Health.Degraded != 0 || res.Health.MaxFailStreak != 0 {
+		t.Errorf("health rollup %+v, want 4 healthy", res.Health)
 	}
 }
 

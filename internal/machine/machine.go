@@ -177,6 +177,10 @@ type Machine struct {
 	byName    map[string]int
 	now       time.Duration // virtual time since construction
 	noiseRNG  *rand.Rand
+	// noiseCalls counts noiseFactors invocations that actually drew from
+	// noiseRNG. It is the noise stream's position: a snapshot records it,
+	// and restore replays the same number of draw pairs (see snapshot.go).
+	noiseCalls uint64
 
 	hasPhases bool // any active app carries a phase schedule
 	scratch   solveScratch
@@ -442,6 +446,7 @@ func (m *Machine) noiseFactors() (perf, miss float64) {
 	if m.noiseRNG == nil {
 		m.noiseRNG = rand.New(rand.NewSource(m.cfg.NoiseSeed))
 	}
+	m.noiseCalls++
 	clamp := func(f float64) float64 {
 		if f < 0.5 {
 			return 0.5

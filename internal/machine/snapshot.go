@@ -1,0 +1,168 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Snapshot is the complete serializable state of a Machine: the
+// configuration, virtual time, every application ever launched (launch
+// order and inactive entries both matter — name reuse is forbidden, and
+// Perf results index over active apps in launch order), the noise-RNG
+// stream position, and the solve-cache counters. ConfigDigest
+// fingerprints the configuration so a restore against a drifted config
+// (different solver constants ⇒ different trajectories) fails loudly
+// instead of silently diverging.
+//
+// A restored machine is bit-identical in behavior to the original: the
+// solver is a pure function of (config, models, allocations), counters
+// resume from their exact cumulative values, and the noise stream is
+// replayed to the recorded position.
+type Snapshot struct {
+	Config       Config        `json:"config"`
+	ConfigDigest uint64        `json:"configDigest"`
+	Now          int64         `json:"nowNs"` // virtual time, nanoseconds
+	Apps         []AppSnapshot `json:"apps"`
+	NoiseCalls   uint64        `json:"noiseCalls,omitempty"`
+	SolveCache   *CacheStats   `json:"solveCache,omitempty"`
+}
+
+// AppSnapshot is one launched application's state.
+type AppSnapshot struct {
+	Model    AppModel `json:"model"`
+	CBM      uint64   `json:"cbm"`
+	MBALevel int      `json:"mba"`
+	Counters Counters `json:"counters"`
+	Active   bool     `json:"active"`
+}
+
+// Snapshot captures the machine's full state. The machine is not
+// modified; the snapshot shares no mutable memory with it.
+func (m *Machine) Snapshot() Snapshot {
+	snap := Snapshot{
+		Config:       m.cfg,
+		ConfigDigest: m.cfgDigest,
+		Now:          int64(m.now),
+		Apps:         make([]AppSnapshot, len(m.apps)),
+		NoiseCalls:   m.noiseCalls,
+	}
+	for i, a := range m.apps {
+		snap.Apps[i] = AppSnapshot{
+			Model:    a.model,
+			CBM:      a.alloc.CBM,
+			MBALevel: a.alloc.MBALevel,
+			Counters: a.counters,
+			Active:   a.active,
+		}
+	}
+	if m.cache != nil {
+		cs := m.SolveCacheDetail()
+		cs.Entries = 0 // entries are not serialized, only the counters
+		snap.SolveCache = &cs
+	}
+	return snap
+}
+
+// RestoreSnapshot rebuilds a machine from a snapshot. Options are
+// applied as in New; pass WithSolveCache to re-enable memoization (the
+// cache's counters then resume from the snapshot, while its entries
+// rebuild lazily — entries only affect speed, never values). The
+// snapshot's config digest must match the digest recomputed from its
+// config, which catches both a corrupted blob and a Config schema
+// drift across versions.
+func RestoreSnapshot(snap Snapshot, opts ...Option) (*Machine, error) {
+	m, err := New(snap.Config, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("machine: restore: %w", err)
+	}
+	if snap.ConfigDigest != m.cfgDigest {
+		return nil, fmt.Errorf("machine: restore: config fingerprint %#x does not match %#x (snapshot from a different configuration or schema version)",
+			snap.ConfigDigest, m.cfgDigest)
+	}
+	if snap.Now < 0 {
+		return nil, fmt.Errorf("machine: restore: negative virtual time %d", snap.Now)
+	}
+	m.now = time.Duration(snap.Now)
+	for i, as := range snap.Apps {
+		if err := as.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("machine: restore: app %d: %w", i, err)
+		}
+		if _, dup := m.byName[as.Model.Name]; dup {
+			return nil, fmt.Errorf("machine: restore: duplicate app %q", as.Model.Name)
+		}
+		if as.CBM == 0 || as.CBM&^m.fullMask != 0 || !contiguous(as.CBM) {
+			return nil, fmt.Errorf("machine: restore: app %q has invalid CBM %#x", as.Model.Name, as.CBM)
+		}
+		if err := validCounters(as.Counters); err != nil {
+			return nil, fmt.Errorf("machine: restore: app %q: %w", as.Model.Name, err)
+		}
+		resolved := as.Model.AtTime(m.now)
+		m.byName[as.Model.Name] = len(m.apps)
+		m.apps = append(m.apps, &app{
+			model:    as.Model,
+			alloc:    Alloc{CBM: as.CBM, MBALevel: as.MBALevel},
+			counters: as.Counters,
+			active:   as.Active,
+			digest:   modelDigest(&resolved),
+			digestAt: m.now,
+			phased:   len(as.Model.Phases) > 0,
+		})
+		if len(as.Model.Phases) > 0 {
+			m.hasPhases = true
+		}
+	}
+	// Active allocations must be fully valid (MBA levels included); the
+	// cheapest complete check is to re-program them through the public
+	// validator.
+	for _, a := range m.apps {
+		if !a.active {
+			continue
+		}
+		if err := m.SetAllocation(a.model.Name, a.alloc); err != nil {
+			return nil, fmt.Errorf("machine: restore: %w", err)
+		}
+		used := 0
+		for _, b := range m.apps {
+			if b.active && b.model.Socket == a.model.Socket {
+				used += b.model.Cores
+			}
+		}
+		if used > m.cfg.Cores {
+			return nil, fmt.Errorf("machine: restore: %d cores demanded on socket %d, %d available",
+				used, a.model.Socket, m.cfg.Cores)
+		}
+	}
+	// Re-establish the noise stream position: seed eagerly and replay the
+	// recorded number of draw pairs. NormFloat64's rejection sampling
+	// consumes a variable number of raw values, so the replay must go
+	// through the same method the live path uses.
+	if snap.NoiseCalls > 0 {
+		if m.cfg.MeasurementNoise == 0 {
+			return nil, fmt.Errorf("machine: restore: %d noise draws recorded but noise is disabled", snap.NoiseCalls)
+		}
+		m.noiseFactors() // seeds noiseRNG and burns the first call
+		for i := uint64(1); i < snap.NoiseCalls; i++ {
+			m.noiseRNG.NormFloat64()
+			m.noiseRNG.NormFloat64()
+		}
+		m.noiseCalls = snap.NoiseCalls
+	}
+	if snap.SolveCache != nil && m.cache != nil {
+		m.cache.hits.Store(snap.SolveCache.Hits)
+		m.cache.misses.Store(snap.SolveCache.Misses)
+		m.cache.evictions.Store(snap.SolveCache.Evictions)
+		m.cache.sharedHits.Store(snap.SolveCache.SharedHits)
+	}
+	return m, nil
+}
+
+// validCounters rejects non-finite or negative cumulative counters.
+func validCounters(c Counters) error {
+	for _, v := range [...]float64{c.Instructions, c.LLCAccesses, c.LLCMisses, c.MemoryBytes} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("machine: invalid counter value %v", v)
+		}
+	}
+	return nil
+}

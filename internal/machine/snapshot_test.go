@@ -1,0 +1,179 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/membw"
+)
+
+func snapMachine(t *testing.T, noise float64, opts ...Option) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = noise
+	cfg.NoiseSeed = 42
+	m, err := New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []AppModel{
+		{Name: "a", Cores: 4, CPIBase: 0.8, AccPerInstr: 0.01,
+			Hot: []WSComponent{{Bytes: 4 << 20, Weight: 0.9, MLP: 2}}, StreamFrac: 0.1, MLP: 2},
+		{Name: "b", Cores: 4, CPIBase: 0.6, AccPerInstr: 0.02,
+			Hot: []WSComponent{{Bytes: 8 << 20, Weight: 0.7, MLP: 1}}, StreamFrac: 0.3, MLP: 4},
+	} {
+		if err := m.AddApp(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestMachineSnapshotRoundTrip: stepping a restored machine must match
+// stepping the original, counters and virtual clock included.
+func TestMachineSnapshotRoundTrip(t *testing.T) {
+	for _, noise := range []float64{0, 0.03} {
+		m := snapMachine(t, noise)
+		for i := 0; i < 5; i++ {
+			if err := m.Step(time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.SetAllocation("a", Alloc{CBM: 0b1111, MBALevel: 50}); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := RestoreSnapshot(m.Snapshot())
+		if err != nil {
+			t.Fatalf("noise=%v: %v", noise, err)
+		}
+		if r.Now() != m.Now() {
+			t.Fatalf("noise=%v: restored clock %v, want %v", noise, r.Now(), m.Now())
+		}
+		for i := 0; i < 5; i++ {
+			if err := m.Step(2 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Step(2 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, app := range []string{"a", "b"} {
+			co, err1 := m.ReadCounters(app)
+			cr, err2 := r.ReadCounters(app)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if co != cr {
+				t.Errorf("noise=%v: %s counters diverged after restore:\n  orig %+v\n  rest %+v", noise, app, co, cr)
+			}
+			ao, _ := m.Allocation(app)
+			ar, _ := r.Allocation(app)
+			if ao != ar {
+				t.Errorf("noise=%v: %s allocation %+v vs %+v", noise, app, ao, ar)
+			}
+		}
+	}
+}
+
+// TestMachineSnapshotInactiveApps: departed apps keep their slot (names
+// stay single-use) and counters across a restore.
+func TestMachineSnapshotInactiveApps(t *testing.T) {
+	m := snapMachine(t, 0)
+	if err := m.Step(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveApp("a"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSnapshot(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps := r.Apps(); len(apps) != 1 || apps[0] != "b" {
+		t.Fatalf("restored active apps = %v, want [b]", apps)
+	}
+	// The departed name must remain taken.
+	if err := r.AddApp(AppModel{Name: "a", Cores: 1, CPIBase: 1, AccPerInstr: 0.01,
+		Hot: []WSComponent{{Bytes: 1 << 20, Weight: 1, MLP: 1}}}); err == nil {
+		t.Error("reusing a departed name should fail after restore")
+	}
+}
+
+// TestMachineSnapshotRejectsTampering: corrupted snapshots are refused.
+func TestMachineSnapshotRejectsTampering(t *testing.T) {
+	m := snapMachine(t, 0)
+	if err := m.Step(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s := m.Snapshot()
+	s.ConfigDigest++
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("digest mismatch should be rejected")
+	}
+
+	s = m.Snapshot()
+	s.Now = -5
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("negative time should be rejected")
+	}
+
+	s = m.Snapshot()
+	s.Apps[0].Counters.Instructions = math.NaN()
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("NaN counters should be rejected")
+	}
+
+	s = m.Snapshot()
+	s.Apps[0].CBM = 0
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("empty CBM should be rejected")
+	}
+
+	s = m.Snapshot()
+	s.Apps[0].MBALevel = membw.MaxLevel + 7
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("illegal MBA level should be rejected")
+	}
+
+	s = m.Snapshot()
+	s.NoiseCalls = 3 // machine runs noise-free; replay impossible
+	if _, err := RestoreSnapshot(s); err == nil {
+		t.Error("noise replay on a noise-free machine should be rejected")
+	}
+}
+
+// TestMachineSnapshotSolveCacheCounters: cumulative cache counters
+// survive the round trip (fleet reports aggregate them).
+func TestMachineSnapshotSolveCacheCounters(t *testing.T) {
+	m := snapMachine(t, 0, WithSolveCache())
+	for i := 0; i < 4; i++ {
+		if err := m.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Snapshot()
+	if s.SolveCache == nil {
+		t.Fatal("cache-enabled machine should export cache counters")
+	}
+	r, err := RestoreSnapshot(s, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh, om, _ := m.SolveCacheStats()
+	rh, rm, _ := r.SolveCacheStats()
+	if oh != rh || om != rm {
+		t.Errorf("cache counters: orig hits=%d misses=%d, restored hits=%d misses=%d", oh, om, rh, rm)
+	}
+
+	// A cache-less machine must not export stats.
+	plain := snapMachine(t, 0)
+	if plain.Snapshot().SolveCache != nil {
+		t.Error("cache-less machine should not export cache counters")
+	}
+}

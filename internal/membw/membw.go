@@ -72,7 +72,10 @@ type Config struct {
 	// not exactly — linear in the level; the default applies a mild
 	// super-linear shape at low levels matching published measurements
 	// (low levels throttle slightly harder than proportionally).
-	Curve func(level int) float64
+	//
+	// Functions cannot be serialized, so state snapshots exclude the
+	// curve and refuse machines that set a custom one.
+	Curve func(level int) float64 `json:"-"`
 	// CongestionK and CongestionP shape the latency-stretch factor
 	// 1 + K·ρ^P at bus utilization ρ. Zero K disables congestion.
 	CongestionK float64

@@ -1,0 +1,48 @@
+package pmc
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// SamplerSnapshot is the serializable window state of a Sampler: the
+// last counter anchor per application plus the drop count. Apps are
+// sorted by name so the encoding is deterministic.
+type SamplerSnapshot struct {
+	Apps  []AppWindow `json:"apps,omitempty"`
+	Drops int         `json:"drops,omitempty"`
+}
+
+// AppWindow is one application's last counter anchor.
+type AppWindow struct {
+	App      string           `json:"app"`
+	Counters machine.Counters `json:"counters"`
+	At       int64            `json:"atNs"` // anchor time, nanoseconds
+}
+
+// Snapshot captures the sampler's window anchors.
+func (s *Sampler) Snapshot() SamplerSnapshot {
+	snap := SamplerSnapshot{Drops: s.drops}
+	for app, last := range s.last {
+		snap.Apps = append(snap.Apps, AppWindow{
+			App:      app,
+			Counters: last.counters,
+			At:       int64(last.at),
+		})
+	}
+	sort.Slice(snap.Apps, func(i, j int) bool { return snap.Apps[i].App < snap.Apps[j].App })
+	return snap
+}
+
+// RestoreSnapshot replaces the sampler's window state with the
+// snapshot's, so the next Sample call computes the same window the
+// original sampler would have.
+func (s *Sampler) RestoreSnapshot(snap SamplerSnapshot) {
+	s.Reset()
+	s.drops = snap.Drops
+	for _, w := range snap.Apps {
+		s.last[w.App] = &sample{counters: w.Counters, at: time.Duration(w.At)}
+	}
+}
