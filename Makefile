@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race cover bench bench-json bench-guard figures verify smoke clean
+.PHONY: all build vet lint test test-race cover bench bench-json bench-guard bench-fleet figures verify smoke clean
 
 all: build lint test
 
@@ -34,13 +34,31 @@ bench:
 # hot paths: the heavy figure benchmarks at a fixed small iteration count
 # and the microbenchmarks at a larger one, merged into one JSON file.
 BENCHJSON_DATE ?= $(shell date +%F)
+# Benchmark output is staged through a file, not piped live: in a pipe,
+# `go run ./cmd/benchjson` compiles concurrently with the first
+# benchmark and skews its timings on small machines.
+BENCH_RAW ?= /tmp/bench-raw.txt
 # The heavy macro benchmarks run with -count 3 so the snapshot records
 # the run-to-run spread; benchguard compares the fastest record per name.
 bench-json:
 	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$|BenchmarkManagerPeriod$$' -benchtime 1000x -benchmem . ; } \
-	| $(GO) run ./cmd/benchjson > BENCH_$(BENCHJSON_DATE).json
+	> $(BENCH_RAW)
+	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > BENCH_$(BENCHJSON_DATE).json
+	@cat BENCH_$(BENCHJSON_DATE).json
+
+# Fleet-scale snapshot only: the Fleet256 steady-state budget (≤5 ms/op,
+# ≤1k allocs/op) and the Fleet4096 scale proof (p99 period latency flat
+# vs Fleet256 — compare the p99ns extras), with -benchmem so benchguard
+# can hold the allocs_per_op line. Emits the same dated JSON format as
+# bench-json.
+bench-fleet:
+	{ $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; } \
+	> $(BENCH_RAW)
+	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > BENCH_$(BENCHJSON_DATE).json
 	@cat BENCH_$(BENCHJSON_DATE).json
 
 # Guard the headline benchmarks against the newest committed BENCH_*.json:
@@ -52,9 +70,12 @@ BENCHGUARD_CUR ?= /tmp/bench-guard-cur.json
 bench-guard:
 	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$' -benchtime 1000x -count 3 -benchmem . ; } \
-	| $(GO) run ./cmd/benchjson > $(BENCHGUARD_CUR)
-	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR)
+	> $(BENCH_RAW)
+	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > $(BENCHGUARD_CUR)
+	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR) \
+	  -bench BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256,BenchmarkFleet4096
 
 # Crash-safety gate: capture a real snapshot from copartd, verify its
 # replay is deterministic (snap2test -check), then generate a pinned

@@ -12,13 +12,17 @@
 // A benchmark missing from the current snapshot fails the guard (the
 // suite lost coverage); one missing from the baseline only warns (the
 // baseline predates the benchmark and the next bench-json run records
-// it). The comparison is ns/op only: alloc counts are pinned exactly by
-// the allocation-guard tests, and the cache-counter extras are workload
-// metrics, not timings. When a snapshot holds several records for one
-// benchmark (a -count>1 run), the guard compares the fastest on each
-// side — the minimum is the noise-robust estimator of a benchmark's
-// true cost. Baselines are machine-specific — compare snapshots from
-// the same hardware (see DESIGN.md §9).
+// it). Two metrics are compared against the same budget: ns/op, and —
+// when both snapshots carry it (-benchmem) — allocs/op, so the fleet's
+// zero-alloc steady state cannot silently rot behind a timing that
+// still squeaks by. A zero-alloc baseline is absolute: any current
+// allocations fail regardless of the percentage budget. The
+// cache-counter extras are workload metrics, not timings, and are not
+// guarded. When a snapshot holds several records for one benchmark (a
+// -count>1 run), the guard compares the fastest on each side — the
+// minimum is the noise-robust estimator of a benchmark's true cost.
+// Baselines are machine-specific — compare snapshots from the same
+// hardware (see DESIGN.md §9).
 package main
 
 import (
@@ -30,10 +34,13 @@ import (
 	"strings"
 )
 
-// record mirrors the benchjson fields the guard needs.
+// record mirrors the benchjson fields the guard needs. AllocsPerOp is
+// a pointer because benchjson emits it only for -benchmem runs; a nil
+// on either side skips the allocation guard for that benchmark.
 type record struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
 }
 
 func main() {
@@ -130,6 +137,37 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 			ok = false
 		}
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+
+		// Allocation guard: same budget, same table, rows labeled with the
+		// unit. Skipped (with a warning when the baseline had the metric)
+		// whenever either snapshot lacks -benchmem data.
+		if b.AllocsPerOp == nil || c.AllocsPerOp == nil {
+			if b.AllocsPerOp != nil {
+				fmt.Fprintf(w, "%-28s %14.0f %14s %9s  warn: allocs/op missing from current run\n",
+					name+" allocs", *b.AllocsPerOp, "-", "-")
+			}
+			continue
+		}
+		ba, ca := *b.AllocsPerOp, *c.AllocsPerOp
+		aDelta := 0.0
+		if ba > 0 {
+			aDelta = (ca - ba) / ba
+		}
+		aVerdict := "ok"
+		switch {
+		case ba == 0 && ca > 0:
+			// A zero-alloc steady state is an absolute invariant; any
+			// fresh allocation is a regression no percentage can excuse.
+			aVerdict = "FAIL: allocation-free baseline now allocates"
+			offenders = append(offenders, fmt.Sprintf("%s: 0 allocs/op → %.0f allocs/op (zero-alloc baseline)", name, ca))
+			ok = false
+		case aDelta > maxRegress:
+			aVerdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
+			offenders = append(offenders, fmt.Sprintf("%s: %.0f allocs/op → %.0f allocs/op (%+.1f%%, budget +%.0f%%)",
+				name, ba, ca, aDelta*100, maxRegress*100))
+			ok = false
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name+" allocs", ba, ca, aDelta*100, aVerdict)
 	}
 	return offenders, ok
 }

@@ -85,6 +85,79 @@ func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
 	}
 }
 
+func TestCompareAllocsRegressionFails(t *testing.T) {
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "allocs_per_op": 1000}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "allocs_per_op": 1300}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet256"}, 0.20)
+	if ok {
+		t.Fatalf("+30%% allocs/op passed a 20%% budget:\n%s", out.String())
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("offenders = %v, want exactly one", offenders)
+	}
+	for _, frag := range []string{"BenchmarkFleet256", "1000", "1300", "+30.0%", "budget +20%"} {
+		if !strings.Contains(offenders[0], frag) {
+			t.Errorf("offender line missing %q: %s", frag, offenders[0])
+		}
+	}
+}
+
+func TestCompareZeroAllocBaselineIsAbsolute(t *testing.T) {
+	base := mustParse(t, `[
+      {"name": "BenchmarkManagerPeriod", "ns_per_op": 40000, "allocs_per_op": 0}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkManagerPeriod", "ns_per_op": 40000, "allocs_per_op": 1}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkManagerPeriod"}, 0.20)
+	if ok {
+		t.Fatalf("allocation on a zero-alloc baseline passed the guard:\n%s", out.String())
+	}
+	if len(offenders) != 1 || !strings.Contains(offenders[0], "zero-alloc baseline") {
+		t.Fatalf("offenders = %v, want one zero-alloc-baseline line", offenders)
+	}
+}
+
+func TestCompareAllocsWithinBudgetPasses(t *testing.T) {
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "allocs_per_op": 100}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5100000, "allocs_per_op": 110}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet256"}, 0.20)
+	if !ok {
+		t.Fatalf("+10%% allocs/op flagged with a 20%% budget:\n%s\nofenders: %v", out.String(), offenders)
+	}
+}
+
+func TestCompareAllocsSkippedWhenAbsent(t *testing.T) {
+	// Baseline has the metric, current run was not -benchmem: the guard
+	// warns but does not fail — alloc coverage loss is visible, timing
+	// coverage is still enforced.
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "allocs_per_op": 8}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet256"}, 0.20)
+	if !ok {
+		t.Fatalf("missing -benchmem data failed the guard: %v\n%s", offenders, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op missing from current run") {
+		t.Fatalf("no allocs-missing warning in output:\n%s", out.String())
+	}
+}
+
 func TestCompareMissingFromBaselineWarns(t *testing.T) {
 	base := mustParse(t, baseDoc)
 	cur := mustParse(t, `[

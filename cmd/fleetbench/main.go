@@ -10,6 +10,11 @@
 // Usage:
 //
 //	fleetbench [-nodes 256] [-periods 50] [-parallel N] [-seed 1] [-l2] [-verify]
+//	    [-cpuprofile fleet.cpu] [-memprofile fleet.mem]
+//
+// The profiling flags mirror evaluate/characterize: they wrap the whole
+// fleet run (verification passes included) in the runtime profilers so
+// fleet hot spots are inspectable with `go tool pprof`.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/machine"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -30,9 +36,20 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet seed")
 	l2 := flag.Bool("l2", true, "enable the process-wide shared solve cache")
 	verify := flag.Bool("verify", false, "re-run sequentially and with the shared cache toggled, check per-node determinism")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *nodes, *periods, *workers, *seed, *l2, *verify); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetbench:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, *nodes, *periods, *workers, *seed, *l2, *verify)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fleetbench:", err)
 		os.Exit(1)
 	}

@@ -138,6 +138,18 @@ func NewLLCClassifier(params Params, initial State, profiledDemand bool) *LLCCla
 // UseFeatures replaces the feature set (ablation support).
 func (c *LLCClassifier) UseFeatures(f Features) { c.features = f }
 
+// Reinit re-seeds an existing FSM in place, leaving it exactly as
+// NewLLCClassifier would construct it — the re-profiling path reuses
+// classifiers instead of reallocating them every epoch.
+//
+//copart:noalloc
+func (c *LLCClassifier) Reinit(params Params, initial State, profiledDemand bool) {
+	*c = LLCClassifier{
+		params: params, features: DefaultFeatures(),
+		state: initial, profiledDemand: profiledDemand,
+	}
+}
+
 // State returns the current state.
 func (c *LLCClassifier) State() State { return c.state }
 
@@ -163,7 +175,7 @@ func (c *LLCClassifier) setState(s State, ips float64) State {
 //     when a reclaim hurt (single-step or cumulative) or the miss ratio
 //     has risen to β or above.
 func (c *LLCClassifier) Update(obs Observation) State {
-	p := c.params
+	p := &c.params // by pointer: Params is period-loop hot and duffcopy-sized
 	singleHurt := obs.LastChange == LostWay && obs.PerfDelta <= -p.DeltaPerf
 	cumHurt := c.features.CumulativeGuard &&
 		c.state == Supply && c.entryIPS > 0 && obs.IPS < c.entryIPS*(1-p.DeltaPerf)
@@ -233,6 +245,17 @@ func NewMBAClassifier(params Params, initial State, profiledDemand bool) *MBACla
 // UseFeatures replaces the feature set (ablation support).
 func (c *MBAClassifier) UseFeatures(f Features) { c.features = f }
 
+// Reinit re-seeds an existing FSM in place, leaving it exactly as
+// NewMBAClassifier would construct it (see LLCClassifier.Reinit).
+//
+//copart:noalloc
+func (c *MBAClassifier) Reinit(params Params, initial State, profiledDemand bool) {
+	*c = MBAClassifier{
+		params: params, features: DefaultFeatures(),
+		state: initial, profiledDemand: profiledDemand,
+	}
+}
+
 // State returns the current state.
 func (c *MBAClassifier) State() State { return c.state }
 
@@ -247,7 +270,7 @@ func (c *MBAClassifier) setState(s State, ips float64) State {
 // Update advances the FSM with one period's observation and returns the
 // new state.
 func (c *MBAClassifier) Update(obs Observation) State {
-	p := c.params
+	p := &c.params // by pointer: Params is period-loop hot and duffcopy-sized
 	singleHurt := obs.LastChange == LostMBA && obs.PerfDelta <= -p.DeltaPerf
 	cumHurt := c.features.CumulativeGuard &&
 		c.state == Supply && c.entryIPS > 0 && obs.IPS < c.entryIPS*(1-p.DeltaPerf)

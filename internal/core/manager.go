@@ -140,16 +140,19 @@ type Manager struct {
 	// Per-period scratch, reused across control periods so that a
 	// steady-state period performs no heap allocations (pinned by
 	// TestManagerPeriodAllocationGuard; budget in DESIGN.md §8).
-	// names is rebuilt — freshly allocated — by resetApps, so PeriodReport
-	// observers may retain it; everything else is manager-private.
-	names       []string    // cached Apps() order, immutable between resets
-	rates       []pmc.Rates // measurePeriod output
-	infos       []AppInfo   // ExploreStep classifier snapshot
-	slowdowns   []float64   // per-period Equation 1 values
-	nextState   AllocState  // GetNextSystemStateInto destination
-	masks       []uint64    // applyState CBM layout
-	targetNames []string    // targetApps poll buffer
-	matchSc     AllocatorScratch
+	// names is immutable between resets; PeriodReport hands it to
+	// observers, who may retain it, so resetApps reallocates it whenever
+	// it was exposed (namesExposed) and recycles it otherwise.
+	names        []string    // cached Apps() order, immutable between resets
+	namesExposed bool        // names was handed to a PeriodReport observer
+	rates        []pmc.Rates // measurePeriod output
+	infos        []AppInfo   // ExploreStep classifier snapshot
+	slowdowns    []float64   // per-period Equation 1 values
+	nextState    AllocState  // GetNextSystemStateInto destination
+	eq           AllocState  // equalStateInto destination (Profile)
+	masks        []uint64    // applyState CBM layout
+	targetNames  []string    // targetApps poll buffer
+	matchSc      AllocatorScratch
 
 	// bestState is the lowest-unfairness state observed during the
 	// current exploration; the manager settles into it when it goes
@@ -161,11 +164,24 @@ type Manager struct {
 	bestUnfair float64
 	haveBest   bool
 
+	// lastUnfairness is the most recent period's unfairness (exploration
+	// or idle), exposed through LastUnfairness so drivers that only need
+	// the headline fairness figure — the fleet — avoid the copying
+	// PeriodReport observer path.
+	lastUnfairness float64
+
 	// scores memoizes measured rates per allocation state (see
 	// scoreMemo); memoOK caches whether the memo may engage for the
 	// current target and feature set, decided once per Profile.
 	scores scoreMemo
 	memoOK bool
+
+	// anchoredAt/anchorValid record that measurePeriod's closing pass
+	// anchored every application's sampling window at that virtual time;
+	// while the target clock still reads anchoredAt, the next period's
+	// opening pass is a provable no-op and is skipped (see measurePeriod).
+	anchoredAt  time.Duration
+	anchorValid bool
 
 	envChanged bool
 
@@ -256,6 +272,47 @@ func NewManager(target Target, params Params, streamRef map[int]float64, env Env
 	return m, nil
 }
 
+// Reuse returns the manager to its just-constructed state for the
+// target's *current* applications, without reallocating any of its
+// runtime machinery: classifier objects, per-period scratch, the
+// sampler's snapshots, and the score memo's tables are all recycled.
+// A reused manager's control trajectory is bit-identical to a freshly
+// constructed one over the same target and RNG stream — the contract
+// the fleet's node-runtime pool is built on (DESIGN.md §12).
+//
+// Publicly settable configuration (Params, Envelope, Resilience,
+// Features, Freeze flags, observers, weights are cleared but the map
+// kept) is NOT restored to defaults except for the weight table;
+// pooled drivers set those fields identically for every tenant anyway.
+//
+//copart:noalloc
+func (m *Manager) Reuse() error {
+	names := m.targetApps()
+	if len(names) == 0 {
+		return fmt.Errorf("core: no applications to manage")
+	}
+	if err := m.env.Validate(m.target.Config(), len(names)); err != nil {
+		return err
+	}
+	m.phase = PhaseProfile
+	m.state.Ways, m.state.MBA = m.state.Ways[:0], m.state.MBA[:0]
+	m.bestState.Ways, m.bestState.MBA = m.bestState.Ways[:0], m.bestState.MBA[:0]
+	m.bestUnfair = 0
+	m.haveBest = false
+	m.lastUnfairness = 0
+	m.envChanged = false
+	m.memoOK = false
+	m.failStreak = 0
+	m.recoverStreak = 0
+	m.eqApplied = false
+	m.stop.Store(false)
+	m.ExploreTimes = m.ExploreTimes[:0]
+	clear(m.weights)
+	m.scores.reuse()
+	m.resetApps(names) // also resets the sampler, flushes the memo, zeroes retry
+	return nil
+}
+
 // SetClock replaces the wall-clock source behind the ExploreTimes
 // telemetry. Tests inject a scripted clock to pin exact durations; nil
 // restores the real clock. Control decisions never read this clock, so
@@ -267,18 +324,41 @@ func (m *Manager) SetClock(now func() time.Time) {
 	m.clock = now
 }
 
-// resetApps rebuilds runtime state for the given application set. The
-// cached name slice is freshly allocated — never recycled — because
-// PeriodReport hands it to observers, who may retain it across a
-// re-profile.
+// resetApps rebuilds runtime state for the given application set (names
+// must not alias m.names). appRT slots are recycled beyond len — their
+// classifier pointers survive so Profile can Reinit instead of
+// reallocate. The cached name slice is recycled only when it was never
+// handed to a PeriodReport observer (namesExposed): observers may
+// retain it across a re-profile, so an exposed slice is abandoned to
+// them and a fresh one allocated.
+//
+//copart:noalloc
 func (m *Manager) resetApps(names []string) {
-	m.apps = make([]*appRT, len(names))
-	m.names = make([]string, len(names))
-	for i, n := range names {
-		m.apps[i] = &appRT{name: n, weight: m.weightFor(n)}
-		m.names[i] = n
+	n := len(names)
+	if cap(m.apps) < n {
+		apps := make([]*appRT, n) //copart:allocok first growth to the consolidation size; steady state reuses slots
+		copy(apps, m.apps[:cap(m.apps)])
+		m.apps = apps
+	} else {
+		m.apps = m.apps[:n]
+	}
+	if m.namesExposed || cap(m.names) < n {
+		m.names = make([]string, n) //copart:allocok an observer retains the old slice (or first growth)
+		m.namesExposed = false
+	} else {
+		m.names = m.names[:n]
+	}
+	for i, name := range names {
+		a := m.apps[i]
+		if a == nil {
+			a = &appRT{} //copart:allocok one-time slot construction, recycled forever after
+			m.apps[i] = a
+		}
+		*a = appRT{name: name, weight: m.weightFor(name), llc: a.llc, mba: a.mba}
+		m.names[i] = name
 	}
 	m.sampler.Reset()
+	m.anchorValid = false
 	m.scores.flush()
 	m.retry = 0
 }
@@ -348,6 +428,19 @@ func (m *Manager) Weight(name string) float64 { return m.weightFor(name) }
 // State returns a copy of the current system state.
 func (m *Manager) State() AllocState { return m.state.Clone() }
 
+// StateInto copies the current system state into dst, reusing its
+// backing arrays — the allocation-free form of State for drivers that
+// provide their own storage (the fleet's per-node result arena).
+//
+//copart:noalloc
+func (m *Manager) StateInto(dst *AllocState) { dst.CopyFrom(m.state) }
+
+// LastUnfairness returns the unfairness measured in the most recent
+// exploration or idle period (0 before the first one). It is the
+// allocation-free alternative to reading Unfairness off PeriodReport
+// when the rest of the report is not needed.
+func (m *Manager) LastUnfairness() float64 { return m.lastUnfairness }
+
 // SetEnvelope changes the way window at runtime (case study). The change
 // is detected as a workload change: the manager re-adapts.
 func (m *Manager) SetEnvelope(env Envelope) error {
@@ -365,24 +458,32 @@ func (m *Manager) SetEnvelope(env Envelope) error {
 	return nil
 }
 
-// equalState returns the equal-split starting state: ways divided evenly
-// and every application at the equal MBA share (an equal fraction of peak
-// traffic, rounded up to the 10 % granularity — matching the EQ baseline;
-// the paper does not specify CoPart's start state, and starting from EQ
-// makes the exploration's improvement over EQ directly attributable to
-// the controller).
-func (m *Manager) equalState() (AllocState, error) {
+// equalStateInto writes the equal-split starting state into dst: ways
+// divided evenly and every application at the equal MBA share (an equal
+// fraction of peak traffic, rounded up to the 10 % granularity —
+// matching the EQ baseline; the paper does not specify CoPart's start
+// state, and starting from EQ makes the exploration's improvement over
+// EQ directly attributable to the controller). dst's backing arrays are
+// reused when large enough, so the re-profiling path is allocation-free
+// at steady state.
+//
+//copart:noalloc
+func (m *Manager) equalStateInto(dst *AllocState) error {
 	n := len(m.apps)
-	ways, err := machine.EqualSplit(m.env.Ways, n)
+	ways, err := machine.EqualSplitInto(dst.Ways, m.env.Ways, n)
 	if err != nil {
-		return AllocState{}, err
+		return err
 	}
+	dst.Ways = ways
 	level := EqualMBAShare(n)
-	mba := make([]int, n)
-	for i := range mba {
-		mba[i] = level
+	if cap(dst.MBA) < n {
+		dst.MBA = make([]int, n) //copart:allocok first call grows the scratch; steady state reuses it
 	}
-	return AllocState{Ways: ways, MBA: mba}, nil
+	dst.MBA = dst.MBA[:n]
+	for i := range dst.MBA {
+		dst.MBA[i] = level
+	}
+	return nil
 }
 
 // EqualMBAShare returns the equal MBA allocation for n applications:
@@ -450,20 +551,37 @@ func (m *Manager) applyState(st AllocState) error {
 // manager-owned scratch, valid until the next period.
 func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 	retry := m.Resilience.Enabled
-	for _, a := range m.apps {
-		var err error
-		if retry {
-			name := a.name
-			err = m.retryOp("counter read", name, func() error {
-				_, _, err := m.sampler.Sample(name, m.target.Now())
-				return err
-			})
-		} else {
-			_, _, err = m.sampler.Sample(a.name, m.target.Now())
+	// The opening pass anchors every application's sampling window at the
+	// period start. Its real job is re-anchoring after disruptions — a
+	// failed period, a memoized period that stepped time without sampling
+	// — and in the steady state it is a no-op: the previous period's
+	// closing pass already anchored every app at this exact instant, and
+	// re-sampling at a zero-width window changes nothing. anchoredAt
+	// tracks that case so the steady path skips the sweep entirely;
+	// anchorValid drops at the first sign of trouble (or any partial
+	// pass), which routes the next period back through the full sweep.
+	// Hardened managers never skip: under resilience the opening reads
+	// double as fault probes, and eliding them would change when the
+	// watchdog first observes an outage.
+	if retry || !(m.anchorValid && m.anchoredAt == m.target.Now()) {
+		m.anchorValid = false
+		for _, a := range m.apps {
+			var err error
+			if retry {
+				name := a.name
+				err = m.retryOp("counter read", name, func() error {
+					_, _, err := m.sampler.Sample(name, m.target.Now())
+					return err
+				})
+			} else {
+				_, _, err = m.sampler.Sample(a.name, m.target.Now())
+			}
+			if err != nil {
+				return nil, err
+			}
 		}
-		if err != nil {
-			return nil, err
-		}
+	} else {
+		m.anchorValid = false
 	}
 	var err error
 	if retry {
@@ -507,6 +625,9 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 		}
 		m.rates[i] = r
 	}
+	// Every application is now anchored at the period end.
+	m.anchorValid = true
+	m.anchoredAt = m.target.Now()
 	return m.rates, nil
 }
 
@@ -515,7 +636,7 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 // and (L, M_P), and seeds both classifiers from the observed degradations.
 // It leaves the system in the equal-split state, ready for exploration.
 func (m *Manager) Profile() error {
-	names := m.target.Apps()
+	names := m.targetApps()
 	if len(names) == 0 {
 		return fmt.Errorf("core: no applications to profile")
 	}
@@ -523,12 +644,14 @@ func (m *Manager) Profile() error {
 		return err
 	}
 	m.resetApps(names)
-	eq, err := m.equalState()
-	if err != nil {
+	if err := m.equalStateInto(&m.eq); err != nil {
 		return err
 	}
-	m.state = AllocState{} // forget change history across re-profiling
-	if err := m.applyState(eq); err != nil {
+	// Forget change history across re-profiling: truncating to zero length
+	// makes applyState record no change kinds (lengths differ), exactly
+	// like the zero AllocState, without dropping the scratch capacity.
+	m.state.Ways, m.state.MBA = m.state.Ways[:0], m.state.MBA[:0]
+	if err := m.applyState(m.eq); err != nil {
 		return err
 	}
 
@@ -544,7 +667,10 @@ func (m *Manager) Profile() error {
 
 	for i := range m.apps {
 		a := m.apps[i]
-		restore := machine.Alloc{CBM: mustMaskFor(eq, i, m.env), MBALevel: eq.MBA[i]}
+		// applyState(m.eq) above left the EQ layout in m.masks, and nothing
+		// in the probe loop overwrites it — the per-app restore mask is a
+		// lookup, not a fresh layout computation.
+		restore := machine.Alloc{CBM: m.masks[i], MBALevel: m.eq.MBA[i]}
 
 		ipsFull, err := m.probe(a.name, machine.Alloc{CBM: fullMask, MBALevel: membw.MaxLevel})
 		if err != nil {
@@ -567,18 +693,30 @@ func (m *Manager) Profile() error {
 		a.ipsFull = ipsFull
 		llcSeed := m.seedState(1 - ipsLLC/ipsFull)
 		mbaSeed := m.seedState(1 - ipsMBA/ipsFull)
-		m.logf(eventlog.KindProfile, a.name,
-			"ipsFull=%.3g llcDeg=%.1f%%→%v mbaDeg=%.1f%%→%v",
-			ipsFull, (1-ipsLLC/ipsFull)*100, llcSeed, (1-ipsMBA/ipsFull)*100, mbaSeed)
+		// Enabled-guarded so an unobserved profile pass never boxes the
+		// variadic args (the fleet re-profiles thousands of pooled nodes).
+		if m.Events.Enabled() {
+			m.logf(eventlog.KindProfile, a.name,
+				"ipsFull=%.3g llcDeg=%.1f%%→%v mbaDeg=%.1f%%→%v",
+				ipsFull, (1-ipsLLC/ipsFull)*100, llcSeed, (1-ipsMBA/ipsFull)*100, mbaSeed)
+		}
 		if m.FreezeLLC {
 			llcSeed = Maintain
 		}
 		if m.FreezeMBA {
 			mbaSeed = Maintain
 		}
-		a.llc = NewLLCClassifier(m.params, llcSeed, llcSeed == Demand)
+		if a.llc == nil {
+			a.llc = NewLLCClassifier(m.params, llcSeed, llcSeed == Demand)
+		} else {
+			a.llc.Reinit(m.params, llcSeed, llcSeed == Demand)
+		}
 		a.llc.UseFeatures(m.Features)
-		a.mba = NewMBAClassifier(m.params, mbaSeed, mbaSeed == Demand)
+		if a.mba == nil {
+			a.mba = NewMBAClassifier(m.params, mbaSeed, mbaSeed == Demand)
+		} else {
+			a.mba.Reinit(m.params, mbaSeed, mbaSeed == Demand)
+		}
 		a.mba.UseFeatures(m.Features)
 		a.havePerf = false
 	}
@@ -591,8 +729,10 @@ func (m *Manager) Profile() error {
 	// injection between the manager and the counters (resilience off
 	// implies none is expected), and the feature enabled.
 	m.memoOK = m.Features.ScoreMemo && !m.Resilience.Enabled && steadyTarget(m.target)
-	m.logf(eventlog.KindPhase, "", "profiling done, exploring %d apps in envelope [%d,%d)",
-		len(m.apps), m.env.LoWay, m.env.LoWay+m.env.Ways)
+	if m.Events.Enabled() {
+		m.logf(eventlog.KindPhase, "", "profiling done, exploring %d apps in envelope [%d,%d)",
+			len(m.apps), m.env.LoWay, m.env.LoWay+m.env.Ways)
+	}
 	return nil
 }
 
@@ -632,16 +772,6 @@ func windowMask(env Envelope) (uint64, error) {
 		return 0, fmt.Errorf("core: invalid envelope width %d", env.Ways)
 	}
 	return (uint64(1)<<env.Ways - 1) << uint(env.LoWay), nil
-}
-
-// mustMaskFor computes app i's CBM under state st. It panics only on
-// internal inconsistency (st was validated when produced).
-func mustMaskFor(st AllocState, i int, env Envelope) uint64 {
-	masks, err := machine.AssignContiguousWays(st.Ways, env.LoWay, env.Ways)
-	if err != nil {
-		panic(fmt.Sprintf("core: invalid state slipped through validation: %v", err))
-	}
-	return masks[i]
 }
 
 // ExploreStep executes one iteration of Algorithm 1's loop: let a period
@@ -748,6 +878,7 @@ func (m *Manager) ExploreStep() (bool, error) {
 		m.bestUnfair = unf
 		m.haveBest = true
 	}
+	m.lastUnfairness = unf
 	m.report(PhaseExplore, slowdowns, unf)
 
 	start := m.clock()
@@ -795,6 +926,7 @@ func (m *Manager) report(phase Phase, slowdowns []float64, unfairness float64) {
 	if m.OnPeriod == nil {
 		return
 	}
+	m.namesExposed = true // the observer may retain rep.Apps; see resetApps
 	rep := PeriodReport{
 		Time:        m.target.Now(),
 		Phase:       phase,
@@ -846,7 +978,9 @@ func (m *Manager) enterIdle() error {
 		a.idleIPS = 0
 	}
 	m.phase = PhaseIdle
-	m.logf(eventlog.KindPhase, "", "idle (best unfairness=%.4f)", m.bestUnfair)
+	if m.Events.Enabled() {
+		m.logf(eventlog.KindPhase, "", "idle (best unfairness=%.4f)", m.bestUnfair)
+	}
 	return nil
 }
 
@@ -896,6 +1030,7 @@ func (m *Manager) IdleStep() (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	m.lastUnfairness = unf
 	m.report(PhaseIdle, slowdowns, unf)
 	if changed {
 		m.logf(eventlog.KindChange, "", "IPS drift beyond %.0f%%, re-adapting",

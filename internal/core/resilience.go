@@ -170,6 +170,39 @@ func (m *Manager) degradedStep() error {
 	return nil
 }
 
+// DegradedStep runs one control period in degraded mode — the public,
+// phase-checked form of the step Run takes internally. External drivers
+// that own their period loop (the fleet) call it when Phase reports
+// PhaseDegraded, exactly as they call ExploreStep and IdleStep for the
+// other phases.
+func (m *Manager) DegradedStep() error {
+	if m.phase != PhaseDegraded {
+		return fmt.Errorf("core: DegradedStep called in %v phase", m.phase)
+	}
+	return m.degradedStep()
+}
+
+// NotePeriod feeds the resilience watchdog from an external period
+// loop: drivers that call Profile/ExploreStep/IdleStep/DegradedStep
+// themselves (instead of Run) report each period's outcome here to get
+// the same degraded-mode entry Run implements inline. A successful
+// period clears the failure streak; with resilience enabled, a failed
+// one extends it and trips the EQ fallback at the degrade threshold.
+func (m *Manager) NotePeriod(failed bool) {
+	if !failed {
+		m.failStreak = 0
+		return
+	}
+	if !m.Resilience.Enabled {
+		return
+	}
+	m.failStreak++
+	m.logf(eventlog.KindFault, "", "control period failed (streak %d)", m.failStreak)
+	if m.phase != PhaseDegraded && m.failStreak >= m.degradeAfter() {
+		m.enterDegraded()
+	}
+}
+
 // applyDegradedEQ programs the equal-split allocation directly from the
 // target's current application list. It deliberately bypasses the
 // manager's runtime state: applications may have arrived or departed

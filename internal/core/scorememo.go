@@ -39,6 +39,36 @@ type scoreMemo struct {
 	key     []byte // scratch for the current key
 	hits    uint64
 	misses  uint64
+
+	// interned deduplicates key strings (see the solve cache's intern
+	// table): a pooled manager re-visits the same small state space every
+	// tenant, and without interning each store would materialize the key
+	// string afresh. The table survives flushes — it holds keys, not
+	// rates, so persistence affects allocations only, never values.
+	interned map[string]string
+	// free recycles retired rate slices: flush feeds it, store pops it.
+	free [][]pmc.Rates
+}
+
+// scoreMemoInternMax bounds the intern table; at the bound it is cleared
+// wholesale (keeping its buckets) — strictly a memory/alloc trade.
+const scoreMemoInternMax = 1 << 14
+
+// intern returns the canonical string for the scratch key.
+//
+//copart:noalloc
+func (c *scoreMemo) intern() string {
+	if s, ok := c.interned[string(c.key)]; ok {
+		return s
+	}
+	if c.interned == nil {
+		c.interned = make(map[string]string) //copart:allocok lazily built once per manager
+	} else if len(c.interned) >= scoreMemoInternMax {
+		clear(c.interned)
+	}
+	s := string(c.key) //copart:allocok first sighting of a state: interned once, reused forever
+	c.interned[s] = s
+	return s
 }
 
 // scoreMemoMaxEntries bounds the table. Exploration epochs visit at
@@ -85,22 +115,45 @@ func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
 	return rates, true
 }
 
-// store memoizes a copy of rates under st.
+// store memoizes a copy of rates under st, reusing a recycled slice
+// from the freelist when one is large enough.
+//
+//copart:noalloc
 func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
 	if c.entries == nil {
-		c.entries = make(map[string][]pmc.Rates)
+		c.entries = make(map[string][]pmc.Rates) //copart:allocok lazily built once per manager
 	} else if len(c.entries) >= scoreMemoMaxEntries {
 		return
 	}
 	c.encodeKey(st)
-	cp := make([]pmc.Rates, len(rates))
+	var cp []pmc.Rates
+	if n := len(c.free); n > 0 && cap(c.free[n-1]) >= len(rates) {
+		cp, c.free[n-1], c.free = c.free[n-1][:len(rates)], nil, c.free[:n-1]
+	} else {
+		cp = make([]pmc.Rates, len(rates)) //copart:allocok first epoch grows the freelist; steady state recycles
+	}
 	copy(cp, rates)
-	c.entries[string(c.key)] = cp
+	c.entries[c.intern()] = cp
 }
 
-// flush drops every entry, keeping the cumulative counters.
+// flush drops every entry, keeping the cumulative counters and feeding
+// the retired rate slices to the freelist for the next epoch's stores.
+//
+//copart:noalloc
 func (c *scoreMemo) flush() {
-	if len(c.entries) > 0 {
-		clear(c.entries)
+	for k, rates := range c.entries {
+		c.free = append(c.free, rates) //copart:allocok amortized append growth; capacity is retained across flushes
+		delete(c.entries, k)
 	}
+}
+
+// reuse returns the memo to its just-constructed state for a new tenant:
+// entries flushed into the freelist, counters zeroed. The intern table
+// and freelist persist — they are exactly what makes the next tenant's
+// exploration allocation-free.
+//
+//copart:noalloc
+func (c *scoreMemo) reuse() {
+	c.flush()
+	c.hits, c.misses = 0, 0
 }

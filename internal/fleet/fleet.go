@@ -4,19 +4,36 @@
 // Each node is a self-contained consolidation scenario: its own
 // simulated machine (with the solve cache), its own workload mix drawn
 // deterministically from the fleet seed, and its own resource manager.
-// Nodes share nothing, so the fleet fans out over internal/parallel
-// under its determinism contract: node i's outcome is a pure function
-// of (Config, i), results land by index, and the deterministic part of
-// the result — everything in NodeResult — is bit-identical at any
-// worker count. Wall-clock figures (throughput, period-latency
-// percentiles) are reported separately and are the only nondeterministic
-// outputs.
+// Nodes share nothing mutable, so the fleet fans out over
+// internal/parallel under its determinism contract: node i's outcome is
+// a pure function of (Config, i), results land by index, and the
+// deterministic part of the result — everything in NodeResult — is
+// bit-identical at any worker count. Wall-clock figures (throughput,
+// period-latency percentiles) are reported separately and are the only
+// nondeterministic outputs.
+//
+// Two read-only structures ARE shared, because they are pure functions
+// of the machine configuration: the process-wide L2 solve cache (whose
+// entries are exact, so sharing shifts timing but never values) and a
+// per-configuration workloads.MixCache of precomputed mixes and STREAM
+// reference rates.
+//
+// Node substrates are pooled: a finished node's machine, manager, and
+// RNG go back to a free list, and the next node reinitializes them in
+// place (machine.Reset, core.Manager.Reuse, Source.Seed) instead of
+// allocating fresh ones. Reinitialization is exact — a pooled node's
+// NodeResult is bit-identical to an unpooled one's, pinned by
+// TestFleetPoolGolden — so pooling, like the caches, trades allocation
+// for nothing. Config.NoPool opts a run out (fresh substrates per node
+// through the same code path) for A/B verification.
 package fleet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -38,7 +55,18 @@ type Config struct {
 	// Machine configures each node's hardware; the zero value selects
 	// machine.DefaultConfig().
 	Machine machine.Config
+	// NoPool disables the node-runtime pool: every node builds a fresh
+	// machine, manager, and RNG instead of reinitializing a pooled one.
+	// NodeResults are identical either way (TestFleetPoolGolden); the
+	// switch exists for that A/B check and for callers that prefer not
+	// to retain pooled substrates between runs.
+	NoPool bool
 }
+
+// maxMixApps caps the per-node consolidation size (the paper evaluates
+// mixes of up to 6 applications). It also sizes the per-node slots of
+// Run's allocation arena.
+const maxMixApps = 6
 
 // NodeResult is one node's deterministic outcome.
 type NodeResult struct {
@@ -144,55 +172,301 @@ func (c Config) nodeSeed(i int) int64 {
 // i64 reinterprets an unsigned 64-bit constant as int64.
 func i64(u uint64) int64 { return int64(u) }
 
-// runNode executes one node end to end and writes its per-period
-// wall-clock latencies into lat (len == cfg.Periods).
-func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
+// mixKinds is the mix-kind table, hoisted so node setup does not rebuild
+// the slice per node.
+var mixKinds = workloads.MixKinds()
+
+// testNodeTarget, when non-nil, supplies a node's control target (tests
+// wrap the machine with fault injection here) and the resilience policy
+// for its manager. A non-nil hook forces every node down the unpooled
+// path: wrapped targets carry per-node fault state the pool cannot
+// reinitialize.
+var testNodeTarget func(node int, m *machine.Machine) (core.Target, core.Resilience)
+
+// nodeRuntime is one node's reusable substrate: the seeded RNG, the
+// simulated machine, the resource manager, and the mix cache it draws
+// workloads from. Pooled runtimes keep all of it warm between nodes;
+// runNode reinitializes each piece in place, which is exact (see the
+// package comment) and allocation-free at steady state.
+type nodeRuntime struct {
+	key uint64 // poolKey of the machine configuration it was built for
+	src rand.Source
+	rng *rand.Rand
+	m   *machine.Machine
+	mgr *core.Manager
+	mix *workloads.MixCache
+}
+
+// poolKey fingerprints a machine configuration for the runtime pool and
+// the mix-cache registry. Config.Digest covers the solver-visible
+// fields; the measurement-noise parameters are folded in on top because
+// two configs differing only in noise produce different counter streams
+// and must never share runtimes. Configs with a custom BW.Curve are not
+// fingerprintable (a func value has no digest) and bypass both caches.
+func poolKey(c machine.Config) uint64 {
+	const prime = 0x100000001b3
+	h := c.Digest()
+	h = (h ^ math.Float64bits(c.MeasurementNoise)) * prime
+	h = (h ^ uint64(c.NoiseSeed)) * prime
+	return h
+}
+
+// runtimePool holds idle node runtimes, keyed by machine-config
+// fingerprint. It survives across Run calls on purpose: a warm
+// benchmark iteration reuses the previous iteration's substrates, which
+// is what makes the steady-state fleet period allocation-free.
+var runtimePool struct {
+	sync.Mutex
+	free []*nodeRuntime
+}
+
+// getRuntime pops a pooled runtime built for the given configuration,
+// or returns nil when none is available.
+//
+//copart:noalloc
+func getRuntime(key uint64) *nodeRuntime {
+	p := &runtimePool
+	p.Lock()
+	defer p.Unlock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if p.free[i].key != key {
+			continue
+		}
+		rt := p.free[i]
+		last := len(p.free) - 1
+		p.free[i] = p.free[last]
+		p.free[last] = nil
+		p.free = p.free[:last]
+		return rt
+	}
+	return nil
+}
+
+// putRuntime returns a runtime to the pool. Only runtimes that finished
+// their node cleanly come back; error paths drop theirs, so a runtime
+// wedged by a failure can never leak state into a later node.
+//
+//copart:noalloc
+func putRuntime(rt *nodeRuntime) {
+	p := &runtimePool
+	p.Lock()
+	p.free = append(p.free, rt) //copart:allocok amortized free-list growth; steady state reuses capacity
+	p.Unlock()
+}
+
+// profileKey identifies one profiling outcome: everything a node's
+// profiling phase depends on. The machine fingerprint (poolKey) pins
+// the hardware, solver constants, and noise parameters; the mix kind
+// and application count pin the exact workload models (the mix cache is
+// deterministic); and every fleet manager is configured identically
+// (DefaultParams, full-LLC envelope, default features). Profiling
+// consumes no RNG, so the node seed does not enter the key.
+type profileKey struct {
+	mach  uint64
+	kind  workloads.MixKind
+	nApps int
+}
+
+// profileEntry pairs the machine checkpoint with the manager memo; the
+// two restore together or not at all.
+type profileEntry struct {
+	hot machine.HotState
+	pm  *core.ProfileMemo
+}
+
+// profileMemos is the process-wide registry of profiling outcomes.
+// Profiling is the most expensive phase of a node's life — 3 probe
+// periods per application, each a full solve-and-sample pass — and a
+// fleet draws the same few dozen (kind, nApps) combinations thousands
+// of times. The first node to profile a combination runs it live and
+// checkpoints the result; every later node restores the checkpoint,
+// bit-identically (profiling is RNG-free and, noise-free, every Step
+// is deterministic — see core.ProfileMemo). Entries are immutable once
+// stored; a concurrent double-compute stores identical values twice.
+var profileMemos struct {
+	sync.Mutex
+	byKey map[profileKey]*profileEntry
+}
+
+// getProfileMemo returns the memoized profiling outcome, or nil.
+//
+//copart:noalloc
+func getProfileMemo(k profileKey) *profileEntry {
+	r := &profileMemos
+	r.Lock()
+	defer r.Unlock()
+	return r.byKey[k]
+}
+
+// putProfileMemo publishes a profiling outcome.
+func putProfileMemo(k profileKey, e *profileEntry) {
+	r := &profileMemos
+	r.Lock()
+	defer r.Unlock()
+	if r.byKey == nil {
+		r.byKey = make(map[profileKey]*profileEntry)
+	}
+	r.byKey[k] = e
+}
+
+// mixCaches shares one immutable workloads.MixCache per machine
+// configuration across all nodes, runs, and pool entries. The cache is
+// read-only after construction, so sharing it cannot couple nodes.
+var mixCaches struct {
+	sync.Mutex
+	byKey map[uint64]*workloads.MixCache
+}
+
+// mixCacheFor returns the shared mix cache for a configuration,
+// building it on first sight. Construction holds the registry lock, so
+// concurrent first nodes serialize instead of racing duplicate builds.
+func mixCacheFor(mcfg machine.Config, key uint64) (*workloads.MixCache, error) {
+	c := &mixCaches
+	c.Lock()
+	defer c.Unlock()
+	if mc, ok := c.byKey[key]; ok {
+		return mc, nil
+	}
+	mc, err := workloads.NewMixCache(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.byKey == nil {
+		c.byKey = make(map[uint64]*workloads.MixCache)
+	}
+	c.byKey[key] = mc
+	return mc, nil
+}
+
+// runNode executes one node end to end, writing its per-period
+// wall-clock latencies into lat (len == cfg.Periods) and its final
+// allocation into the caller-provided ways/mba storage (cap ≥
+// maxMixApps slices of Run's arena).
+func runNode(cfg Config, node int, lat []time.Duration, ways, mba []int) (NodeResult, error) {
 	mcfg := cfg.Machine
 	if mcfg.LLCWays == 0 {
 		mcfg = machine.DefaultConfig()
 	}
-	rng := rand.New(rand.NewSource(cfg.nodeSeed(node)))
-	kinds := workloads.MixKinds()
-	kind := kinds[rng.Intn(len(kinds))]
 	maxApps := mcfg.LLCWays
 	if mcfg.Cores < maxApps {
 		maxApps = mcfg.Cores
 	}
-	if maxApps > 6 {
-		maxApps = 6
+	if maxApps > maxMixApps {
+		maxApps = maxMixApps
 	}
 	if maxApps < 3 {
 		return NodeResult{}, fmt.Errorf("fleet: machine too small for a mix (max %d apps)", maxApps)
 	}
-	nApps := 3 + rng.Intn(maxApps-2) // 3..maxApps
 
-	m, err := machine.New(mcfg, machine.WithSolveCache())
-	if err != nil {
-		return NodeResult{}, err
+	fingerprintable := mcfg.BW.Curve == nil
+	poolable := fingerprintable && !cfg.NoPool && testNodeTarget == nil
+	key := uint64(0)
+	if fingerprintable {
+		key = poolKey(mcfg)
 	}
-	models, err := workloads.Mix(mcfg, kind, nApps)
+	var rt *nodeRuntime
+	if poolable {
+		rt = getRuntime(key)
+	}
+	if rt == nil {
+		rt = &nodeRuntime{key: key}
+	}
+
+	seed := cfg.nodeSeed(node)
+	if rt.src == nil {
+		rt.src = &nodeSource{}
+		rt.rng = rand.New(rt.src)
+	}
+	// Reseeding the retained source reproduces exactly the stream a
+	// freshly constructed one would emit: a nodeSource's whole state is
+	// the one word Seed stores (see rng.go).
+	rt.src.Seed(seed)
+	kind := mixKinds[rt.rng.Intn(len(mixKinds))]
+	nApps := 3 + rt.rng.Intn(maxApps-2) // 3..maxApps
+
+	var err error
+	if rt.m == nil {
+		if rt.m, err = machine.New(mcfg, machine.WithSolveCache()); err != nil {
+			return NodeResult{}, err
+		}
+	} else {
+		rt.m.Reset()
+	}
+	if rt.mix == nil {
+		if fingerprintable {
+			rt.mix, err = mixCacheFor(mcfg, key)
+		} else {
+			rt.mix, err = workloads.NewMixCache(mcfg)
+		}
+		if err != nil {
+			return NodeResult{}, err
+		}
+	}
+	models, err := rt.mix.Mix(kind, nApps)
 	if err != nil {
 		return NodeResult{}, err
 	}
 	for _, model := range models {
-		if err := m.AddApp(model); err != nil {
+		if err := rt.m.AddApp(model); err != nil {
 			return NodeResult{}, err
 		}
 	}
-	ref, err := workloads.StreamMissRates(m)
-	if err != nil {
+	if rt.mgr == nil {
+		target := core.Target(rt.m)
+		var resil core.Resilience
+		if testNodeTarget != nil {
+			target, resil = testNodeTarget(node, rt.m)
+		}
+		if rt.mgr, err = core.NewManager(target, core.DefaultParams(), rt.mix.StreamRef(),
+			core.Envelope{LoWay: 0, Ways: mcfg.LLCWays}, rt.rng); err != nil {
+			return NodeResult{}, err
+		}
+		rt.mgr.Resilience = resil
+		// The fleet measures per-node latency with its own clock
+		// (fleetClock, above) and never reads the manager's ExploreTimes
+		// journal, so the per-step wall-clock telemetry reads would be
+		// pure overhead — two syscall-backed time.Now calls per explored
+		// period across every node. A frozen clock keeps the journal's
+		// shape (one entry per explore step) at zero cost.
+		rt.mgr.SetClock(func() time.Time { return time.Time{} })
+	} else if err := rt.mgr.Reuse(); err != nil {
 		return NodeResult{}, err
 	}
-	mgr, err := core.NewManager(m, core.DefaultParams(), ref,
-		core.Envelope{LoWay: 0, Ways: mcfg.LLCWays}, rng)
-	if err != nil {
-		return NodeResult{}, err
-	}
-	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps}
-	mgr.OnPeriod = func(r core.PeriodReport) { res.Unfairness = r.Unfairness }
+	mgr := rt.mgr
 
-	if err := mgr.Profile(); err != nil {
-		return NodeResult{}, err
+	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps}
+	// Memoized profiling: a poolable, noise-free node's whole profiling
+	// phase is a pure function of (machine config, mix kind, app count),
+	// so the first node to run it checkpoints the outcome and every later
+	// node restores it in place — bit-identical (the golden test runs the
+	// NoPool reference down the live path below) and orders of magnitude
+	// cheaper than the 3·apps probe periods. NoPool and fault-injected
+	// nodes always profile live.
+	memoable := poolable && mcfg.MeasurementNoise == 0
+	var pKey profileKey
+	var pe *profileEntry
+	if memoable {
+		pKey = profileKey{mach: key, kind: kind, nApps: nApps}
+		pe = getProfileMemo(pKey)
+	}
+	if pe != nil {
+		if err := rt.m.RestoreHotState(pe.hot); err != nil {
+			return NodeResult{}, err
+		}
+		if err := mgr.RestoreProfileMemo(pe.pm); err != nil {
+			return NodeResult{}, err
+		}
+	} else {
+		if err := mgr.Profile(); err != nil {
+			return NodeResult{}, err
+		}
+		if memoable {
+			if hot, err := rt.m.CaptureHotState(); err == nil {
+				if pm := mgr.ExportProfileMemo(); pm != nil {
+					putProfileMemo(pKey, &profileEntry{hot: hot, pm: pm})
+				}
+			}
+		}
 	}
 	for p := 0; p < cfg.Periods; p++ {
 		start := fleetClock()
@@ -201,31 +475,49 @@ func runNode(cfg Config, node int, lat []time.Duration) (NodeResult, error) {
 			_, err = mgr.ExploreStep()
 		case core.PhaseIdle:
 			_, err = mgr.IdleStep()
+		case core.PhaseDegraded:
+			err = mgr.DegradedStep()
 		default:
 			err = fmt.Errorf("fleet: node %d in unexpected phase %v", node, mgr.Phase())
 		}
 		lat[p] = fleetClock().Sub(start)
-		if err != nil {
-			return NodeResult{}, err
-		}
 		res.Periods++
+		if err != nil {
+			if !mgr.Resilience.Enabled {
+				return NodeResult{}, err
+			}
+			// A hardened node absorbs the failed period: the watchdog
+			// counts it and trips the EQ fallback at the degrade
+			// threshold, exactly as Manager.Run does inline.
+			mgr.NotePeriod(true)
+			continue
+		}
+		mgr.NotePeriod(false)
 		if mgr.Phase() == core.PhaseProfile {
 			// A change detection sends the manager back to profiling;
 			// re-profile outside the latency measurement (it spans many
 			// probe periods, not one control period).
 			res.Reprofiles++
 			if err := mgr.Profile(); err != nil {
-				return NodeResult{}, err
+				if !mgr.Resilience.Enabled {
+					return NodeResult{}, err
+				}
+				mgr.NotePeriod(true)
 			}
 		}
 	}
-	final := mgr.State()
-	res.Ways, res.MBA = final.Ways, final.MBA
-	cs := m.SolveCacheDetail()
+	res.Unfairness = mgr.LastUnfairness()
+	st := core.AllocState{Ways: ways, MBA: mba}
+	mgr.StateInto(&st)
+	res.Ways, res.MBA = st.Ways, st.MBA
+	cs := rt.m.SolveCacheDetail()
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	res.ScoreHits, res.ScoreMisses = mgr.ScoreMemoStats()
 	res.Phase = mgr.Phase().String()
 	res.FailStreak = mgr.FailStreak()
+	if poolable {
+		putRuntime(rt)
+	}
 	return res, nil
 }
 
@@ -235,13 +527,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
-	// One flat latency buffer, pre-sliced per node, keeps the recording
-	// race-free under ForEach without locks.
+	// One flat latency buffer and one flat allocation arena, pre-sliced
+	// per node, keep the recording race-free under ForEach without locks
+	// and keep the per-node path allocation-free: each node's final
+	// Ways/MBA land in its own cap-limited arena slot.
 	lats := make([]time.Duration, cfg.Nodes*cfg.Periods)
+	arena := make([]int, cfg.Nodes*2*maxMixApps)
 	sharedBefore := machine.SharedSolveCacheStats()
 	start := fleetClock()
 	err := parallel.ForEach(cfg.Nodes, func(i int) error {
-		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods])
+		off := i * 2 * maxMixApps
+		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods],
+			arena[off:off:off+maxMixApps],
+			arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps])
 		if err != nil {
 			return fmt.Errorf("fleet: node %d: %w", i, err)
 		}
@@ -284,12 +582,17 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// percentile reads the p-th percentile from sorted latencies (nearest-rank).
+// percentile reads the p-th percentile from sorted latencies: the
+// nearest-rank definition, sorted[⌈p/100·n⌉−1] (1-indexed rank rounded
+// up), so p50 of [a,b] is a and p100 of any sample is the maximum.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := len(sorted) * p / 100
+	idx := (p*len(sorted)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
 	if idx >= len(sorted) {
 		idx = len(sorted) - 1
 	}

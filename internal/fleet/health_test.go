@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/machine"
+)
+
+// TestFleetHealthRollup drives one node of a small fleet into degraded
+// mode — a permanent counter-read outage beginning after its profiling
+// phase, under the default resilience policy — and checks that the
+// health rollup separates it from the healthy nodes and surfaces its
+// failure streak. The faulted node is wrapped through the test hook, so
+// every node runs unpooled; the healthy nodes keep the fail-fast zero
+// resilience and must finish untouched.
+func TestFleetHealthRollup(t *testing.T) {
+	const faulted = 1
+	testNodeTarget = func(node int, m *machine.Machine) (core.Target, core.Resilience) {
+		if node != faulted {
+			return m, core.Resilience{}
+		}
+		// Profiling spans 3 virtual seconds per application (≤ 18s for the
+		// largest mix); from t=25s every counter read fails, forever.
+		wrapped, err := faultinject.WrapTarget(m, faultinject.Scenario{
+			ReadBursts: []faultinject.Window{{From: 25 * time.Second, To: 1000 * time.Hour}},
+		}, nil)
+		if err != nil {
+			t.Errorf("wrap target: %v", err)
+			return m, core.Resilience{}
+		}
+		return wrapped, core.DefaultResilience()
+	}
+	defer func() { testNodeTarget = nil }()
+
+	res, err := Run(Config{Nodes: 3, Periods: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health.Healthy != 2 || res.Health.Degraded != 1 {
+		t.Fatalf("health rollup %+v, want 2 healthy / 1 degraded", res.Health)
+	}
+	if res.Health.MaxFailStreak < 1 {
+		t.Errorf("max fail streak %d, want ≥ 1", res.Health.MaxFailStreak)
+	}
+	for _, nr := range res.Nodes {
+		if nr.Node == faulted {
+			if nr.Phase != core.PhaseDegraded.String() {
+				t.Errorf("faulted node phase %q, want degraded", nr.Phase)
+			}
+			if nr.FailStreak < 1 {
+				t.Errorf("faulted node fail streak %d, want ≥ 1", nr.FailStreak)
+			}
+			if nr.Periods != 40 {
+				t.Errorf("faulted node ran %d periods, want 40 (failed periods still count)", nr.Periods)
+			}
+			continue
+		}
+		if nr.Phase == core.PhaseDegraded.String() || nr.FailStreak != 0 {
+			t.Errorf("healthy node %d reports %q streak %d", nr.Node, nr.Phase, nr.FailStreak)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition,
+// sorted[⌈p/100·n⌉−1]: p50 of two samples is the FIRST, p99 of a
+// hundred samples is the 99th — one below the maximum — and a
+// single-sample distribution answers every percentile with that sample.
+// The seed implementation used ⌊p/100·n⌋, which shifted every rank up
+// one (p50 of [a,b] read b, p99 of 100 read the maximum).
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tests := []struct {
+		n, p int
+		want time.Duration
+	}{
+		{n: 0, p: 50, want: 0},
+		{n: 1, p: 50, want: ms(1)},
+		{n: 1, p: 99, want: ms(1)},
+		{n: 1, p: 100, want: ms(1)},
+		{n: 2, p: 50, want: ms(1)},  // ⌈0.5·2⌉ = rank 1
+		{n: 2, p: 51, want: ms(2)},  // ⌈0.51·2⌉ = rank 2
+		{n: 4, p: 50, want: ms(2)},  // ⌈0.5·4⌉ = rank 2, not 3
+		{n: 5, p: 50, want: ms(3)},  // ⌈0.5·5⌉ = rank 3 (median)
+		{n: 15, p: 50, want: ms(8)}, // odd length: true median
+		{n: 100, p: 1, want: ms(1)},
+		{n: 100, p: 50, want: ms(50)},
+		{n: 100, p: 99, want: ms(99)}, // rank 99, not the maximum
+		{n: 100, p: 100, want: ms(100)},
+		{n: 200, p: 99, want: ms(198)}, // ⌈0.99·200⌉ = rank 198
+	}
+	for _, tc := range tests {
+		if got := percentile(seq(tc.n), tc.p); got != tc.want {
+			t.Errorf("percentile(n=%d, p=%d) = %v, want %v", tc.n, tc.p, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestFleetPoolGolden pins the pool's exactness contract: a node run on
+// a reinitialized pooled runtime produces a NodeResult bit-identical to
+// one run on freshly constructed substrates (Config.NoPool), across
+// several seeds. The third run exercises actual reuse — by then the
+// pool holds the first pooled run's runtimes, so every node of the
+// second pooled run lands on a recycled machine/manager/RNG.
+func TestFleetPoolGolden(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		cfg := Config{Nodes: 6, Periods: 8, Seed: seed}
+		pooled := runAtWorkers(t, 2, cfg)
+		warm := runAtWorkers(t, 2, cfg)
+		cfg.NoPool = true
+		fresh := runAtWorkers(t, 2, cfg)
+		if !reflect.DeepEqual(pooled.Nodes, fresh.Nodes) {
+			t.Fatalf("seed %d: pooled nodes differ from NoPool nodes:\npooled: %+v\nfresh:  %+v",
+				seed, pooled.Nodes, fresh.Nodes)
+		}
+		if !reflect.DeepEqual(warm.Nodes, fresh.Nodes) {
+			t.Fatalf("seed %d: warm pooled nodes differ from NoPool nodes:\nwarm:  %+v\nfresh: %+v",
+				seed, warm.Nodes, fresh.Nodes)
+		}
+	}
+}
+
+// TestFleetSteadyStateAllocs pins the tentpole: once the runtime pool,
+// the mix cache, and both solve-cache tiers are warm, a fleet run's
+// allocations are the per-run fixed cost (result slices, latency
+// buffer, arena, worker fan-out) — the per-node period loop itself
+// allocates nothing.
+func TestFleetSteadyStateAllocs(t *testing.T) {
+	cfg := Config{Nodes: 8, Periods: 5, Seed: 3}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	for i := 0; i < 2; i++ { // warm the pool and every cache tier
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per-run fixed cost, independent of the node count: Nodes slice,
+	// latency buffer, arena, and the single-worker fan-out machinery.
+	// The budget leaves a little headroom; the seed implementation
+	// burned ~290 allocs per node on this configuration.
+	const budget = 24
+	if avg > budget {
+		t.Errorf("steady-state fleet run allocates %.1f times, budget %d", avg, budget)
+	}
+}

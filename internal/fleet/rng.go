@@ -1,0 +1,41 @@
+package fleet
+
+// nodeSource is the fleet's math/rand source: splitmix64 over the node
+// seed. math/rand's default lagged-Fibonacci source pays a ~10µs
+// 607-word scramble on every Seed call — per fleet *node*, that was 18%
+// of a Fleet256 period sweep — while splitmix64 seeds by storing one
+// word. The generator is statistically strong for the fleet's needs
+// (mix composition draws and the manager's exploration jitter), and
+// determinism only requires that equal seeds yield equal streams, which
+// holds trivially. It implements rand.Source64, so rand.Rand consumes
+// Uint64 directly.
+//
+// Reseeding a retained nodeSource is exactly equivalent to constructing
+// a fresh one — the entire state is the one word Seed stores — which is
+// the property the runtime pool's exactness contract needs (pooled and
+// fresh substrates must produce bit-identical NodeResults).
+type nodeSource struct {
+	state uint64
+}
+
+// Seed resets the stream to the canonical position for seed.
+//
+//copart:noalloc
+func (s *nodeSource) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 returns the next stream word (splitmix64 finalizer over a
+// Weyl sequence).
+//
+//copart:noalloc
+func (s *nodeSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 satisfies rand.Source for consumers that do not use Source64.
+//
+//copart:noalloc
+func (s *nodeSource) Int63() int64 { return int64(s.Uint64() >> 1) }

@@ -1,0 +1,31 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleet4096Determinism extends the determinism contract to the
+// benchmark's largest scale: 4096 nodes produce bit-identical
+// NodeResults at any worker count, pooled runtimes and all. Short mode
+// skips it (two full 4096-node sweeps).
+func TestFleet4096Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-node fleet sweep in -short mode")
+	}
+	cfg := Config{Nodes: 4096, Periods: 2, Seed: 99}
+	seq := runAtWorkers(t, 1, cfg)
+	par := runAtWorkers(t, 8, cfg)
+	if !reflect.DeepEqual(seq.Nodes, par.Nodes) {
+		for i := range seq.Nodes {
+			if !reflect.DeepEqual(seq.Nodes[i], par.Nodes[i]) {
+				t.Fatalf("node %d differs between 1 and 8 workers:\nseq: %+v\npar: %+v",
+					i, seq.Nodes[i], par.Nodes[i])
+			}
+		}
+		t.Fatal("node results differ between 1 and 8 workers")
+	}
+	if res := seq.Health; res.Healthy != cfg.Nodes || res.Degraded != 0 {
+		t.Errorf("health rollup %+v, want %d healthy", res, cfg.Nodes)
+	}
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// HotState is an in-place machine checkpoint: the mutable state a run
+// accumulates — virtual time, per-app counters and allocations, and the
+// L1 solve-cache contents — captured from a live machine and adoptable
+// by another machine with the same configuration and application set.
+//
+// It exists for trajectory memoization: when a whole phase of execution
+// is a pure function of the starting configuration (the fleet's
+// profiling phase is — it consumes no RNG and, noise-free, every Step
+// is deterministic), running it once and restoring the checkpoint
+// elsewhere is bit-identical to re-running it. Unlike Snapshot, which
+// serializes everything needed to rebuild a machine from nothing,
+// HotState assumes the receiving machine already holds the same config
+// and apps and only adopts the run-mutable state, allocation-free at
+// steady state.
+//
+// A HotState shares memory with every machine that captured or restored
+// it (cache keys and entry slices are immutable by the solve-cache
+// contract), so it is safe to restore the same value into many machines
+// concurrently — but each individual machine remains single-threaded.
+type HotState struct {
+	configDigest uint64
+	now          time.Duration
+
+	// Per-app state, in launch order over all apps (inactive included,
+	// mirroring the app table exactly).
+	names    []string
+	counters []Counters
+	allocs   []Alloc
+	active   []bool
+
+	// L1 solve-cache contents and counters. Keys and entries are shared
+	// with the source cache; both are immutable once stored.
+	cacheKeys    []string
+	cacheEntries [][]Perf
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+	sharedHits   uint64
+	hasCache     bool
+}
+
+// CaptureHotState checkpoints the machine's run-mutable state. The
+// machine is not modified. It refuses machines with measurement noise
+// enabled: the checkpoint does not carry the noise stream position, so
+// restoring it elsewhere would silently desynchronize the noise draws
+// (Snapshot/RestoreSnapshot handle that case).
+func (m *Machine) CaptureHotState() (HotState, error) {
+	if m.cfg.MeasurementNoise != 0 {
+		return HotState{}, fmt.Errorf("machine: hot state does not carry the measurement-noise stream; use Snapshot")
+	}
+	hs := HotState{
+		configDigest: m.cfgDigest,
+		now:          m.now,
+		names:        make([]string, len(m.apps)),
+		counters:     make([]Counters, len(m.apps)),
+		allocs:       make([]Alloc, len(m.apps)),
+		active:       make([]bool, len(m.apps)),
+	}
+	for i, a := range m.apps {
+		hs.names[i] = a.model.Name
+		hs.counters[i] = a.counters
+		hs.allocs[i] = a.alloc
+		hs.active[i] = a.active
+	}
+	if m.cache != nil {
+		hs.hasCache = true
+		hs.cacheKeys = make([]string, 0, len(m.cache.entries))
+		hs.cacheEntries = make([][]Perf, 0, len(m.cache.entries))
+		for k, e := range m.cache.entries {
+			hs.cacheKeys = append(hs.cacheKeys, k)
+			hs.cacheEntries = append(hs.cacheEntries, e)
+		}
+		hs.hits = m.cache.hits.Load()
+		hs.misses = m.cache.misses.Load()
+		hs.evictions = m.cache.evictions.Load()
+		hs.sharedHits = m.cache.sharedHits.Load()
+	}
+	return hs, nil
+}
+
+// RestoreHotState adopts a checkpoint in place. The machine must hold
+// the same configuration (verified by digest) and the same application
+// table (same names, same launch order) as the machine the checkpoint
+// was captured from; the method then overwrites virtual time, per-app
+// counters and allocations, and the L1 cache, leaving the machine
+// bit-identical in behavior to the one that was checkpointed.
+//
+// Any pending L2 publications accumulated before the restore are
+// dropped (the checkpointed entries were already published, or will be
+// re-solved by whoever needs them — the L2 affects speed, never values).
+func (m *Machine) RestoreHotState(hs HotState) error {
+	if hs.configDigest != m.cfgDigest {
+		return fmt.Errorf("machine: hot state config fingerprint %#x does not match %#x", hs.configDigest, m.cfgDigest)
+	}
+	if m.cfg.MeasurementNoise != 0 {
+		return fmt.Errorf("machine: hot state does not carry the measurement-noise stream; use Snapshot")
+	}
+	if len(hs.names) != len(m.apps) {
+		return fmt.Errorf("machine: hot state has %d apps, machine has %d", len(hs.names), len(m.apps))
+	}
+	for i, a := range m.apps {
+		if a.model.Name != hs.names[i] {
+			return fmt.Errorf("machine: hot state app %d is %q, machine has %q", i, hs.names[i], a.model.Name)
+		}
+	}
+	if hs.hasCache != (m.cache != nil) {
+		return fmt.Errorf("machine: hot state and machine disagree on solve-cache presence")
+	}
+	m.now = hs.now
+	for i, a := range m.apps {
+		a.counters = hs.counters[i]
+		a.alloc = hs.allocs[i]
+		a.active = hs.active[i]
+		// Phased apps re-resolve at the restored time, exactly as the live
+		// trajectory would have left them at its last phase boundary.
+		if a.phased {
+			if idx := a.model.PhaseIndexAt(m.now); idx != a.phaseIdx {
+				a.resolved = a.model.AtTime(m.now)
+				a.phaseIdx = idx
+				a.digest = modelDigest(&a.resolved)
+			}
+		}
+	}
+	// The solver scratch no longer describes the machine.
+	m.solveClean = false
+	m.gatherValid = false
+	if m.cache != nil {
+		m.cache.clearPending()
+		clear(m.cache.entries)
+		for i, k := range hs.cacheKeys {
+			m.cache.entries[k] = hs.cacheEntries[i]
+		}
+		m.cache.hits.Store(hs.hits)
+		m.cache.misses.Store(hs.misses)
+		m.cache.evictions.Store(hs.evictions)
+		m.cache.sharedHits.Store(hs.sharedHits)
+	}
+	return nil
+}

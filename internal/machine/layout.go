@@ -60,6 +60,16 @@ func WayCounts(masks []uint64) []int {
 // possible, giving the first (totalWays mod n) applications one extra way.
 // It errors when n exceeds totalWays (someone would get zero ways).
 func EqualSplit(totalWays, n int) ([]int, error) {
+	return EqualSplitInto(nil, totalWays, n)
+}
+
+// EqualSplitInto is EqualSplit writing into dst, reusing its backing
+// array when the capacity suffices — the controller recomputes the
+// equal split at every profiling pass, and with a caller-owned dst that
+// step is allocation-free.
+//
+//copart:noalloc
+func EqualSplitInto(dst []int, totalWays, n int) ([]int, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("machine: cannot split across %d apps", n)
 	}
@@ -68,12 +78,15 @@ func EqualSplit(totalWays, n int) ([]int, error) {
 	}
 	base := totalWays / n
 	extra := totalWays % n
-	out := make([]int, n)
-	for i := range out {
-		out[i] = base
+	if cap(dst) < n {
+		dst = make([]int, n) //copart:allocok first call grows the caller's buffer; steady state reuses it
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = base
 		if i < extra {
-			out[i]++
+			dst[i]++
 		}
 	}
-	return out, nil
+	return dst, nil
 }

@@ -112,6 +112,13 @@ func (c Config) Validate() error {
 // FullMask returns the CBM with every configured way set.
 func (c Config) FullMask() uint64 { return (uint64(1) << c.LLCWays) - 1 }
 
+// Digest fingerprints the solver-visible configuration — the value used
+// in solve-cache keys and snapshot compatibility checks. Two configs
+// with equal digests are interchangeable to Solve; the non-serializable
+// BW.Curve is not part of the fingerprint (snapshots refuse custom
+// curves for the same reason).
+func (c Config) Digest() uint64 { return configDigest(c) }
+
 // Counters are the simulated performance-monitoring counters of one
 // application, cumulative since launch. Instructions, LLCAccesses, and
 // LLCMisses correspond to the three PMCs the paper samples through PAPI
@@ -141,13 +148,22 @@ type app struct {
 	counters Counters
 	active   bool
 
-	// digest fingerprints the model resolved at virtual time digestAt
-	// (phases folded). Maintained incrementally — computed on AddApp and
-	// recomputed only when a phased app is solved at a new time — so
-	// cache-key encoding never re-walks the model fields.
+	// resolved caches model.AtTime for the active phase index phaseIdx,
+	// and digest fingerprints it (phases folded). AtTime depends on time
+	// only through the phase index, so both stay valid until the index
+	// changes — the per-app dirty bit gatherActive checks. Unphased apps
+	// (phaseIdx -1) keep their AddApp-time resolution forever, and the
+	// cache-key encoding never re-walks model fields.
+	resolved AppModel
 	digest   uint64
-	digestAt time.Duration
+	phaseIdx int
 	phased   bool
+
+	// activeIdx is this app's position among the active apps in the last
+	// full gatherActive pass — valid only while Machine.gatherValid holds.
+	// SetAllocation uses it to patch scratch.allocs in place instead of
+	// forcing a full regather.
+	activeIdx int
 }
 
 // Perf is the solved steady-state performance of one application at the
@@ -183,8 +199,40 @@ type Machine struct {
 	noiseCalls uint64
 
 	hasPhases bool // any active app carries a phase schedule
-	scratch   solveScratch
-	cache     *solveCache // nil unless WithSolveCache
+	// solveClean reports that scratch.perfs still holds the solved steady
+	// state for the current machine state: no allocation, app set, or
+	// snapshot change since the last solveActiveScratch. Phased machines
+	// never use it (time itself is a solver input there). It lets a
+	// control period whose allocations converged — idle phases, settled
+	// exploration — skip the solve path entirely, key encoding and cache
+	// probes included.
+	solveClean bool
+	// gatherValid reports that scratch.models/allocs/digests still
+	// describe the active set: no app launched or removed since the last
+	// full gatherActive pass, and no phases in play. Allocation changes
+	// do not invalidate it — SetAllocation patches scratch.allocs in
+	// place via app.activeIdx — so the common one-alloc-changed solve
+	// skips re-copying every model struct and digest.
+	gatherValid bool
+	// scanCursor is lookup's rotation hint: the slot after the last
+	// linear-scan hit. Purely a speed hint — every use re-verifies the
+	// name and falls back to a full scan — so staleness (after
+	// RemoveApp/Reset) is harmless.
+	scanCursor int
+	scratch    solveScratch
+	cache      *solveCache // nil unless WithSolveCache
+}
+
+// advanceCursor moves the lookup hint past a scan hit at slot i,
+// wrapping so a fixed per-period touch order stays on the one-compare
+// path forever.
+//
+//copart:noalloc
+func (m *Machine) advanceCursor(i int) {
+	m.scanCursor = i + 1
+	if m.scanCursor >= len(m.apps) {
+		m.scanCursor = 0
+	}
 }
 
 // solveScratch holds the solver's reusable buffers. solveDomainInto and
@@ -192,16 +240,20 @@ type Machine struct {
 // scratch keeps the steady-state Solve path down to the one allocation
 // that is the returned []Perf.
 type solveScratch struct {
-	models   []AppModel     // Solve: resolved active models
-	allocs   []Alloc        // Solve: active allocations
-	digests  []uint64       // resolved-model digests for cache keys
-	caps     []float64      // per-app effective LLC capacity
-	next     []float64      // occupancyShares output buffer
-	mbaDelay []float64      // per-app MBA latency factor (fixed per solve)
-	bwCaps   []float64      // per-app MBA bandwidth cap (fixed per solve)
-	demands  []membw.Demand // arbitration input
-	arbRes   membw.Result   // arbitration output (Grants reused)
-	perfs    []Perf         // solveActiveScratch result buffer (Step, Occupancy)
+	models  []AppModel // Solve: resolved active models
+	allocs  []Alloc    // Solve: active allocations
+	digests []uint64   // resolved-model digests for cache keys
+	// extDigests serves SolveFor-style external solves that pass no
+	// digests: they must not write into digests, which gatherActive may
+	// be holding as its memoized active-set snapshot (gatherValid).
+	extDigests []uint64
+	caps       []float64      // per-app effective LLC capacity
+	next       []float64      // occupancyShares output buffer
+	mbaDelay   []float64      // per-app MBA latency factor (fixed per solve)
+	bwCaps     []float64      // per-app MBA bandwidth cap (fixed per solve)
+	demands    []membw.Demand // arbitration input
+	arbRes     membw.Result   // arbitration output (Grants reused)
+	perfs      []Perf         // solveActiveScratch result buffer (Step, Occupancy)
 }
 
 // Option configures a Machine at construction.
@@ -278,19 +330,71 @@ func (m *Machine) AddApp(model AppModel) error {
 	}
 	m.byName[model.Name] = len(m.apps)
 	resolved := model.AtTime(m.now)
-	m.apps = append(m.apps, &app{
+	a := m.nextAppSlot()
+	*a = app{
 		model:    model,
 		alloc:    Alloc{CBM: m.fullMask, MBALevel: membw.MaxLevel},
 		active:   true,
+		resolved: resolved,
 		digest:   modelDigest(&resolved),
-		digestAt: m.now,
+		phaseIdx: model.PhaseIndexAt(m.now),
 		phased:   len(model.Phases) > 0,
-	})
+	}
 	if len(model.Phases) > 0 {
 		m.hasPhases = true
 	}
+	m.solveClean = false
+	m.gatherValid = false
 	m.cache.invalidate()
 	return nil
+}
+
+// nextAppSlot appends one app slot, reusing a retired *app kept beyond
+// len by Reset when one exists (the pooled-fleet path relaunches the
+// same slot counts every node, so steady-state AddApp touches no heap).
+func (m *Machine) nextAppSlot() *app {
+	n := len(m.apps)
+	if n < cap(m.apps) {
+		m.apps = m.apps[:n+1]
+		if m.apps[n] == nil {
+			m.apps[n] = &app{}
+		}
+	} else {
+		m.apps = append(m.apps, &app{})
+	}
+	return m.apps[n]
+}
+
+// Reset retires every application and rewinds virtual time to zero,
+// keeping the machine's configuration, arbiter, solver scratch, and — if
+// enabled — its L1 solve-cache buffers (entries and counters are
+// cleared; the persistent key-intern table is kept, it only affects
+// allocations). Pending shared-cache publications are flushed first so
+// work solved by the retiring tenant stays visible process-wide. A reset
+// machine behaves bit-identically to a freshly constructed one with the
+// same configuration: the fleet's node-runtime pool relies on exactly
+// that (DESIGN.md §12). App slots are retained beyond len for reuse by
+// AddApp; noise machines re-seed their RNG lazily on first use, exactly
+// like a new machine.
+//
+//copart:noalloc
+func (m *Machine) Reset() {
+	m.FlushShared()
+	for _, a := range m.apps[:cap(m.apps)] {
+		if a == nil {
+			break
+		}
+		*a = app{}
+	}
+	m.apps = m.apps[:0]
+	clear(m.byName)
+	m.now = 0
+	m.noiseRNG = nil
+	m.noiseCalls = 0
+	m.hasPhases = false
+	m.solveClean = false
+	m.gatherValid = false
+	m.cache.reset()
 }
 
 // RemoveApp terminates an application (the idle phase detects this as a
@@ -304,6 +408,8 @@ func (m *Machine) RemoveApp(name string) error {
 		return fmt.Errorf("machine: app %q already removed", name)
 	}
 	m.apps[i].active = false
+	m.solveClean = false
+	m.gatherValid = false
 	m.cache.invalidate()
 	return nil
 }
@@ -339,7 +445,44 @@ func (m *Machine) Model(name string) (AppModel, error) {
 	return m.apps[i].model, nil
 }
 
+// smallAppScan bounds the linear-scan fast path in lookup: at or below
+// this many slots a name is resolved by scanning the app array instead
+// of hashing it into byName. Controllers pass the same interned name
+// strings every period, so the comparisons hit Go's pointer-equality
+// fast path and the per-period ReadCounters/SetAllocation sweep skips
+// the string-hash entirely — on a consolidation-sized machine that hash
+// was the single hottest machine-layer instruction in a fleet profile.
+const smallAppScan = 8
+
 func (m *Machine) lookup(name string) (*app, error) {
+	if len(m.apps) <= smallAppScan {
+		// Cursor hint first: controllers touch their apps in a fixed
+		// rotation (the sampling sweep, applyState), so the next lookup
+		// almost always matches at the cursor on one pointer-equal
+		// comparison. Missing the hint costs one extra compare; the scan
+		// below still covers every slot. Same-length sibling names (the
+		// mix generators emit "kind-0", "kind-1", …) defeat the length
+		// shortcut and fall into byte-wise comparison, which made the
+		// plain scan the hottest machine-layer block in a fleet profile.
+		if c := m.scanCursor; c < len(m.apps) && m.apps[c].model.Name == name {
+			m.advanceCursor(c)
+			a := m.apps[c]
+			if !a.active {
+				return nil, fmt.Errorf("machine: app %q is not active", name)
+			}
+			return a, nil
+		}
+		for i, a := range m.apps {
+			if a.model.Name == name {
+				m.advanceCursor(i)
+				if !a.active {
+					return nil, fmt.Errorf("machine: app %q is not active", name)
+				}
+				return a, nil
+			}
+		}
+		return nil, fmt.Errorf("machine: unknown app %q", name)
+	}
 	i, ok := m.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("machine: unknown app %q", name)
@@ -351,11 +494,17 @@ func (m *Machine) lookup(name string) (*app, error) {
 	return a, nil
 }
 
-// SetAllocation updates an application's (CBM, MBA level).
+// SetAllocation updates an application's (CBM, MBA level). Setting the
+// allocation an application already holds is a no-op: it revalidates
+// nothing (equality to a held allocation proves validity) and leaves
+// the solved steady state clean, so the following Step skips its solve.
 func (m *Machine) SetAllocation(name string, alloc Alloc) error {
 	a, err := m.lookup(name)
 	if err != nil {
 		return err
+	}
+	if a.alloc == alloc {
+		return nil
 	}
 	if alloc.CBM == 0 || alloc.CBM&^m.fullMask != 0 {
 		return fmt.Errorf("machine: invalid CBM %#x for %d ways", alloc.CBM, m.cfg.LLCWays)
@@ -367,6 +516,10 @@ func (m *Machine) SetAllocation(name string, alloc Alloc) error {
 		return err
 	}
 	a.alloc = alloc
+	if m.gatherValid {
+		m.scratch.allocs[a.activeIdx] = alloc
+	}
+	m.solveClean = false
 	return nil
 }
 
@@ -425,12 +578,13 @@ func (m *Machine) Step(dt time.Duration) error {
 		a.counters.MemoryBytes += p.GrantBW * secs * perfNoise * missNoise
 	}
 	m.now += dt
-	// Phase advance changes which resolved models the next Solve sees;
-	// the cache key is exact over resolved models, so this flush is a
-	// memory bound rather than a correctness requirement.
-	if m.hasPhases {
-		m.cache.invalidate()
-	}
+	// Phase advances invalidate nothing: the cache key is exact over
+	// resolved models, so entries from an old phase simply stop being
+	// looked up, and the bounded batch eviction (solvecache.go) is the
+	// memory bound. One period boundary is also the batching point for
+	// shared-cache publication — everything this period solved is pushed
+	// to the L2 in one grouped, striped acquire.
+	m.FlushShared()
 	return nil
 }
 
@@ -490,13 +644,24 @@ func (m *Machine) Occupancy(name string) (float64, error) {
 
 // gatherActive resolves the active models, allocations, and model
 // digests into the scratch buffers shared by Solve and
-// solveActiveScratch. Digests are maintained incrementally: unphased
-// apps keep their AddApp-time digest forever; phased apps recompute
-// only when solved at a new virtual time.
+// solveActiveScratch. Resolution and digests are maintained
+// incrementally per app: unphased apps keep their AddApp-time
+// resolution forever, and a phased app re-resolves (and re-digests)
+// only when its *phase index* changed since it was last solved — the
+// per-app dirty bit. AtTime depends on time only through that index,
+// so the cached resolution is exact, and one app crossing a phase
+// boundary never touches its neighbours' cached state.
 //
 //copart:noalloc
 func (m *Machine) gatherActive() ([]AppModel, []Alloc, []uint64) {
 	sc := &m.scratch
+	// Memoized pass: the active set is unchanged and unphased, so the
+	// scratch still holds every model struct and digest — SetAllocation
+	// kept sc.allocs current in place. Copying the model structs was the
+	// single largest block move in a fleet period sweep.
+	if m.gatherValid && !m.hasPhases {
+		return sc.models, sc.allocs, sc.digests
+	}
 	sc.models = sc.models[:0]
 	sc.allocs = sc.allocs[:0]
 	sc.digests = sc.digests[:0]
@@ -504,16 +669,22 @@ func (m *Machine) gatherActive() ([]AppModel, []Alloc, []uint64) {
 		if !a.active {
 			continue
 		}
-		mo := a.model.AtTime(m.now)
-		sc.models = append(sc.models, mo)
+		if a.phased {
+			if idx := a.model.PhaseIndexAt(m.now); idx != a.phaseIdx {
+				a.resolved = a.model.AtTime(m.now) //copart:allocok phase-boundary refresh, amortized over the phase's many periods
+				a.phaseIdx = idx
+				a.digest = modelDigest(&a.resolved)
+			}
+		}
+		a.activeIdx = len(sc.models)
+		sc.models = append(sc.models, a.resolved)
 		sc.allocs = append(sc.allocs, a.alloc)
 		if m.cache != nil {
-			if a.phased && a.digestAt != m.now {
-				a.digest = modelDigest(&mo)
-				a.digestAt = m.now
-			}
 			sc.digests = append(sc.digests, a.digest)
 		}
+	}
+	if !m.hasPhases {
+		m.gatherValid = true
 	}
 	return sc.models, sc.allocs, sc.digests
 }
@@ -530,7 +701,7 @@ func (m *Machine) Solve() ([]Perf, error) {
 		return nil, nil
 	}
 	perfs := make([]Perf, len(models)) //copart:allocok the returned slice is the API contract: callers may retain it
-	if err := m.solveForInto(perfs, models, allocs, digests); err != nil {
+	if err := m.solveForInto(perfs, models, allocs, digests, true); err != nil {
 		return nil, err
 	}
 	return perfs, nil
@@ -543,6 +714,13 @@ func (m *Machine) Solve() ([]Perf, error) {
 //
 //copart:noalloc
 func (m *Machine) solveActiveScratch() ([]Perf, error) {
+	// Work skipping: when nothing a solver reads has changed since the
+	// last scratch solve, the previous steady state is still exact —
+	// return it without touching the cache tiers. Phased machines are
+	// excluded because their resolved models move with virtual time.
+	if m.solveClean && !m.hasPhases {
+		return m.scratch.perfs, nil
+	}
 	models, allocs, digests := m.gatherActive()
 	if len(models) == 0 {
 		return nil, nil
@@ -552,9 +730,10 @@ func (m *Machine) solveActiveScratch() ([]Perf, error) {
 		sc.perfs = make([]Perf, len(models))
 	}
 	sc.perfs = sc.perfs[:len(models)]
-	if err := m.solveForInto(sc.perfs, models, allocs, digests); err != nil {
+	if err := m.solveForInto(sc.perfs, models, allocs, digests, true); err != nil {
 		return nil, err
 	}
+	m.solveClean = true
 	return sc.perfs, nil
 }
 
@@ -567,7 +746,7 @@ func (m *Machine) SolveFor(models []AppModel, allocs []Alloc) ([]Perf, error) {
 		return nil, nil
 	}
 	perfs := make([]Perf, len(models))
-	if err := m.solveForInto(perfs, models, allocs, nil); err != nil {
+	if err := m.solveForInto(perfs, models, allocs, nil, false); err != nil {
 		return nil, err
 	}
 	return perfs, nil
@@ -584,7 +763,7 @@ func (m *Machine) SolveForInto(perfs []Perf, models []AppModel, allocs []Alloc) 
 	if len(perfs) != len(models) {
 		return fmt.Errorf("machine: %d perf slots for %d models", len(perfs), len(models))
 	}
-	return m.solveForInto(perfs, models, allocs, nil)
+	return m.solveForInto(perfs, models, allocs, nil, false)
 }
 
 // SolveSession solves one fixed set of models at many allocations with
@@ -620,7 +799,7 @@ func (s *SolveSession) SolveInto(perfs []Perf, allocs []Alloc) error {
 	if len(perfs) != len(s.models) {
 		return fmt.Errorf("machine: %d perf slots for %d models", len(perfs), len(s.models))
 	}
-	return s.m.solveInto(perfs, s.models, allocs, s.digests, false)
+	return s.m.solveInto(perfs, s.models, allocs, s.digests, false, false)
 }
 
 // SteadyMeasurement reports whether stepping this machine by a fixed
@@ -640,42 +819,49 @@ func (m *Machine) SteadyMeasurement() bool {
 // demand into scratch) or hold modelDigest of each resolved model.
 //
 //copart:noalloc
-func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64) error {
-	return m.solveInto(perfs, models, allocs, digests, true)
+func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, trusted bool) error {
+	return m.solveInto(perfs, models, allocs, digests, true, trusted)
 }
 
 // solveInto is solveForInto with tier selection: useL1 false restricts
 // caching to the shared L2 (the SolveSession path — states an
 // exhaustive search never revisits intra-run would only churn the
-// per-machine table).
+// per-machine table). trusted skips the per-app input validation loop:
+// it is set only for the machine's own state (solveActiveScratch,
+// Solve), where every allocation was validated by SetAllocation on the
+// way in and every model by AddApp — re-checking each app on each of a
+// control run's thousands of solves was pure overhead. External
+// hypothetical states (SolveFor, sessions) stay fully validated.
 //
 //copart:noalloc
-func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1 bool) error {
+func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1, trusted bool) error {
 	if len(models) != len(allocs) {
 		return fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
 	}
 	sockets := m.cfg.SocketCount()
-	for i, al := range allocs {
-		if al.CBM == 0 || al.CBM&^m.fullMask != 0 {
-			return fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
-		}
-		if err := membw.ValidateLevel(al.MBALevel); err != nil {
-			return fmt.Errorf("machine: app %d: %w", i, err)
-		}
-		if s := models[i].Socket; s < 0 || s >= sockets {
-			return fmt.Errorf("machine: app %d on socket %d, machine has %d",
-				i, s, sockets)
+	if !trusted {
+		for i, al := range allocs {
+			if al.CBM == 0 || al.CBM&^m.fullMask != 0 {
+				return fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
+			}
+			if err := membw.ValidateLevel(al.MBALevel); err != nil {
+				return fmt.Errorf("machine: app %d: %w", i, err)
+			}
+			if s := models[i].Socket; s < 0 || s >= sockets {
+				return fmt.Errorf("machine: app %d on socket %d, machine has %d",
+					i, s, sockets)
+			}
 		}
 	}
 	shared := m.cache != nil && SharedSolveCacheEnabled()
 	if m.cache != nil && (useL1 || shared) {
 		if digests == nil {
 			sc := &m.scratch
-			sc.digests = sc.digests[:0]
+			sc.extDigests = sc.extDigests[:0]
 			for i := range models {
-				sc.digests = append(sc.digests, modelDigest(&models[i]))
+				sc.extDigests = append(sc.extDigests, modelDigest(&models[i])) //copart:allocok amortized append growth on the external-solve path
 			}
-			digests = sc.digests
+			digests = sc.extDigests
 		}
 		m.cache.encodeKey(m.cfgDigest, digests, allocs)
 		if useL1 {
@@ -738,13 +924,42 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 		entry := make([]Perf, len(perfs)) //copart:allocok cache-miss path: one immutable entry backs both cache tiers
 		copy(entry, perfs)
 		if useL1 {
-			m.cache.store(entry)
-		}
-		if shared {
+			key := m.cache.store(entry)
+			if shared {
+				// Self-visibility is already guaranteed by the L1, so the
+				// L2 publication is deferred into the pending batch that
+				// Step flushes once per period (one striped acquire per
+				// node-period instead of one mutex acquire per solve).
+				// Publication timing only shifts which machine's L2
+				// hit/miss counter moves — documented nondeterministic.
+				m.cache.pend(key, entry)
+			}
+		} else if shared {
+			// SolveSession states are never revisited intra-run and have
+			// no L1 for self-visibility, so they publish directly.
 			sharedSolve.store(m.cache.key, entry)
 		}
 	}
 	return nil
+}
+
+// FlushShared publishes the pending L2 entries batched since the last
+// flush, grouped so each distinct shard's lock is taken once (see
+// sharedCache.storeBatch). Machine calls it on period boundaries (Step)
+// and on Reset, and the pending buffer flushes itself when it reaches
+// capacity; drivers that solve without stepping — sweeps over SolveFor —
+// may call it to publish eagerly. Safe without a cache or with nothing
+// pending.
+//
+//copart:noalloc
+func (m *Machine) FlushShared() {
+	if m.cache == nil || len(m.cache.pendKeys) == 0 {
+		return
+	}
+	if SharedSolveCacheEnabled() {
+		sharedSolve.storeBatch(m.cache.pendKeys, m.cache.pendEntries)
+	}
+	m.cache.clearPending()
 }
 
 // solveDomainInto solves one socket's applications against one LLC and

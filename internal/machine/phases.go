@@ -47,29 +47,45 @@ func validatePhases(name string, phases []ModelPhase) error {
 	return nil
 }
 
-// AtTime resolves the model at virtual time t: the active phase's scales
-// are folded into a flat (phase-free) model. A model without phases is
-// returned unchanged.
-func (m AppModel) AtTime(t time.Duration) AppModel {
+// PhaseIndexAt returns the index of the phase active at virtual time t,
+// or -1 for a model whose resolution does not vary with time (no phases,
+// or a degenerate zero-length cycle — exactly the cases AtTime returns
+// the model unchanged). AtTime's output depends on t only through this
+// index: the active phase's scales are applied to the static base model.
+// That is what makes the resolved model cacheable per app — a dirty bit
+// flips only when the index changes (see Machine.gatherActive).
+//
+//copart:noalloc
+func (m *AppModel) PhaseIndexAt(t time.Duration) int {
 	if len(m.Phases) == 0 {
-		return m
+		return -1
 	}
 	var cycle time.Duration
 	for _, p := range m.Phases {
 		cycle += p.Duration
 	}
 	if cycle <= 0 {
-		return m
+		return -1
 	}
 	off := t % cycle
-	var active ModelPhase
-	for _, p := range m.Phases {
-		if off < p.Duration {
-			active = p
-			break
+	for i := range m.Phases {
+		if off < m.Phases[i].Duration {
+			return i
 		}
-		off -= p.Duration
+		off -= m.Phases[i].Duration
 	}
+	return len(m.Phases) - 1 // unreachable: off < cycle by construction
+}
+
+// AtTime resolves the model at virtual time t: the active phase's scales
+// are folded into a flat (phase-free) model. A model without phases is
+// returned unchanged.
+func (m AppModel) AtTime(t time.Duration) AppModel {
+	idx := m.PhaseIndexAt(t)
+	if idx < 0 {
+		return m
+	}
+	active := m.Phases[idx]
 	out := m
 	out.Phases = nil
 	out.AccPerInstr = m.AccPerInstr * active.accScale()

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// launchableTestModels normalizes sharedTestModels so they pass AddApp
+// validation (StreamFrac plus the hot weights must sum to 1; SolveFor
+// does not check that, AddApp does).
+func launchableTestModels(n int) []AppModel {
+	models := sharedTestModels(n)
+	for i := range models {
+		rest := 1 - models[i].StreamFrac
+		models[i].Hot[0].Weight = rest * 0.7
+		models[i].Hot[1].Weight = rest * 0.3
+	}
+	return models
+}
+
+// resetTestModels is a phased variant of launchableTestModels: the
+// reset contract must hold for the stateful features too (phase dirty
+// bits, noise-RNG stream position), not just the steady solver.
+func resetTestModels(n int) []AppModel {
+	models := launchableTestModels(n)
+	for i := range models {
+		if i%2 == 1 {
+			models[i].Phases = []ModelPhase{
+				{Duration: 3 * time.Second, AccScale: 1.5},
+				{Duration: 2 * time.Second, HotScale: 0.5},
+			}
+		}
+	}
+	return models
+}
+
+// driveMachine runs a fixed workload sequence — launch, allocate,
+// step/solve — and returns the machine's final snapshot.
+func driveMachine(t *testing.T, m *Machine, models []AppModel) Snapshot {
+	t.Helper()
+	masks, err := AssignContiguousWays([]int{3, 3, 3, 2}, 0, m.cfg.LLCWays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range models {
+		if err := m.AddApp(models[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetAllocation(models[i].Name, Alloc{CBM: masks[i], MBALevel: 100 - 10*i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < 20; p++ {
+		if err := m.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RemoveApp(models[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 5; p++ {
+		if err := m.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Snapshot()
+}
+
+// TestMachineResetBitIdentical pins the pool contract: a Reset machine
+// behaves bit-identically to a freshly constructed one — counters,
+// virtual time, noise stream position, and the deterministic solve-cache
+// counters all match (SharedHits excluded: L2 serving depends on process
+// history by design).
+func TestMachineResetBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MeasurementNoise = 0.02
+	cfg.NoiseSeed = 99
+	models := resetTestModels(4)
+
+	fresh, err := New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveMachine(t, fresh, models)
+
+	reused, err := New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute with a different tenant first, then Reset.
+	other := launchableTestModels(3)
+	for i := range other {
+		other[i].Name = "tenant0-" + other[i].Name
+		if err := reused.AddApp(other[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < 7; p++ {
+		if err := reused.Step(500 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reused.Reset()
+	got := driveMachine(t, reused, models)
+
+	if want.SolveCache == nil || got.SolveCache == nil {
+		t.Fatal("expected solve-cache counters in both snapshots")
+	}
+	want.SolveCache.SharedHits, got.SolveCache.SharedHits = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reset machine diverged from fresh machine:\nfresh: %+v\nreset: %+v", want, got)
+	}
+}
+
+// TestMachineResetAllocationGuard pins the pooled-fleet budget: once a
+// machine has been through one tenant, the full relaunch cycle —
+// Reset, AddApp ×4, SetAllocation ×4, one control-period Step — must
+// cost at most the one cache-entry copy the re-solve stores (entries
+// are cleared by Reset; the intern table and app slots are not).
+func TestMachineResetAllocationGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	models := launchableTestModels(4)
+	masks, err := AssignContiguousWays([]int{3, 3, 3, 2}, 0, cfg.LLCWays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, WithSolveCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		m.Reset()
+		for i := range models {
+			if err := m.AddApp(models[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.SetAllocation(models[i].Name, Alloc{CBM: masks[i], MBALevel: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Step(time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()          // warm: grow slots, scratch, intern table
+	const budget = 2 // the re-stored cache entry, plus slack for the runtime
+	if avg := testing.AllocsPerRun(100, cycle); avg > budget {
+		t.Errorf("Reset+relaunch cycle allocates %.1f times, budget is %d", avg, budget)
+	}
+}

@@ -91,10 +91,13 @@ func TestSharedSolveCacheBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := writer.SolveFor(models, allocs) // miss: solve + publish to L2
+		got, err := writer.SolveFor(models, allocs) // miss: solve + pend for L2
 		if err != nil {
 			t.Fatal(err)
 		}
+		// L2 publication batches until a period boundary (Step) or an
+		// explicit flush; cross-machine visibility starts at the flush.
+		writer.FlushShared()
 		if !reflect.DeepEqual(want, got) {
 			t.Fatalf("state %d: cached solve differs from bare solve", i)
 		}
@@ -163,6 +166,7 @@ func TestSharedSolveCacheOnOffIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	seed.FlushShared()
 	onPerfs, onHits, onMisses := run(true)
 	if !reflect.DeepEqual(offPerfs, onPerfs) {
 		t.Fatal("solve results differ with the shared cache on vs off")

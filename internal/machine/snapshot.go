@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/membw"
 )
 
 // Snapshot is the complete serializable state of a Machine: the
@@ -94,33 +96,37 @@ func RestoreSnapshot(snap Snapshot, opts ...Option) (*Machine, error) {
 		if as.CBM == 0 || as.CBM&^m.fullMask != 0 || !contiguous(as.CBM) {
 			return nil, fmt.Errorf("machine: restore: app %q has invalid CBM %#x", as.Model.Name, as.CBM)
 		}
+		// Validated here rather than by re-programming through
+		// SetAllocation below: setting an allocation equal to the held one
+		// is a no-op there, which would let a corrupt level through.
+		if err := membw.ValidateLevel(as.MBALevel); err != nil {
+			return nil, fmt.Errorf("machine: restore: app %q: %w", as.Model.Name, err)
+		}
 		if err := validCounters(as.Counters); err != nil {
 			return nil, fmt.Errorf("machine: restore: app %q: %w", as.Model.Name, err)
 		}
 		resolved := as.Model.AtTime(m.now)
 		m.byName[as.Model.Name] = len(m.apps)
-		m.apps = append(m.apps, &app{
+		a := m.nextAppSlot()
+		*a = app{
 			model:    as.Model,
 			alloc:    Alloc{CBM: as.CBM, MBALevel: as.MBALevel},
 			counters: as.Counters,
 			active:   as.Active,
+			resolved: resolved,
 			digest:   modelDigest(&resolved),
-			digestAt: m.now,
+			phaseIdx: as.Model.PhaseIndexAt(m.now),
 			phased:   len(as.Model.Phases) > 0,
-		})
+		}
 		if len(as.Model.Phases) > 0 {
 			m.hasPhases = true
 		}
 	}
-	// Active allocations must be fully valid (MBA levels included); the
-	// cheapest complete check is to re-program them through the public
-	// validator.
+	// Allocations were validated field-by-field above; what remains is
+	// the cross-app invariant AddApp would have enforced.
 	for _, a := range m.apps {
 		if !a.active {
 			continue
-		}
-		if err := m.SetAllocation(a.model.Name, a.alloc); err != nil {
-			return nil, fmt.Errorf("machine: restore: %w", err)
 		}
 		used := 0
 		for _, b := range m.apps {

@@ -26,6 +26,21 @@ type solveCache struct {
 	max     int
 	key     []byte // scratch for the current key
 
+	// interned deduplicates key strings across stores: the map-store form
+	// m[string(b)] = v materializes a fresh key string every time, so a
+	// fleet node revisiting states it solved in an earlier epoch (or an
+	// L2-warm node adopting entries) would pay one string allocation per
+	// store forever. The intern table survives invalidate/reset — it
+	// holds strings, not results, so persistence affects allocations
+	// only, never values or counters.
+	interned map[string]string
+
+	// pendKeys/pendEntries buffer L2 publications between period
+	// boundaries (see Machine.FlushShared): keys are interned strings, so
+	// the buffer itself allocates only amortized append growth.
+	pendKeys    []string
+	pendEntries [][]Perf
+
 	// The counters are atomics because fleet drivers snapshot stats
 	// while nodes are mid-run; the maps themselves are still owned by
 	// one Machine (a Machine is not safe for concurrent use).
@@ -35,8 +50,17 @@ type solveCache struct {
 	sharedHits atomic.Uint64 // L1 misses served by the shared L2
 }
 
+// internMax bounds the intern table; at the bound it is cleared
+// wholesale (keeping its buckets) — strictly a memory/alloc trade, the
+// interned strings carry no cached results.
+const internMax = 1 << 16
+
 func newSolveCache(max int) *solveCache {
-	return &solveCache{entries: make(map[string][]Perf), max: max}
+	return &solveCache{
+		entries:  make(map[string][]Perf),
+		interned: make(map[string]string),
+		max:      max,
+	}
 }
 
 // invalidate drops every entry. Safe on a nil cache.
@@ -45,6 +69,72 @@ func (c *solveCache) invalidate() {
 		return
 	}
 	clear(c.entries)
+}
+
+// reset returns the cache to its just-constructed state — entries
+// cleared (buckets kept), all counters zeroed — while retaining the
+// intern table and key scratch, whose contents are config-keyed strings
+// that stay valid across Machine.Reset. Pending L2 publications must be
+// flushed by the caller first (Machine.Reset does). Safe on nil.
+//
+//copart:noalloc
+func (c *solveCache) reset() {
+	if c == nil {
+		return
+	}
+	clear(c.entries)
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.sharedHits.Store(0)
+}
+
+// intern returns the canonical string for the scratch key, allocating
+// it at most once per distinct state per table generation.
+//
+//copart:noalloc
+func (c *solveCache) intern() string {
+	if s, ok := c.interned[string(c.key)]; ok {
+		return s
+	}
+	if len(c.interned) >= internMax {
+		clear(c.interned)
+	}
+	s := string(c.key) //copart:allocok first sighting of a state: interned once, reused forever
+	c.interned[s] = s
+	return s
+}
+
+// pend queues an entry for batched L2 publication under the interned
+// key, self-flushing when the buffer fills between period boundaries.
+//
+//copart:noalloc
+func (c *solveCache) pend(key string, entry []Perf) {
+	c.pendKeys = append(c.pendKeys, key)         //copart:allocok amortized append growth; capacity is retained across periods
+	c.pendEntries = append(c.pendEntries, entry) //copart:allocok amortized append growth; capacity is retained across periods
+	if len(c.pendKeys) >= pendFlushAt {
+		if SharedSolveCacheEnabled() {
+			sharedSolve.storeBatch(c.pendKeys, c.pendEntries)
+		}
+		c.clearPending()
+	}
+}
+
+// pendFlushAt caps the pending buffer: a control period solves a
+// handful of new states, so 64 is reached only by solve-heavy sweeps
+// between steps.
+const pendFlushAt = 64
+
+// clearPending empties the pending buffer, dropping entry references
+// but keeping capacity.
+//
+//copart:noalloc
+func (c *solveCache) clearPending() {
+	for i := range c.pendEntries {
+		c.pendEntries[i] = nil
+	}
+	c.pendKeys = c.pendKeys[:0]
+	c.pendEntries = c.pendEntries[:0]
 }
 
 // encodeKey writes the exact solver fingerprint into the scratch key:
@@ -85,11 +175,14 @@ func (c *solveCache) lookup() ([]Perf, bool) {
 
 // store memoizes an immutable entry under the key left by the preceding
 // lookup, taking ownership of the slice (solveForInto passes a fresh
-// copy, possibly shared with the L2). When the table is full a bounded
+// copy, possibly shared with the L2), and returns the interned key
+// string for batched L2 publication. When the table is full a bounded
 // batch (max/8) is evicted instead of dropping the whole table — Go's
 // randomized map iteration picks the victims, which is fine because
 // eviction affects only speed and counters, never values.
-func (c *solveCache) store(entry []Perf) {
+//
+//copart:noalloc
+func (c *solveCache) store(entry []Perf) string {
 	if len(c.entries) >= c.max {
 		if _, exists := c.entries[string(c.key)]; !exists {
 			batch := c.max / 8
@@ -106,7 +199,9 @@ func (c *solveCache) store(entry []Perf) {
 			c.evictions.Add(evicted)
 		}
 	}
-	c.entries[string(c.key)] = entry
+	key := c.intern()
+	c.entries[key] = entry
+	return key
 }
 
 // CacheStats is a snapshot of one machine's L1 counters. Hits, Misses,

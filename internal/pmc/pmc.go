@@ -42,10 +42,28 @@ type Rates struct {
 // produces rates on each sampling round. Snapshots are held by pointer
 // so the steady-state Sample path updates them in place: one map lookup
 // per call, no map write, no allocation (the snapshot allocates once,
-// the first time an application is seen).
+// the first time an application is seen; Reset recycles retired
+// snapshots through a freelist, so a pooled controller's relaunch
+// cycle allocates none at all).
 type Sampler struct {
-	src   Source
+	src Source
+	// names/snaps hold the tracked set in insertion order and serve the
+	// small-set linear fast path: a consolidation controller samples the
+	// same handful of interned name strings twice per period, and a scan
+	// whose comparisons hit Go's pointer-equality shortcut beats hashing
+	// the name every time — it also keeps a pooled controller's relaunch
+	// cycle (insert a few names, Reset, repeat) entirely off the map.
+	names []string
+	snaps []*sample
+	// cursor remembers where the last linear-scan hit landed plus one:
+	// controllers sample their apps in a fixed order, so the next lookup
+	// almost always matches at the cursor on its first, pointer-equal
+	// comparison instead of scanning past its predecessors.
+	cursor int
+	// last is materialized lazily, only once the tracked set outgrows
+	// smallScan; while empty, the slices are authoritative alone.
 	last  map[string]*sample
+	free  []*sample
 	drops int
 }
 
@@ -54,9 +72,66 @@ type sample struct {
 	at       time.Duration
 }
 
+// smallScan bounds the linear-scan fast path (see Sampler.names).
+const smallScan = 8
+
+// lookup resolves app's snapshot: a linear scan while the set is small
+// enough that the map was never materialized, the map afterwards.
+//
+//copart:noalloc
+func (s *Sampler) lookup(app string) (*sample, bool) {
+	if len(s.last) == 0 {
+		if c := s.cursor; c < len(s.names) && s.names[c] == app {
+			s.advance(c)
+			return s.snaps[c], true
+		}
+		for i, n := range s.names {
+			if n == app {
+				s.advance(i)
+				return s.snaps[i], true
+			}
+		}
+		return nil, false
+	}
+	snap, ok := s.last[app]
+	return snap, ok
+}
+
+// advance moves the scan cursor past a hit at index i, wrapping so a
+// fixed sampling rotation stays on the fast path forever.
+//
+//copart:noalloc
+func (s *Sampler) advance(i int) {
+	s.cursor = i + 1
+	if s.cursor >= len(s.names) {
+		s.cursor = 0
+	}
+}
+
+// insert records a new tracked app, spilling the whole set into the map
+// once it outgrows the linear-scan bound.
+//
+//copart:noalloc
+func (s *Sampler) insert(app string, snap *sample) {
+	s.names = append(s.names, app)  //copart:allocok amortized append growth; capacity is retained across resets
+	s.snaps = append(s.snaps, snap) //copart:allocok amortized append growth; capacity is retained across resets
+	if len(s.last) > 0 {
+		s.last[app] = snap
+		return
+	}
+	if len(s.names) > smallScan {
+		if s.last == nil {
+			s.last = make(map[string]*sample, 2*smallScan) //copart:allocok one-time spill past the linear-scan bound
+		}
+		for i, n := range s.names {
+			s.last[n] = s.snaps[i]
+		}
+	}
+}
+
 // NewSampler creates a sampler over src.
 func NewSampler(src Source) *Sampler {
-	return &Sampler{src: src, last: make(map[string]*sample)}
+	return &Sampler{src: src}
 }
 
 // Sample reads app's counters at virtual time now and returns the rates
@@ -67,9 +142,15 @@ func (s *Sampler) Sample(app string, now time.Duration) (Rates, bool, error) {
 	if err != nil {
 		return Rates{}, false, err
 	}
-	snap, seen := s.last[app]
+	snap, seen := s.lookup(app)
 	if !seen {
-		s.last[app] = &sample{counters: cur, at: now}
+		if n := len(s.free); n > 0 {
+			snap, s.free[n-1], s.free = s.free[n-1], nil, s.free[:n-1]
+			snap.counters, snap.at = cur, now
+		} else {
+			snap = &sample{counters: cur, at: now} //copart:allocok first sighting of an app; Reset recycles the snapshot
+		}
+		s.insert(app, snap)
 		return Rates{}, false, nil
 	}
 	window := now - snap.at
@@ -116,9 +197,31 @@ func (s *Sampler) Drops() int { return s.drops }
 // terminates and a same-named one may launch later).
 func (s *Sampler) Forget(app string) {
 	delete(s.last, app)
+	for i, n := range s.names {
+		if n == app {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+			s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
+			break
+		}
+	}
+	// The map, once materialized, stays authoritative even if the set
+	// shrinks back under the scan bound — lookup switches on len(last).
 }
 
-// Reset drops all snapshots.
+// Reset drops all snapshots, recycling them through the freelist so the
+// next tenant's first sightings allocate nothing (map buckets are kept
+// too). Drops are cumulative across tenants, matching the doc on Drops.
+//
+//copart:noalloc
 func (s *Sampler) Reset() {
-	s.last = make(map[string]*sample)
+	for i, snap := range s.snaps {
+		*snap = sample{}
+		s.free = append(s.free, snap) //copart:allocok amortized append growth; capacity is retained across resets
+		s.names[i] = ""
+		s.snaps[i] = nil
+	}
+	s.names = s.names[:0]
+	s.snaps = s.snaps[:0]
+	s.cursor = 0
+	clear(s.last)
 }

@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// MixCache precomputes every workload mix drawable on one machine
+// configuration — all seven kinds at every feasible application count —
+// plus the STREAM reference rates, so a driver that launches thousands
+// of nodes (the fleet) resolves each node's mix with a map lookup
+// instead of rebuilding the models from the catalog. The cached slices
+// are built by the same Mix calls a direct caller would make, so the
+// models are bit-identical to the uncached path; they are shared and
+// read-only — callers must not mutate them (machine.AddApp copies the
+// model by value, so launching from a cached mix is safe).
+type MixCache struct {
+	cfg    machine.Config
+	mixes  map[mixKey][]machine.AppModel
+	stream map[int]float64
+}
+
+type mixKey struct {
+	kind MixKind
+	n    int
+}
+
+// NewMixCache eagerly builds the mix table for cfg: every kind at every
+// n from 2 up to min(LLCWays, Cores) (the feasibility bound Mix itself
+// enforces — one way and one core per application). The STREAM
+// reference is profiled once on a private throwaway machine.
+func NewMixCache(cfg machine.Config) (*MixCache, error) {
+	maxApps := cfg.LLCWays
+	if cfg.Cores < maxApps {
+		maxApps = cfg.Cores
+	}
+	if maxApps < 2 {
+		return nil, fmt.Errorf("workloads: config fits %d apps, mixes need at least 2", maxApps)
+	}
+	c := &MixCache{
+		cfg:   cfg,
+		mixes: make(map[mixKey][]machine.AppModel, len(MixKinds())*(maxApps-1)),
+	}
+	for _, kind := range MixKinds() {
+		for n := 2; n <= maxApps; n++ {
+			models, err := Mix(cfg, kind, n)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: mix cache %v/%d: %w", kind, n, err)
+			}
+			c.mixes[mixKey{kind, n}] = models
+		}
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.stream, err = StreamMissRates(m); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Config returns the configuration the cache was built for.
+func (c *MixCache) Config() machine.Config { return c.cfg }
+
+// Mix returns the cached mix of the given kind and size. The returned
+// slice is shared and read-only. Combinations outside the precomputed
+// range error exactly as the direct Mix call would have.
+//
+//copart:noalloc
+func (c *MixCache) Mix(kind MixKind, n int) ([]machine.AppModel, error) {
+	if models, ok := c.mixes[mixKey{kind, n}]; ok {
+		return models, nil
+	}
+	// Not precomputed: fall through to the real constructor for its exact
+	// error (or, for an n the bound excluded on an unusual config, its
+	// result). Cold path by construction.
+	return Mix(c.cfg, kind, n) //copart:allocok cache-miss fallback, off the fleet hot path
+}
+
+// StreamRef returns the cached STREAM reference miss rates (shared,
+// read-only — the manager only reads it).
+func (c *MixCache) StreamRef() map[int]float64 { return c.stream }
