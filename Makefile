@@ -40,25 +40,37 @@ BENCHJSON_DATE ?= $(shell date +%F)
 BENCH_RAW ?= /tmp/bench-raw.txt
 # The heavy macro benchmarks run with -count 3 so the snapshot records
 # the run-to-run spread; benchguard compares the fastest record per name.
+# Both snapshot targets merge into any existing BENCH_<date>.json
+# (benchjson -merge): re-run benchmarks are deduped to min-of-runs and
+# untouched entries survive, so bench-json and bench-fleet compose on
+# the same day instead of clobbering each other. The merge stages
+# through $(BENCH_MERGED) because redirecting onto the merge source
+# would truncate it before benchjson reads it.
+BENCH_MERGED ?= /tmp/bench-merged.json
 bench-json:
 	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$|BenchmarkFig1$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$|BenchmarkGetNextSystemState4$$|BenchmarkManagerPeriod$$' -benchtime 1000x -benchmem . ; } \
 	> $(BENCH_RAW)
-	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > BENCH_$(BENCHJSON_DATE).json
+	$(GO) run ./cmd/benchjson -merge BENCH_$(BENCHJSON_DATE).json < $(BENCH_RAW) > $(BENCH_MERGED)
+	mv $(BENCH_MERGED) BENCH_$(BENCHJSON_DATE).json
 	@cat BENCH_$(BENCHJSON_DATE).json
 
-# Fleet-scale snapshot only: the Fleet256 steady-state budget (≤5 ms/op,
-# ≤1k allocs/op) and the Fleet4096 scale proof (p99 period latency flat
-# vs Fleet256 — compare the p99ns extras), with -benchmem so benchguard
-# can hold the allocs_per_op line. Emits the same dated JSON format as
-# bench-json.
+# Fleet-scale snapshot only: the Fleet256 steady-state budget, the
+# Fleet4096/Fleet16384 scale proofs (p99 period latency flat as nodes
+# grow — compare the p99ns extras), and the FleetChurn fleet-over-trace
+# run, with -benchmem so benchguard can hold the allocs_per_op line.
+# Emits the same dated JSON format as bench-json and merges the same
+# way.
 bench-fleet:
 	{ $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
-	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; } \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet16384$$' -benchtime 1x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleetChurn$$' -benchtime 2x -count 3 -benchmem . ; } \
 	> $(BENCH_RAW)
-	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > BENCH_$(BENCHJSON_DATE).json
+	$(GO) run ./cmd/benchjson -merge BENCH_$(BENCHJSON_DATE).json < $(BENCH_RAW) > $(BENCH_MERGED)
+	mv $(BENCH_MERGED) BENCH_$(BENCHJSON_DATE).json
 	@cat BENCH_$(BENCHJSON_DATE).json
 
 # Guard the headline benchmarks against the newest committed BENCH_*.json:
@@ -71,11 +83,13 @@ bench-guard:
 	{ $(GO) test -run xxx -bench 'BenchmarkFig12$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet256$$' -benchtime 5x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkFleet4096$$' -benchtime 2x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleet16384$$' -benchtime 1x -count 3 -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkFleetChurn$$' -benchtime 2x -count 3 -benchmem . ; \
 	  $(GO) test -run xxx -bench 'BenchmarkMachineSolve$$' -benchtime 1000x -count 3 -benchmem . ; } \
 	> $(BENCH_RAW)
 	$(GO) run ./cmd/benchjson < $(BENCH_RAW) > $(BENCHGUARD_CUR)
 	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR) \
-	  -bench BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256,BenchmarkFleet4096
+	  -bench BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256,BenchmarkFleet4096,BenchmarkFleet16384,BenchmarkFleetChurn
 
 # Crash-safety gate: capture a real snapshot from copartd, verify its
 # replay is deterministic (snap2test -check), then generate a pinned

@@ -284,6 +284,38 @@ func BenchmarkFleet256(b *testing.B) { benchFleet(b, 256) }
 // L2 solve cache and the immutable mix and profile memos.
 func BenchmarkFleet4096(b *testing.B) { benchFleet(b, 4096) }
 
+// BenchmarkFleet16384 extends the scale proof another 4×: with the
+// latency ring the per-run memory cost no longer scales with
+// Nodes×Periods, so p99 period latency must stay flat against Fleet4096.
+func BenchmarkFleet16384(b *testing.B) { benchFleet(b, 16384) }
+
+// BenchmarkFleetChurn measures fleet-over-trace: 1024 nodes arriving on
+// a Poisson schedule and living for exponential lifetimes (mean 10
+// periods), every arrival reinitializing a departed node's pooled
+// runtime across differing mix shapes. The acceptance targets — flat
+// p99 vs the fixed fleets and ≤16 allocs/op at steady state — are held
+// by benchguard (allocs, ns/op) and TestChurnSteadyStateAllocs.
+func BenchmarkFleetChurn(b *testing.B) {
+	cfg := fleet.ChurnConfig{Arrivals: 1024, Rate: 4, MeanLife: 10, MaxLife: 40, Seed: 1}
+	if _, err := fleet.RunChurn(cfg); err != nil { // warm pool + memos
+		b.Fatal(err)
+	}
+	before := machine.SharedSolveCacheStats()
+	var last fleet.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.RunChurn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	reportShared(b, before)
+	b.ReportMetric(float64(last.P99.Nanoseconds()), "p99ns")
+	b.ReportMetric(float64(last.Pool.Hits), "poolhits/run")
+}
+
 // benchFleet runs the fleet driver at a given scale: independent nodes,
 // each profiling and then running 10 control periods, fanned across the
 // worker pool. One untimed warm-up run populates the node-runtime pool

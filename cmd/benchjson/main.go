@@ -10,12 +10,24 @@
 // Lines that are not benchmark results (the cpu/goos banner, PASS, ok)
 // are ignored. Units beyond ns/op, B/op, and allocs/op are preserved in
 // the record's "extra" map.
+//
+// With -merge FILE the fresh records are merged into an existing
+// snapshot instead of replacing it: records in FILE whose benchmarks
+// were not re-run are preserved verbatim (their run-to-run spread
+// included), and each re-run benchmark collapses to a single
+// min-of-runs record across the old and new results — so a same-day
+// partial re-run (make bench-fleet after make bench-json) updates its
+// benchmarks in place instead of tripling the file. A missing FILE
+// behaves as an empty snapshot.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
@@ -34,10 +46,20 @@ type Record struct {
 }
 
 func main() {
+	mergeFile := flag.String("merge", "", "merge into this existing JSON snapshot (dedupe re-run benchmarks, keep min-of-runs)")
+	flag.Parse()
 	recs, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *mergeFile != "" {
+		existing, err := loadSnapshot(*mergeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		recs = mergeRecords(existing, recs)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -45,6 +67,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadSnapshot reads a BENCH_<date>.json array; a missing file is an
+// empty snapshot.
+func loadSnapshot(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// mergeRecords folds fresh results into an existing snapshot. Names not
+// re-run keep every existing record verbatim, in place; a re-run name
+// collapses to one min-ns/op record across old and new results, emitted
+// at its first existing position (or appended, for brand-new names, in
+// input order).
+func mergeRecords(existing, fresh []Record) []Record {
+	rerun := make(map[string]Record, len(fresh))
+	for _, r := range fresh {
+		if b, ok := rerun[r.Name]; !ok || r.NsPerOp < b.NsPerOp {
+			rerun[r.Name] = r
+		}
+	}
+	for _, r := range existing {
+		if b, ok := rerun[r.Name]; ok && r.NsPerOp < b.NsPerOp {
+			rerun[r.Name] = r
+		}
+	}
+	out := make([]Record, 0, len(existing)+len(fresh))
+	emitted := make(map[string]bool, len(rerun))
+	for _, r := range existing {
+		if _, ok := rerun[r.Name]; !ok {
+			out = append(out, r)
+			continue
+		}
+		if !emitted[r.Name] {
+			out = append(out, rerun[r.Name])
+			emitted[r.Name] = true
+		}
+	}
+	for _, r := range fresh {
+		if !emitted[r.Name] {
+			out = append(out, rerun[r.Name])
+			emitted[r.Name] = true
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) ([]Record, error) {

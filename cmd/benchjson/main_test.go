@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rec is a test-construction shorthand.
+func rec(name string, ns float64) Record {
+	return Record{Name: name, Procs: 1, Iterations: 1, NsPerOp: ns}
+}
+
+func TestParseLine(t *testing.T) {
+	r, ok, err := parseLine("BenchmarkFleet256-8   5   4700000 ns/op   120 B/op   8 allocs/op   2600 p99ns")
+	if err != nil || !ok {
+		t.Fatalf("parseLine: ok=%v err=%v", ok, err)
+	}
+	if r.Name != "BenchmarkFleet256" || r.Procs != 8 || r.Iterations != 5 || r.NsPerOp != 4700000 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 120 || r.AllocsPerOp == nil || *r.AllocsPerOp != 8 {
+		t.Fatalf("memory fields: %+v", r)
+	}
+	if r.Extra["p99ns"] != 2600 {
+		t.Fatalf("extra: %+v", r.Extra)
+	}
+}
+
+// TestMergeRecords is the dedupe table test: same-day re-runs must
+// update their benchmarks in place (min-of-runs), preserve everything
+// else verbatim, and append genuinely new benchmarks.
+func TestMergeRecords(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		existing []Record
+		fresh    []Record
+		want     []Record
+	}{
+		{
+			name:  "fresh file",
+			fresh: []Record{rec("BenchmarkA", 100), rec("BenchmarkA", 90), rec("BenchmarkB", 50)},
+			want:  []Record{rec("BenchmarkA", 90), rec("BenchmarkB", 50)},
+		},
+		{
+			name:     "rerun collapses to min across old and new",
+			existing: []Record{rec("BenchmarkA", 100), rec("BenchmarkA", 80), rec("BenchmarkB", 50)},
+			fresh:    []Record{rec("BenchmarkA", 90), rec("BenchmarkA", 95)},
+			want:     []Record{rec("BenchmarkA", 80), rec("BenchmarkB", 50)},
+		},
+		{
+			name:     "untouched names keep their spread verbatim",
+			existing: []Record{rec("BenchmarkA", 100), rec("BenchmarkA", 120), rec("BenchmarkB", 50)},
+			fresh:    []Record{rec("BenchmarkB", 40)},
+			want:     []Record{rec("BenchmarkA", 100), rec("BenchmarkA", 120), rec("BenchmarkB", 40)},
+		},
+		{
+			name:     "new benchmarks append in input order",
+			existing: []Record{rec("BenchmarkA", 100)},
+			fresh:    []Record{rec("BenchmarkC", 70), rec("BenchmarkB", 60), rec("BenchmarkC", 65)},
+			want:     []Record{rec("BenchmarkA", 100), rec("BenchmarkC", 65), rec("BenchmarkB", 60)},
+		},
+		{
+			name:  "empty fresh input keeps the snapshot",
+			fresh: nil,
+			existing: []Record{
+				rec("BenchmarkA", 100),
+			},
+			want: []Record{rec("BenchmarkA", 100)},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mergeRecords(tc.existing, tc.fresh)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("mergeRecords:\ngot:  %+v\nwant: %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadSnapshot covers the file edge cases -merge hits.
+func TestLoadSnapshot(t *testing.T) {
+	if recs, err := loadSnapshot(filepath.Join(t.TempDir(), "absent.json")); err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v, want empty snapshot", recs, err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	want := []Record{rec("BenchmarkA", 100)}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("loadSnapshot = %+v, want %+v", got, want)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// TestParseEndToEnd runs the text parser over a realistic -bench
+// transcript, banners and all.
+func TestParseEndToEnd(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"BenchmarkFleet256-8    5    4700000 ns/op    2600 p99ns",
+		"BenchmarkFleet256-8    5    4650000 ns/op    2500 p99ns",
+		"PASS",
+		"ok  \trepro\t1.2s",
+	}, "\n")
+	recs, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "BenchmarkFleet256" || recs[1].NsPerOp != 4650000 {
+		t.Fatalf("parsed %+v", recs)
+	}
+}

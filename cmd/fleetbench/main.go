@@ -10,7 +10,14 @@
 // Usage:
 //
 //	fleetbench [-nodes 256] [-periods 50] [-parallel N] [-seed 1] [-l2] [-verify]
-//	    [-cpuprofile fleet.cpu] [-memprofile fleet.mem]
+//	    [-churn] [-cpuprofile fleet.cpu] [-memprofile fleet.mem]
+//
+// With -churn the fleet runs over a trace instead of a fixed grid:
+// -nodes becomes the total number of Poisson arrivals and -periods the
+// mean exponential lifetime in control periods; departing nodes return
+// their runtimes to the pool and arrivals reinitialize them in place
+// (fleet.RunChurn). The pool hit/miss/eviction counters and the virtual
+// live-population stats are reported alongside the usual figures.
 //
 // The profiling flags mirror evaluate/characterize: they wrap the whole
 // fleet run (verification passes included) in the runtime profilers so
@@ -29,13 +36,26 @@ import (
 	"repro/internal/profiling"
 )
 
+// options collects the run parameters.
+type options struct {
+	nodes   int
+	periods int
+	workers int
+	seed    int64
+	l2      bool
+	verify  bool
+	churn   bool
+}
+
 func main() {
-	nodes := flag.Int("nodes", 256, "number of simulated nodes")
-	periods := flag.Int("periods", 50, "control periods per node after profiling")
-	workers := flag.Int("parallel", 0, "worker bound (0 = GOMAXPROCS)")
-	seed := flag.Int64("seed", 1, "fleet seed")
-	l2 := flag.Bool("l2", true, "enable the process-wide shared solve cache")
-	verify := flag.Bool("verify", false, "re-run sequentially and with the shared cache toggled, check per-node determinism")
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 256, "number of simulated nodes (arrivals with -churn)")
+	flag.IntVar(&o.periods, "periods", 50, "control periods per node after profiling (mean lifetime with -churn)")
+	flag.IntVar(&o.workers, "parallel", 0, "worker bound (0 = GOMAXPROCS)")
+	flag.Int64Var(&o.seed, "seed", 1, "fleet seed")
+	flag.BoolVar(&o.l2, "l2", true, "enable the process-wide shared solve cache")
+	flag.BoolVar(&o.verify, "verify", false, "re-run sequentially and with the shared cache toggled, check per-node determinism")
+	flag.BoolVar(&o.churn, "churn", false, "fleet-over-trace: Poisson arrivals, exponential lifetimes, pool reuse across mix shapes")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -45,7 +65,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fleetbench:", err)
 		os.Exit(1)
 	}
-	err = run(os.Stdout, *nodes, *periods, *workers, *seed, *l2, *verify)
+	err = run(os.Stdout, o)
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -63,12 +83,21 @@ func pct(hits, misses uint64) float64 {
 	return 100 * float64(hits) / float64(hits+misses)
 }
 
-func run(w *os.File, nodes, periods, workers int, seed int64, l2, verify bool) error {
-	parallel.SetWorkers(workers)
+func run(w *os.File, o options) error {
+	parallel.SetWorkers(o.workers)
 	defer parallel.SetWorkers(0)
-	machine.SetSharedSolveCache(l2)
-	cfg := fleet.Config{Nodes: nodes, Periods: periods, Seed: seed}
-	res, err := fleet.Run(cfg)
+	machine.SetSharedSolveCache(o.l2)
+	execute := func() (fleet.Result, error) {
+		if o.churn {
+			return fleet.RunChurn(fleet.ChurnConfig{
+				Arrivals: o.nodes,
+				MeanLife: float64(o.periods),
+				Seed:     o.seed,
+			})
+		}
+		return fleet.Run(fleet.Config{Nodes: o.nodes, Periods: o.periods, Seed: o.seed})
+	}
+	res, err := execute()
 	if err != nil {
 		return err
 	}
@@ -76,15 +105,25 @@ func run(w *os.File, nodes, periods, workers int, seed int64, l2, verify bool) e
 	for _, nr := range res.Nodes {
 		reprofiles += nr.Reprofiles
 	}
-	fmt.Fprintf(w, "fleet: %d nodes × %d periods (seed %d, %d workers)\n",
-		nodes, periods, seed, parallel.Workers())
+	if o.churn {
+		fmt.Fprintf(w, "fleet: %d arrivals, mean lifetime %d periods (seed %d, %d workers)\n",
+			o.nodes, o.periods, o.seed, parallel.Workers())
+		fmt.Fprintf(w, "churn:            peak %d live, mean %.1f live\n",
+			res.Churn.PeakLive, res.Churn.MeanLive)
+	} else {
+		fmt.Fprintf(w, "fleet: %d nodes × %d periods (seed %d, %d workers)\n",
+			o.nodes, o.periods, o.seed, parallel.Workers())
+	}
 	fmt.Fprintf(w, "elapsed:          %v\n", res.Elapsed)
 	fmt.Fprintf(w, "node-periods/sec: %.0f\n", res.PeriodsPerSec)
 	fmt.Fprintf(w, "period latency:   p50 %v  p99 %v\n", res.P50, res.P99)
 	fmt.Fprintf(w, "reprofiles:       %d\n", reprofiles)
+	fmt.Fprintf(w, "runtime pool:     %.1f%% hit (%d hits, %d misses, %d evictions, %d free)\n",
+		pct(res.Pool.Hits, res.Pool.Misses), res.Pool.Hits, res.Pool.Misses,
+		res.Pool.Evictions, res.Pool.Free)
 	fmt.Fprintf(w, "solve cache L1:   %.1f%% hit (%d hits, %d misses, %d evictions)\n",
 		pct(res.CacheHits, res.CacheMisses), res.CacheHits, res.CacheMisses, res.CacheEvictions)
-	if l2 {
+	if o.l2 {
 		fmt.Fprintf(w, "solve cache L2:   %.1f%% hit (%d hits, %d misses, %d evictions, %d entries)\n",
 			pct(res.Shared.Hits, res.Shared.Misses), res.Shared.Hits, res.Shared.Misses,
 			res.Shared.Evictions, res.Shared.Entries)
@@ -95,19 +134,19 @@ func run(w *os.File, nodes, periods, workers int, seed int64, l2, verify bool) e
 		pct(res.ScoreHits, res.ScoreMisses), res.ScoreHits, res.ScoreMisses)
 	fmt.Fprintf(w, "health:           %d healthy, %d degraded (max fail streak %d)\n",
 		res.Health.Healthy, res.Health.Degraded, res.Health.MaxFailStreak)
-	if verify {
+	if o.verify {
 		parallel.SetWorkers(1)
-		seq, err := fleet.Run(cfg)
+		seq, err := execute()
 		if err != nil {
 			return err
 		}
 		if !reflect.DeepEqual(res.Nodes, seq.Nodes) {
 			return fmt.Errorf("per-node results differ between parallel and sequential runs")
 		}
-		parallel.SetWorkers(workers)
-		machine.SetSharedSolveCache(!l2)
-		toggled, err := fleet.Run(cfg)
-		machine.SetSharedSolveCache(l2)
+		parallel.SetWorkers(o.workers)
+		machine.SetSharedSolveCache(!o.l2)
+		toggled, err := execute()
+		machine.SetSharedSolveCache(o.l2)
 		if err != nil {
 			return err
 		}

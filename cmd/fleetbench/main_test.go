@@ -6,7 +6,15 @@ import (
 )
 
 func TestRun(t *testing.T) {
-	if err := run(os.Stdout, 8, 10, 4, 1, true, true); err != nil {
+	o := options{nodes: 8, periods: 10, workers: 4, seed: 1, l2: true, verify: true}
+	if err := run(os.Stdout, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChurn(t *testing.T) {
+	o := options{nodes: 16, periods: 4, workers: 2, seed: 1, l2: true, verify: true, churn: true}
+	if err := run(os.Stdout, o); err != nil {
 		t.Fatal(err)
 	}
 }

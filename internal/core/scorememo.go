@@ -47,7 +47,11 @@ type scoreMemo struct {
 	// rates, so persistence affects allocations only, never values.
 	interned map[string]string
 	// free recycles retired rate slices: flush feeds it, store pops it.
-	free [][]pmc.Rates
+	// capHint is the largest rate count ever stored; fresh slices are
+	// allocated at that capacity so the freelist converges to slices
+	// that fit any tenant (see store).
+	free    [][]pmc.Rates
+	capHint int
 }
 
 // scoreMemoInternMax bounds the intern table; at the bound it is cleared
@@ -116,7 +120,13 @@ func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
 }
 
 // store memoizes a copy of rates under st, reusing a recycled slice
-// from the freelist when one is large enough.
+// from the freelist when one is large enough. Undersized recycled
+// slices are dropped, not skipped: flush refills the freelist in map
+// order, so under mixed-shape churn (a 6-app tenant pooled after a
+// 3-app one) a keep-but-skip policy would keep landing small slices on
+// top of the stack and allocate forever. Dropping them and allocating
+// replacements at capHint makes the freelist converge to slices that
+// fit any tenant, restoring zero-alloc steady state.
 //
 //copart:noalloc
 func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
@@ -127,10 +137,19 @@ func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
 	}
 	c.encodeKey(st)
 	var cp []pmc.Rates
-	if n := len(c.free); n > 0 && cap(c.free[n-1]) >= len(rates) {
-		cp, c.free[n-1], c.free = c.free[n-1][:len(rates)], nil, c.free[:n-1]
-	} else {
-		cp = make([]pmc.Rates, len(rates)) //copart:allocok first epoch grows the freelist; steady state recycles
+	for n := len(c.free); n > 0; n-- {
+		top := c.free[n-1]
+		c.free[n-1], c.free = nil, c.free[:n-1]
+		if cap(top) >= len(rates) {
+			cp = top[:len(rates)]
+			break
+		}
+	}
+	if cp == nil {
+		if len(rates) > c.capHint {
+			c.capHint = len(rates)
+		}
+		cp = make([]pmc.Rates, len(rates), c.capHint) //copart:allocok freelist convergence: replaces dropped undersized slices at max capacity
 	}
 	copy(cp, rates)
 	c.entries[c.intern()] = cp

@@ -1,0 +1,60 @@
+package core
+
+import "repro/internal/fairness"
+
+// unfairness computes Equation 2 over the period's slowdowns, dispatching
+// between the batch recompute (the default, used by every published
+// experiment) and the incremental fairness.Tracker when
+// Features.StreamingFairness is set. Both arms agree within the
+// tracker's documented 5e-8 bound (pinned by TestManagerStreamingFairness);
+// they are not bit-identical, which is why streaming is opt-in.
+func (m *Manager) unfairness(slowdowns []float64) (float64, error) {
+	if !m.Features.StreamingFairness {
+		return fairness.Unfairness(slowdowns)
+	}
+	return m.streamUnfairness(slowdowns)
+}
+
+// streamUnfairness maintains the tracker across periods. On the first
+// period after (re)profiling — or after any app-set change, which
+// resetApps signals by clearing trackerLive — it seeds the tracker with
+// the full slowdown vector; every later period pushes only the
+// slowdowns that changed bit-for-bit since the previous one, which in a
+// converged idle phase is none. Any tracker error drops back to a
+// reseed on the next period rather than leaving stale sums behind.
+//
+//copart:noalloc
+func (m *Manager) streamUnfairness(slowdowns []float64) (float64, error) {
+	if !m.trackerLive || len(slowdowns) != len(m.prevSlow) {
+		m.tracker.Reset()
+		if cap(m.prevSlow) < len(slowdowns) {
+			m.prevSlow = make([]float64, len(slowdowns)) //copart:allocok first growth to the consolidation size
+		}
+		m.prevSlow = m.prevSlow[:len(slowdowns)]
+		for i, s := range slowdowns {
+			if err := m.tracker.Add(s); err != nil {
+				m.trackerLive = false
+				return 0, err
+			}
+			m.prevSlow[i] = s
+		}
+		m.trackerLive = true
+	} else {
+		for i, s := range slowdowns {
+			if s == m.prevSlow[i] { //copart:floateq exact-bit skip: any ulp of movement must reach the tracker
+				continue
+			}
+			if err := m.tracker.Update(m.prevSlow[i], s); err != nil {
+				m.trackerLive = false
+				return 0, err
+			}
+			m.prevSlow[i] = s
+		}
+	}
+	u, err := m.tracker.Unfairness()
+	if err != nil {
+		m.trackerLive = false
+		return 0, err
+	}
+	return u, nil
+}

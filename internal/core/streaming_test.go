@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fairness"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// streamingSetup builds a noisy machine (so slowdowns keep moving and
+// the tracker's Update path is exercised every period, not just the
+// reseed) and a manager with StreamingFairness on.
+func streamingSetup(t *testing.T, seed int64, noise float64) *Manager {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.MeasurementNoise = noise
+	cfg.NoiseSeed = seed
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := workloads.Mix(cfg, workloads.HBoth, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range models {
+		if err := m.AddApp(model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := workloads.StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(m, DefaultParams(), ref, Envelope{LoWay: 0, Ways: cfg.LLCWays},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Features.StreamingFairness = true
+	return mgr
+}
+
+// TestManagerStreamingFairness is the manager-level golden equivalence
+// test: with StreamingFairness on, every period's reported unfairness
+// must match a batch recompute of that period's slowdown vector within
+// the tracker's documented 5e-8 bound — across profiling resets,
+// exploration, idle, and a mid-run re-profile (which exercises the
+// trackerLive invalidation in resetApps). 3 seeds, noisy measurements
+// so the incremental Update path does real work.
+func TestManagerStreamingFairness(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		mgr := streamingSetup(t, seed, 0.02)
+		periods := 0
+		mgr.OnPeriod = func(r PeriodReport) {
+			periods++
+			batch, err := fairness.Unfairness(r.Slowdowns)
+			if err != nil {
+				t.Fatalf("seed %d: batch recompute: %v", seed, err)
+			}
+			if diff := math.Abs(r.Unfairness - batch); diff > 5e-8 {
+				t.Fatalf("seed %d period %d (%v): streaming %v vs batch %v differ by %g",
+					seed, periods, r.Phase, r.Unfairness, batch, diff)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			if err := mgr.Profile(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for i := 0; i < 300 && mgr.Phase() == PhaseExplore; i++ {
+				if _, err := mgr.ExploreStep(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			for i := 0; i < 10 && mgr.Phase() == PhaseIdle; i++ {
+				if _, err := mgr.IdleStep(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+		if periods < 20 {
+			t.Fatalf("seed %d: only %d periods observed — test did not exercise the tracker", seed, periods)
+		}
+	}
+}
+
+// TestStreamingFairnessOffIsBatch pins that with the gate off (the
+// default) the dispatcher IS the batch path: a full run with
+// DefaultFeatures must be bit-identical to one predating the gate, which
+// we assert by recomputing batch unfairness and requiring exact
+// equality.
+func TestStreamingFairnessOffIsBatch(t *testing.T) {
+	mgr := streamingSetup(t, 7, 0.02)
+	mgr.Features.StreamingFairness = false
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	mgr.OnPeriod = func(r PeriodReport) {
+		batch, err := fairness.Unfairness(r.Slowdowns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Unfairness != batch { //copart:floateq bit-identity is the contract under test
+			t.Fatalf("batch arm not bit-identical: %v vs %v", r.Unfairness, batch)
+		}
+	}
+	for i := 0; i < 50 && mgr.Phase() == PhaseExplore; i++ {
+		if _, err := mgr.ExploreStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStreamingFairnessSteadyAllocs pins the streaming path's steady
+// state at zero allocations once the prevSlow scratch has grown.
+func TestStreamingFairnessSteadyAllocs(t *testing.T) {
+	mgr := streamingSetup(t, 3, 0)
+	if err := mgr.Profile(); err != nil {
+		t.Fatal(err)
+	}
+	slow := []float64{1.5, 2.5, 3.5, 4.5}
+	if _, err := mgr.streamUnfairness(slow); err != nil { // seed prevSlow + tracker
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	avg := testing.AllocsPerRun(200, func() {
+		slow[rng.Intn(len(slow))] = 1 + 5*rng.Float64()
+		if _, err := mgr.streamUnfairness(slow); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("streamUnfairness allocates %.1f times in steady state, want 0", avg)
+	}
+}

@@ -1,0 +1,202 @@
+package fairness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trackerBound is the documented equivalence bound between the
+// streaming tracker and the batch Unfairness recompute: 5e-8 absolute,
+// for slowdowns in [1, 100] and populations up to 64 (see Tracker).
+const trackerBound = 5e-8
+
+// checkAgainstBatch asserts the tracker's unfairness matches the batch
+// recompute of xs within the documented bound.
+func checkAgainstBatch(t *testing.T, tr *Tracker, xs []float64, step int) {
+	t.Helper()
+	got, err := tr.Unfairness()
+	if err != nil {
+		t.Fatalf("step %d: tracker: %v", step, err)
+	}
+	want, err := Unfairness(xs)
+	if err != nil {
+		t.Fatalf("step %d: batch: %v", step, err)
+	}
+	if diff := math.Abs(got - want); diff > trackerBound {
+		t.Fatalf("step %d: streaming %v vs batch %v differ by %g (> %g) over %d slowdowns",
+			step, got, want, diff, trackerBound, len(xs))
+	}
+}
+
+// TestTrackerMatchesBatch is the 3-seed golden equivalence test: a long
+// random walk of adds, removes, and updates over a churning population,
+// checked against the batch recompute at every step. It pins the
+// documented ULP-level bound the manager's streaming gate relies on.
+func TestTrackerMatchesBatch(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tracker
+		var xs []float64
+		draw := func() float64 { return 1 + 99*rng.Float64() } // slowdowns in [1, 100)
+		for step := 0; step < 4000; step++ {
+			switch op := rng.Intn(10); {
+			case op == 0 && len(xs) > 1: // remove a random element
+				i := rng.Intn(len(xs))
+				if err := tr.Remove(xs[i]); err != nil {
+					t.Fatal(err)
+				}
+				xs[i] = xs[len(xs)-1]
+				xs = xs[:len(xs)-1]
+			case op <= 2 && len(xs) < 64: // add
+				x := draw()
+				if err := tr.Add(x); err != nil {
+					t.Fatal(err)
+				}
+				xs = append(xs, x)
+			case len(xs) > 0: // update one element in place
+				i := rng.Intn(len(xs))
+				x := draw()
+				if err := tr.Update(xs[i], x); err != nil {
+					t.Fatal(err)
+				}
+				xs[i] = x
+			default:
+				x := draw()
+				if err := tr.Add(x); err != nil {
+					t.Fatal(err)
+				}
+				xs = append(xs, x)
+			}
+			if len(xs) > 0 {
+				checkAgainstBatch(t, &tr, xs, step)
+			}
+		}
+	}
+}
+
+// TestTrackerNearEqualSlowdowns drives the cancellation-hostile case —
+// all slowdowns within a hair of each other, true variance ~0 — where
+// E[x²]−μ² loses the most precision, and checks the bound still holds.
+func TestTrackerNearEqualSlowdowns(t *testing.T) {
+	for _, seed := range []int64{7, 99, 2026} {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tracker
+		xs := make([]float64, 6)
+		for i := range xs {
+			xs[i] = 3 + 1e-12*rng.Float64()
+			if err := tr.Add(xs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for step := 0; step < 500; step++ {
+			i := rng.Intn(len(xs))
+			x := 3 + 1e-12*rng.Float64()
+			if err := tr.Update(xs[i], x); err != nil {
+				t.Fatal(err)
+			}
+			xs[i] = x
+			checkAgainstBatch(t, &tr, xs, step)
+		}
+	}
+}
+
+func TestTrackerEmptyAndSingle(t *testing.T) {
+	var tr Tracker
+	if _, err := tr.Unfairness(); err != ErrNoSamples {
+		t.Errorf("empty tracker: err = %v, want ErrNoSamples", err)
+	}
+	if err := tr.Add(2.5); err != nil {
+		t.Fatal(err)
+	}
+	u, err := tr.Unfairness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Errorf("single slowdown unfairness = %v, want 0", u)
+	}
+	if err := tr.Remove(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after removing last, want 0", tr.Len())
+	}
+	if (tr != Tracker{}) {
+		t.Errorf("emptied tracker %+v not the zero tracker", tr)
+	}
+	if _, err := tr.Unfairness(); err != ErrNoSamples {
+		t.Errorf("emptied tracker: err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	var tr Tracker
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := tr.Add(bad); err == nil {
+			t.Errorf("Add(%v) accepted", bad)
+		}
+	}
+	if err := tr.Remove(1.5); err != ErrNoSamples {
+		t.Errorf("Remove on empty tracker: err = %v, want ErrNoSamples", err)
+	}
+	if err := tr.Update(1.5, 2.0); err != ErrNoSamples {
+		t.Errorf("Update on empty tracker: err = %v, want ErrNoSamples", err)
+	}
+	if err := tr.Add(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Update(2.0, math.NaN()); err == nil {
+		t.Error("Update to NaN accepted")
+	}
+	if err := tr.Update(math.Inf(1), 2.0); err == nil {
+		t.Error("Update from +Inf accepted")
+	}
+}
+
+// TestTrackerReset checks Reset returns the tracker to a state
+// indistinguishable from a fresh one.
+func TestTrackerReset(t *testing.T) {
+	var tr Tracker
+	for _, x := range []float64{1.2, 3.4, 5.6} {
+		if err := tr.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Reset()
+	if (tr != Tracker{}) {
+		t.Errorf("reset tracker %+v not the zero tracker", tr)
+	}
+	xs := []float64{2, 4}
+	for _, x := range xs {
+		if err := tr.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkAgainstBatch(t, &tr, xs, 0)
+}
+
+// TestTrackerAllocFree pins the O(1) operations at zero allocations.
+func TestTrackerAllocFree(t *testing.T) {
+	var tr Tracker
+	if err := tr.Add(1.5); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := tr.Add(2.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Update(2.5, 3.5); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Unfairness(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Remove(3.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("tracker ops allocate %.1f times, want 0", avg)
+	}
+}

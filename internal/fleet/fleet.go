@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -103,6 +102,12 @@ type NodeResult struct {
 	// same way copartd's /healthz reports it.
 	Phase      string
 	FailStreak int
+	// Arrival and Lifetime are the node's virtual arrival time and drawn
+	// lifetime (in periods) under RunChurn — deterministic, drawn from
+	// the trace processes before any node executes. A fixed-fleet Run
+	// reports Arrival 0 and Lifetime == Config.Periods.
+	Arrival  float64
+	Lifetime int
 }
 
 // HealthRollup counts nodes by controller condition at run end.
@@ -139,8 +144,16 @@ type Result struct {
 	ScoreHits      uint64
 	ScoreMisses    uint64
 	Shared         machine.SharedCacheStats
+	// Pool is the runtime pool's activity over this run. Like Shared,
+	// the hit/miss split is timing-dependent under parallel execution
+	// (whichever node finishes first donates its runtime), so it is
+	// reported here rather than per node.
+	Pool PoolStats
 	// Health rolls node conditions up (deterministic).
 	Health HealthRollup
+	// Churn describes the virtual arrival/departure schedule when the
+	// run came from RunChurn (deterministic); zero for a fixed fleet.
+	Churn ChurnStats
 }
 
 // Validate checks the configuration.
@@ -211,13 +224,60 @@ func poolKey(c machine.Config) uint64 {
 	return h
 }
 
+// poolMaxFree caps the free list. Under churn the live population can
+// spike and then drain; the cap bounds how many idle runtimes (each a
+// full machine + manager) the pool retains from such a spike. At the
+// default ~20-runtime working set of a 1-config fleet the cap is never
+// reached; it exists so a pathological churn schedule cannot pin
+// unbounded memory.
+const poolMaxFree = 512
+
 // runtimePool holds idle node runtimes, keyed by machine-config
 // fingerprint. It survives across Run calls on purpose: a warm
 // benchmark iteration reuses the previous iteration's substrates, which
-// is what makes the steady-state fleet period allocation-free.
+// is what makes the steady-state fleet period allocation-free. The
+// hit/miss/eviction counters accumulate process-wide; Run and RunChurn
+// report per-run deltas (Result.Pool).
 var runtimePool struct {
 	sync.Mutex
-	free []*nodeRuntime
+	free      []*nodeRuntime
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// PoolStats reports the runtime pool's activity over one run. Hits are
+// nodes that reused a pooled runtime, Misses nodes that built fresh
+// substrates on the poolable path, Evictions runtimes dropped because
+// the free list was at capacity. Free is the free-list size after the
+// run. The split is timing-dependent under parallel execution (which
+// node finishes first determines who hits), so it lives on Result, not
+// in the deterministic NodeResults.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Free      int
+}
+
+// poolSnapshot reads the cumulative pool counters.
+func poolSnapshot() PoolStats {
+	p := &runtimePool
+	p.Lock()
+	defer p.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Free: len(p.free)}
+}
+
+// poolDelta subtracts a snapshot taken at run start from the current
+// counters, keeping the end-of-run free-list size.
+func poolDelta(before PoolStats) PoolStats {
+	now := poolSnapshot()
+	return PoolStats{
+		Hits:      now.Hits - before.Hits,
+		Misses:    now.Misses - before.Misses,
+		Evictions: now.Evictions - before.Evictions,
+		Free:      now.Free,
+	}
 }
 
 // getRuntime pops a pooled runtime built for the given configuration,
@@ -237,20 +297,28 @@ func getRuntime(key uint64) *nodeRuntime {
 		p.free[i] = p.free[last]
 		p.free[last] = nil
 		p.free = p.free[:last]
+		p.hits++
 		return rt
 	}
+	p.misses++
 	return nil
 }
 
 // putRuntime returns a runtime to the pool. Only runtimes that finished
 // their node cleanly come back; error paths drop theirs, so a runtime
-// wedged by a failure can never leak state into a later node.
+// wedged by a failure can never leak state into a later node. A full
+// free list (poolMaxFree) drops the runtime instead — counted as an
+// eviction.
 //
 //copart:noalloc
 func putRuntime(rt *nodeRuntime) {
 	p := &runtimePool
 	p.Lock()
-	p.free = append(p.free, rt) //copart:allocok amortized free-list growth; steady state reuses capacity
+	if len(p.free) >= poolMaxFree {
+		p.evictions++
+	} else {
+		p.free = append(p.free, rt) //copart:allocok amortized free-list growth; steady state reuses capacity
+	}
 	p.Unlock()
 }
 
@@ -338,11 +406,13 @@ func mixCacheFor(mcfg machine.Config, key uint64) (*workloads.MixCache, error) {
 	return mc, nil
 }
 
-// runNode executes one node end to end, writing its per-period
-// wall-clock latencies into lat (len == cfg.Periods) and its final
-// allocation into the caller-provided ways/mba storage (cap ≥
-// maxMixApps slices of Run's arena).
-func runNode(cfg Config, node int, lat []time.Duration, ways, mba []int) (NodeResult, error) {
+// runNode executes one node end to end — periods control periods after
+// profiling (cfg.Periods for a fixed fleet, the node's drawn lifetime
+// under churn) — pushing its per-period wall-clock latencies into the
+// fleet latency ring and writing its final allocation into the
+// caller-provided ways/mba storage (cap ≥ maxMixApps slices of the
+// caller's arena).
+func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error) {
 	mcfg := cfg.Machine
 	if mcfg.LLCWays == 0 {
 		mcfg = machine.DefaultConfig()
@@ -434,7 +504,7 @@ func runNode(cfg Config, node int, lat []time.Duration, ways, mba []int) (NodeRe
 	}
 	mgr := rt.mgr
 
-	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps}
+	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps, Lifetime: periods}
 	// Memoized profiling: a poolable, noise-free node's whole profiling
 	// phase is a pure function of (machine config, mix kind, app count),
 	// so the first node to run it checkpoints the outcome and every later
@@ -468,7 +538,7 @@ func runNode(cfg Config, node int, lat []time.Duration, ways, mba []int) (NodeRe
 			}
 		}
 	}
-	for p := 0; p < cfg.Periods; p++ {
+	for p := 0; p < periods; p++ {
 		start := fleetClock()
 		switch mgr.Phase() {
 		case core.PhaseExplore:
@@ -480,7 +550,7 @@ func runNode(cfg Config, node int, lat []time.Duration, ways, mba []int) (NodeRe
 		default:
 			err = fmt.Errorf("fleet: node %d in unexpected phase %v", node, mgr.Phase())
 		}
-		lat[p] = fleetClock().Sub(start)
+		latPush(fleetClock().Sub(start))
 		res.Periods++
 		if err != nil {
 			if !mgr.Resilience.Enabled {
@@ -527,17 +597,19 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
-	// One flat latency buffer and one flat allocation arena, pre-sliced
-	// per node, keep the recording race-free under ForEach without locks
-	// and keep the per-node path allocation-free: each node's final
-	// Ways/MBA land in its own cap-limited arena slot.
-	lats := make([]time.Duration, cfg.Nodes*cfg.Periods)
+	// One flat allocation arena, pre-sliced per node, keeps the per-node
+	// path allocation-free: each node's final Ways/MBA land in its own
+	// cap-limited arena slot. Latencies go to the fixed package ring
+	// (ring.go), so the per-run latency cost no longer scales with
+	// Nodes×Periods.
 	arena := make([]int, cfg.Nodes*2*maxMixApps)
 	sharedBefore := machine.SharedSolveCacheStats()
+	poolBefore := poolSnapshot()
+	latReset()
 	start := fleetClock()
 	err := parallel.ForEach(cfg.Nodes, func(i int) error {
 		off := i * 2 * maxMixApps
-		nr, err := runNode(cfg, i, lats[i*cfg.Periods:(i+1)*cfg.Periods],
+		nr, err := runNode(cfg, i, cfg.Periods,
 			arena[off:off:off+maxMixApps],
 			arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps])
 		if err != nil {
@@ -550,6 +622,15 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	res.Pool = poolDelta(poolBefore)
+	res.aggregate(sharedBefore)
+	return res, nil
+}
+
+// aggregate folds the per-node outcomes, the shared-cache delta, and
+// the latency-ring percentiles into the run totals — common to Run and
+// RunChurn.
+func (res *Result) aggregate(sharedBefore machine.SharedCacheStats) {
 	sharedAfter := machine.SharedSolveCacheStats()
 	res.Shared = machine.SharedCacheStats{
 		Hits:      sharedAfter.Hits - sharedBefore.Hits,
@@ -576,10 +657,7 @@ func Run(cfg Config) (Result, error) {
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.PeriodsPerSec = float64(res.TotalPeriods) / secs
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	res.P50 = percentile(lats, 50)
-	res.P99 = percentile(lats, 99)
-	return res, nil
+	res.P50, res.P99 = latPercentiles()
 }
 
 // percentile reads the p-th percentile from sorted latencies: the

@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"slices"
+	"sync/atomic"
+	"time"
+)
+
+// Latency bookkeeping. Before churn, Run sized a per-run sample slice
+// at Nodes×Periods — fine at 256 nodes, a 1.3 MB allocation per run at
+// 16384, and unsizable under churn where per-node periods vary. The
+// ring replaces it with a fixed preallocated buffer: every period
+// latency is pushed into the next slot (wrapping), and the percentiles
+// are computed by nearest-rank over a reusable sort scratch. Memory is
+// bounded and per-run allocations drop to zero once the scratch has
+// grown.
+//
+// The trade: with more than latRingCap period samples in one run, the
+// percentiles cover the most recent latRingCap samples instead of all
+// of them — a 65536-sample window, which at 16384 nodes × 10 periods
+// still spans 40 % of the run. The deterministic outputs (NodeResults)
+// are unaffected; only the wall-clock percentile figures window.
+//
+// Because the ring is package state, Run and RunChurn must not execute
+// concurrently with each other — their samples would interleave. (They
+// never have: both fan out internally and the pool's warm-reuse design
+// already assumes serialized runs.)
+
+// latRingCap is the ring capacity: a power of two so the slot index is
+// a mask, sized to hold every sample of a 4096-node default run with
+// headroom. 65536 slots × 8 bytes = 512 KiB, allocated once.
+const latRingCap = 1 << 16
+
+// latRing is the fleet-wide latency ring. seq is the number of pushes
+// since the last reset; slot i&(latRingCap−1) holds push i. Slots are
+// atomics because ForEach workers push concurrently; each slot is
+// written by exactly one push per lap, so a Load observes either this
+// run's value or a stale lap that reset() already excluded via seq.
+var latRing struct {
+	seq atomic.Uint64
+	buf [latRingCap]atomic.Int64
+}
+
+// latScratch is the reusable percentile sort scratch; owned by the
+// single in-flight Run/RunChurn (see above).
+var latScratch []time.Duration
+
+// latReset starts a new run's sample window.
+func latReset() { latRing.seq.Store(0) }
+
+// latPush records one period latency. Safe for concurrent use.
+//
+//copart:noalloc
+func latPush(d time.Duration) {
+	i := latRing.seq.Add(1) - 1
+	latRing.buf[i&(latRingCap-1)].Store(int64(d))
+}
+
+// latPercentiles sorts the ring's current window into the reusable
+// scratch and returns the nearest-rank p50 and p99.
+func latPercentiles() (p50, p99 time.Duration) {
+	n := latRing.seq.Load()
+	if n > latRingCap {
+		n = latRingCap
+	}
+	if cap(latScratch) < int(n) {
+		latScratch = make([]time.Duration, n) //copart:allocok amortized scratch growth; steady state reuses capacity
+	}
+	latScratch = latScratch[:n]
+	for i := range latScratch {
+		latScratch[i] = time.Duration(latRing.buf[i].Load())
+	}
+	slices.Sort(latScratch)
+	return percentile(latScratch, 50), percentile(latScratch, 99)
+}

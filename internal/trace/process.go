@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file adds temporal processes to the package: instead of *where* a
+// workload touches memory, these model *when* nodes arrive and *how long*
+// they live — the churn side of fleet-over-trace (internal/fleet's
+// RunChurn). Like the address generators, both processes are
+// deterministic given their seed and restartable with Reset.
+
+// ArrivalProcess draws node arrival times from a Poisson process: the
+// gaps between consecutive arrivals are independent exponentials with
+// mean 1/Rate, the standard model for independent tenants submitting
+// work (each Next call advances the process clock and returns the next
+// absolute arrival time, starting from 0). Not safe for concurrent use.
+type ArrivalProcess struct {
+	rate float64
+	seed int64
+
+	src rand.Source
+	rng *rand.Rand
+	now float64
+}
+
+// NewArrivalProcess returns a Poisson arrival process with the given
+// mean arrival rate (arrivals per unit time, > 0 and finite).
+func NewArrivalProcess(rate float64, seed int64) (*ArrivalProcess, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("trace: arrival rate %v not positive and finite", rate)
+	}
+	p := &ArrivalProcess{rate: rate, seed: seed}
+	p.Reset()
+	return p, nil
+}
+
+// Next returns the next absolute arrival time. Times are strictly
+// increasing and start after 0.
+func (p *ArrivalProcess) Next() float64 {
+	p.now += p.rng.ExpFloat64() / p.rate
+	return p.now
+}
+
+// Reset restarts the process from time 0 with the same seed, so replays
+// reproduce the identical arrival sequence. Allocation-free after
+// construction: re-seeding the retained source reproduces exactly the
+// stream a fresh one would emit.
+//
+//copart:noalloc
+func (p *ArrivalProcess) Reset() {
+	if p.src == nil {
+		p.src = rand.NewSource(p.seed) //copart:allocok one-time source construction, re-seeded forever after
+		p.rng = rand.New(p.src)        //copart:allocok one-time construction
+	} else {
+		p.src.Seed(p.seed)
+	}
+	p.now = 0
+}
+
+// LifetimeProcess draws node lifetimes — whole control periods — from an
+// exponential distribution with the given mean, clamped to [Min, Max].
+// Exponential lifetimes are the memoryless baseline for service
+// residence times; the clamp keeps every node inside the simulable
+// range (at least one period, at most a bench-bounded cap). Not safe
+// for concurrent use.
+type LifetimeProcess struct {
+	mean     float64
+	min, max int
+	seed     int64
+
+	src rand.Source
+	rng *rand.Rand
+}
+
+// NewLifetimeProcess returns an exponential lifetime process with the
+// given mean (in periods, > 0 and finite), clamped to [min, max]
+// periods; min must be ≥ 1 and ≤ max.
+func NewLifetimeProcess(mean float64, min, max int, seed int64) (*LifetimeProcess, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("trace: lifetime mean %v not positive and finite", mean)
+	}
+	if min < 1 || min > max {
+		return nil, fmt.Errorf("trace: lifetime clamp [%d, %d] invalid (need 1 ≤ min ≤ max)", min, max)
+	}
+	p := &LifetimeProcess{mean: mean, min: min, max: max, seed: seed}
+	p.Reset()
+	return p, nil
+}
+
+// Next returns the next lifetime in whole periods, in [Min, Max].
+func (p *LifetimeProcess) Next() int {
+	life := int(p.rng.ExpFloat64() * p.mean)
+	if life < p.min {
+		life = p.min
+	}
+	if life > p.max {
+		life = p.max
+	}
+	return life
+}
+
+// Reset restarts the process with the same seed. Allocation-free after
+// construction (see ArrivalProcess.Reset).
+//
+//copart:noalloc
+func (p *LifetimeProcess) Reset() {
+	if p.src == nil {
+		p.src = rand.NewSource(p.seed) //copart:allocok one-time source construction, re-seeded forever after
+		p.rng = rand.New(p.src)        //copart:allocok one-time construction
+	} else {
+		p.src.Seed(p.seed)
+	}
+}

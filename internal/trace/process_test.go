@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestArrivalDeterminism pins that the arrival process is a pure
+// function of its seed: same seed → identical sequence (also across
+// Reset), different seeds → different sequences.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		a, err := NewArrivalProcess(2.0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewArrivalProcess(2.0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first []float64
+		for i := 0; i < 100; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y { //copart:floateq determinism contract: bit-identical draws
+				t.Fatalf("seed %d draw %d: %v vs %v", seed, i, x, y)
+			}
+			first = append(first, x)
+		}
+		a.Reset()
+		for i, want := range first {
+			if got := a.Next(); got != want { //copart:floateq replay must be bit-identical
+				t.Fatalf("seed %d: Reset replay draw %d: %v vs %v", seed, i, got, want)
+			}
+		}
+	}
+	a, _ := NewArrivalProcess(2.0, 1)
+	b, _ := NewArrivalProcess(2.0, 2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Next() == b.Next() { //copart:floateq counting exact collisions between independent streams
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical arrival sequences")
+	}
+}
+
+// TestArrivalStatistics sanity-checks the process against its model:
+// strictly increasing times with mean gap ≈ 1/rate.
+func TestArrivalStatistics(t *testing.T) {
+	const rate, n = 4.0, 20000
+	p, err := NewArrivalProcess(rate, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, sum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("arrival %d: %v not after %v", i, next, prev)
+		}
+		sum += next - prev
+		prev = next
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("mean interarrival %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+// TestLifetimeDeterminism mirrors TestArrivalDeterminism for lifetimes
+// and checks the clamp is honoured.
+func TestLifetimeDeterminism(t *testing.T) {
+	const min, max = 2, 40
+	for _, seed := range []int64{1, 42, 1234} {
+		a, err := NewLifetimeProcess(8, min, max, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewLifetimeProcess(8, min, max, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first []int
+		for i := 0; i < 200; i++ {
+			x, y := a.Next(), b.Next()
+			if x != y {
+				t.Fatalf("seed %d draw %d: %d vs %d", seed, i, x, y)
+			}
+			if x < min || x > max {
+				t.Fatalf("seed %d draw %d: lifetime %d outside [%d, %d]", seed, i, x, min, max)
+			}
+			first = append(first, x)
+		}
+		a.Reset()
+		for i, want := range first {
+			if got := a.Next(); got != want {
+				t.Fatalf("seed %d: Reset replay draw %d: %d vs %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestProcessGoldenReplay pins the exact head of both processes for a
+// fixed seed — the trace-replay golden test. Any change to the draw
+// order or distribution shows up here before it silently reshuffles
+// every churn benchmark.
+func TestProcessGoldenReplay(t *testing.T) {
+	a, err := NewArrivalProcess(1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArrivals := []float64{
+		0.5872982159059681,
+		1.1245803095597728,
+		2.355633655945793,
+		3.033260551833011,
+		3.0777789123433,
+	}
+	for i, want := range wantArrivals {
+		if got := a.Next(); got != want { //copart:floateq golden pin: draws must replay bit-identically
+			t.Fatalf("arrival %d = %v, want %v", i, got, want)
+		}
+	}
+	l, err := NewLifetimeProcess(10, 1, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLives := []int{5, 5, 12, 6, 1, 2, 1, 1}
+	for i, want := range wantLives {
+		if got := l.Next(); got != want {
+			t.Fatalf("lifetime %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestProcessValidation covers the constructor error paths.
+func TestProcessValidation(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewArrivalProcess(rate, 1); err == nil {
+			t.Errorf("NewArrivalProcess(%v) accepted", rate)
+		}
+	}
+	for _, tc := range []struct {
+		mean     float64
+		min, max int
+	}{
+		{0, 1, 10}, {-2, 1, 10}, {math.NaN(), 1, 10}, {math.Inf(1), 1, 10},
+		{5, 0, 10}, {5, 4, 3},
+	} {
+		if _, err := NewLifetimeProcess(tc.mean, tc.min, tc.max, 1); err == nil {
+			t.Errorf("NewLifetimeProcess(%v, %d, %d) accepted", tc.mean, tc.min, tc.max)
+		}
+	}
+}

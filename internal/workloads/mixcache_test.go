@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestMixCacheInterning pins the interning contract the fleet's churn
+// path relies on: every lookup of the same (kind, n) returns the same
+// shared backing slice — not a copy — so thousands of arriving nodes
+// drawing mixes touch no new memory.
+func TestMixCacheInterning(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	c, err := NewMixCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxApps := cfg.LLCWays
+	if cfg.Cores < maxApps {
+		maxApps = cfg.Cores
+	}
+	for _, kind := range MixKinds() {
+		for n := 2; n <= maxApps; n++ {
+			a, err := c.Mix(kind, n)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, n, err)
+			}
+			b, err := c.Mix(kind, n)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", kind, n, err)
+			}
+			if len(a) == 0 || &a[0] != &b[0] {
+				t.Fatalf("%v/%d: repeated lookups returned different backing arrays", kind, n)
+			}
+			direct, err := Mix(cfg, kind, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, direct) {
+				t.Fatalf("%v/%d: cached mix differs from direct Mix", kind, n)
+			}
+		}
+	}
+}
+
+// TestMixCacheChurnScaleAllocs drives churn-scale lookup counts —
+// every (kind, n) combination, thousands of times — and pins the warm
+// path at zero allocations.
+func TestMixCacheChurnScaleAllocs(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	c, err := NewMixCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxApps := cfg.LLCWays
+	if cfg.Cores < maxApps {
+		maxApps = cfg.Cores
+	}
+	kinds := MixKinds()
+	avg := testing.AllocsPerRun(2000, func() {
+		for _, kind := range kinds {
+			for n := 2; n <= maxApps; n++ {
+				if _, err := c.Mix(kind, n); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm MixCache lookups allocate %.1f times per sweep, want 0", avg)
+	}
+}
+
+// TestMixCacheFallback covers the cold path: combinations outside the
+// precomputed range fall through to the real constructor and error
+// exactly as it would.
+func TestMixCacheFallback(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	c, err := NewMixCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cacheErr := c.Mix(MixKinds()[0], 1) // below the 2-app minimum
+	_, directErr := Mix(cfg, MixKinds()[0], 1)
+	if cacheErr == nil || directErr == nil {
+		t.Fatalf("1-app mix accepted: cache=%v direct=%v", cacheErr, directErr)
+	}
+	if cacheErr.Error() != directErr.Error() {
+		t.Errorf("fallback error %q differs from direct error %q", cacheErr, directErr)
+	}
+	if _, err := c.Mix(MixKinds()[0], 10000); err == nil {
+		t.Error("absurd app count accepted")
+	}
+}
+
+// TestMixCacheStreamRef pins that the cached STREAM reference matches a
+// fresh profile on the same configuration.
+func TestMixCacheStreamRef(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	c, err := NewMixCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := c.StreamRef()
+	if len(ref) == 0 {
+		t.Fatal("empty STREAM reference")
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := StreamMissRates(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, fresh) {
+		t.Errorf("cached STREAM reference differs from a fresh profile")
+	}
+}
+
+// TestMixCacheTooSmall covers the constructor bound.
+func TestMixCacheTooSmall(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	if _, err := NewMixCache(cfg); err == nil {
+		t.Error("1-core config accepted")
+	}
+}
