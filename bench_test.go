@@ -10,8 +10,9 @@ package repro_test
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
-	"time"
 
 	"repro/internal/cachesim"
 	"repro/internal/core"
@@ -285,9 +286,28 @@ func BenchmarkFleet256(b *testing.B) { benchFleet(b, 256) }
 func BenchmarkFleet4096(b *testing.B) { benchFleet(b, 4096) }
 
 // BenchmarkFleet16384 extends the scale proof another 4×: with the
-// latency ring the per-run memory cost no longer scales with
-// Nodes×Periods, so p99 period latency must stay flat against Fleet4096.
+// bounded latency samplers the per-run memory cost no longer scales
+// with Nodes×Periods, so p99 period latency must stay flat against
+// Fleet4096.
 func BenchmarkFleet16384(b *testing.B) { benchFleet(b, 16384) }
+
+// BenchmarkFleet65536 is the 100k-scale proof: 4× Fleet16384 again,
+// blocks dispatched across the pool, telemetry striped per block, zero
+// allocations per run at steady state. p99 period latency must stay
+// flat against the smaller fleets. CI runs it at a tiny node count
+// (FLEET_SMOKE_NODES) as a smoke test; the real scale runs under
+// make bench-fleet.
+func BenchmarkFleet65536(b *testing.B) {
+	nodes := 65536
+	if s := os.Getenv("FLEET_SMOKE_NODES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			b.Fatalf("FLEET_SMOKE_NODES=%q", s)
+		}
+		nodes = n
+	}
+	benchFleet(b, nodes)
+}
 
 // BenchmarkFleetChurn measures fleet-over-trace: 1024 nodes arriving on
 // a Poisson schedule and living for exponential lifetimes (mean 10
@@ -297,50 +317,47 @@ func BenchmarkFleet16384(b *testing.B) { benchFleet(b, 16384) }
 // by benchguard (allocs, ns/op) and TestChurnSteadyStateAllocs.
 func BenchmarkFleetChurn(b *testing.B) {
 	cfg := fleet.ChurnConfig{Arrivals: 1024, Rate: 4, MeanLife: 10, MaxLife: 40, Seed: 1}
-	if _, err := fleet.RunChurn(cfg); err != nil { // warm pool + memos
+	var res fleet.Result
+	if err := fleet.RunChurnInto(cfg, &res); err != nil { // warm pool + memos
 		b.Fatal(err)
 	}
 	before := machine.SharedSolveCacheStats()
-	var last fleet.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fleet.RunChurn(cfg)
-		if err != nil {
+		if err := fleet.RunChurnInto(cfg, &res); err != nil {
 			b.Fatal(err)
 		}
-		last = res
 	}
 	b.StopTimer()
 	reportShared(b, before)
-	b.ReportMetric(float64(last.P99.Nanoseconds()), "p99ns")
-	b.ReportMetric(float64(last.Pool.Hits), "poolhits/run")
+	b.ReportMetric(float64(res.P99.Nanoseconds()), "p99ns")
+	b.ReportMetric(float64(res.Pool.Hits+res.Pool.Carries), "poolhits/run")
 }
 
 // benchFleet runs the fleet driver at a given scale: independent nodes,
-// each profiling and then running 10 control periods, fanned across the
-// worker pool. One untimed warm-up run populates the node-runtime pool
-// and the profile memo so the timed iterations measure the steady state
-// a long-lived fleet driver lives in; the last run's p99 per-period
-// latency is attached as a custom metric — the figure the Fleet4096
-// scale proof holds flat against Fleet256.
+// each profiling and then running 10 control periods, dispatched in
+// blocks across the worker pool. One untimed warm-up run populates the
+// node-runtime pool, the profile memo, and the reused Result so the
+// timed iterations measure the steady state a long-lived fleet driver
+// lives in — with RunInto, that steady state is allocation-free. The
+// last run's p99 per-period latency is attached as a custom metric —
+// the figure the scale proofs hold flat from Fleet256 up.
 func benchFleet(b *testing.B, nodes int) {
 	cfg := fleet.Config{Nodes: nodes, Periods: 10, Seed: 1}
-	if _, err := fleet.Run(cfg); err != nil {
+	var res fleet.Result
+	if err := fleet.RunInto(cfg, &res); err != nil {
 		b.Fatal(err)
 	}
 	before := machine.SharedSolveCacheStats()
-	var p99 time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := fleet.Run(cfg)
-		if err != nil {
+		if err := fleet.RunInto(cfg, &res); err != nil {
 			b.Fatal(err)
 		}
-		p99 = res.P99
 	}
 	b.StopTimer()
 	reportShared(b, before)
-	b.ReportMetric(float64(p99.Nanoseconds()), "p99ns")
+	b.ReportMetric(float64(res.P99.Nanoseconds()), "p99ns")
 }
 
 // BenchmarkMachineSolve measures one steady-state solve of a consolidated

@@ -12,17 +12,24 @@
 // A benchmark missing from the current snapshot fails the guard (the
 // suite lost coverage); one missing from the baseline only warns (the
 // baseline predates the benchmark and the next bench-json run records
-// it). Two metrics are compared against the same budget: ns/op, and —
-// when both snapshots carry it (-benchmem) — allocs/op, so the fleet's
-// zero-alloc steady state cannot silently rot behind a timing that
-// still squeaks by. A zero-alloc baseline is absolute: any current
-// allocations fail regardless of the percentage budget. The
+// it). Three metrics are compared against the same budget: ns/op, and —
+// when both snapshots carry them (-benchmem) — allocs/op and B/op, so
+// the fleet's zero-alloc steady state cannot silently rot behind a
+// timing that still squeaks by. A zero baseline for either memory
+// metric is absolute: any current usage fails regardless of the
+// percentage budget. The
 // cache-counter extras are workload metrics, not timings, and are not
 // guarded. When a snapshot holds several records for one benchmark (a
-// -count>1 run), the guard compares the fastest on each side — the
-// minimum is the noise-robust estimator of a benchmark's true cost.
-// Baselines are machine-specific — compare snapshots from the same
-// hardware (see DESIGN.md §9).
+// -count>1 run), the guard compares the per-metric minimum across the
+// runs on each side: the minimum is the noise-robust estimator of a
+// benchmark's true cost, and taking it per metric rather than from the
+// single fastest run also discards one-off background allocations —
+// the -benchmem counters are global MemStats deltas, so a GC or
+// runtime goroutine allocating mid-run can put a few stray bytes on an
+// otherwise allocation-free benchmark, while a real per-op leak shows
+// up in every run and survives the minimum. Baselines are
+// machine-specific — compare snapshots from the same hardware (see
+// DESIGN.md §9).
 package main
 
 import (
@@ -34,13 +41,15 @@ import (
 	"strings"
 )
 
-// record mirrors the benchjson fields the guard needs. AllocsPerOp is
-// a pointer because benchjson emits it only for -benchmem runs; a nil
-// on either side skips the allocation guard for that benchmark.
+// record mirrors the benchjson fields the guard needs. AllocsPerOp and
+// BytesPerOp are pointers because benchjson emits them only for
+// -benchmem runs; a nil on either side skips that memory guard for
+// that benchmark.
 type record struct {
 	Name        string   `json:"name"`
 	NsPerOp     float64  `json:"ns_per_op"`
 	AllocsPerOp *float64 `json:"allocs_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
 }
 
 func main() {
@@ -94,11 +103,35 @@ func parse(r io.Reader) (map[string]record, error) {
 	}
 	byName := make(map[string]record, len(recs))
 	for _, rec := range recs {
-		if prev, ok := byName[rec.Name]; !ok || rec.NsPerOp < prev.NsPerOp {
-			byName[rec.Name] = rec // fastest of repeated runs wins
+		prev, ok := byName[rec.Name]
+		if !ok {
+			byName[rec.Name] = rec
+			continue
 		}
+		// Per-metric minimum of repeated runs (see the package comment).
+		if rec.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = rec.NsPerOp
+		}
+		prev.AllocsPerOp = minMetric(prev.AllocsPerOp, rec.AllocsPerOp)
+		prev.BytesPerOp = minMetric(prev.BytesPerOp, rec.BytesPerOp)
+		byName[rec.Name] = prev
 	}
 	return byName, nil
+}
+
+// minMetric returns the smaller of two optional metrics, preferring
+// any present value over nil (a -benchmem run beats one without).
+func minMetric(a, b *float64) *float64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case *b < *a:
+		return b
+	default:
+		return a
+	}
 }
 
 // compare prints a benchstat-style delta line per watched benchmark and
@@ -138,36 +171,52 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		}
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
 
-		// Allocation guard: same budget, same table, rows labeled with the
-		// unit. Skipped (with a warning when the baseline had the metric)
-		// whenever either snapshot lacks -benchmem data.
-		if b.AllocsPerOp == nil || c.AllocsPerOp == nil {
-			if b.AllocsPerOp != nil {
-				fmt.Fprintf(w, "%-28s %14.0f %14s %9s  warn: allocs/op missing from current run\n",
-					name+" allocs", *b.AllocsPerOp, "-", "-")
-			}
-			continue
-		}
-		ba, ca := *b.AllocsPerOp, *c.AllocsPerOp
-		aDelta := 0.0
-		if ba > 0 {
-			aDelta = (ca - ba) / ba
-		}
-		aVerdict := "ok"
-		switch {
-		case ba == 0 && ca > 0:
-			// A zero-alloc steady state is an absolute invariant; any
-			// fresh allocation is a regression no percentage can excuse.
-			aVerdict = "FAIL: allocation-free baseline now allocates"
-			offenders = append(offenders, fmt.Sprintf("%s: 0 allocs/op → %.0f allocs/op (zero-alloc baseline)", name, ca))
-			ok = false
-		case aDelta > maxRegress:
-			aVerdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
-			offenders = append(offenders, fmt.Sprintf("%s: %.0f allocs/op → %.0f allocs/op (%+.1f%%, budget +%.0f%%)",
-				name, ba, ca, aDelta*100, maxRegress*100))
+		// Memory guards: same budget, same table, rows labeled with the
+		// unit. Each is skipped (with a warning when the baseline had the
+		// metric) whenever either snapshot lacks -benchmem data.
+		if off := guardMem(w, name, "allocs", "allocs/op", "zero-alloc", b.AllocsPerOp, c.AllocsPerOp, maxRegress); off != "" {
+			offenders = append(offenders, off)
 			ok = false
 		}
-		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name+" allocs", ba, ca, aDelta*100, aVerdict)
+		if off := guardMem(w, name, "bytes", "B/op", "zero-byte", b.BytesPerOp, c.BytesPerOp, maxRegress); off != "" {
+			offenders = append(offenders, off)
+			ok = false
+		}
 	}
 	return offenders, ok
+}
+
+// guardMem holds one -benchmem metric (allocs/op or B/op) to the same
+// percentage budget as ns/op and prints its table row. A zero baseline
+// is absolute: the fleet's allocation-free steady state is an invariant,
+// so any current usage fails no matter how small the absolute delta —
+// a percentage budget over zero would otherwise excuse everything. A
+// nil metric on either side only warns (when the baseline carried it),
+// keeping coverage loss visible without failing timing-only runs.
+// Returns a non-empty offender summary line on failure.
+func guardMem(w io.Writer, name, row, unit, zero string, bp, cp *float64, maxRegress float64) string {
+	if bp == nil || cp == nil {
+		if bp != nil {
+			fmt.Fprintf(w, "%-28s %14.0f %14s %9s  warn: %s missing from current run\n",
+				name+" "+row, *bp, "-", "-", unit)
+		}
+		return ""
+	}
+	bv, cv := *bp, *cp
+	delta := 0.0
+	if bv > 0 {
+		delta = (cv - bv) / bv
+	}
+	verdict, offender := "ok", ""
+	switch {
+	case bv == 0 && cv > 0:
+		verdict = fmt.Sprintf("FAIL: %s baseline now nonzero", zero)
+		offender = fmt.Sprintf("%s: 0 %s → %.0f %s (%s baseline)", name, unit, cv, unit, zero)
+	case delta > maxRegress:
+		verdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
+		offender = fmt.Sprintf("%s: %.0f %s → %.0f %s (%+.1f%%, budget +%.0f%%)",
+			name, bv, unit, cv, unit, delta*100, maxRegress*100)
+	}
+	fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name+" "+row, bv, cv, delta*100, verdict)
+	return offender
 }

@@ -85,6 +85,59 @@ func TestParseKeepsFastestOfRepeatedRuns(t *testing.T) {
 	}
 }
 
+func TestParseTakesPerMetricMinimum(t *testing.T) {
+	// The fastest-ns run carries a stray background allocation (the
+	// -benchmem counters are global, so another goroutine's GC-time
+	// allocation can land on an allocation-free benchmark); a slower
+	// run shows the true zero. Each metric takes its own minimum, so
+	// the stray bytes must not survive.
+	recs := mustParse(t, `[
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 14000000, "allocs_per_op": 0, "bytes_per_op": 24},
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 16000000, "allocs_per_op": 0, "bytes_per_op": 0}
+    ]`)
+	r := recs["BenchmarkFleetChurn"]
+	if r.NsPerOp != 14000000 {
+		t.Fatalf("ns/op = %v, want the fastest run (1.4e7)", r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 0 {
+		t.Fatalf("bytes_per_op = %v, want the per-metric minimum 0", r.BytesPerOp)
+	}
+	// A present metric beats an absent one, whichever order they appear.
+	recs = mustParse(t, `[
+      {"name": "BenchmarkFig12", "ns_per_op": 100000000},
+      {"name": "BenchmarkFig12", "ns_per_op": 110000000, "allocs_per_op": 7}
+    ]`)
+	r = recs["BenchmarkFig12"]
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 7 {
+		t.Fatalf("allocs_per_op = %v, want 7 adopted from the -benchmem run", r.AllocsPerOp)
+	}
+}
+
+func TestCompareStrayBytesOnZeroBaselinePasses(t *testing.T) {
+	// End to end: a zero-byte baseline and a current -count 2 run where
+	// only one count caught background bytes — the guard must pass,
+	// while a leak present in every run (the next compare) must fail.
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 14000000, "allocs_per_op": 0, "bytes_per_op": 0}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 13000000, "allocs_per_op": 0, "bytes_per_op": 24},
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 15000000, "allocs_per_op": 0, "bytes_per_op": 0}
+    ]`)
+	var out strings.Builder
+	if offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleetChurn"}, 0.20); !ok {
+		t.Fatalf("one-run stray bytes failed the zero-byte guard: %v\n%s", offenders, out.String())
+	}
+	leak := mustParse(t, `[
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 13000000, "allocs_per_op": 0, "bytes_per_op": 24},
+      {"name": "BenchmarkFleetChurn", "ns_per_op": 15000000, "allocs_per_op": 0, "bytes_per_op": 24}
+    ]`)
+	out.Reset()
+	if _, ok := compare(&out, base, leak, []string{"BenchmarkFleetChurn"}, 0.20); ok {
+		t.Fatalf("a leak present in every run passed the zero-byte guard:\n%s", out.String())
+	}
+}
+
 func TestCompareAllocsRegressionFails(t *testing.T) {
 	base := mustParse(t, `[
       {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "allocs_per_op": 1000}
@@ -155,6 +208,62 @@ func TestCompareAllocsSkippedWhenAbsent(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "allocs/op missing from current run") {
 		t.Fatalf("no allocs-missing warning in output:\n%s", out.String())
+	}
+}
+
+func TestCompareBytesRegressionFails(t *testing.T) {
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "bytes_per_op": 2000}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "bytes_per_op": 2600}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet256"}, 0.20)
+	if ok {
+		t.Fatalf("+30%% B/op passed a 20%% budget:\n%s", out.String())
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("offenders = %v, want exactly one", offenders)
+	}
+	for _, frag := range []string{"BenchmarkFleet256", "2000", "2600", "B/op", "+30.0%", "budget +20%"} {
+		if !strings.Contains(offenders[0], frag) {
+			t.Errorf("offender line missing %q: %s", frag, offenders[0])
+		}
+	}
+}
+
+func TestCompareZeroByteBaselineIsAbsolute(t *testing.T) {
+	// The fleet steady state is zero B/op as well as zero allocs/op; a
+	// single leaked byte must fail even though any percentage budget
+	// over a zero base would pass it.
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet16384", "ns_per_op": 200000000, "bytes_per_op": 0}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet16384", "ns_per_op": 200000000, "bytes_per_op": 64}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet16384"}, 0.20)
+	if ok {
+		t.Fatalf("bytes on a zero-byte baseline passed the guard:\n%s", out.String())
+	}
+	if len(offenders) != 1 || !strings.Contains(offenders[0], "zero-byte baseline") {
+		t.Fatalf("offenders = %v, want one zero-byte-baseline line", offenders)
+	}
+}
+
+func TestCompareBytesWithinBudgetPasses(t *testing.T) {
+	base := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "bytes_per_op": 1000}
+    ]`)
+	cur := mustParse(t, `[
+      {"name": "BenchmarkFleet256", "ns_per_op": 5000000, "bytes_per_op": 1100}
+    ]`)
+	var out strings.Builder
+	offenders, ok := compare(&out, base, cur, []string{"BenchmarkFleet256"}, 0.20)
+	if !ok {
+		t.Fatalf("+10%% B/op flagged with a 20%% budget:\n%s\noffenders: %v", out.String(), offenders)
 	}
 }
 

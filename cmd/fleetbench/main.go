@@ -10,7 +10,20 @@
 // Usage:
 //
 //	fleetbench [-nodes 256] [-periods 50] [-parallel N] [-seed 1] [-l2] [-verify]
+//	    [-block N] [-blockstats] [-benchline BenchmarkName]
 //	    [-churn] [-cpuprofile fleet.cpu] [-memprofile fleet.mem]
+//
+// The report includes the dispatch shape — block count, block size, and
+// the stripe-merge cost of folding the per-block telemetry into the
+// result — plus the spread of per-block p99 latencies, which localizes
+// regressions: a wide spread points at a few blocks' workloads, a
+// uniform shift at the period loop, a growing stripe merge at the
+// telemetry itself. -blockstats prints the full per-block table.
+// -benchline replaces the report with a single `go test -bench`-format
+// result line under the given name, so Makefile sweeps (for example
+// bench-fleet's -parallel scaling runs) can feed fleetbench timings
+// through benchjson into the same BENCH_<date>.json as the test-binary
+// benchmarks.
 //
 // With -churn the fleet runs over a trace instead of a fixed grid:
 // -nodes becomes the total number of Poisson arrivals and -periods the
@@ -29,6 +42,8 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"slices"
+	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/machine"
@@ -38,13 +53,16 @@ import (
 
 // options collects the run parameters.
 type options struct {
-	nodes   int
-	periods int
-	workers int
-	seed    int64
-	l2      bool
-	verify  bool
-	churn   bool
+	nodes      int
+	periods    int
+	workers    int
+	seed       int64
+	block      int
+	l2         bool
+	verify     bool
+	churn      bool
+	blockstats bool
+	benchline  string
 }
 
 func main() {
@@ -53,9 +71,12 @@ func main() {
 	flag.IntVar(&o.periods, "periods", 50, "control periods per node after profiling (mean lifetime with -churn)")
 	flag.IntVar(&o.workers, "parallel", 0, "worker bound (0 = GOMAXPROCS)")
 	flag.Int64Var(&o.seed, "seed", 1, "fleet seed")
+	flag.IntVar(&o.block, "block", 0, "dispatch block size in nodes (0 = fleet default)")
 	flag.BoolVar(&o.l2, "l2", true, "enable the process-wide shared solve cache")
 	flag.BoolVar(&o.verify, "verify", false, "re-run sequentially and with the shared cache toggled, check per-node determinism")
 	flag.BoolVar(&o.churn, "churn", false, "fleet-over-trace: Poisson arrivals, exponential lifetimes, pool reuse across mix shapes")
+	flag.BoolVar(&o.blockstats, "blockstats", false, "print the full per-block telemetry table")
+	flag.StringVar(&o.benchline, "benchline", "", "replace the report with one go-bench-format result line under this Benchmark name")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -83,6 +104,24 @@ func pct(hits, misses uint64) float64 {
 	return 100 * float64(hits) / float64(hits+misses)
 }
 
+// blockP99Spread summarizes the per-block p99 latencies as min, median,
+// and max over the blocks that kept any samples. A tight spread says
+// the blocks behave uniformly; a wide one localizes a regression to a
+// few blocks' workloads.
+func blockP99Spread(blocks []fleet.BlockStats) (lo, med, hi time.Duration, ok bool) {
+	p99s := make([]time.Duration, 0, len(blocks))
+	for _, b := range blocks {
+		if b.Samples > 0 {
+			p99s = append(p99s, b.P99)
+		}
+	}
+	if len(p99s) == 0 {
+		return 0, 0, 0, false
+	}
+	slices.Sort(p99s)
+	return p99s[0], p99s[len(p99s)/2], p99s[len(p99s)-1], true
+}
+
 func run(w *os.File, o options) error {
 	parallel.SetWorkers(o.workers)
 	defer parallel.SetWorkers(0)
@@ -93,13 +132,21 @@ func run(w *os.File, o options) error {
 				Arrivals: o.nodes,
 				MeanLife: float64(o.periods),
 				Seed:     o.seed,
+				Block:    o.block,
 			})
 		}
-		return fleet.Run(fleet.Config{Nodes: o.nodes, Periods: o.periods, Seed: o.seed})
+		return fleet.Run(fleet.Config{Nodes: o.nodes, Periods: o.periods, Seed: o.seed, Block: o.block})
 	}
 	res, err := execute()
 	if err != nil {
 		return err
+	}
+	if o.benchline != "" {
+		// One `go test -bench` result line: benchjson parses it exactly
+		// like a test-binary benchmark, so sweep timings merge into the
+		// same snapshot (one run, so one iteration at elapsed ns/op).
+		fmt.Fprintf(w, "%s \t       1\t%d ns/op\n", o.benchline, res.Elapsed.Nanoseconds())
+		return nil
 	}
 	reprofiles := 0
 	for _, nr := range res.Nodes {
@@ -117,6 +164,17 @@ func run(w *os.File, o options) error {
 	fmt.Fprintf(w, "elapsed:          %v\n", res.Elapsed)
 	fmt.Fprintf(w, "node-periods/sec: %.0f\n", res.PeriodsPerSec)
 	fmt.Fprintf(w, "period latency:   p50 %v  p99 %v\n", res.P50, res.P99)
+	fmt.Fprintf(w, "dispatch:         %d blocks × %d nodes, stripe merge %v\n",
+		len(res.Blocks), res.Block, res.StripeMerge)
+	if lo, med, hi, ok := blockP99Spread(res.Blocks); ok {
+		fmt.Fprintf(w, "block p99 spread: min %v  median %v  max %v\n", lo, med, hi)
+	}
+	if o.blockstats {
+		for i, b := range res.Blocks {
+			fmt.Fprintf(w, "  block %4d [%6d,%6d)  periods %7d  samples %5d  stride %4d  p50 %v  p99 %v\n",
+				i, b.Lo, b.Hi, b.Periods, b.Samples, b.Stride, b.P50, b.P99)
+		}
+	}
 	fmt.Fprintf(w, "reprofiles:       %d\n", reprofiles)
 	fmt.Fprintf(w, "runtime pool:     %.1f%% hit (%d hits, %d misses, %d evictions, %d free)\n",
 		pct(res.Pool.Hits, res.Pool.Misses), res.Pool.Hits, res.Pool.Misses,

@@ -576,16 +576,20 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 	// watchdog first observes an outage.
 	if retry || !(m.anchorValid && m.anchoredAt == m.target.Now()) {
 		m.anchorValid = false
+		// One clock read anchors the whole sweep: virtual time does not
+		// advance between per-app samples, so the hoisted value is what
+		// every Now() in the loop would have returned.
+		openAt := m.target.Now()
 		for _, a := range m.apps {
 			var err error
 			if retry {
 				name := a.name
 				err = m.retryOp("counter read", name, func() error {
-					_, _, err := m.sampler.Sample(name, m.target.Now())
+					_, _, err := m.sampler.Sample(name, openAt)
 					return err
 				})
 			} else {
-				_, _, err = m.sampler.Sample(a.name, m.target.Now())
+				_, _, err = m.sampler.Sample(a.name, openAt)
 			}
 			if err != nil {
 				return nil, err
@@ -609,6 +613,7 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 		m.rates = make([]pmc.Rates, len(m.apps))
 	}
 	m.rates = m.rates[:len(m.apps)]
+	closeAt := m.target.Now() // hoisted: time is frozen across the closing sweep
 	for i, a := range m.apps {
 		var (
 			r  pmc.Rates
@@ -618,11 +623,11 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 			name := a.name
 			err = m.retryOp("counter read", name, func() error {
 				var err error
-				r, ok, err = m.sampler.Sample(name, m.target.Now())
+				r, ok, err = m.sampler.Sample(name, closeAt)
 				return err
 			})
 		} else {
-			r, ok, err = m.sampler.Sample(a.name, m.target.Now())
+			r, ok, err = m.sampler.Sample(a.name, closeAt)
 		}
 		if err != nil {
 			return nil, err
@@ -638,7 +643,7 @@ func (m *Manager) measurePeriod() ([]pmc.Rates, error) {
 	}
 	// Every application is now anchored at the period end.
 	m.anchorValid = true
-	m.anchoredAt = m.target.Now()
+	m.anchoredAt = closeAt
 	return m.rates, nil
 }
 
@@ -893,14 +898,14 @@ func (m *Manager) ExploreStep() (bool, error) {
 	m.report(PhaseExplore, slowdowns, unf)
 
 	start := m.clock()
-	err = GetNextSystemStateInto(&m.nextState, m.state, infos, m.env.Ways, m.rng, &m.matchSc)
+	err = getNextSystemStateInto(&m.nextState, m.state, infos, m.env.Ways, m.rng, &m.matchSc, true)
 	m.ExploreTimes = append(m.ExploreTimes, m.clock().Sub(start))
 	if err != nil {
 		return false, err
 	}
 	if m.nextState.Equal(m.state) {
 		if m.retry < m.params.Theta {
-			if err := neighborStateInto(&m.nextState, m.state, m.env.Ways, m.rng, !m.FreezeLLC, !m.FreezeMBA); err != nil {
+			if err := neighborStateIntoTrusted(&m.nextState, m.state, m.env.Ways, m.rng, !m.FreezeLLC, !m.FreezeMBA, true); err != nil {
 				return false, err
 			}
 			m.retry++

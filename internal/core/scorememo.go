@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 
 	"repro/internal/pmc"
@@ -29,23 +30,40 @@ import (
 // memo disabled holds to ~1e-9 relative on slowdowns (pinned by
 // TestScoreMemoIdenticalTrajectory) rather than bit-for-bit.
 //
+// Representation: an open-addressed index over dense parallel slices
+// instead of a Go map keyed by strings. The memo sits on the fleet's
+// per-period critical path — every exploration period does one lookup
+// and every miss one store — and the previous map spent its time
+// hashing variable-length key strings and interning them to keep
+// stores allocation-free. Here the key bytes live in one arena, the
+// index holds dense-slot references probed by a 64-bit FNV-1a
+// fingerprint, and a lookup is one fingerprint pass plus (on a hit)
+// one byte comparison to rule out collisions exactly. Entries are
+// append-only between flushes, so the dense slices double as the
+// snapshot iteration order.
+//
 // Entries are flushed whenever their premise breaks: re-profiling, app
 // churn (resetApps), and envelope changes (the same way counts map to
 // different CBMs). The hit/miss counters are cumulative over the
 // manager's lifetime — they survive flushes — so fleet aggregation and
 // PeriodReport observers see monotone values.
 type scoreMemo struct {
-	entries map[string][]pmc.Rates
-	key     []byte // scratch for the current key
-	hits    uint64
-	misses  uint64
+	// idx is the open-addressed probe table: idx[i] holds 1+slot for a
+	// dense entry, 0 for empty. Its length is a power of two kept at
+	// ≤75% load; flush clears it in place, so steady-state epochs never
+	// reallocate it.
+	idx []int32
+	// Dense entry storage, parallel by slot. entryKey(i) is
+	// keyArena[keyEnd[i-1]:keyEnd[i]].
+	fps      []uint64
+	keyEnd   []int32
+	rates    [][]pmc.Rates
+	keyArena []byte
 
-	// interned deduplicates key strings (see the solve cache's intern
-	// table): a pooled manager re-visits the same small state space every
-	// tenant, and without interning each store would materialize the key
-	// string afresh. The table survives flushes — it holds keys, not
-	// rates, so persistence affects allocations only, never values.
-	interned map[string]string
+	key    []byte // scratch for the current key
+	hits   uint64
+	misses uint64
+
 	// free recycles retired rate slices: flush feeds it, store pops it.
 	// capHint is the largest rate count ever stored; fresh slices are
 	// allocated at that capacity so the freelist converges to slices
@@ -54,33 +72,40 @@ type scoreMemo struct {
 	capHint int
 }
 
-// scoreMemoInternMax bounds the intern table; at the bound it is cleared
-// wholesale (keeping its buckets) — strictly a memory/alloc trade.
-const scoreMemoInternMax = 1 << 14
-
-// intern returns the canonical string for the scratch key.
-//
-//copart:noalloc
-func (c *scoreMemo) intern() string {
-	if s, ok := c.interned[string(c.key)]; ok {
-		return s
-	}
-	if c.interned == nil {
-		c.interned = make(map[string]string) //copart:allocok lazily built once per manager
-	} else if len(c.interned) >= scoreMemoInternMax {
-		clear(c.interned)
-	}
-	s := string(c.key) //copart:allocok first sighting of a state: interned once, reused forever
-	c.interned[s] = s
-	return s
-}
-
 // scoreMemoMaxEntries bounds the table. Exploration epochs visit at
 // most a few hundred distinct states before going idle, so the bound
 // exists only to cap pathological runs (e.g. the benchmark's infinite
 // retry budget); when it is reached new states are simply not stored,
 // which — like every cache decision here — changes speed, never values.
 const scoreMemoMaxEntries = 4096
+
+// scoreMemoFNV fingerprints the scratch key: FNV-1a 64, the same
+// function behind the machine digests. Collisions are ruled out by the
+// exact byte comparison in find, so the fingerprint affects speed only.
+//
+//copart:noalloc
+func scoreMemoFNV(b []byte) uint64 {
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	for _, x := range b {
+		h = (h ^ uint64(x)) * prime
+	}
+	return h
+}
+
+// size reports the number of memoized entries.
+func (c *scoreMemo) size() int { return len(c.fps) }
+
+// entryKey returns slot i's key bytes (a view into the arena).
+//
+//copart:noalloc
+func (c *scoreMemo) entryKey(i int) []byte {
+	start := int32(0)
+	if i > 0 {
+		start = c.keyEnd[i-1]
+	}
+	return c.keyArena[start:c.keyEnd[i]]
+}
 
 // encodeKey writes the allocation state's exact fingerprint into the
 // scratch key. Ways and MBA levels are small non-negative ints; the
@@ -99,29 +124,92 @@ func (c *scoreMemo) encodeKey(st AllocState) {
 	c.key = k
 }
 
+// find probes the index for the scratch key with the given fingerprint
+// and returns its dense slot. Linear probing; the load factor bound in
+// grow guarantees an empty slot terminates every probe chain.
+//
+//copart:noalloc
+func (c *scoreMemo) find(fp uint64) (int, bool) {
+	if len(c.idx) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(c.idx) - 1)
+	for i := fp & mask; ; i = (i + 1) & mask {
+		s := c.idx[i]
+		if s == 0 {
+			return 0, false
+		}
+		slot := int(s - 1)
+		if c.fps[slot] == fp && bytes.Equal(c.entryKey(slot), c.key) {
+			return slot, true
+		}
+	}
+}
+
+// grow (re)builds the probe table at the next power-of-two size that
+// keeps the load factor under 75% after one more insert, re-indexing
+// the dense entries. Amortized across an epoch; flush keeps the table's
+// capacity, so steady-state epochs after the first never grow.
+func (c *scoreMemo) grow() {
+	n := len(c.idx) * 2
+	if n < 64 {
+		n = 64
+	}
+	c.idx = make([]int32, n) //copart:allocok amortized index doubling; flush retains capacity
+	mask := uint64(n - 1)
+	for slot, fp := range c.fps {
+		i := fp & mask
+		for c.idx[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.idx[i] = int32(slot + 1)
+	}
+}
+
+// insert appends a dense entry for key (with fingerprint fp) owning the
+// given rates slice, and indexes it. The caller has verified the key is
+// absent.
+//
+//copart:noalloc
+func (c *scoreMemo) insert(fp uint64, key []byte, rates []pmc.Rates) {
+	if (len(c.fps)+1)*4 > len(c.idx)*3 {
+		c.grow()
+	}
+	slot := len(c.fps)
+	c.fps = append(c.fps, fp)                           //copart:allocok amortized dense growth; flush retains capacity
+	c.keyArena = append(c.keyArena, key...)             //copart:allocok amortized arena growth; flush retains capacity
+	c.keyEnd = append(c.keyEnd, int32(len(c.keyArena))) //copart:allocok amortized dense growth; flush retains capacity
+	c.rates = append(c.rates, rates)                    //copart:allocok amortized dense growth; flush retains capacity
+	mask := uint64(len(c.idx) - 1)
+	i := fp & mask
+	for c.idx[i] != 0 {
+		i = (i + 1) & mask
+	}
+	c.idx[i] = int32(slot + 1)
+}
+
 // lookup returns the memoized rates for st, if present. The returned
 // slice is the memo's own immutable entry; callers read it and never
 // mutate it.
 //
 //copart:noalloc
 func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
-	if len(c.entries) == 0 {
+	if len(c.fps) == 0 {
 		c.misses++
 		return nil, false
 	}
 	c.encodeKey(st)
-	rates, ok := c.entries[string(c.key)]
-	if !ok {
-		c.misses++
-		return nil, false
+	if slot, ok := c.find(scoreMemoFNV(c.key)); ok {
+		c.hits++
+		return c.rates[slot], true
 	}
-	c.hits++
-	return rates, true
+	c.misses++
+	return nil, false
 }
 
 // store memoizes a copy of rates under st, reusing a recycled slice
 // from the freelist when one is large enough. Undersized recycled
-// slices are dropped, not skipped: flush refills the freelist in map
+// slices are dropped, not skipped: flush refills the freelist in entry
 // order, so under mixed-shape churn (a 6-app tenant pooled after a
 // 3-app one) a keep-but-skip policy would keep landing small slices on
 // top of the stack and allocate forever. Dropping them and allocating
@@ -130,12 +218,21 @@ func (c *scoreMemo) lookup(st AllocState) ([]pmc.Rates, bool) {
 //
 //copart:noalloc
 func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
-	if c.entries == nil {
-		c.entries = make(map[string][]pmc.Rates) //copart:allocok lazily built once per manager
-	} else if len(c.entries) >= scoreMemoMaxEntries {
+	if len(c.fps) >= scoreMemoMaxEntries {
 		return
 	}
 	c.encodeKey(st)
+	fp := scoreMemoFNV(c.key)
+	if slot, ok := c.find(fp); ok {
+		// Already memoized (store always follows a lookup miss of the same
+		// state, so this is unreachable in the manager's flow; kept for the
+		// map-assign semantics the previous representation had).
+		if cap(c.rates[slot]) >= len(rates) {
+			c.rates[slot] = c.rates[slot][:len(rates)]
+			copy(c.rates[slot], rates)
+		}
+		return
+	}
 	var cp []pmc.Rates
 	for n := len(c.free); n > 0; n-- {
 		top := c.free[n-1]
@@ -152,24 +249,32 @@ func (c *scoreMemo) store(st AllocState, rates []pmc.Rates) {
 		cp = make([]pmc.Rates, len(rates), c.capHint) //copart:allocok freelist convergence: replaces dropped undersized slices at max capacity
 	}
 	copy(cp, rates)
-	c.entries[c.intern()] = cp
+	c.insert(fp, c.key, cp)
 }
 
 // flush drops every entry, keeping the cumulative counters and feeding
 // the retired rate slices to the freelist for the next epoch's stores.
+// Every backing slice keeps its capacity — the dense slices truncate,
+// the arena truncates, the index clears in place — so the epoch after a
+// flush stores allocation-free.
 //
 //copart:noalloc
 func (c *scoreMemo) flush() {
-	for k, rates := range c.entries {
-		c.free = append(c.free, rates) //copart:allocok amortized append growth; capacity is retained across flushes
-		delete(c.entries, k)
+	for i := range c.rates {
+		c.free = append(c.free, c.rates[i]) //copart:allocok amortized append growth; capacity is retained across flushes
+		c.rates[i] = nil
 	}
+	c.fps = c.fps[:0]
+	c.keyEnd = c.keyEnd[:0]
+	c.rates = c.rates[:0]
+	c.keyArena = c.keyArena[:0]
+	clear(c.idx)
 }
 
 // reuse returns the memo to its just-constructed state for a new tenant:
-// entries flushed into the freelist, counters zeroed. The intern table
-// and freelist persist — they are exactly what makes the next tenant's
-// exploration allocation-free.
+// entries flushed into the freelist, counters zeroed. The index, arena,
+// and freelist keep their capacity — they are exactly what makes the
+// next tenant's exploration allocation-free.
 //
 //copart:noalloc
 func (c *scoreMemo) reuse() {

@@ -132,7 +132,7 @@ func TestScoreMemoFlush(t *testing.T) {
 				break
 			}
 		}
-		if len(mgr.scores.entries) == 0 {
+		if mgr.scores.size() == 0 {
 			t.Fatal("exploration stored nothing in the score memo")
 		}
 	}
@@ -142,8 +142,8 @@ func TestScoreMemoFlush(t *testing.T) {
 	if err := mgr.SetEnvelope(Envelope{LoWay: 1, Ways: cfg.LLCWays - 1}); err != nil {
 		t.Fatal(err)
 	}
-	if len(mgr.scores.entries) != 0 {
-		t.Fatalf("envelope change left %d memo entries", len(mgr.scores.entries))
+	if mgr.scores.size() != 0 {
+		t.Fatalf("envelope change left %d memo entries", mgr.scores.size())
 	}
 	if h2, m2 := mgr.ScoreMemoStats(); h2 != hits || m2 != misses {
 		t.Fatalf("flush reset the cumulative counters: %d/%d → %d/%d", hits, misses, h2, m2)
@@ -152,8 +152,8 @@ func TestScoreMemoFlush(t *testing.T) {
 	if err := mgr.Profile(); err != nil {
 		t.Fatal(err)
 	}
-	if len(mgr.scores.entries) != 0 {
-		t.Fatalf("re-profiling left %d memo entries", len(mgr.scores.entries))
+	if mgr.scores.size() != 0 {
+		t.Fatalf("re-profiling left %d memo entries", mgr.scores.size())
 	}
 }
 

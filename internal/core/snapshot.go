@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -200,30 +201,32 @@ func snapshotMBA(c *MBAClassifier) ClassifierSnapshot {
 }
 
 // snapshot exports the memo's entries sorted by key, plus nothing else
-// (the cumulative counters are serialized by the caller).
+// (the cumulative counters are serialized by the caller). The sort
+// keeps the serialized form identical to the previous map-backed
+// representation's (whose string keys sorted in the same byte order),
+// so snapshots round-trip across the representations.
 func (c *scoreMemo) snapshot() []ScoreMemoEntry {
-	if len(c.entries) == 0 {
+	n := c.size()
+	if n == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
+	out := make([]ScoreMemoEntry, n)
+	for i := 0; i < n; i++ {
+		k := c.entryKey(i)
+		out[i] = ScoreMemoEntry{Key: append([]byte(nil), k...), Rates: c.rates[i]}
 	}
-	sort.Strings(keys)
-	out := make([]ScoreMemoEntry, len(keys))
-	for i, k := range keys {
-		out[i] = ScoreMemoEntry{Key: []byte(k), Rates: c.entries[k]}
-	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].Key, out[j].Key) < 0 })
 	return out
 }
 
 // restore replaces the memo's contents and counters.
 func (c *scoreMemo) restore(entries []ScoreMemoEntry, hits, misses uint64) {
-	c.entries = make(map[string][]pmc.Rates, len(entries))
+	c.flush()
+	c.free = c.free[:0] // restored entries own fresh slices; drop the retired ones
 	for _, e := range entries {
 		rates := make([]pmc.Rates, len(e.Rates))
 		copy(rates, e.Rates)
-		c.entries[string(e.Key)] = rates
+		c.insert(scoreMemoFNV(e.Key), e.Key, rates)
 	}
 	c.hits, c.misses = hits, misses
 }

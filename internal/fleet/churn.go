@@ -5,7 +5,6 @@ import (
 	"slices"
 
 	"repro/internal/machine"
-	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -51,6 +50,11 @@ type ChurnConfig struct {
 	Machine machine.Config
 	// NoPool disables the runtime pool (see Config.NoPool).
 	NoPool bool
+	// Block, LatSamples, and BatchFairness pass through to the fleet
+	// engine (see the Config fields of the same names).
+	Block         int
+	LatSamples    int
+	BatchFairness bool
 }
 
 // ChurnStats summarizes the virtual schedule (deterministic).
@@ -97,8 +101,8 @@ func (c ChurnConfig) Validate() error {
 }
 
 // churnScratch holds the schedule buffers, reused across RunChurn calls
-// (serialized like the latency ring — see ring.go) so a steady-state
-// churn run allocates only its per-run fixed cost.
+// (serialized like the telemetry stripes — see stripe.go) so a
+// steady-state churn run allocates nothing.
 var churnScratch struct {
 	arrival []float64
 	life    []int
@@ -215,47 +219,42 @@ func churnStats() ChurnStats {
 	return st
 }
 
-// RunChurn executes a churning fleet: cfg.Arrivals nodes arrive on the
-// Poisson schedule, each living for its drawn lifetime in control
-// periods. Nodes launch in arrival order; a departing node's runtime
-// returns to the pool and the next arrival reinitializes it in place,
-// whatever mix shape it previously ran.
-func RunChurn(cfg ChurnConfig) (Result, error) {
+// RunChurnInto executes a churning fleet into res: cfg.Arrivals nodes
+// arrive on the Poisson schedule, each living for its drawn lifetime in
+// control periods. Nodes launch in arrival order; a departing node's
+// runtime carries to the next arrival in its dispatch block or returns
+// to the pool, and the successor reinitializes it in place, whatever
+// mix shape it previously ran. A Result passed back in is reused like
+// RunInto's, making a steady-state churn driver allocation-free.
+func RunChurnInto(cfg ChurnConfig, res *Result) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
 	if err := churnSchedule(cfg); err != nil {
-		return Result{}, err
+		return err
 	}
 	// Nodes draw mixes and manager RNG streams exactly like a fixed
 	// fleet with the same seed: runNode only needs the per-node period
-	// count to differ.
-	ncfg := Config{Nodes: cfg.Arrivals, Periods: 1, Seed: cfg.Seed, Machine: cfg.Machine, NoPool: cfg.NoPool}
-	res := Result{Nodes: make([]NodeResult, cfg.Arrivals)}
-	arena := make([]int, cfg.Arrivals*2*maxMixApps)
-	sharedBefore := machine.SharedSolveCacheStats()
-	poolBefore := poolSnapshot()
-	latReset()
-	start := fleetClock()
-	err := parallel.ForEach(cfg.Arrivals, func(i int) error {
-		off := i * 2 * maxMixApps
-		nr, err := runNode(ncfg, i, churnScratch.life[i],
-			arena[off:off:off+maxMixApps],
-			arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps])
-		if err != nil {
-			return fmt.Errorf("fleet: churn node %d: %w", i, err)
-		}
-		nr.Arrival = churnScratch.arrival[i]
-		res.Nodes[i] = nr
-		return nil
-	})
-	res.Elapsed = fleetClock().Sub(start)
-	if err != nil {
+	// count to differ, and blockRun reads that from the drawn schedule.
+	ncfg := Config{
+		Nodes: cfg.Arrivals, Periods: 1, Seed: cfg.Seed, Machine: cfg.Machine,
+		NoPool: cfg.NoPool, Block: cfg.Block, LatSamples: cfg.LatSamples,
+		BatchFairness: cfg.BatchFairness,
+	}
+	if err := runFleet(ncfg, true, res); err != nil {
+		return err
+	}
+	res.Churn = churnStats()
+	return nil
+}
+
+// RunChurn executes a churning fleet into a fresh Result; see
+// RunChurnInto for the reusable-Result form.
+func RunChurn(cfg ChurnConfig) (Result, error) {
+	var res Result
+	if err := RunChurnInto(cfg, &res); err != nil {
 		return Result{}, err
 	}
-	res.Pool = poolDelta(poolBefore)
-	res.aggregate(sharedBefore)
-	res.Churn = churnStats()
 	return res, nil
 }

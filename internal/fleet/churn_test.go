@@ -76,10 +76,12 @@ func TestChurnSchedule(t *testing.T) {
 }
 
 // TestChurnPoolCounters pins that the pool actually cycles under
-// sequential churn: after a cold run warms it, a second run's arrivals
-// find the departures' runtimes.
+// sequential churn: after a cold run warms it, every arrival of a
+// second run reuses a warm runtime — either popped from the pool (a
+// hit, one per dispatch block) or handed over inside its block (a
+// carry). The explicit Block exercises both legs.
 func TestChurnPoolCounters(t *testing.T) {
-	cfg := ChurnConfig{Arrivals: 10, MeanLife: 4, MaxLife: 8, Seed: 11}
+	cfg := ChurnConfig{Arrivals: 10, MeanLife: 4, MaxLife: 8, Seed: 11, Block: 5}
 	parallel.SetWorkers(1)
 	defer parallel.SetWorkers(0)
 	if _, err := RunChurn(cfg); err != nil { // warm the pool
@@ -89,9 +91,13 @@ func TestChurnPoolCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Pool.Hits != uint64(cfg.Arrivals) {
-		t.Errorf("warm sequential churn: %d pool hits, want %d (misses %d, evictions %d)",
-			res.Pool.Hits, cfg.Arrivals, res.Pool.Misses, res.Pool.Evictions)
+	if res.Pool.Hits+res.Pool.Carries != uint64(cfg.Arrivals) {
+		t.Errorf("warm sequential churn: %d hits + %d carries, want %d total (misses %d, evictions %d)",
+			res.Pool.Hits, res.Pool.Carries, cfg.Arrivals, res.Pool.Misses, res.Pool.Evictions)
+	}
+	// 2 blocks of 5 → one pool pop per block, the other 4 nodes carry.
+	if res.Pool.Carries != 8 {
+		t.Errorf("warm sequential churn: %d carries, want 8", res.Pool.Carries)
 	}
 	if res.Pool.Free < 1 {
 		t.Errorf("pool free list empty after churn run")
@@ -102,7 +108,7 @@ func TestChurnPoolCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Pool.Hits != 0 || res.Pool.Misses != 0 {
+	if res.Pool.Hits != 0 || res.Pool.Misses != 0 || res.Pool.Carries != 0 {
 		t.Errorf("NoPool churn touched the pool: %+v", res.Pool)
 	}
 }
@@ -121,25 +127,26 @@ func TestChurnValidation(t *testing.T) {
 	}
 }
 
-// TestChurnSteadyStateAllocs pins the tentpole acceptance target:
-// ≤16 allocs per churn run once the pool, schedule scratch, latency
-// ring, and cache tiers are warm — independent of arrivals × periods.
+// TestChurnSteadyStateAllocs pins the tentpole acceptance target: zero
+// allocations per churn run once the pool, schedule scratch, stripes,
+// cache tiers, and a reused Result are warm — independent of
+// arrivals × periods.
 func TestChurnSteadyStateAllocs(t *testing.T) {
 	cfg := ChurnConfig{Arrivals: 8, MeanLife: 5, MaxLife: 10, Seed: 3}
 	parallel.SetWorkers(1)
 	defer parallel.SetWorkers(0)
+	var res Result
 	for i := 0; i < 2; i++ { // warm every tier
-		if _, err := RunChurn(cfg); err != nil {
+		if err := RunChurnInto(cfg, &res); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(5, func() {
-		if _, err := RunChurn(cfg); err != nil {
+		if err := RunChurnInto(cfg, &res); err != nil {
 			t.Fatal(err)
 		}
 	})
-	const budget = 16
-	if avg > budget {
-		t.Errorf("steady-state churn run allocates %.1f times, budget %d", avg, budget)
+	if avg != 0 {
+		t.Errorf("steady-state churn run allocates %.1f times, want 0", avg)
 	}
 }

@@ -11,8 +11,10 @@ import (
 // TestScriptedClock swaps fleetClock for a deterministic script: every
 // read advances time by exactly one tick. With a single worker the
 // clock-read order is fixed — Run reads once before and once after the
-// fan-out, and every period reads twice — so the throughput and latency
-// figures stop being nondeterministic and can be asserted exactly.
+// fan-out, every sampled period reads twice (at this size the samplers
+// never compact, so every period is sampled), and the stripe merge
+// reads twice — so the throughput and latency figures stop being
+// nondeterministic and can be asserted exactly.
 func TestScriptedClock(t *testing.T) {
 	const tick = 3 * time.Millisecond
 	base := time.Unix(1_700_000_000, 0)
@@ -34,7 +36,8 @@ func TestScriptedClock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	wantReads := int64(2 + 2*cfg.Nodes*cfg.Periods)
+	// 2 run-bracket reads + 2 per period + 2 bracketing the stripe merge.
+	wantReads := int64(2 + 2*cfg.Nodes*cfg.Periods + 2)
 	if got := reads.Load(); got != wantReads {
 		t.Errorf("clock reads = %d, want %d", got, wantReads)
 	}
@@ -42,10 +45,15 @@ func TestScriptedClock(t *testing.T) {
 	if res.P50 != tick || res.P99 != tick {
 		t.Errorf("P50/P99 = %v/%v, want both %v", res.P50, res.P99, tick)
 	}
-	// Elapsed spans every read between Run's first and last.
-	wantElapsed := time.Duration(wantReads-1) * tick
+	// Elapsed spans every read between Run's first read and the read
+	// immediately after the fan-out; the merge reads come later.
+	wantElapsed := time.Duration(2*cfg.Nodes*cfg.Periods+1) * tick
 	if res.Elapsed != wantElapsed {
 		t.Errorf("Elapsed = %v, want %v", res.Elapsed, wantElapsed)
+	}
+	// The merge's two reads bracket exactly one tick.
+	if res.StripeMerge != tick {
+		t.Errorf("StripeMerge = %v, want %v", res.StripeMerge, tick)
 	}
 	wantPeriods := cfg.Nodes * cfg.Periods
 	if res.TotalPeriods != wantPeriods {

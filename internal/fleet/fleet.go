@@ -7,10 +7,23 @@
 // Nodes share nothing mutable, so the fleet fans out over
 // internal/parallel under its determinism contract: node i's outcome is
 // a pure function of (Config, i), results land by index, and the
-// deterministic part of the result — everything in NodeResult — is
-// bit-identical at any worker count. Wall-clock figures (throughput,
-// period-latency percentiles) are reported separately and are the only
-// nondeterministic outputs.
+// deterministic part of the result — everything in NodeResult, plus the
+// structural per-block figures — is bit-identical at any worker count.
+// Wall-clock figures (throughput, period-latency percentiles) are
+// reported separately and are the only nondeterministic outputs.
+//
+// Dispatch is block-batched: nodes are partitioned into fixed-size
+// contiguous blocks (a pure function of Config — never of the worker
+// count) and parallel.ForEachBlock fans the blocks out. Each block owns
+// a private telemetry stripe (stripe.go) — its latency sampler and its
+// share of every fleet counter — written with plain stores and merged
+// deterministically in block order at run end, and a block hands its
+// node runtime directly from a departing node to the next arrival
+// without a pool round-trip. Batching is what makes the steady-state
+// run allocation-free end to end: the sequential dispatch path invokes
+// a package-level function (no closure), the stripes and result slices
+// are reused via RunInto, and the per-node period loop was already
+// allocation-free.
 //
 // Two read-only structures ARE shared, because they are pure functions
 // of the machine configuration: the process-wide L2 solve cache (whose
@@ -19,13 +32,22 @@
 // reference rates.
 //
 // Node substrates are pooled: a finished node's machine, manager, and
-// RNG go back to a free list, and the next node reinitializes them in
-// place (machine.Reset, core.Manager.Reuse, Source.Seed) instead of
-// allocating fresh ones. Reinitialization is exact — a pooled node's
-// NodeResult is bit-identical to an unpooled one's, pinned by
-// TestFleetPoolGolden — so pooling, like the caches, trades allocation
-// for nothing. Config.NoPool opts a run out (fresh substrates per node
-// through the same code path) for A/B verification.
+// RNG go back to a free list (or carry over within a block), and the
+// next node reinitializes them in place (machine.Reset,
+// core.Manager.Reuse, Source.Seed) instead of allocating fresh ones.
+// Reinitialization is exact — a pooled node's NodeResult is
+// bit-identical to an unpooled one's, pinned by TestFleetPoolGolden —
+// so pooling, like the caches, trades allocation for nothing.
+// Config.NoPool opts a run out (fresh substrates per node through the
+// same code path) for A/B verification.
+//
+// Fleet managers score fairness with the streaming Equation-2 tracker
+// (core.Features.StreamingFairness): at fleet scale the per-period
+// batch recompute is measurable, and the golden-trajectory migration
+// test (TestFleetStreamingMigration) pins that the fleet's control
+// trajectories are unchanged by the switch. Config.BatchFairness opts
+// a run back into the batch arm — the published-figures reference —
+// for A/B verification.
 package fleet
 
 import (
@@ -33,6 +55,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -60,12 +83,66 @@ type Config struct {
 	// switch exists for that A/B check and for callers that prefer not
 	// to retain pooled substrates between runs.
 	NoPool bool
+	// Block is the dispatch block size: nodes are executed in contiguous
+	// blocks of this many, each block one schedulable unit with its own
+	// telemetry stripe. 0 selects the default, Nodes/32 clamped to
+	// [1, 64]. The block size is deliberately a function of the Config
+	// alone — never of the worker count — so the stripe structure, the
+	// sampled latency population, and every per-block figure are
+	// identical at any -parallel setting.
+	Block int
+	// LatSamples bounds the number of period-latency samples the run
+	// keeps, fleet-wide; 0 selects 16384 (defaultLatSamples, which also
+	// documents why that resolution suffices). The budget is split evenly
+	// across blocks, and each block keeps a deterministic systematic
+	// sample of its periods — every stride-th, the stride doubling when
+	// the block's share fills — so the kept samples always span the
+	// whole run uniformly regardless of Nodes×Periods (see stripe.go
+	// for the exact semantics).
+	LatSamples int
+	// BatchFairness opts the fleet's managers back into the batch
+	// Equation-2 recompute. Fleet runs default to the streaming tracker
+	// (core.Features.StreamingFairness), which is O(1) per period
+	// instead of O(apps); the migration is pinned by
+	// TestFleetStreamingMigration, and this switch is its A/B arm.
+	BatchFairness bool
 }
 
 // maxMixApps caps the per-node consolidation size (the paper evaluates
 // mixes of up to 6 applications). It also sizes the per-node slots of
 // Run's allocation arena.
 const maxMixApps = 6
+
+// blockSize resolves the dispatch block size (see Config.Block).
+func (c Config) blockSize() int {
+	if c.Block > 0 {
+		if c.Block > c.Nodes {
+			return c.Nodes
+		}
+		return c.Block
+	}
+	b := c.Nodes / 32
+	if b < 1 {
+		b = 1
+	}
+	if b > 64 {
+		b = 64
+	}
+	return b
+}
+
+// perStripeCap splits the fleet-wide latency sample budget across nb
+// stripes.
+func perStripeCap(latSamples, nb int) int {
+	if latSamples <= 0 {
+		latSamples = defaultLatSamples
+	}
+	per := (latSamples + nb - 1) / nb
+	if per < 2 {
+		per = 2
+	}
+	return per
+}
 
 // NodeResult is one node's deterministic outcome.
 type NodeResult struct {
@@ -120,6 +197,26 @@ type HealthRollup struct {
 	MaxFailStreak int
 }
 
+// BlockStats is one dispatch block's telemetry, reported so regressions
+// localize: a latency shift confined to a few blocks points at their
+// workloads (dispatch), a uniform shift at the period loop (solve), and
+// a growing Result.StripeMerge at the telemetry merge itself. Lo, Hi,
+// Periods, Samples, and Stride are deterministic (identical at any
+// worker count); P50 and P99 are wall-clock figures over the block's
+// kept samples.
+type BlockStats struct {
+	// Lo and Hi bound the block's node range [Lo, Hi).
+	Lo, Hi int
+	// Periods counts the block's post-profiling control periods; Samples
+	// of them were kept, every Stride-th (see stripe.go).
+	Periods int
+	Samples int
+	Stride  int
+	// P50 and P99 are nearest-rank percentiles of the block's kept
+	// period latencies.
+	P50, P99 time.Duration
+}
+
 // Result aggregates the fleet run.
 type Result struct {
 	// Nodes holds per-node outcomes, by node index. This is the
@@ -132,8 +229,16 @@ type Result struct {
 	TotalPeriods  int
 	PeriodsPerSec float64
 	// P50 and P99 are percentiles of the per-period wall-clock latency
-	// across every node's post-profiling control periods.
+	// across every node's post-profiling control periods, computed over
+	// the stripes' systematic samples with each sample weighted by its
+	// stripe's stride (stripe.go documents the sampling semantics).
 	P50, P99 time.Duration
+	// Block is the resolved dispatch block size and Blocks the per-block
+	// telemetry, in block order. StripeMerge is the wall-clock cost of
+	// folding the stripes into this Result at run end.
+	Block       int
+	Blocks      []BlockStats
+	StripeMerge time.Duration
 	// CacheHits/CacheMisses/CacheEvictions and ScoreHits/ScoreMisses sum
 	// the per-node counters (deterministic). Shared is the process-wide
 	// L2 delta over this run: its hit/miss split depends on which node
@@ -144,16 +249,22 @@ type Result struct {
 	ScoreHits      uint64
 	ScoreMisses    uint64
 	Shared         machine.SharedCacheStats
-	// Pool is the runtime pool's activity over this run. Like Shared,
-	// the hit/miss split is timing-dependent under parallel execution
-	// (whichever node finishes first donates its runtime), so it is
-	// reported here rather than per node.
+	// Pool is the runtime pool's activity over this run. The hit/miss
+	// split is timing-dependent under parallel execution (whichever node
+	// finishes first donates its runtime), so it is reported here rather
+	// than per node; Carries, by contrast, is deterministic (in-block
+	// handoffs follow the fixed block structure).
 	Pool PoolStats
 	// Health rolls node conditions up (deterministic).
 	Health HealthRollup
 	// Churn describes the virtual arrival/departure schedule when the
 	// run came from RunChurn (deterministic); zero for a fixed fleet.
 	Churn ChurnStats
+
+	// arena backs every node's Ways/MBA slices, one flat allocation
+	// pre-sliced per node, reused across RunInto calls on the same
+	// Result.
+	arena []int
 }
 
 // Validate checks the configuration.
@@ -188,6 +299,10 @@ func i64(u uint64) int64 { return int64(u) }
 // mixKinds is the mix-kind table, hoisted so node setup does not rebuild
 // the slice per node.
 var mixKinds = workloads.MixKinds()
+
+// phaseDegradedName is core.PhaseDegraded.String(), hoisted off the
+// per-node accumulate path.
+var phaseDegradedName = core.PhaseDegraded.String()
 
 // testNodeTarget, when non-nil, supplies a node's control target (tests
 // wrap the machine with fault injection here) and the resilience policy
@@ -247,16 +362,22 @@ var runtimePool struct {
 }
 
 // PoolStats reports the runtime pool's activity over one run. Hits are
-// nodes that reused a pooled runtime, Misses nodes that built fresh
+// nodes that popped a pooled runtime, Misses nodes that built fresh
 // substrates on the poolable path, Evictions runtimes dropped because
-// the free list was at capacity. Free is the free-list size after the
-// run. The split is timing-dependent under parallel execution (which
-// node finishes first determines who hits), so it lives on Result, not
-// in the deterministic NodeResults.
+// the free list was at capacity. Carries counts block-local handoffs —
+// a runtime passed directly from a departing node to the next node of
+// the same dispatch block, skipping the pool lock entirely — so
+// Hits+Carries is the total number of nodes that reused a warm
+// runtime. Free is the free-list size after the run. The hit/miss
+// split is timing-dependent under parallel execution (which block
+// finishes first determines who hits), so it lives on Result, not in
+// the deterministic NodeResults; Carries follows the fixed block
+// structure and is deterministic.
 type PoolStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	Carries   uint64
 	Free      int
 }
 
@@ -327,8 +448,11 @@ func putRuntime(rt *nodeRuntime) {
 // the hardware, solver constants, and noise parameters; the mix kind
 // and application count pin the exact workload models (the mix cache is
 // deterministic); and every fleet manager is configured identically
-// (DefaultParams, full-LLC envelope, default features). Profiling
-// consumes no RNG, so the node seed does not enter the key.
+// (DefaultParams, full-LLC envelope). Profiling consumes no RNG, so the
+// node seed does not enter the key; it computes no fairness score, so
+// the streaming-fairness arm does not either (a memo captured under one
+// arm restores bit-identically under the other — core.ProfileMemo holds
+// only probe IPS values and classifier seeds).
 type profileKey struct {
 	mach  uint64
 	kind  workloads.MixKind
@@ -342,6 +466,9 @@ type profileEntry struct {
 	pm  *core.ProfileMemo
 }
 
+// profileMap is the immutable registry snapshot getProfileMemo reads.
+type profileMap = map[profileKey]*profileEntry
+
 // profileMemos is the process-wide registry of profiling outcomes.
 // Profiling is the most expensive phase of a node's life — 3 probe
 // periods per application, each a full solve-and-sample pass — and a
@@ -349,21 +476,29 @@ type profileEntry struct {
 // of times. The first node to profile a combination runs it live and
 // checkpoints the result; every later node restores the checkpoint,
 // bit-identically (profiling is RNG-free and, noise-free, every Step
-// is deterministic — see core.ProfileMemo). Entries are immutable once
-// stored; a concurrent double-compute stores identical values twice.
+// is deterministic — see core.ProfileMemo).
+//
+// The registry is copy-on-write: reads (once per node) load an
+// immutable map snapshot with a single atomic, and the rare writes (a
+// few dozen per machine configuration, ever) copy the map under the
+// mutex and publish the successor. The previous mutex-per-read design
+// cost a lock round-trip per node and serialized every worker through
+// one cache line. Entries are immutable once stored; a concurrent
+// double-compute publishes identical values twice.
 var profileMemos struct {
-	sync.Mutex
-	byKey map[profileKey]*profileEntry
+	sync.Mutex // serializes writers
+	snap       atomic.Pointer[profileMap]
 }
 
 // getProfileMemo returns the memoized profiling outcome, or nil.
 //
 //copart:noalloc
 func getProfileMemo(k profileKey) *profileEntry {
-	r := &profileMemos
-	r.Lock()
-	defer r.Unlock()
-	return r.byKey[k]
+	m := profileMemos.snap.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[k]
 }
 
 // putProfileMemo publishes a profiling outcome.
@@ -371,10 +506,14 @@ func putProfileMemo(k profileKey, e *profileEntry) {
 	r := &profileMemos
 	r.Lock()
 	defer r.Unlock()
-	if r.byKey == nil {
-		r.byKey = make(map[profileKey]*profileEntry)
+	next := make(profileMap)
+	if cur := r.snap.Load(); cur != nil {
+		for ck, cv := range *cur {
+			next[ck] = cv
+		}
 	}
-	r.byKey[k] = e
+	next[k] = e
+	r.snap.Store(&next)
 }
 
 // mixCaches shares one immutable workloads.MixCache per machine
@@ -409,10 +548,14 @@ func mixCacheFor(mcfg machine.Config, key uint64) (*workloads.MixCache, error) {
 // runNode executes one node end to end — periods control periods after
 // profiling (cfg.Periods for a fixed fleet, the node's drawn lifetime
 // under churn) — pushing its per-period wall-clock latencies into the
-// fleet latency ring and writing its final allocation into the
+// block's stripe and writing its final allocation into the
 // caller-provided ways/mba storage (cap ≥ maxMixApps slices of the
-// caller's arena).
-func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error) {
+// caller's arena). carry, when non-nil, is the previous in-block node's
+// runtime, reused directly when this node is poolable for the same
+// configuration. On success the node's runtime is returned for the next
+// in-block node to carry (nil on the unpoolable paths); error paths
+// drop it.
+func runNode(cfg Config, node, periods int, ways, mba []int, carry *nodeRuntime, st *blockStripe) (NodeResult, *nodeRuntime, error) {
 	mcfg := cfg.Machine
 	if mcfg.LLCWays == 0 {
 		mcfg = machine.DefaultConfig()
@@ -425,7 +568,7 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		maxApps = maxMixApps
 	}
 	if maxApps < 3 {
-		return NodeResult{}, fmt.Errorf("fleet: machine too small for a mix (max %d apps)", maxApps)
+		return NodeResult{}, nil, fmt.Errorf("fleet: machine too small for a mix (max %d apps)", maxApps)
 	}
 
 	fingerprintable := mcfg.BW.Curve == nil
@@ -435,7 +578,17 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		key = poolKey(mcfg)
 	}
 	var rt *nodeRuntime
-	if poolable {
+	if carry != nil {
+		if poolable && carry.key == key {
+			rt = carry
+			st.poolCarries++
+		} else {
+			// A carried runtime this node cannot use (unreachable within one
+			// run — blocks share a Config — but never leak it).
+			putRuntime(carry)
+		}
+	}
+	if rt == nil && poolable {
 		rt = getRuntime(key)
 	}
 	if rt == nil {
@@ -457,7 +610,7 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 	var err error
 	if rt.m == nil {
 		if rt.m, err = machine.New(mcfg, machine.WithSolveCache()); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 	} else {
 		rt.m.Reset()
@@ -469,16 +622,16 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 			rt.mix, err = workloads.NewMixCache(mcfg)
 		}
 		if err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 	}
 	models, err := rt.mix.Mix(kind, nApps)
 	if err != nil {
-		return NodeResult{}, err
+		return NodeResult{}, nil, err
 	}
 	for _, model := range models {
 		if err := rt.m.AddApp(model); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 	}
 	if rt.mgr == nil {
@@ -489,7 +642,7 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		}
 		if rt.mgr, err = core.NewManager(target, core.DefaultParams(), rt.mix.StreamRef(),
 			core.Envelope{LoWay: 0, Ways: mcfg.LLCWays}, rt.rng); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 		rt.mgr.Resilience = resil
 		// The fleet measures per-node latency with its own clock
@@ -500,9 +653,16 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		// shape (one entry per explore step) at zero cost.
 		rt.mgr.SetClock(func() time.Time { return time.Time{} })
 	} else if err := rt.mgr.Reuse(); err != nil {
-		return NodeResult{}, err
+		return NodeResult{}, nil, err
 	}
 	mgr := rt.mgr
+	// Fleet managers score fairness with the streaming tracker unless
+	// the run opted back into the batch arm (see Config.BatchFairness).
+	// Assigned on both the fresh and the reused path, before profiling,
+	// so pooled runtimes cannot leak the previous run's arm.
+	feats := core.DefaultFeatures()
+	feats.StreamingFairness = !cfg.BatchFairness
+	mgr.Features = feats
 
 	res := NodeResult{Node: node, Mix: kind.String(), Apps: nApps, Lifetime: periods}
 	// Memoized profiling: a poolable, noise-free node's whole profiling
@@ -521,14 +681,14 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 	}
 	if pe != nil {
 		if err := rt.m.RestoreHotState(pe.hot); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 		if err := mgr.RestoreProfileMemo(pe.pm); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 	} else {
 		if err := mgr.Profile(); err != nil {
-			return NodeResult{}, err
+			return NodeResult{}, nil, err
 		}
 		if memoable {
 			if hot, err := rt.m.CaptureHotState(); err == nil {
@@ -539,7 +699,14 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		}
 	}
 	for p := 0; p < periods; p++ {
-		start := fleetClock()
+		// Periods the stripe's sampler would discard skip both clock
+		// reads — the sampler's keep/skip schedule is deterministic
+		// (stripe.go), so the skipped reads are too.
+		timed := st.lat.due()
+		var start time.Time
+		if timed {
+			start = fleetClock()
+		}
 		switch mgr.Phase() {
 		case core.PhaseExplore:
 			_, err = mgr.ExploreStep()
@@ -550,11 +717,15 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 		default:
 			err = fmt.Errorf("fleet: node %d in unexpected phase %v", node, mgr.Phase())
 		}
-		latPush(fleetClock().Sub(start))
+		if timed {
+			st.lat.push(fleetClock().Sub(start))
+		} else {
+			st.lat.skip()
+		}
 		res.Periods++
 		if err != nil {
 			if !mgr.Resilience.Enabled {
-				return NodeResult{}, err
+				return NodeResult{}, nil, err
 			}
 			// A hardened node absorbs the failed period: the watchdog
 			// counts it and trips the EQ fallback at the degrade
@@ -570,67 +741,164 @@ func runNode(cfg Config, node, periods int, ways, mba []int) (NodeResult, error)
 			res.Reprofiles++
 			if err := mgr.Profile(); err != nil {
 				if !mgr.Resilience.Enabled {
-					return NodeResult{}, err
+					return NodeResult{}, nil, err
 				}
 				mgr.NotePeriod(true)
 			}
 		}
 	}
 	res.Unfairness = mgr.LastUnfairness()
-	st := core.AllocState{Ways: ways, MBA: mba}
-	mgr.StateInto(&st)
-	res.Ways, res.MBA = st.Ways, st.MBA
+	st2 := core.AllocState{Ways: ways, MBA: mba}
+	mgr.StateInto(&st2)
+	res.Ways, res.MBA = st2.Ways, st2.MBA
 	cs := rt.m.SolveCacheDetail()
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	res.ScoreHits, res.ScoreMisses = mgr.ScoreMemoStats()
 	res.Phase = mgr.Phase().String()
 	res.FailStreak = mgr.FailStreak()
 	if poolable {
-		putRuntime(rt)
+		return res, rt, nil
 	}
-	return res, nil
+	return res, nil, nil
 }
 
-// Run executes the fleet, fanning nodes across the parallel worker pool.
-func Run(cfg Config) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	res := Result{Nodes: make([]NodeResult, cfg.Nodes)}
-	// One flat allocation arena, pre-sliced per node, keeps the per-node
-	// path allocation-free: each node's final Ways/MBA land in its own
-	// cap-limited arena slot. Latencies go to the fixed package ring
-	// (ring.go), so the per-run latency cost no longer scales with
-	// Nodes×Periods.
-	arena := make([]int, cfg.Nodes*2*maxMixApps)
-	sharedBefore := machine.SharedSolveCacheStats()
-	poolBefore := poolSnapshot()
-	latReset()
-	start := fleetClock()
-	err := parallel.ForEach(cfg.Nodes, func(i int) error {
+// runScratch carries the in-flight run's parameters to blockRun, which
+// must be a package-level function (not a closure) so the sequential
+// dispatch path allocates nothing. Owned by the single in-flight
+// Run/RunChurn (see stripe.go on serialization).
+var runScratch struct {
+	cfg   Config
+	churn bool
+	res   *Result
+	block int
+}
+
+// blockRun executes one dispatch block: its nodes in index order, a
+// single runtime carried node to node, every outcome folded into the
+// block's stripe. It is the unit parallel.ForEachBlock schedules.
+func blockRun(lo, hi int) error {
+	sc := &runScratch
+	cfg, res := sc.cfg, sc.res
+	st := &stripes[lo/sc.block]
+	var carry *nodeRuntime
+	for i := lo; i < hi; i++ {
+		periods := cfg.Periods
+		if sc.churn {
+			periods = churnScratch.life[i]
+		}
 		off := i * 2 * maxMixApps
-		nr, err := runNode(cfg, i, cfg.Periods,
-			arena[off:off:off+maxMixApps],
-			arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps])
+		nr, rt, err := runNode(cfg, i, periods,
+			res.arena[off:off:off+maxMixApps],
+			res.arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps],
+			carry, st)
+		carry = rt
 		if err != nil {
+			if sc.churn {
+				return fmt.Errorf("fleet: churn node %d: %w", i, err)
+			}
 			return fmt.Errorf("fleet: node %d: %w", i, err)
 		}
+		if sc.churn {
+			nr.Arrival = churnScratch.arrival[i]
+		}
 		res.Nodes[i] = nr
-		return nil
-	})
+		st.accumulate(&nr)
+	}
+	if carry != nil {
+		putRuntime(carry)
+	}
+	return nil
+}
+
+// reset prepares a Result for reuse: the backing slices keep their
+// capacity (grown as needed), everything else zeroes.
+func (res *Result) reset(nodes, nb, block int) {
+	ns, arena, blocks := res.Nodes, res.arena, res.Blocks
+	if cap(ns) < nodes {
+		ns = make([]NodeResult, nodes) //copart:allocok amortized result growth; RunInto steady state reuses capacity
+	}
+	need := nodes * 2 * maxMixApps
+	if cap(arena) < need {
+		arena = make([]int, need) //copart:allocok amortized arena growth; RunInto steady state reuses capacity
+	}
+	if cap(blocks) < nb {
+		blocks = make([]BlockStats, nb) //copart:allocok amortized block-stats growth; RunInto steady state reuses capacity
+	}
+	*res = Result{
+		Nodes:  ns[:nodes],
+		Blocks: blocks[:nb],
+		Block:  block,
+		arena:  arena[:need],
+	}
+}
+
+// runFleet is the engine behind Run and RunChurn: block-batched
+// dispatch over a validated fixed-fleet Config (churn synthesizes one
+// and supplies per-node periods from the drawn schedule).
+func runFleet(cfg Config, churn bool, res *Result) error {
+	block := cfg.blockSize()
+	nb := (cfg.Nodes + block - 1) / block
+	perCap := perStripeCap(cfg.LatSamples, nb)
+	res.reset(cfg.Nodes, nb, block)
+	growStripes(nb)
+	for b := 0; b < nb; b++ {
+		lo := b * block
+		hi := lo + block
+		if hi > cfg.Nodes {
+			hi = cfg.Nodes
+		}
+		stripes[b].reset(lo, hi, perCap)
+	}
+	runScratch.cfg = cfg
+	runScratch.churn = churn
+	runScratch.res = res
+	runScratch.block = block
+	sharedBefore := machine.SharedSolveCacheStats()
+	poolBefore := poolSnapshot()
+	start := fleetClock()
+	err := parallel.ForEachBlock(cfg.Nodes, block, blockRun)
 	res.Elapsed = fleetClock().Sub(start)
+	runScratch.res = nil
 	if err != nil {
-		return Result{}, err
+		return err
 	}
 	res.Pool = poolDelta(poolBefore)
-	res.aggregate(sharedBefore)
+	res.aggregate(sharedBefore, nb)
+	return nil
+}
+
+// RunInto executes the fleet, fanning node blocks across the parallel
+// worker pool and writing the outcome into res. A Result passed back
+// in is reused in place — its node, block, and arena storage keep
+// their capacity — which is what makes a steady-state driver loop
+// allocation-free; pass a zero Result to start. On error res holds
+// partial state and should not be read.
+func RunInto(cfg Config, res *Result) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	return runFleet(cfg, false, res)
+}
+
+// Run executes the fleet into a fresh Result. Callers that re-run
+// fleets (benchmark loops, long-lived drivers) should hold a Result
+// and use RunInto instead to skip the per-run allocations.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if err := RunInto(cfg, &res); err != nil {
+		return Result{}, err
+	}
 	return res, nil
 }
 
-// aggregate folds the per-node outcomes, the shared-cache delta, and
-// the latency-ring percentiles into the run totals — common to Run and
-// RunChurn.
-func (res *Result) aggregate(sharedBefore machine.SharedCacheStats) {
+// aggregate folds the stripes — counters, health, latency samples —
+// and the shared-cache delta into the run totals, in deterministic
+// block order; common to Run and RunChurn. The integer aggregates are
+// sums and maxes of per-block values that are themselves worker-count
+// invariant, so they are bit-identical at any worker count (pinned by
+// TestShardedAggregationMatchesUnsharded); the latency figures are
+// wall-clock. The merge itself is timed into Result.StripeMerge.
+func (res *Result) aggregate(sharedBefore machine.SharedCacheStats, nb int) {
 	sharedAfter := machine.SharedSolveCacheStats()
 	res.Shared = machine.SharedCacheStats{
 		Hits:      sharedAfter.Hits - sharedBefore.Hits,
@@ -638,26 +906,50 @@ func (res *Result) aggregate(sharedBefore machine.SharedCacheStats) {
 		Evictions: sharedAfter.Evictions - sharedBefore.Evictions,
 		Entries:   sharedAfter.Entries,
 	}
-	for _, nr := range res.Nodes {
-		res.TotalPeriods += nr.Periods
-		res.CacheHits += nr.CacheHits
-		res.CacheMisses += nr.CacheMisses
-		res.CacheEvictions += nr.CacheEvictions
-		res.ScoreHits += nr.ScoreHits
-		res.ScoreMisses += nr.ScoreMisses
-		if nr.Phase == core.PhaseDegraded.String() {
-			res.Health.Degraded++
-		} else {
-			res.Health.Healthy++
+	mergeStart := fleetClock()
+	merged := latMergeScratch[:0]
+	var totalW int64
+	for b := 0; b < nb; b++ {
+		st := &stripes[b]
+		res.TotalPeriods += st.periods
+		res.CacheHits += st.cacheHits
+		res.CacheMisses += st.cacheMisses
+		res.CacheEvictions += st.cacheEvictions
+		res.ScoreHits += st.scoreHits
+		res.ScoreMisses += st.scoreMisses
+		res.Health.Healthy += st.healthy
+		res.Health.Degraded += st.degraded
+		if st.maxFailStreak > res.Health.MaxFailStreak {
+			res.Health.MaxFailStreak = st.maxFailStreak
 		}
-		if nr.FailStreak > res.Health.MaxFailStreak {
-			res.Health.MaxFailStreak = nr.FailStreak
+		res.Pool.Carries += st.poolCarries
+		// The sampler is done pushing; sorting its buffer in place is fine
+		// and gives the per-block percentiles directly.
+		buf := st.lat.buf
+		sortDurations(buf)
+		w := int64(st.lat.stride)
+		res.Blocks[b] = BlockStats{
+			Lo:      st.lo,
+			Hi:      st.hi,
+			Periods: int(st.lat.seen),
+			Samples: len(buf),
+			Stride:  int(st.lat.stride),
+			P50:     percentile(buf, 50),
+			P99:     percentile(buf, 99),
 		}
+		for _, v := range buf {
+			merged = append(merged, latSample{v: v, w: w}) //copart:allocok amortized merge-scratch growth; steady state reuses capacity
+		}
+		totalW += int64(len(buf)) * w
 	}
+	latMergeScratch = merged
+	sortLatSamples(merged)
+	res.P50 = weightedPercentile(merged, totalW, 50)
+	res.P99 = weightedPercentile(merged, totalW, 99)
+	res.StripeMerge = fleetClock().Sub(mergeStart)
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.PeriodsPerSec = float64(res.TotalPeriods) / secs
 	}
-	res.P50, res.P99 = latPercentiles()
 }
 
 // percentile reads the p-th percentile from sorted latencies: the

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestFleetStreamingMigration is the golden-trajectory gate for
+// defaulting fleet runs onto the streaming Equation-2 tracker: against
+// the batch arm (Config.BatchFairness, the published-figures
+// reference), every discrete control output — allocations, phase
+// trajectory, reprofiles, cache traffic — must be identical, and the
+// reported unfairness equal up to streaming-vs-batch float
+// accumulation order (the tracker maintains the same sums
+// incrementally, so the two arms differ only in rounding).
+func TestFleetStreamingMigration(t *testing.T) {
+	const tol = 1e-9
+	for _, seed := range []int64{1, 42, 1234} {
+		cfg := Config{Nodes: 10, Periods: 12, Seed: seed}
+		stream := runAtWorkers(t, 2, cfg)
+		cfg.BatchFairness = true
+		batch := runAtWorkers(t, 2, cfg)
+		compareArms(t, "fleet", seed, stream.Nodes, batch.Nodes, tol)
+	}
+	// Churn stresses the pooled path: a runtime that ran streaming is
+	// reused by a batch node and vice versa; the arms must still match.
+	ccfg := ChurnConfig{Arrivals: 12, MeanLife: 6, MaxLife: 12, Seed: 42}
+	stream := runChurnAtWorkers(t, 2, ccfg)
+	ccfg.BatchFairness = true
+	batch := runChurnAtWorkers(t, 2, ccfg)
+	compareArms(t, "churn", 42, stream.Nodes, batch.Nodes, tol)
+}
+
+// compareArms checks per-node equality between the streaming and batch
+// fairness arms: bit-identical discrete trajectories, unfairness within
+// tol.
+func compareArms(t *testing.T, kind string, seed int64, stream, batch []NodeResult, tol float64) {
+	t.Helper()
+	if len(stream) != len(batch) {
+		t.Fatalf("%s seed %d: %d vs %d nodes", kind, seed, len(stream), len(batch))
+	}
+	for i := range stream {
+		s, b := stream[i], batch[i]
+		su := s.Unfairness
+		s.Unfairness, b.Unfairness = 0, 0
+		sw, bw := s.Ways, b.Ways
+		sm, bm := s.MBA, b.MBA
+		s.Ways, s.MBA, b.Ways, b.MBA = nil, nil, nil, nil
+		if !reflect.DeepEqual(s, b) {
+			t.Errorf("%s seed %d node %d: discrete trajectory diverges:\nstream: %+v\nbatch:  %+v",
+				kind, seed, i, stream[i], batch[i])
+			continue
+		}
+		if !equalInts(sw, bw) || !equalInts(sm, bm) {
+			t.Errorf("%s seed %d node %d: allocations diverge: %v/%v vs %v/%v",
+				kind, seed, i, sw, sm, bw, bm)
+		}
+		if d := math.Abs(su - batch[i].Unfairness); d > tol {
+			t.Errorf("%s seed %d node %d: unfairness %v vs %v (|Δ|=%g > %g)",
+				kind, seed, i, su, batch[i].Unfairness, d, tol)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

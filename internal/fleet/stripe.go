@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"slices"
+	"time"
+)
+
+// Striped telemetry. Before blocks, every period latency went through
+// one global atomic ring (65536 slots) and the fleet counters were
+// summed from NodeResults in a final O(nodes) pass. The ring had two
+// problems at 65536+ nodes: every worker hammered one cache line (the
+// ring sequence counter) once per period, and a single large run
+// pushed more samples than the ring held, silently windowing the
+// percentiles to the most recent 65536 periods — a tail sample, not a
+// run sample.
+//
+// Both are replaced by per-block stripes: each dispatch block (see
+// fleet.go) owns a blockStripe holding a deterministic latency sampler
+// and the block's share of every fleet counter. A block is executed by
+// exactly one worker at a time, so stripe writes are plain stores —
+// no atomics, no cross-core line bouncing — and the stripes are merged
+// in block order at run end, which keeps every deterministic aggregate
+// bit-identical at any worker count (integer sums and maxes over
+// per-block values that are themselves worker-count invariant).
+//
+// Sampling semantics (the fix for the ring's windowing): each stripe
+// keeps a systematic sample of its period latencies — every stride-th
+// period, stride a power of two that starts at 1 and doubles whenever
+// the stripe's buffer fills (compacting the buffer to every other kept
+// sample, which preserves the invariant "buf[i] is the latency of push
+// index i·stride"). The kept set therefore always spans the whole run
+// uniformly: a run pushing any number of periods ends with between
+// max/2 and max samples evenly spaced from its first period to its
+// last, instead of a rolling window over its tail. Percentiles over
+// the merged stripes weight each kept sample by its stripe's final
+// stride, so a stripe that compacted twice counts each sample four
+// periods' worth. *Which* periods are sampled is a pure function of
+// (block bounds, period index) — never of timing or worker count — so
+// the sampled population is identical at any -parallel setting; only
+// the measured durations themselves are nondeterministic.
+//
+// Unsampled periods skip both fleetClock reads entirely (see runNode),
+// so past the first compaction the sampler also halves the fleet's
+// clock syscall traffic, then quarters it, and so on.
+//
+// Because the stripes are package state, Run and RunChurn must not
+// execute concurrently with each other. (They never have: both fan out
+// internally, and the pool's warm-reuse design already assumes
+// serialized runs.)
+
+// defaultLatSamples is the fleet-wide sample budget when
+// Config.LatSamples is zero. 16384 systematic samples pin the p50/p99
+// of a 131072-node run to well under a tenth of a percentile rank —
+// the retired 65536-slot ring bought no more accuracy, it just
+// windowed to the tail — and every unsampled period skips two clock
+// reads, so the smaller budget also quarters the fleet's residual
+// syscall traffic on large runs. Raise Config.LatSamples to trade
+// clock reads for resolution.
+const defaultLatSamples = 1 << 14
+
+// latSampler keeps a deterministic systematic sample of a stream of
+// period latencies: every stride-th pushed value, stride doubling (and
+// the kept set compacting by half) whenever the buffer reaches max.
+type latSampler struct {
+	buf    []time.Duration
+	stride uint64 // power of two; buf[i] holds push index i·stride
+	seen   uint64 // pushes observed (sampled + skipped)
+	max    int    // buffer bound for this run
+}
+
+// reset starts a new run's sample stream, keeping the buffer's
+// capacity.
+//
+//copart:noalloc
+func (s *latSampler) reset(max int) {
+	if max < 2 {
+		max = 2
+	}
+	s.buf = s.buf[:0]
+	s.stride = 1
+	s.seen = 0
+	s.max = max
+}
+
+// due reports whether the next push will be kept — callers use it to
+// skip the latency measurement (two clock reads) for periods the
+// sampler would discard anyway.
+//
+//copart:noalloc
+func (s *latSampler) due() bool { return s.seen%s.stride == 0 }
+
+// skip records one unsampled period.
+//
+//copart:noalloc
+func (s *latSampler) skip() { s.seen++ }
+
+// push records one period latency, keeping it if the current push
+// index is a multiple of the stride.
+//
+//copart:noalloc
+func (s *latSampler) push(d time.Duration) {
+	if s.seen%s.stride == 0 {
+		if len(s.buf) >= s.max {
+			s.compact()
+		}
+		if s.seen%s.stride == 0 { // still due under the possibly-doubled stride
+			s.buf = append(s.buf, d) //copart:allocok bounded by max; capacity is retained across runs
+		}
+	}
+	s.seen++
+}
+
+// compact halves the kept set to every other sample and doubles the
+// stride, preserving the invariant that buf[i] is push index i·stride.
+//
+//copart:noalloc
+func (s *latSampler) compact() {
+	half := 0
+	for i := 0; i < len(s.buf); i += 2 {
+		s.buf[half] = s.buf[i]
+		half++
+	}
+	s.buf = s.buf[:half]
+	s.stride *= 2
+}
+
+// blockStripe is one dispatch block's private telemetry shard: the
+// latency sampler plus the block's share of every fleet counter.
+// Exactly one worker owns a stripe at a time (blocks are the dispatch
+// unit), so the fields are plain — the merge at run end is the only
+// cross-block read, and it happens after the fan-out joins.
+type blockStripe struct {
+	lo, hi int // node range [lo, hi)
+	lat    latSampler
+
+	periods        int
+	reprofiles     int
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheEvictions uint64
+	scoreHits      uint64
+	scoreMisses    uint64
+	healthy        int
+	degraded       int
+	maxFailStreak  int
+	poolCarries    uint64 // runtimes handed node-to-node without a pool round-trip
+}
+
+// reset prepares the stripe for a run over nodes [lo, hi) with the
+// given per-stripe sample bound.
+//
+//copart:noalloc
+func (st *blockStripe) reset(lo, hi, latMax int) {
+	st.lat.reset(latMax)
+	*st = blockStripe{lo: lo, hi: hi, lat: st.lat}
+}
+
+// accumulate folds one finished node's deterministic counters into the
+// stripe.
+//
+//copart:noalloc
+func (st *blockStripe) accumulate(nr *NodeResult) {
+	st.periods += nr.Periods
+	st.reprofiles += nr.Reprofiles
+	st.cacheHits += nr.CacheHits
+	st.cacheMisses += nr.CacheMisses
+	st.cacheEvictions += nr.CacheEvictions
+	st.scoreHits += nr.ScoreHits
+	st.scoreMisses += nr.ScoreMisses
+	if nr.Phase == phaseDegradedName {
+		st.degraded++
+	} else {
+		st.healthy++
+	}
+	if nr.FailStreak > st.maxFailStreak {
+		st.maxFailStreak = nr.FailStreak
+	}
+}
+
+// stripes is the package stripe pool, sized per run by growStripes and
+// reused across runs (serialized — see the package comment above).
+var stripes []blockStripe
+
+// growStripes sizes the stripe pool for nb blocks, retaining existing
+// stripes (and their sampler buffers) across runs.
+func growStripes(nb int) {
+	if cap(stripes) < nb {
+		next := make([]blockStripe, nb) //copart:allocok amortized stripe-pool growth; steady state reuses capacity
+		copy(next, stripes)
+		stripes = next
+	}
+	stripes = stripes[:nb]
+}
+
+// latSample is one merged latency sample: a kept duration and the
+// number of periods it stands for (its stripe's final stride).
+type latSample struct {
+	v time.Duration
+	w int64
+}
+
+// latMergeScratch is the reusable cross-stripe merge buffer; owned by
+// the single in-flight Run/RunChurn.
+var latMergeScratch []latSample
+
+// weightedPercentile reads the nearest-rank p-th percentile from
+// value-sorted weighted samples with total weight totalW. With unit
+// weights it reduces exactly to percentile (rank ⌈p/100·n⌉).
+func weightedPercentile(sorted []latSample, totalW int64, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (int64(p)*totalW + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range sorted {
+		cum += sorted[i].w
+		if cum >= rank {
+			return sorted[i].v
+		}
+	}
+	return sorted[len(sorted)-1].v
+}
+
+// sortDurations sorts a latency buffer in place.
+//
+//copart:noalloc
+func sortDurations(s []time.Duration) { slices.Sort(s) }
+
+// cmpLatSample orders merged samples by duration; a package-level
+// funcval so sorting allocates nothing.
+func cmpLatSample(a, b latSample) int {
+	switch {
+	case a.v < b.v:
+		return -1
+	case a.v > b.v:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortLatSamples sorts the merge buffer by duration.
+//
+//copart:noalloc
+func sortLatSamples(s []latSample) { slices.SortFunc(s, cmpLatSample) }

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// feedSampler drives a sampler the way runNode does: due() decides
+// whether the period is measured (push) or not (skip).
+func feedSampler(s *latSampler, n int) {
+	for i := 0; i < n; i++ {
+		if s.due() {
+			s.push(time.Duration(i))
+		} else {
+			s.skip()
+		}
+	}
+}
+
+// TestLatSamplerSystematicCoverage pins the sampler's invariant — after
+// any number of pushes, buf[i] holds push index i·stride — which is
+// what makes the kept set span the whole stream uniformly instead of
+// windowing to its tail (the retired ring's failure mode).
+func TestLatSamplerSystematicCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, max int }{
+		{1, 8}, {5, 8}, {8, 8}, {9, 8}, {16, 8}, {17, 8}, {100, 8},
+		{1000, 16}, {65536, 64}, {3, 2}, {1000, 2},
+	} {
+		var s latSampler
+		s.reset(tc.max)
+		feedSampler(&s, tc.n)
+		if s.seen != uint64(tc.n) {
+			t.Fatalf("n=%d max=%d: seen=%d", tc.n, tc.max, s.seen)
+		}
+		if s.stride&(s.stride-1) != 0 || s.stride == 0 {
+			t.Fatalf("n=%d max=%d: stride %d not a power of two", tc.n, tc.max, s.stride)
+		}
+		for i, v := range s.buf {
+			if want := time.Duration(uint64(i) * s.stride); v != want {
+				t.Fatalf("n=%d max=%d: buf[%d]=%d, want push index %d (stride %d)",
+					tc.n, tc.max, i, v, want, s.stride)
+			}
+		}
+		// The kept set covers the stream end to end: the last kept index
+		// is within one stride of the last push.
+		if last := uint64(len(s.buf)-1) * s.stride; tc.n > 0 && uint64(tc.n)-1-last >= s.stride {
+			t.Fatalf("n=%d max=%d: last kept index %d leaves a gap > stride %d", tc.n, tc.max, last, s.stride)
+		}
+		// Past the first compaction the buffer stays at least half full.
+		if tc.n > tc.max && len(s.buf) <= tc.max/2 {
+			t.Fatalf("n=%d max=%d: only %d samples kept", tc.n, tc.max, len(s.buf))
+		}
+		if len(s.buf) > tc.max || (tc.max >= 2 && len(s.buf) > tc.max) {
+			t.Fatalf("n=%d max=%d: %d samples exceed bound", tc.n, tc.max, len(s.buf))
+		}
+	}
+}
+
+// TestLatSamplerResetKeepsCapacity pins the allocation story: resetting
+// for a new run reuses the buffer.
+func TestLatSamplerResetKeepsCapacity(t *testing.T) {
+	var s latSampler
+	s.reset(64)
+	feedSampler(&s, 1000)
+	c := cap(s.buf)
+	s.reset(64)
+	if len(s.buf) != 0 || cap(s.buf) != c {
+		t.Fatalf("reset: len=%d cap=%d, want 0/%d", len(s.buf), cap(s.buf), c)
+	}
+	if s.stride != 1 || s.seen != 0 {
+		t.Fatalf("reset: stride=%d seen=%d", s.stride, s.seen)
+	}
+}
+
+// TestWeightedPercentile pins the merge's percentile definition: with
+// unit weights it is exactly the nearest-rank percentile, and a
+// sample's weight counts it that many periods' worth.
+func TestWeightedPercentile(t *testing.T) {
+	uw := []latSample{{1, 1}, {2, 1}, {3, 1}, {4, 1}}
+	plain := []time.Duration{1, 2, 3, 4}
+	for _, p := range []int{1, 25, 50, 75, 99, 100} {
+		if got, want := weightedPercentile(uw, 4, p), percentile(plain, p); got != want {
+			t.Errorf("p%d: weighted %v, nearest-rank %v", p, got, want)
+		}
+	}
+	// One heavy sample dominates: {v:10, w:97} pulls p50 to 10.
+	heavy := []latSample{{1, 1}, {2, 1}, {10, 97}, {20, 1}}
+	if got := weightedPercentile(heavy, 100, 50); got != 10 {
+		t.Errorf("weighted p50 = %v, want 10", got)
+	}
+	if got := weightedPercentile(heavy, 100, 99); got != 10 {
+		t.Errorf("weighted p99 = %v, want 10", got)
+	}
+	if got := weightedPercentile(heavy, 100, 100); got != 20 {
+		t.Errorf("weighted p100 = %v, want 20", got)
+	}
+	if got := weightedPercentile(nil, 0, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

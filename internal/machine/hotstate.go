@@ -35,15 +35,20 @@ type HotState struct {
 	allocs   []Alloc
 	active   []bool
 
-	// L1 solve-cache contents and counters. Keys and entries are shared
-	// with the source cache; both are immutable once stored.
-	cacheKeys    []string
-	cacheEntries [][]Perf
-	hits         uint64
-	misses       uint64
-	evictions    uint64
-	sharedHits   uint64
-	hasCache     bool
+	// cacheTab is a self-contained copy of the L1 solve-cache contents,
+	// built once at capture and immutable afterwards. Restore adopts it
+	// by reference as the cache's read-only base tier (solvecache.go) —
+	// a pointer swap instead of re-inserting every entry, which turns
+	// the per-node restore in a fleet run from O(cached states) into
+	// O(1). Entry slices inside are shared with the source cache
+	// (immutable by the solve-cache contract); the key bytes are copied
+	// because the source arena compacts under eviction.
+	cacheTab   *perfTable
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	sharedHits uint64
+	hasCache   bool
 }
 
 // CaptureHotState checkpoints the machine's run-mutable state. The
@@ -71,12 +76,19 @@ func (m *Machine) CaptureHotState() (HotState, error) {
 	}
 	if m.cache != nil {
 		hs.hasCache = true
-		hs.cacheKeys = make([]string, 0, len(m.cache.entries))
-		hs.cacheEntries = make([][]Perf, 0, len(m.cache.entries))
-		for k, e := range m.cache.entries {
-			hs.cacheKeys = append(hs.cacheKeys, k)
-			hs.cacheEntries = append(hs.cacheEntries, e)
+		// Flatten the cache's base tier (if this machine itself restored
+		// a checkpoint) and its own table into one self-contained copy,
+		// in logical insertion order.
+		tab := &perfTable{}
+		for _, src := range []*perfTable{m.cache.base, &m.cache.tab} {
+			if src == nil {
+				continue
+			}
+			for i := 0; i < src.size(); i++ {
+				tab.insert(src.fps[i], src.keyAt(i), src.entries[i])
+			}
 		}
+		hs.cacheTab = tab
 		hs.hits = m.cache.hits.Load()
 		hs.misses = m.cache.misses.Load()
 		hs.evictions = m.cache.evictions.Load()
@@ -133,10 +145,13 @@ func (m *Machine) RestoreHotState(hs HotState) error {
 	m.gatherValid = false
 	if m.cache != nil {
 		m.cache.clearPending()
-		clear(m.cache.entries)
-		for i, k := range hs.cacheKeys {
-			m.cache.entries[k] = hs.cacheEntries[i]
-		}
+		m.cache.tab.truncate()
+		// Adopt the checkpoint's table by reference as the read-only base
+		// tier: lookups see exactly the membership the checkpointed
+		// machine held, so the hit/miss trajectory from here on is
+		// bit-identical to a copying restore — without the per-entry
+		// insert walk.
+		m.cache.base = hs.cacheTab
 		m.cache.hits.Store(hs.hits)
 		m.cache.misses.Store(hs.misses)
 		m.cache.evictions.Store(hs.evictions)

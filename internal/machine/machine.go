@@ -199,7 +199,7 @@ type Machine struct {
 	noiseCalls uint64
 
 	hasPhases bool // any active app carries a phase schedule
-	// solveClean reports that scratch.perfs still holds the solved steady
+	// solveClean reports that scratch.view still holds the solved steady
 	// state for the current machine state: no allocation, app set, or
 	// snapshot change since the last solveActiveScratch. Phased machines
 	// never use it (time itself is a solver input there). It lets a
@@ -253,7 +253,12 @@ type solveScratch struct {
 	bwCaps     []float64      // per-app MBA bandwidth cap (fixed per solve)
 	demands    []membw.Demand // arbitration input
 	arbRes     membw.Result   // arbitration output (Grants reused)
-	perfs      []Perf         // solveActiveScratch result buffer (Step, Occupancy)
+	perfs      []Perf         // solveActiveScratch solve buffer (Step, Occupancy)
+	// view is what the last solveActiveScratch returned: perfs when the
+	// state was freshly solved, or a cache tier's immutable entry on a
+	// hit — aliased instead of copied, since Step and Occupancy only
+	// read it. Never written through.
+	view []Perf
 }
 
 // Option configures a Machine at construction.
@@ -565,17 +570,34 @@ func (m *Machine) Step(dt time.Duration) error {
 	}
 	secs := dt.Seconds()
 	i := -1
-	for _, a := range m.apps {
-		if !a.active {
-			continue
+	if m.cfg.MeasurementNoise == 0 {
+		// Noise-free accumulation skips the per-app factor draws; the
+		// factors are exactly 1 there, so the sums are bit-identical to
+		// the noisy loop's.
+		for _, a := range m.apps {
+			if !a.active {
+				continue
+			}
+			i++
+			p := perfs[i]
+			a.counters.Instructions += p.IPS * secs
+			a.counters.LLCAccesses += p.AccessRate * secs
+			a.counters.LLCMisses += p.MissRate * secs
+			a.counters.MemoryBytes += p.GrantBW * secs
 		}
-		i++
-		p := perfs[i]
-		perfNoise, missNoise := m.noiseFactors()
-		a.counters.Instructions += p.IPS * secs * perfNoise
-		a.counters.LLCAccesses += p.AccessRate * secs * perfNoise
-		a.counters.LLCMisses += p.MissRate * secs * perfNoise * missNoise
-		a.counters.MemoryBytes += p.GrantBW * secs * perfNoise * missNoise
+	} else {
+		for _, a := range m.apps {
+			if !a.active {
+				continue
+			}
+			i++
+			p := perfs[i]
+			perfNoise, missNoise := m.noiseFactors()
+			a.counters.Instructions += p.IPS * secs * perfNoise
+			a.counters.LLCAccesses += p.AccessRate * secs * perfNoise
+			a.counters.LLCMisses += p.MissRate * secs * perfNoise * missNoise
+			a.counters.MemoryBytes += p.GrantBW * secs * perfNoise * missNoise
+		}
 	}
 	m.now += dt
 	// Phase advances invalidate nothing: the cache key is exact over
@@ -719,7 +741,7 @@ func (m *Machine) solveActiveScratch() ([]Perf, error) {
 	// return it without touching the cache tiers. Phased machines are
 	// excluded because their resolved models move with virtual time.
 	if m.solveClean && !m.hasPhases {
-		return m.scratch.perfs, nil
+		return m.scratch.view, nil
 	}
 	models, allocs, digests := m.gatherActive()
 	if len(models) == 0 {
@@ -730,11 +752,16 @@ func (m *Machine) solveActiveScratch() ([]Perf, error) {
 		sc.perfs = make([]Perf, len(models))
 	}
 	sc.perfs = sc.perfs[:len(models)]
-	if err := m.solveForInto(sc.perfs, models, allocs, digests, true); err != nil {
+	// solveRef hands back a cache tier's entry directly on a hit — the
+	// dominant fleet steady state — so the per-period path moves no Perf
+	// structs at all; only a fresh solve writes into sc.perfs.
+	out, err := m.solveRef(sc.perfs, models, allocs, digests, true, true)
+	if err != nil {
 		return nil, err
 	}
+	sc.view = out
 	m.solveClean = true
-	return sc.perfs, nil
+	return out, nil
 }
 
 // SolveFor solves the model for an arbitrary hypothetical set of
@@ -835,20 +862,38 @@ func (m *Machine) solveForInto(perfs []Perf, models []AppModel, allocs []Alloc, 
 //
 //copart:noalloc
 func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1, trusted bool) error {
+	out, err := m.solveRef(perfs, models, allocs, digests, useL1, trusted)
+	if err != nil {
+		return err
+	}
+	if len(out) != 0 && &out[0] != &perfs[0] {
+		copy(perfs, out)
+	}
+	return nil
+}
+
+// solveRef is solveInto returning the steady state by reference: on a
+// cache hit it hands back the tier's immutable entry instead of copying
+// it into perfs, and only a fresh solve writes perfs (and returns it).
+// Callers either copy (solveInto) or treat the result as read-only
+// (solveActiveScratch, whose consumers Step and Occupancy never write).
+//
+//copart:noalloc
+func (m *Machine) solveRef(perfs []Perf, models []AppModel, allocs []Alloc, digests []uint64, useL1, trusted bool) ([]Perf, error) {
 	if len(models) != len(allocs) {
-		return fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
+		return nil, fmt.Errorf("machine: %d models, %d allocs", len(models), len(allocs))
 	}
 	sockets := m.cfg.SocketCount()
 	if !trusted {
 		for i, al := range allocs {
 			if al.CBM == 0 || al.CBM&^m.fullMask != 0 {
-				return fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
+				return nil, fmt.Errorf("machine: invalid CBM %#x for app %d", al.CBM, i)
 			}
 			if err := membw.ValidateLevel(al.MBALevel); err != nil {
-				return fmt.Errorf("machine: app %d: %w", i, err)
+				return nil, fmt.Errorf("machine: app %d: %w", i, err)
 			}
 			if s := models[i].Socket; s < 0 || s >= sockets {
-				return fmt.Errorf("machine: app %d on socket %d, machine has %d",
+				return nil, fmt.Errorf("machine: app %d on socket %d, machine has %d",
 					i, s, sockets)
 			}
 		}
@@ -866,12 +911,11 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 		m.cache.encodeKey(m.cfgDigest, digests, allocs)
 		if useL1 {
 			if cached, ok := m.cache.lookup(); ok {
-				copy(perfs, cached)
-				return nil
+				return cached, nil
 			}
 		}
 		if shared {
-			if cached, ok := sharedSolve.lookup(m.cache.key); ok {
+			if cached, ok := sharedSolve.lookup(m.cache.key, m.cache.fp); ok {
 				m.cache.sharedHits.Add(1)
 				if useL1 {
 					// Adopt the entry into the L1 exactly as a fresh solve
@@ -880,8 +924,7 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 					// the miss.
 					m.cache.store(cached)
 				}
-				copy(perfs, cached)
-				return nil
+				return cached, nil
 			}
 		}
 	}
@@ -907,14 +950,14 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 				subAllocs[j] = allocs[i]
 			}
 			if err := m.solveDomainInto(subPerfs, subModels, subAllocs); err != nil {
-				return err
+				return nil, err
 			}
 			for j, i := range idx {
 				perfs[i] = subPerfs[j]
 			}
 		}
 	} else if err := m.solveDomainInto(perfs, models, allocs); err != nil {
-		return err
+		return nil, err
 	}
 	if m.cache != nil && (useL1 || shared) {
 		// encodeKey left the key in the cache's scratch. One fresh
@@ -924,7 +967,7 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 		entry := make([]Perf, len(perfs)) //copart:allocok cache-miss path: one immutable entry backs both cache tiers
 		copy(entry, perfs)
 		if useL1 {
-			key := m.cache.store(entry)
+			m.cache.store(entry)
 			if shared {
 				// Self-visibility is already guaranteed by the L1, so the
 				// L2 publication is deferred into the pending batch that
@@ -932,15 +975,15 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 				// node-period instead of one mutex acquire per solve).
 				// Publication timing only shifts which machine's L2
 				// hit/miss counter moves — documented nondeterministic.
-				m.cache.pend(key, entry)
+				m.cache.pend(entry)
 			}
 		} else if shared {
 			// SolveSession states are never revisited intra-run and have
 			// no L1 for self-visibility, so they publish directly.
-			sharedSolve.store(m.cache.key, entry)
+			sharedSolve.store(m.cache.key, m.cache.fp, entry)
 		}
 	}
-	return nil
+	return perfs, nil
 }
 
 // FlushShared publishes the pending L2 entries batched since the last
@@ -953,11 +996,11 @@ func (m *Machine) solveInto(perfs []Perf, models []AppModel, allocs []Alloc, dig
 //
 //copart:noalloc
 func (m *Machine) FlushShared() {
-	if m.cache == nil || len(m.cache.pendKeys) == 0 {
+	if m.cache == nil || len(m.cache.pendFps) == 0 {
 		return
 	}
 	if SharedSolveCacheEnabled() {
-		sharedSolve.storeBatch(m.cache.pendKeys, m.cache.pendEntries)
+		sharedSolve.storeBatch(m.cache.pendArena, m.cache.pendEnds, m.cache.pendFps, m.cache.pendEntries)
 	}
 	m.cache.clearPending()
 }

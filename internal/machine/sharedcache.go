@@ -13,8 +13,10 @@ import (
 // is bit-identical to recomputation, and sharing therefore cannot
 // perturb any seeded run regardless of goroutine interleaving — only
 // which duplicate solve gets skipped is timing-dependent, never a
-// value. Lock striping (128 shards, each a mutex + map) keeps fleet
-// workers from serializing on one lock.
+// value. Lock striping (128 shards, each a mutex + fingerprint table)
+// keeps fleet workers from serializing on one lock, and the shard is
+// selected by the same hashKey fingerprint the L1 computed — an L1
+// miss reaches the L2 without hashing the key a second time.
 const (
 	sharedShardCount = 128
 	sharedShardCap   = 4096 // entries per shard; ~524k process-wide
@@ -30,8 +32,8 @@ type SharedCacheStats struct {
 }
 
 type sharedShard struct {
-	mu      sync.Mutex
-	entries map[string][]Perf
+	mu  sync.Mutex
+	tab perfTable
 }
 
 type sharedCache struct {
@@ -71,7 +73,7 @@ func SharedSolveCacheStats() SharedCacheStats {
 	for i := range sharedSolve.shards {
 		s := &sharedSolve.shards[i]
 		s.mu.Lock()
-		st.Entries += len(s.entries)
+		st.Entries += s.tab.size()
 		s.mu.Unlock()
 	}
 	return st
@@ -83,7 +85,7 @@ func ResetSharedSolveCache() {
 	for i := range sharedSolve.shards {
 		s := &sharedSolve.shards[i]
 		s.mu.Lock()
-		s.entries = nil
+		s.tab.truncate()
 		s.mu.Unlock()
 	}
 	sharedSolve.hits.Store(0)
@@ -91,103 +93,82 @@ func ResetSharedSolveCache() {
 	sharedSolve.evictions.Store(0)
 }
 
-//copart:noalloc
-func (c *sharedCache) shard(key []byte) *sharedShard {
-	return &c.shards[hashKey(key)%sharedShardCount]
-}
-
-// lookup returns the shared entry for key, if present. The returned
+// lookup returns the shared entry for key (with its hashKey fingerprint
+// fp, as left in the L1 scratch by encodeKey), if present. The returned
 // slice is immutable by contract: readers copy out of it and an adopting
 // L1 may alias it, but nobody writes through it.
 //
 //copart:noalloc
-func (c *sharedCache) lookup(key []byte) ([]Perf, bool) {
-	s := c.shard(key)
+func (c *sharedCache) lookup(key []byte, fp uint64) ([]Perf, bool) {
+	s := &c.shards[fp%sharedShardCount]
 	s.mu.Lock()
-	entry, ok := s.entries[string(key)]
-	s.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+	var entry []Perf
+	i := s.tab.find(fp, key)
+	if i >= 0 {
+		entry = s.tab.entries[i]
 	}
-	return entry, ok
+	s.mu.Unlock()
+	if i >= 0 {
+		c.hits.Add(1)
+		return entry, true
+	}
+	c.misses.Add(1)
+	return nil, false
 }
 
 // store publishes an immutable entry under key, evicting a bounded
 // batch from the shard when it is full (same policy as the L1: eviction
 // affects only speed and counters, never values).
-func (c *sharedCache) store(key []byte, entry []Perf) {
-	s := c.shard(key)
+func (c *sharedCache) store(key []byte, fp uint64, entry []Perf) {
+	s := &c.shards[fp%sharedShardCount]
 	s.mu.Lock()
-	c.storeLocked(s, string(key), entry)
+	c.storeLocked(s, key, fp, entry)
 	s.mu.Unlock()
 }
 
-// storeLocked is store's body under an already-held shard lock, taking
-// the key as a string so batched callers with interned keys store
-// without a conversion allocation.
-func (c *sharedCache) storeLocked(s *sharedShard, key string, entry []Perf) {
-	if s.entries == nil {
-		s.entries = make(map[string][]Perf, sharedShardCap/4)
-	}
-	if len(s.entries) >= sharedShardCap {
-		if _, exists := s.entries[key]; !exists {
-			evicted := uint64(0)
-			for k := range s.entries {
-				delete(s.entries, k)
-				if evicted++; evicted >= sharedShardCap/8 {
-					break
-				}
-			}
-			c.evictions.Add(evicted)
-		}
-	}
-	s.entries[key] = entry
-}
-
-// hashString is hashKey over a string key (no []byte conversion): the
-// same word-folded FNV, so a key hashes to the same shard whether it
-// arrives as scratch bytes (lookup) or an interned string (storeBatch).
+// storeLocked is store's body under an already-held shard lock.
 //
 //copart:noalloc
-func hashString(key string) uint64 {
-	h := uint64(fnvOffset64)
-	i := 0
-	for ; i+8 <= len(key); i += 8 {
-		w := uint64(key[i]) | uint64(key[i+1])<<8 | uint64(key[i+2])<<16 | uint64(key[i+3])<<24 |
-			uint64(key[i+4])<<32 | uint64(key[i+5])<<40 | uint64(key[i+6])<<48 | uint64(key[i+7])<<56
-		h = (h ^ w) * fnvPrime64
+func (c *sharedCache) storeLocked(s *sharedShard, key []byte, fp uint64, entry []Perf) {
+	if i := s.tab.find(fp, key); i >= 0 {
+		s.tab.entries[i] = entry
+		return
 	}
-	for ; i < len(key); i++ {
-		h = (h ^ uint64(key[i])) * fnvPrime64
+	if s.tab.size() >= sharedShardCap {
+		c.evictions.Add(uint64(s.tab.evictOldest(sharedShardCap / 8)))
 	}
-	return h
+	s.tab.insert(fp, key, entry)
 }
 
 // storeBatch publishes a batch of entries, taking each distinct shard's
 // lock exactly once: a fleet period's worth of fresh solves lands in
 // the L2 with one striped acquire per shard touched instead of one
-// mutex handshake per solve (see Machine.FlushShared). keys must be
-// interned strings (the pending buffer's contract); len(keys) ==
-// len(entries). The shard-done set is a 128-bit mask, so the grouping
-// allocates nothing.
+// mutex handshake per solve (see Machine.FlushShared). The batch is the
+// L1's pending buffer — keys concatenated in arena with ends[i]
+// delimiting key i, fps the precomputed fingerprints, len(fps) ==
+// len(entries) == len(ends). The shard-done set is a 128-bit mask, so
+// the grouping allocates nothing.
 //
 //copart:noalloc
-func (c *sharedCache) storeBatch(keys []string, entries [][]Perf) {
+func (c *sharedCache) storeBatch(arena []byte, ends []int32, fps []uint64, entries [][]Perf) {
 	var done [sharedShardCount / 64]uint64
-	for i := range keys {
-		si := hashString(keys[i]) % sharedShardCount
+	for i := range fps {
+		si := fps[i] % sharedShardCount
 		if done[si/64]&(1<<(si%64)) != 0 {
 			continue
 		}
 		done[si/64] |= 1 << (si % 64)
 		s := &c.shards[si]
 		s.mu.Lock()
-		for j := i; j < len(keys); j++ {
-			if hashString(keys[j])%sharedShardCount == si {
-				c.storeLocked(s, keys[j], entries[j])
+		for j := i; j < len(fps); j++ {
+			if fps[j]%sharedShardCount != si {
+				continue
 			}
+			lo := int32(0)
+			if j > 0 {
+				lo = ends[j-1]
+			}
+			c.storeLocked(s, arena[lo:ends[j]], fps[j], entries[j])
 		}
 		s.mu.Unlock()
 	}

@@ -267,8 +267,9 @@ func TestSharedSolveCacheBoundedEviction(t *testing.T) {
 	seq := 0
 	const shard = 5
 	for i := 0; i < sharedShardCap+100; i++ {
-		sharedSolve.store(keyForShard(shard, &seq), entry)
-		if n := len(sharedSolve.shards[shard].entries); n > sharedShardCap {
+		key := keyForShard(shard, &seq)
+		sharedSolve.store(key, hashKey(key), entry)
+		if n := sharedSolve.shards[shard].tab.size(); n > sharedShardCap {
 			t.Fatalf("shard grew to %d entries, cap is %d", n, sharedShardCap)
 		}
 	}
@@ -278,15 +279,15 @@ func TestSharedSolveCacheBoundedEviction(t *testing.T) {
 	}
 	// Bounded batches, not whole-table drops: after the overflow the
 	// shard must retain at least cap − batch − 1 entries.
-	if n := len(sharedSolve.shards[shard].entries); n < sharedShardCap-sharedShardCap/8-1 {
+	if n := sharedSolve.shards[shard].tab.size(); n < sharedShardCap-sharedShardCap/8-1 {
 		t.Fatalf("eviction dropped too much: %d entries left of %d cap", n, sharedShardCap)
 	}
 	// Re-storing an existing key at a full shard must not evict.
 	full := SharedSolveCacheStats()
 	key := keyForShard(shard, &seq)
-	sharedSolve.store(key, entry)
+	sharedSolve.store(key, hashKey(key), entry)
 	evAfterNew := SharedSolveCacheStats().Evictions
-	sharedSolve.store(key, entry)
+	sharedSolve.store(key, hashKey(key), entry)
 	if got := SharedSolveCacheStats().Evictions; got != evAfterNew {
 		t.Fatalf("overwriting an existing key evicted (%d → %d)", evAfterNew, got)
 	}
@@ -300,18 +301,19 @@ func TestSolveCacheBoundedEviction(t *testing.T) {
 	entry := []Perf{{IPS: 1}}
 	for i := 0; i < 100; i++ {
 		c.key = binary.LittleEndian.AppendUint64(c.key[:0], uint64(i))
+		c.fp = hashKey(c.key)
 		c.store(append([]Perf(nil), entry...))
-		if len(c.entries) > 16 {
-			t.Fatalf("cache grew to %d entries, max is 16", len(c.entries))
+		if c.tab.size() > 16 {
+			t.Fatalf("cache grew to %d entries, max is 16", c.tab.size())
 		}
-		if len(c.entries) == 0 {
+		if c.tab.size() == 0 {
 			t.Fatal("cache was fully dropped")
 		}
 	}
 	if c.evictions.Load() == 0 {
 		t.Fatal("bounded store evicted nothing")
 	}
-	if len(c.entries) < 16-16/8 {
-		t.Fatalf("eviction dropped too much: %d entries left", len(c.entries))
+	if c.tab.size() < 16-16/8 {
+		t.Fatalf("eviction dropped too much: %d entries left", c.tab.size())
 	}
 }

@@ -21,28 +21,41 @@ const defaultSolveCacheEntries = 1 << 15
 // memory. Entries are immutable and may be shared with the process-wide
 // L2 (sharedcache.go): both tiers hand out slices that callers copy
 // from and never mutate.
+//
+// Storage is an open-addressed fingerprint table (perftable.go) rather
+// than a Go map: encodeKey leaves both the exact key bytes and their
+// 64-bit hash in the scratch, so a period's lookup/store pair probes on
+// a precomputed fingerprint instead of re-hashing a string key, and the
+// arena-backed keys need no intern table to keep stores
+// allocation-free.
 type solveCache struct {
-	entries map[string][]Perf
-	max     int
-	key     []byte // scratch for the current key
+	tab perfTable
+	// base is an optional read-only tier below tab: a checkpoint's table
+	// adopted by reference in RestoreHotState (hotstate.go). Lookups
+	// fall back to it after missing tab; stores always go to tab (a key
+	// can never be stored while present in either tier, so the tiers
+	// stay disjoint). It never evicts — checkpoints hold a profiling
+	// phase's worth of states, far under the table bound.
+	base *perfTable
+	max  int
 
-	// interned deduplicates key strings across stores: the map-store form
-	// m[string(b)] = v materializes a fresh key string every time, so a
-	// fleet node revisiting states it solved in an earlier epoch (or an
-	// L2-warm node adopting entries) would pay one string allocation per
-	// store forever. The intern table survives invalidate/reset — it
-	// holds strings, not results, so persistence affects allocations
-	// only, never values or counters.
-	interned map[string]string
+	// encodeKey scratch: the current key bytes and their hashKey
+	// fingerprint, consumed by lookup/store/pend and by the L2 (which
+	// shards on the same fingerprint).
+	key []byte
+	fp  uint64
 
-	// pendKeys/pendEntries buffer L2 publications between period
-	// boundaries (see Machine.FlushShared): keys are interned strings, so
-	// the buffer itself allocates only amortized append growth.
-	pendKeys    []string
+	// The pending buffer batches L2 publications between period
+	// boundaries (see Machine.FlushShared). Keys are copied into the
+	// pending arena — the L1 table may compact under eviction while a
+	// publication is pending, so the buffer cannot alias it.
+	pendArena   []byte
+	pendEnds    []int32
+	pendFps     []uint64
 	pendEntries [][]Perf
 
 	// The counters are atomics because fleet drivers snapshot stats
-	// while nodes are mid-run; the maps themselves are still owned by
+	// while nodes are mid-run; the table itself is still owned by
 	// one Machine (a Machine is not safe for concurrent use).
 	hits       atomic.Uint64
 	misses     atomic.Uint64
@@ -50,71 +63,52 @@ type solveCache struct {
 	sharedHits atomic.Uint64 // L1 misses served by the shared L2
 }
 
-// internMax bounds the intern table; at the bound it is cleared
-// wholesale (keeping its buckets) — strictly a memory/alloc trade, the
-// interned strings carry no cached results.
-const internMax = 1 << 16
-
 func newSolveCache(max int) *solveCache {
-	return &solveCache{
-		entries:  make(map[string][]Perf),
-		interned: make(map[string]string),
-		max:      max,
-	}
+	return &solveCache{max: max}
 }
 
 // invalidate drops every entry. Safe on a nil cache.
 func (c *solveCache) invalidate() {
-	if c == nil || len(c.entries) == 0 {
+	if c == nil {
 		return
 	}
-	clear(c.entries)
+	c.base = nil
+	if c.tab.size() != 0 {
+		c.tab.truncate()
+	}
 }
 
 // reset returns the cache to its just-constructed state — entries
-// cleared (buckets kept), all counters zeroed — while retaining the
-// intern table and key scratch, whose contents are config-keyed strings
-// that stay valid across Machine.Reset. Pending L2 publications must be
-// flushed by the caller first (Machine.Reset does). Safe on nil.
+// dropped (capacity kept), all counters zeroed — while retaining the
+// key scratch. Pending L2 publications must be flushed by the caller
+// first (Machine.Reset does). Safe on nil.
 //
 //copart:noalloc
 func (c *solveCache) reset() {
 	if c == nil {
 		return
 	}
-	clear(c.entries)
+	c.base = nil
+	c.tab.truncate()
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
 	c.sharedHits.Store(0)
 }
 
-// intern returns the canonical string for the scratch key, allocating
-// it at most once per distinct state per table generation.
+// pend queues the entry just stored under the scratch key for batched
+// L2 publication, self-flushing when the buffer fills between period
+// boundaries.
 //
 //copart:noalloc
-func (c *solveCache) intern() string {
-	if s, ok := c.interned[string(c.key)]; ok {
-		return s
-	}
-	if len(c.interned) >= internMax {
-		clear(c.interned)
-	}
-	s := string(c.key) //copart:allocok first sighting of a state: interned once, reused forever
-	c.interned[s] = s
-	return s
-}
-
-// pend queues an entry for batched L2 publication under the interned
-// key, self-flushing when the buffer fills between period boundaries.
-//
-//copart:noalloc
-func (c *solveCache) pend(key string, entry []Perf) {
-	c.pendKeys = append(c.pendKeys, key)         //copart:allocok amortized append growth; capacity is retained across periods
-	c.pendEntries = append(c.pendEntries, entry) //copart:allocok amortized append growth; capacity is retained across periods
-	if len(c.pendKeys) >= pendFlushAt {
+func (c *solveCache) pend(entry []Perf) {
+	c.pendArena = append(c.pendArena, c.key...)              //copart:allocok amortized append growth; capacity is retained across periods
+	c.pendEnds = append(c.pendEnds, int32(len(c.pendArena))) //copart:allocok amortized append growth; capacity is retained across periods
+	c.pendFps = append(c.pendFps, c.fp)                      //copart:allocok amortized append growth; capacity is retained across periods
+	c.pendEntries = append(c.pendEntries, entry)             //copart:allocok amortized append growth; capacity is retained across periods
+	if len(c.pendFps) >= pendFlushAt {
 		if SharedSolveCacheEnabled() {
-			sharedSolve.storeBatch(c.pendKeys, c.pendEntries)
+			sharedSolve.storeBatch(c.pendArena, c.pendEnds, c.pendFps, c.pendEntries)
 		}
 		c.clearPending()
 	}
@@ -130,16 +124,17 @@ const pendFlushAt = 64
 //
 //copart:noalloc
 func (c *solveCache) clearPending() {
-	for i := range c.pendEntries {
-		c.pendEntries[i] = nil
-	}
-	c.pendKeys = c.pendKeys[:0]
+	clear(c.pendEntries)
+	c.pendArena = c.pendArena[:0]
+	c.pendEnds = c.pendEnds[:0]
+	c.pendFps = c.pendFps[:0]
 	c.pendEntries = c.pendEntries[:0]
 }
 
-// encodeKey writes the exact solver fingerprint into the scratch key:
+// encodeKey writes the exact solver fingerprint into the scratch key —
 // the config digest, then per application its resolved-model digest and
-// allocation pair. digests[i] must be modelDigest of the *resolved*
+// allocation pair — and hashes it once (both tiers consume the same
+// fingerprint). digests[i] must be modelDigest of the *resolved*
 // models[i] (phases folded); Machine maintains these incrementally so
 // the key costs O(apps) fixed-width appends.
 //
@@ -150,10 +145,16 @@ func (c *solveCache) encodeKey(cfgDigest uint64, digests []uint64, allocs []Allo
 	k = binary.AppendUvarint(k, uint64(len(digests)))
 	for i, d := range digests {
 		k = binary.LittleEndian.AppendUint64(k, d)
-		k = binary.LittleEndian.AppendUint64(k, allocs[i].CBM)
+		// CBMs are short bit masks (a machine has a few dozen ways at
+		// most), so the varint form is 1–2 bytes against 8 fixed — the
+		// keys both tiers hash and byte-compare on every solve shrink by
+		// a third. Varints are prefix-free, so the encoding stays
+		// injective.
+		k = binary.AppendUvarint(k, allocs[i].CBM)
 		k = binary.AppendUvarint(k, uint64(allocs[i].MBALevel))
 	}
 	c.key = k
+	c.fp = hashKey(k)
 }
 
 // lookup returns the memoized solve for the key left by encodeKey. The
@@ -164,44 +165,41 @@ func (c *solveCache) encodeKey(cfgDigest uint64, digests []uint64, allocs []Allo
 //
 //copart:noalloc
 func (c *solveCache) lookup() ([]Perf, bool) {
-	cached, ok := c.entries[string(c.key)]
-	if !ok {
-		c.misses.Add(1)
-		return nil, false
+	if i := c.tab.find(c.fp, c.key); i >= 0 {
+		c.hits.Add(1)
+		return c.tab.entries[i], true
 	}
-	c.hits.Add(1)
-	return cached, true
+	if c.base != nil {
+		if i := c.base.find(c.fp, c.key); i >= 0 {
+			c.hits.Add(1)
+			return c.base.entries[i], true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
 }
 
 // store memoizes an immutable entry under the key left by the preceding
-// lookup, taking ownership of the slice (solveForInto passes a fresh
-// copy, possibly shared with the L2), and returns the interned key
-// string for batched L2 publication. When the table is full a bounded
-// batch (max/8) is evicted instead of dropping the whole table — Go's
-// randomized map iteration picks the victims, which is fine because
-// eviction affects only speed and counters, never values.
+// encodeKey, taking ownership of the slice (solveForInto passes a fresh
+// copy, possibly shared with the L2). When the table is full a bounded
+// batch (max/8) of the oldest entries is evicted instead of dropping
+// the whole table — eviction affects only speed and counters, never
+// values.
 //
 //copart:noalloc
-func (c *solveCache) store(entry []Perf) string {
-	if len(c.entries) >= c.max {
-		if _, exists := c.entries[string(c.key)]; !exists {
-			batch := c.max / 8
-			if batch < 1 {
-				batch = 1
-			}
-			evicted := uint64(0)
-			for k := range c.entries {
-				delete(c.entries, k)
-				if evicted++; evicted >= uint64(batch) {
-					break
-				}
-			}
-			c.evictions.Add(evicted)
-		}
+func (c *solveCache) store(entry []Perf) {
+	if i := c.tab.find(c.fp, c.key); i >= 0 {
+		c.tab.entries[i] = entry
+		return
 	}
-	key := c.intern()
-	c.entries[key] = entry
-	return key
+	if c.tab.size() >= c.max {
+		batch := c.max / 8
+		if batch < 1 {
+			batch = 1
+		}
+		c.evictions.Add(uint64(c.tab.evictOldest(batch)))
+	}
+	c.tab.insert(c.fp, c.key, entry)
 }
 
 // CacheStats is a snapshot of one machine's L1 counters. Hits, Misses,
@@ -224,7 +222,18 @@ func (m *Machine) SolveCacheStats() (hits, misses uint64, entries int) {
 	if m.cache == nil {
 		return 0, 0, 0
 	}
-	return m.cache.hits.Load(), m.cache.misses.Load(), len(m.cache.entries)
+	return m.cache.hits.Load(), m.cache.misses.Load(), m.cache.entryCount()
+}
+
+// entryCount is the total resident entry count across both tiers.
+//
+//copart:noalloc
+func (c *solveCache) entryCount() int {
+	n := c.tab.size()
+	if c.base != nil {
+		n += c.base.size()
+	}
+	return n
 }
 
 // SolveCacheDetail reports the full L1 counter snapshot (zero value
@@ -238,6 +247,6 @@ func (m *Machine) SolveCacheDetail() CacheStats {
 		Misses:     m.cache.misses.Load(),
 		Evictions:  m.cache.evictions.Load(),
 		SharedHits: m.cache.sharedHits.Load(),
-		Entries:    len(m.cache.entries),
+		Entries:    m.cache.entryCount(),
 	}
 }

@@ -137,6 +137,51 @@ func ForEach(n int, fn func(i int) error) error {
 	return firstErr
 }
 
+// ForEachBlock partitions [0, n) into contiguous blocks of the given
+// size — [0, block), [block, 2·block), … (the last block may be short)
+// — and runs fn(lo, hi) over them under the same pool and determinism
+// contract as ForEach: the pool decides only *when* a block runs,
+// never its bounds, so as long as fn is a pure function of its range
+// the results are bit-identical at any worker count. block <= 0 (or
+// >= n) selects a single block covering [0, n).
+//
+// Blocks are the fleet's dispatch unit: batching nodes amortizes the
+// per-cell scheduling cost of ForEach, and — because the single-worker
+// and single-block paths below call fn inline, without wrapping it in
+// a closure — the sequential steady state stays allocation-free, which
+// per-index ForEach cannot offer (its callers close over their result
+// slices). The first error, from the lowest-indexed block among those
+// that ran, wins, as in ForEach.
+func ForEachBlock(n, block int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if block <= 0 || block > n {
+		block = n
+	}
+	nb := (n + block - 1) / block
+	if nb == 1 || Workers() == 1 {
+		for lo := 0; lo < n; lo += block {
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			if err := fn(lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ForEach(nb, func(b int) error {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
 // Map runs fn over 0..n-1 under the same pool and returns the results
 // in index order.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {

@@ -135,6 +135,106 @@ func TestNestedForEachDoesNotDeadlockAndStaysBounded(t *testing.T) {
 	})
 }
 
+func TestForEachBlockCoversAllIndicesExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		for _, block := range []int{1, 3, 7, 64, 1000, 2000, 0, -5} {
+			withWorkers(t, w, func() {
+				const n = 1000
+				seen := make([]int32, n)
+				if err := ForEachBlock(n, block, func(lo, hi int) error {
+					if lo < 0 || hi > n || lo >= hi {
+						return fmt.Errorf("bad block [%d, %d)", lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&seen[i], 1)
+					}
+					return nil
+				}); err != nil {
+					t.Fatalf("workers=%d block=%d: %v", w, block, err)
+				}
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("workers=%d block=%d: index %d covered %d times", w, block, i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForEachBlockBounds(t *testing.T) {
+	// Block bounds are a pure function of (n, block) — never of the
+	// worker count — which is what lets callers stripe per-block state
+	// deterministically.
+	type span struct{ lo, hi int }
+	collect := func(w int) []span {
+		var mu sync.Mutex
+		var out []span
+		withWorkers(t, w, func() {
+			if err := ForEachBlock(10, 4, func(lo, hi int) error {
+				mu.Lock()
+				out = append(out, span{lo, hi})
+				mu.Unlock()
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		want := map[span]bool{{0, 4}: true, {4, 8}: true, {8, 10}: true}
+		if len(out) != len(want) {
+			t.Fatalf("workers=%d: %d blocks, want %d", w, len(out), len(want))
+		}
+		for _, s := range out {
+			if !want[s] {
+				t.Fatalf("workers=%d: unexpected block [%d, %d)", w, s.lo, s.hi)
+			}
+		}
+		return out
+	}
+	collect(1)
+	collect(4)
+}
+
+func TestForEachBlockErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			err := ForEachBlock(100, 10, func(lo, hi int) error {
+				if lo == 30 {
+					return fmt.Errorf("block %d: %w", lo, boom)
+				}
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("workers=%d: got %v, want wrapped boom", w, err)
+			}
+		})
+	}
+	if err := ForEachBlock(0, 4, func(lo, hi int) error { return errors.New("x") }); err != nil {
+		t.Fatalf("empty range invoked fn: %v", err)
+	}
+}
+
+// TestForEachBlockSequentialAllocFree pins the property the fleet's
+// zero-alloc dispatch rests on: with one worker, ForEachBlock invokes a
+// package-level function value inline without allocating.
+func TestForEachBlockSequentialAllocFree(t *testing.T) {
+	withWorkers(t, 1, func() {
+		avg := testing.AllocsPerRun(100, func() {
+			if err := ForEachBlock(64, 8, discardBlock); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("sequential ForEachBlock allocates %.1f times per call, want 0", avg)
+		}
+	})
+}
+
+// discardBlock is a package-level funcval so passing it allocates
+// nothing (closures materialize per call; named functions do not).
+func discardBlock(lo, hi int) error { return nil }
+
 func TestMap(t *testing.T) {
 	for _, w := range []int{1, 4} {
 		withWorkers(t, w, func() {
