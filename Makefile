@@ -13,8 +13,9 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus copartlint, the repo's own go/analysis-style
-# suite (determinism, noalloc, directive hygiene, floatcmp — see DESIGN.md
-# §10). CI runs this before the tests.
+# suite (determinism with taint paths, noalloc with call-graph reachability,
+# parclosure, directive hygiene, floatcmp — see DESIGN.md §10 and §15).
+# CI runs this before the tests.
 lint: vet
 	$(GO) run ./cmd/copartlint ./...
 
@@ -99,14 +100,17 @@ bench-guard:
 	$(GO) run ./cmd/benchguard -base "$$(ls BENCH_*.json | sort | tail -1)" -cur $(BENCHGUARD_CUR) \
 	  -bench BenchmarkFig12,BenchmarkMachineSolve,BenchmarkFleet256,BenchmarkFleet4096,BenchmarkFleet16384,BenchmarkFleet65536,BenchmarkFleetChurn
 
-# Crash-safety gate: capture a real snapshot from copartd, verify its
-# replay is deterministic (snap2test -check), then generate a pinned
+# Crash-safety gate: first the lint-suite fixture smoke (the antest
+# golden fixtures are the fastest whole-stack check of the analyzers
+# gating this build), then capture a real snapshot from copartd, verify
+# its replay is deterministic (snap2test -check), and generate a pinned
 # regression test from it and run it. The generated test lands in
 # _verify/ — underscore-prefixed so ./... wildcards never pick it up;
 # it is removed again on success and left behind for inspection on
 # failure.
 VERIFY_SNAP ?= /tmp/copart-verify-snap.json
 verify: build
+	$(GO) test -run Fixture -count=1 ./internal/analysis
 	$(GO) run ./cmd/copartd -mix H-Both -apps 4 -duration 60s -seed 1 -snapshot-exit $(VERIFY_SNAP) > /dev/null
 	$(GO) run ./cmd/snap2test -snapshot $(VERIFY_SNAP) -duration 30s -check
 	rm -rf _verify && mkdir _verify

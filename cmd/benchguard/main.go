@@ -39,6 +39,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"repro/internal/analysis"
 )
 
 // record mirrors the benchjson fields the guard needs. AllocsPerOp and
@@ -80,8 +82,8 @@ func main() {
 		// Repeat the offending rows on stderr: CI surfaces the log tail,
 		// and the full table may have scrolled past by then.
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL — %d guarded benchmark(s) out of budget:\n", len(offenders))
-		for _, line := range offenders {
-			fmt.Fprintf(os.Stderr, "benchguard:   %s\n", line)
+		for _, f := range offenders {
+			fmt.Fprintf(os.Stderr, "benchguard:   %s\n", f)
 		}
 		os.Exit(1)
 	}
@@ -134,11 +136,24 @@ func minMetric(a, b *float64) *float64 {
 	}
 }
 
+// finding wraps one failed guard into the shared lint Finding schema
+// (internal/analysis): File carries the benchmark name — there is no
+// source position — so the stderr summary renders through the same
+// String() as copartlint findings and the two failure modes read alike
+// in a CI log tail.
+func finding(name, format string, argv ...any) analysis.Finding {
+	return analysis.Finding{
+		File:     name,
+		Analyzer: "benchguard",
+		Message:  fmt.Sprintf(format, argv...),
+	}
+}
+
 // compare prints a benchstat-style delta line per watched benchmark and
 // reports whether every one is present and within the regression budget.
-// The returned offenders hold one summary line per failing benchmark,
-// for the caller to repeat wherever failures are read (CI tails stderr).
-func compare(w io.Writer, base, cur map[string]record, names []string, maxRegress float64) (offenders []string, ok bool) {
+// The returned offenders hold one Finding per failing benchmark, for
+// the caller to repeat wherever failures are read (CI tails stderr).
+func compare(w io.Writer, base, cur map[string]record, names []string, maxRegress float64) (offenders []analysis.Finding, ok bool) {
 	ok = true
 	fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
 	for _, name := range names {
@@ -149,7 +164,7 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		c, haveCur := cur[name]
 		if !haveCur {
 			fmt.Fprintf(w, "%-28s %14s %14s %9s  FAIL: missing from current run\n", name, "-", "-", "-")
-			offenders = append(offenders, fmt.Sprintf("%s: missing from current run", name))
+			offenders = append(offenders, finding(name, "missing from current run"))
 			ok = false
 			continue
 		}
@@ -165,8 +180,8 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		verdict := "ok"
 		if delta > maxRegress {
 			verdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
-			offenders = append(offenders, fmt.Sprintf("%s: %.0f ns/op → %.0f ns/op (%+.1f%%, budget +%.0f%%)",
-				name, b.NsPerOp, c.NsPerOp, delta*100, maxRegress*100))
+			offenders = append(offenders, finding(name, "%.0f ns/op → %.0f ns/op (%+.1f%%, budget +%.0f%%)",
+				b.NsPerOp, c.NsPerOp, delta*100, maxRegress*100))
 			ok = false
 		}
 		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
@@ -174,12 +189,12 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 		// Memory guards: same budget, same table, rows labeled with the
 		// unit. Each is skipped (with a warning when the baseline had the
 		// metric) whenever either snapshot lacks -benchmem data.
-		if off := guardMem(w, name, "allocs", "allocs/op", "zero-alloc", b.AllocsPerOp, c.AllocsPerOp, maxRegress); off != "" {
-			offenders = append(offenders, off)
+		if msg := guardMem(w, name, "allocs", "allocs/op", "zero-alloc", b.AllocsPerOp, c.AllocsPerOp, maxRegress); msg != "" {
+			offenders = append(offenders, finding(name, "%s", msg))
 			ok = false
 		}
-		if off := guardMem(w, name, "bytes", "B/op", "zero-byte", b.BytesPerOp, c.BytesPerOp, maxRegress); off != "" {
-			offenders = append(offenders, off)
+		if msg := guardMem(w, name, "bytes", "B/op", "zero-byte", b.BytesPerOp, c.BytesPerOp, maxRegress); msg != "" {
+			offenders = append(offenders, finding(name, "%s", msg))
 			ok = false
 		}
 	}
@@ -193,7 +208,8 @@ func compare(w io.Writer, base, cur map[string]record, names []string, maxRegres
 // a percentage budget over zero would otherwise excuse everything. A
 // nil metric on either side only warns (when the baseline carried it),
 // keeping coverage loss visible without failing timing-only runs.
-// Returns a non-empty offender summary line on failure.
+// Returns a non-empty offender message on failure; the caller wraps it
+// into a Finding carrying the benchmark name.
 func guardMem(w io.Writer, name, row, unit, zero string, bp, cp *float64, maxRegress float64) string {
 	if bp == nil || cp == nil {
 		if bp != nil {
@@ -211,11 +227,11 @@ func guardMem(w io.Writer, name, row, unit, zero string, bp, cp *float64, maxReg
 	switch {
 	case bv == 0 && cv > 0:
 		verdict = fmt.Sprintf("FAIL: %s baseline now nonzero", zero)
-		offender = fmt.Sprintf("%s: 0 %s → %.0f %s (%s baseline)", name, unit, cv, unit, zero)
+		offender = fmt.Sprintf("0 %s → %.0f %s (%s baseline)", unit, cv, unit, zero)
 	case delta > maxRegress:
 		verdict = fmt.Sprintf("FAIL: regressed past +%.0f%%", maxRegress*100)
-		offender = fmt.Sprintf("%s: %.0f %s → %.0f %s (%+.1f%%, budget +%.0f%%)",
-			name, bv, unit, cv, unit, delta*100, maxRegress*100)
+		offender = fmt.Sprintf("%.0f %s → %.0f %s (%+.1f%%, budget +%.0f%%)",
+			bv, unit, cv, unit, delta*100, maxRegress*100)
 	}
 	fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%  %s\n", name+" "+row, bv, cv, delta*100, verdict)
 	return offender

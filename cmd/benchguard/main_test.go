@@ -50,13 +50,18 @@ func TestCompareRegressionFails(t *testing.T) {
 		t.Fatalf("no FAIL marker in output:\n%s", out.String())
 	}
 	// The offender summary names only the regressed benchmark, with both
-	// timings and the budget — what a CI log tail needs to show.
+	// timings and the budget — what a CI log tail needs to show. It is
+	// an analysis.Finding so bench and lint failures share one format.
 	if len(offenders) != 1 {
 		t.Fatalf("offenders = %v, want exactly one", offenders)
 	}
-	for _, frag := range []string{"BenchmarkFig12", "100000000", "130000000", "+30.0%", "budget +20%"} {
-		if !strings.Contains(offenders[0], frag) {
-			t.Errorf("offender line missing %q: %s", frag, offenders[0])
+	if offenders[0].Analyzer != "benchguard" || offenders[0].File != "BenchmarkFig12" {
+		t.Errorf("offender = %+v, want analyzer benchguard on BenchmarkFig12", offenders[0])
+	}
+	line := offenders[0].String()
+	for _, frag := range []string{"BenchmarkFig12", "[benchguard]", "100000000", "130000000", "+30.0%", "budget +20%"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("offender line missing %q: %s", frag, line)
 		}
 	}
 }
@@ -69,7 +74,7 @@ func TestCompareMissingFromCurrentFails(t *testing.T) {
 	if ok {
 		t.Fatal("benchmark missing from the current run passed the guard")
 	}
-	if len(offenders) != 1 || !strings.Contains(offenders[0], "missing from current run") {
+	if len(offenders) != 1 || !strings.Contains(offenders[0].String(), "missing from current run") {
 		t.Fatalf("offenders = %v, want one missing-from-current line", offenders)
 	}
 }
@@ -154,7 +159,7 @@ func TestCompareAllocsRegressionFails(t *testing.T) {
 		t.Fatalf("offenders = %v, want exactly one", offenders)
 	}
 	for _, frag := range []string{"BenchmarkFleet256", "1000", "1300", "+30.0%", "budget +20%"} {
-		if !strings.Contains(offenders[0], frag) {
+		if !strings.Contains(offenders[0].String(), frag) {
 			t.Errorf("offender line missing %q: %s", frag, offenders[0])
 		}
 	}
@@ -172,7 +177,7 @@ func TestCompareZeroAllocBaselineIsAbsolute(t *testing.T) {
 	if ok {
 		t.Fatalf("allocation on a zero-alloc baseline passed the guard:\n%s", out.String())
 	}
-	if len(offenders) != 1 || !strings.Contains(offenders[0], "zero-alloc baseline") {
+	if len(offenders) != 1 || !strings.Contains(offenders[0].String(), "zero-alloc baseline") {
 		t.Fatalf("offenders = %v, want one zero-alloc-baseline line", offenders)
 	}
 }
@@ -227,7 +232,7 @@ func TestCompareBytesRegressionFails(t *testing.T) {
 		t.Fatalf("offenders = %v, want exactly one", offenders)
 	}
 	for _, frag := range []string{"BenchmarkFleet256", "2000", "2600", "B/op", "+30.0%", "budget +20%"} {
-		if !strings.Contains(offenders[0], frag) {
+		if !strings.Contains(offenders[0].String(), frag) {
 			t.Errorf("offender line missing %q: %s", frag, offenders[0])
 		}
 	}
@@ -248,7 +253,7 @@ func TestCompareZeroByteBaselineIsAbsolute(t *testing.T) {
 	if ok {
 		t.Fatalf("bytes on a zero-byte baseline passed the guard:\n%s", out.String())
 	}
-	if len(offenders) != 1 || !strings.Contains(offenders[0], "zero-byte baseline") {
+	if len(offenders) != 1 || !strings.Contains(offenders[0].String(), "zero-byte baseline") {
 		t.Fatalf("offenders = %v, want one zero-byte-baseline line", offenders)
 	}
 }

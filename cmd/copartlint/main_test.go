@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 func writeModule(t *testing.T, files map[string]string) string {
@@ -28,7 +31,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0; stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"determinism", "noalloc", "directives", "floatcmp"} {
+	for _, name := range []string{"determinism", "noalloc", "parclosure", "directives", "floatcmp"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -76,6 +79,96 @@ func Stamp() time.Time {
 	}
 	if !strings.Contains(errOut.String(), "1 finding(s)") {
 		t.Errorf("stderr missing the summary: %s", errOut.String())
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/core/clock.go": `package core
+
+import "time"
+
+// Stamp reads the wall clock where determinism is required.
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "-json"}, &out, &errOut); code != 1 {
+		t.Fatalf("run(-json) = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("decoded %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "determinism" {
+		t.Errorf("finding analyzer = %q, want determinism", f.Analyzer)
+	}
+	if !strings.Contains(f.Message, "wall-clock read time.Now") {
+		t.Errorf("finding message = %q, want wall-clock diagnostic", f.Message)
+	}
+	if f.Line == 0 || !strings.HasSuffix(f.File, "clock.go") {
+		t.Errorf("finding position = %s:%d, want clock.go with a line", f.File, f.Line)
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"lib.go": "package lib\n\n// Add adds.\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-json) = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestPassSelection(t *testing.T) {
+	// The module has one determinism finding; restricting the run to
+	// floatcmp must make it clean, and restricting it to determinism
+	// must keep the finding.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/core/clock.go": `package core
+
+import "time"
+
+// Stamp reads the wall clock where determinism is required.
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "-pass", "floatcmp"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-pass floatcmp) = %d, want 0; stdout: %s stderr: %s", code, out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-dir", dir, "-pass", "determinism,directives"}, &out, &errOut); code != 1 {
+		t.Fatalf("run(-pass determinism,directives) = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wall-clock read time.Now") {
+		t.Errorf("stdout missing the diagnostic:\n%s", out.String())
+	}
+}
+
+func TestPassUnknownName(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-pass", "determinsim"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-pass determinsim) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown pass") || !strings.Contains(errOut.String(), "available:") {
+		t.Errorf("stderr missing the unknown-pass explanation: %s", errOut.String())
 	}
 }
 

@@ -1,15 +1,21 @@
 // Package analysis is copartlint's engine: a small, dependency-free
 // reimplementation of the go/analysis analyzer shape (golang.org/x/tools
-// is deliberately not vendored) plus the four CoPart-specific passes
-// that turn the repo's load-bearing runtime guarantees into
-// compile-time checks:
+// is deliberately not vendored) plus the CoPart-specific passes that
+// turn the repo's load-bearing runtime guarantees into compile-time
+// checks:
 //
-//   - determinism: deterministic packages must not read wall clocks,
-//     draw from the global math/rand source, or let map iteration order
-//     reach slices, reports, or digests unsorted.
+//   - determinism: wall-clock reads, global math/rand draws, and
+//     order-leaking map iteration are *sources*; exported functions of
+//     the deterministic packages are *roots*; a source that sits in a
+//     deterministic package, or is reachable from a root through the
+//     module call graph, is a finding that reports the full call path.
 //   - noalloc: functions annotated //copart:noalloc must not contain
-//     allocating constructs outside recognized amortized-grow and
-//     cold-error-path patterns.
+//     allocating constructs, and must not call unannotated module
+//     functions that (transitively) allocate — the annotation closes
+//     over the call graph instead of stopping at the function brace.
+//   - parclosure: closures handed to internal/parallel's fan-out
+//     primitives must only write captured state through indices derived
+//     from their loop/block variable, or carry //copart:striped.
 //   - directives: every //copart: annotation must be spelled correctly
 //     and attached to a real declaration or statement, so annotations
 //     cannot rot when the code under them moves.
@@ -21,12 +27,16 @@
 // (TestSolveAllocationGuard, TestManagerPeriodAllocationGuard,
 // TestParallelDeterminism) is deliberate: the guard tests pin the
 // end-to-end property on the inputs they exercise; these passes pin the
-// local hygiene of every function in every build. See DESIGN.md §10.
+// hygiene of every function in every build, including call chains the
+// guard tests never drive. See DESIGN.md §10 and §15.
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
+	"go/ast"
 	"go/token"
+	"io"
 	"sort"
 )
 
@@ -37,24 +47,79 @@ type Diagnostic struct {
 	Message  string
 }
 
-func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+func (d Diagnostic) String() string { return d.Finding().String() }
+
+// Finding is the machine-readable form of a Diagnostic: the schema
+// behind `copartlint -json` and the shared formatting used by every
+// tool that reports findings (cmd/benchguard borrows it for its
+// offender summary, so lint and bench failures read the same way).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
-// Analyzer is one named pass. Run inspects the package held by the Pass
-// and reports findings through it; returning an error aborts the whole
-// lint run (reserved for internal failures, not findings).
+// Finding converts the diagnostic to its serializable form.
+func (d Diagnostic) Finding() Finding {
+	return Finding{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// String renders "file:line:col: [analyzer] message", omitting the
+// position parts that are zero (benchguard findings carry no line).
+func (f Finding) String() string {
+	loc := f.File
+	if f.Line > 0 {
+		loc = fmt.Sprintf("%s:%d", loc, f.Line)
+		if f.Col > 0 {
+			loc = fmt.Sprintf("%s:%d", loc, f.Col)
+		}
+	}
+	return fmt.Sprintf("%s: [%s] %s", loc, f.Analyzer, f.Message)
+}
+
+// WriteJSON emits the diagnostics as an indented JSON array of
+// Findings — always an array, "[]" for a clean run, so consumers can
+// decode unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	findings := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, d.Finding())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// Analyzer is one named pass. Exactly one of Run and RunModule is set:
+// Run inspects one package at a time and is invoked per package;
+// RunModule is invoked once with a Pass whose Pkg is nil and analyzes
+// the whole Program (the interprocedural passes, which need the
+// cross-package call graph). Returning an error aborts the whole lint
+// run (reserved for internal failures, not findings).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*Pass) error
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of the code under analysis. For
+// per-package analyzers Pkg and Directives are set; module analyzers
+// see the whole Program instead and resolve files and directives
+// through it.
 type Pass struct {
 	Analyzer   *Analyzer
-	Pkg        *Package
-	Directives *DirectiveIndex
+	Prog       *Program
+	Pkg        *Package        // nil for RunModule passes
+	Directives *DirectiveIndex // nil for RunModule passes
 
 	diags *[]Diagnostic
 }
@@ -62,21 +127,99 @@ type Pass struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      p.Prog.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Run applies every analyzer to every package and returns the combined
-// findings sorted by position. The DirectiveIndex is built once per
-// package and shared across analyzers.
+// SuppressedAt reports whether the named line directive covers pos,
+// resolving the file through the Program (module passes report into
+// arbitrary packages, so they cannot use a per-package index).
+func (p *Pass) SuppressedAt(pos token.Pos, name string) bool {
+	pkg, file := p.Prog.FileFor(pos)
+	if pkg == nil {
+		return false
+	}
+	return p.Prog.Directives(pkg).Suppressed(file, pos, name)
+}
+
+// Program is the whole loaded module: every package plus the lazily
+// built structures the interprocedural passes share — per-package
+// directive indexes and the module call graph.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	dirs map[*Package]*DirectiveIndex
+	cg   *CallGraph
+}
+
+// NewProgram assembles a Program over packages that share a FileSet
+// (packages from one Loader always do).
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, dirs: map[*Package]*DirectiveIndex{}}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	return prog
+}
+
+// Directives returns the package's directive index, built on first use
+// and shared across analyzers.
+func (p *Program) Directives(pkg *Package) *DirectiveIndex {
+	ix, ok := p.dirs[pkg]
+	if !ok {
+		ix = IndexDirectives(pkg)
+		p.dirs[pkg] = ix
+	}
+	return ix
+}
+
+// CallGraph returns the module call graph, built on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p)
+	}
+	return p.cg
+}
+
+// FileFor locates the package and file containing pos.
+func (p *Program) FileFor(pos token.Pos) (*Package, *ast.File) {
+	for _, pkg := range p.Pkgs {
+		if f := fileOf(pkg, pos); f != nil {
+			return pkg, f
+		}
+	}
+	return nil, nil
+}
+
+// Run applies every analyzer to the program formed by the packages and
+// returns the combined findings sorted by position. Per-package
+// analyzers run once per package; module analyzers run once over the
+// whole set.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ix := IndexDirectives(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Directives: ix, diags: &diags}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			pass := &Pass{Analyzer: a, Prog: prog, diags: &diags}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Pkgs {
+			pass := &Pass{
+				Analyzer:   a,
+				Prog:       prog,
+				Pkg:        pkg,
+				Directives: prog.Directives(pkg),
+				diags:      &diags,
+			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}

@@ -95,19 +95,35 @@ func collectWants(t *testing.T, pkg *Package) []*expectation {
 // on its line, and every diagnostic must be claimed by a want.
 func runFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
+	runFixturePkgs(t, a, name)
+}
+
+// runFixturePkgs is runFixture over several fixture directories loaded
+// into one Program — the shape the interprocedural passes need, where
+// sources in one package are reported because of call paths rooted in
+// another. Want comments are collected from every named package.
+func runFixturePkgs(t *testing.T, a *Analyzer, names ...string) {
+	t.Helper()
 	loader, err := NewLoader(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	var pkgs []*Package
+	for _, name := range names {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
 	}
-	wants := collectWants(t, pkg)
 	claimed := make([]bool, len(diags))
 	for _, w := range wants {
 		found := false

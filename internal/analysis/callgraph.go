@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CallGraph is the module's static call graph: one node per function
+// or method declared with a body in a loaded package, one edge per
+// *statically resolvable* reference from one body to another. Calls
+// through interfaces and plain function values are not resolvable and
+// carry no edge; references that merely pass a function along (a
+// funcval handed to slices.SortFunc, a callback stored in a field) DO
+// carry an edge, because the referenced function may run on the
+// caller's behalf. Code inside a closure is attributed to the
+// enclosing declared function — the closure may run whenever its
+// creator does, so the over-approximation errs toward reachability,
+// which is the safe direction for both taint and allocation analysis.
+type CallGraph struct {
+	// Nodes maps a declared function to its node. Keys are the
+	// *types.Func from the declaring package's Defs map.
+	Nodes map[*types.Func]*CGNode
+	// ByPkg lists each package's nodes in source order, for
+	// deterministic iteration.
+	ByPkg map[*Package][]*CGNode
+}
+
+// CGNode is one declared function.
+type CGNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+	// Out holds the outgoing edges in source order, deduplicated to the
+	// first reference per callee.
+	Out []CGEdge
+}
+
+// CGEdge is one static reference from a function body to a declared
+// module function.
+type CGEdge struct {
+	To   *CGNode
+	Site token.Pos
+	// Cold marks references inside an if/else branch that ends in
+	// return or panic — the repo's cold-error-path shape. The noalloc
+	// pass does not propagate allocations through cold edges, mirroring
+	// its intraprocedural exemption; the determinism pass follows every
+	// edge.
+	Cold bool
+}
+
+// Name renders the node for call-path messages: pkg.Func for plain
+// functions, pkg.Type.Method for methods (pointer receivers stripped).
+func (n *CGNode) Name() string { return funcDisplayName(n.Fn) }
+
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// buildCallGraph constructs the graph over every package of the
+// program.
+func buildCallGraph(prog *Program) *CallGraph {
+	cg := &CallGraph{
+		Nodes: map[*types.Func]*CGNode{},
+		ByPkg: map[*Package][]*CGNode{},
+	}
+	// Pass 1: a node per declared function with a body.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CGNode{Fn: fn, Pkg: pkg, File: f, Decl: fd}
+				cg.Nodes[fn] = node
+				cg.ByPkg[pkg] = append(cg.ByPkg[pkg], node)
+			}
+		}
+	}
+	// Pass 2: edges. Every identifier use resolving to a module
+	// function — call position or not — becomes an edge (see the type
+	// comment for why references count).
+	for _, pkg := range prog.Pkgs {
+		for _, node := range cg.ByPkg[pkg] {
+			seen := map[*CGNode]bool{}
+			walkWithStack(node.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				target := cg.Nodes[callee]
+				if target == nil || target == node || seen[target] {
+					return true
+				}
+				seen[target] = true
+				node.Out = append(node.Out, CGEdge{
+					To:   target,
+					Site: id.Pos(),
+					Cold: inColdBranch(stack),
+				})
+				return true
+			})
+		}
+	}
+	return cg
+}
+
+// ReachFrom runs a breadth-first search from the roots and returns the
+// predecessor map: reached node → the edge-source it was first reached
+// through (roots map to themselves). Iteration order is deterministic
+// — roots in the given order, edges in source order — so the reported
+// shortest paths never depend on map iteration.
+func (cg *CallGraph) ReachFrom(roots []*CGNode) map[*CGNode]*CGNode {
+	parent := make(map[*CGNode]*CGNode, len(roots))
+	queue := make([]*CGNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := parent[r]; ok {
+			continue
+		}
+		parent[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if _, ok := parent[e.To]; ok {
+				continue
+			}
+			parent[e.To] = n
+			queue = append(queue, e.To)
+		}
+	}
+	return parent
+}
+
+// PathTo reconstructs the root→node call path from a ReachFrom
+// predecessor map, rendered "root -> … -> node". Returns "" when the
+// node was not reached.
+func PathTo(parent map[*CGNode]*CGNode, n *CGNode) string {
+	if _, ok := parent[n]; !ok {
+		return ""
+	}
+	var names []string
+	for {
+		names = append(names, n.Name())
+		p := parent[n]
+		if p == n {
+			break
+		}
+		n = p
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}

@@ -6,6 +6,7 @@ func Default() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DefaultDeterministicPackages...),
 		NewNoAlloc(),
+		NewParClosure(),
 		NewDirectives(),
 		NewFloatCmp(DefaultScoringPackages...),
 	}

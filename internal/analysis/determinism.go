@@ -1,12 +1,22 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// NewDeterminism builds the determinism pass scoped to the given
-// package-path prefixes. Inside the scope it reports:
+// NewDeterminism builds the determinism-taint pass scoped to the given
+// package-path prefixes. It is a module-level pass: non-determinism
+// *sources* are collected everywhere, the deterministic packages'
+// exported functions are *roots*, and a source is a finding when it
+// sits inside the scope or is reachable from a root through the module
+// call graph. Findings carry the root→source call path so a taint
+// report reads as the chain a code reviewer would have had to walk by
+// hand.
+//
+// Sources:
 //
 //   - any reference to time.Now or time.Since — wall-clock reads make
 //     nominally identical runs diverge; latency-measurement sites carry
@@ -22,20 +32,22 @@ import (
 //     order, so such loops silently produce run-dependent results;
 //     //copart:unordered marks loops whose order genuinely cannot
 //     matter.
+//
+// A source inside a scoped package is always reported (the pre-v2
+// behavior — helpers of a deterministic package are deterministic code
+// even before anything exported calls them). A source in an unscoped
+// package is reported only when the call graph shows a scoped root
+// reaching it; the finding then points at the source line and prints
+// the full path, because the fix belongs at the source, not at the
+// root. Package-level initializers (var clock = time.Now) have no call
+// path and are reported only in scope.
 func NewDeterminism(scope ...string) *Analyzer {
 	a := &Analyzer{
 		Name: "determinism",
-		Doc:  "forbid wall-clock reads, global RNG draws, and order-leaking map iteration in deterministic packages",
+		Doc:  "forbid wall-clock reads, global RNG draws, and order-leaking map iteration in (or reachable from) deterministic packages",
 	}
-	a.Run = func(pass *Pass) error {
-		if !inScope(pass.Pkg.Path, scope) {
-			return nil
-		}
-		for _, f := range pass.Pkg.Files {
-			checkWallClock(pass, f)
-			checkGlobalRand(pass, f)
-			checkMapOrder(pass, f)
-		}
+	a.RunModule = func(pass *Pass) error {
+		runDeterminism(pass, scope)
 		return nil
 	}
 	return a
@@ -55,35 +67,124 @@ var DefaultDeterministicPackages = []string{
 	"repro/internal/trace",
 }
 
-// funcObj resolves an expression to the *types.Func it references, if
-// any (plain identifier or package-qualified selector).
-func funcObj(pass *Pass, e ast.Expr) *types.Func {
-	var id *ast.Ident
-	switch e := e.(type) {
-	case *ast.Ident:
-		id = e
-	case *ast.SelectorExpr:
-		id = e.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.Pkg.Info.Uses[id].(*types.Func)
-	return fn
+// detSource is one collected non-determinism source.
+type detSource struct {
+	pos token.Pos
+	fn  *ast.FuncDecl // enclosing declared function; nil in a package-level initializer
+	pkg *Package
+	msg string // full in-scope message (pre-v2 wording, fixture-pinned)
+	// desc is the short description used when the source is out of
+	// scope and only the reachability makes it a finding.
+	desc string
 }
 
-func checkWallClock(pass *Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
+func runDeterminism(pass *Pass, scope []string) {
+	prog := pass.Prog
+	var sources []detSource
+	emit := func(s detSource) { sources = append(sources, s) }
+	for _, pkg := range prog.Pkgs {
+		dirs := prog.Directives(pkg)
+		for _, f := range pkg.Files {
+			collectDetSources(pkg, dirs, f, emit)
+		}
+	}
+	if len(sources) == 0 {
+		return
+	}
+	cg := prog.CallGraph()
+	parent := cg.ReachFrom(deterministicRoots(prog, cg, scope))
+	for _, s := range sources {
+		var node *CGNode
+		if s.fn != nil {
+			if fn, ok := s.pkg.Info.Defs[s.fn.Name].(*types.Func); ok {
+				node = cg.Nodes[fn]
+			}
+		}
+		path := ""
+		if node != nil {
+			path = PathTo(parent, node)
+		}
+		switch {
+		case inScope(s.pkg.Path, scope):
+			if path != "" {
+				pass.Reportf(s.pos, "%s (reached from exported deterministic API: %s)", s.msg, path)
+			} else {
+				pass.Reportf(s.pos, "%s", s.msg)
+			}
+		case path != "":
+			pass.Reportf(s.pos, "%s outside the deterministic scope is reachable from exported deterministic API (call path: %s); fix it at the source or move it behind an injected dependency", s.desc, path)
+		}
+	}
+}
+
+// deterministicRoots returns the scoped packages' exported functions
+// and exported methods on exported types, in source order.
+func deterministicRoots(prog *Program, cg *CallGraph, scope []string) []*CGNode {
+	var roots []*CGNode
+	for _, pkg := range prog.Pkgs {
+		if !inScope(pkg.Path, scope) {
+			continue
+		}
+		for _, node := range cg.ByPkg[pkg] {
+			if !node.Decl.Name.IsExported() {
+				continue
+			}
+			if sig, ok := node.Fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				rt := sig.Recv().Type()
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				named, ok := rt.(*types.Named)
+				if !ok || !named.Obj().Exported() {
+					continue
+				}
+			}
+			roots = append(roots, node)
+		}
+	}
+	return roots
+}
+
+// collectDetSources gathers every source in one file, attributing each
+// to its enclosing declared function (nil for package-level
+// initializers, which cannot be reached through the call graph).
+func collectDetSources(pkg *Package, dirs *DirectiveIndex, f *ast.File, emit func(detSource)) {
+	for _, decl := range f.Decls {
+		var fd *ast.FuncDecl
+		var body ast.Node = decl
+		if d, ok := decl.(*ast.FuncDecl); ok {
+			if d.Body == nil {
+				continue
+			}
+			fd, body = d, d.Body
+		}
+		collectWallClock(pkg, dirs, f, fd, body, emit)
+		collectGlobalRand(pkg, f, fd, body, emit)
+		if fd != nil {
+			collectMapOrder(pkg, dirs, f, fd, emit)
+		}
+	}
+}
+
+func collectWallClock(pkg *Package, dirs *DirectiveIndex, f *ast.File, fd *ast.FuncDecl, body ast.Node, emit func(detSource)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		fn := funcObj(pass, sel)
+		fn := funcObj(pkg, sel)
 		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 			return true
 		}
 		if name := fn.Name(); name == "Now" || name == "Since" {
-			if !pass.Directives.Suppressed(f, sel.Pos(), DirWallclock) {
-				pass.Reportf(sel.Pos(), "wall-clock read time.%s in deterministic package; inject a clock or annotate with //copart:wallclock <reason>", name)
+			if !dirs.Suppressed(f, sel.Pos(), DirWallclock) {
+				emit(detSource{
+					pos:  sel.Pos(),
+					fn:   fd,
+					pkg:  pkg,
+					msg:  fmt.Sprintf("wall-clock read time.%s in deterministic package; inject a clock or annotate with //copart:wallclock <reason>", name),
+					desc: fmt.Sprintf("wall-clock read time.%s", name),
+				})
 			}
 		}
 		return true
@@ -98,13 +199,13 @@ var seededRandFuncs = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
 }
 
-func checkGlobalRand(pass *Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
+func collectGlobalRand(pkg *Package, f *ast.File, fd *ast.FuncDecl, body ast.Node, emit func(detSource)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		fn := funcObj(pass, sel)
+		fn := funcObj(pkg, sel)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -118,7 +219,13 @@ func checkGlobalRand(pass *Pass, f *ast.File) {
 			return true
 		}
 		if !seededRandFuncs[fn.Name()] {
-			pass.Reportf(sel.Pos(), "top-level rand.%s draws from the global unseeded source; use rand.New(rand.NewSource(seed))", fn.Name())
+			emit(detSource{
+				pos:  sel.Pos(),
+				fn:   fd,
+				pkg:  pkg,
+				msg:  fmt.Sprintf("top-level rand.%s draws from the global unseeded source; use rand.New(rand.NewSource(seed))", fn.Name()),
+				desc: fmt.Sprintf("top-level rand.%s draw from the global unseeded source", fn.Name()),
+			})
 		}
 		return true
 	})
@@ -137,71 +244,77 @@ var fmtOutputFuncs = map[string]bool{
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
 }
 
-func checkMapOrder(pass *Pass, f *ast.File) {
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			tv, ok := pass.Pkg.Info.Types[rng.X]
-			if !ok {
-				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			if pass.Directives.Suppressed(f, rng.Pos(), DirUnordered) {
-				return true
-			}
-			checkMapRangeBody(pass, f, fd, rng)
+func collectMapOrder(pkg *Package, dirs *DirectiveIndex, f *ast.File, fd *ast.FuncDecl, emit func(detSource)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
 			return true
-		})
-	}
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if dirs.Suppressed(f, rng.Pos(), DirUnordered) {
+			return true
+		}
+		collectMapRangeBody(pkg, fd, rng, emit)
+		return true
+	})
 }
 
-// checkMapRangeBody flags order leaks out of one map-range loop.
-func checkMapRangeBody(pass *Pass, f *ast.File, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+// collectMapRangeBody gathers order leaks out of one map-range loop.
+func collectMapRangeBody(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, emit func(detSource)) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if fn := funcObj(pass, n.Fun); fn != nil {
+			if fn := funcObj(pkg, n.Fun); fn != nil {
 				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtOutputFuncs[fn.Name()] {
-					pass.Reportf(n.Pos(), "fmt.%s inside map iteration emits in randomized order; collect and sort first, or annotate the loop with //copart:unordered <reason>", fn.Name())
+					emit(detSource{
+						pos:  n.Pos(),
+						fn:   fd,
+						pkg:  pkg,
+						msg:  fmt.Sprintf("fmt.%s inside map iteration emits in randomized order; collect and sort first, or annotate the loop with //copart:unordered <reason>", fn.Name()),
+						desc: fmt.Sprintf("fmt.%s inside map iteration", fn.Name()),
+					})
 					return true
 				}
 				if fn.Type().(*types.Signature).Recv() != nil && outputMethodNames[fn.Name()] {
-					pass.Reportf(n.Pos(), "%s inside map iteration feeds a writer/digest in randomized order; collect and sort first, or annotate the loop with //copart:unordered <reason>", fn.Name())
+					emit(detSource{
+						pos:  n.Pos(),
+						fn:   fd,
+						pkg:  pkg,
+						msg:  fmt.Sprintf("%s inside map iteration feeds a writer/digest in randomized order; collect and sort first, or annotate the loop with //copart:unordered <reason>", fn.Name()),
+						desc: fmt.Sprintf("%s call inside map iteration", fn.Name()),
+					})
 					return true
 				}
 			}
 		case *ast.AssignStmt:
-			checkMapRangeAppend(pass, fd, rng, n)
+			collectMapRangeAppend(pkg, fd, rng, n, emit)
 		}
 		return true
 	})
 }
 
-// checkMapRangeAppend flags `s = append(s, …)` inside a map-range body
-// when s is declared outside the loop and never sorted later in the
-// same function.
-func checkMapRangeAppend(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt) {
+// collectMapRangeAppend gathers `s = append(s, …)` inside a map-range
+// body when s is declared outside the loop and never sorted later in
+// the same function.
+func collectMapRangeAppend(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, as *ast.AssignStmt, emit func(detSource)) {
 	for i, rhs := range as.Rhs {
 		call, ok := rhs.(*ast.CallExpr)
-		if !ok || !isBuiltin(pass, call.Fun, "append") || i >= len(as.Lhs) {
+		if !ok || !isBuiltin(pkg, call.Fun, "append") || i >= len(as.Lhs) {
 			continue
 		}
 		dest, ok := as.Lhs[i].(*ast.Ident)
 		if !ok {
 			continue
 		}
-		obj := pass.Pkg.Info.Uses[dest]
+		obj := pkg.Info.Uses[dest]
 		if obj == nil {
-			obj = pass.Pkg.Info.Defs[dest]
+			obj = pkg.Info.Defs[dest]
 		}
 		if obj == nil {
 			continue
@@ -211,10 +324,17 @@ func checkMapRangeAppend(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, as *a
 		if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
 			continue
 		}
-		if sortedAfter(pass, fd, rng, obj) {
+		if sortedAfter(pkg, fd, rng, obj) {
 			continue
 		}
-		pass.Reportf(as.Pos(), "append to %q inside map iteration leaks randomized order (no subsequent sort in %s); sort the result, or annotate the loop with //copart:unordered <reason>", dest.Name, fd.Name.Name)
+		emit(detSource{
+			pos: as.Pos(),
+			fn:  fd,
+			pkg: pkg,
+			msg: fmt.Sprintf("append to %q inside map iteration leaks randomized order (no subsequent sort in %s); sort the result, or annotate the loop with //copart:unordered <reason>",
+				dest.Name, fd.Name.Name),
+			desc: fmt.Sprintf("order-leaking append to %q inside map iteration", dest.Name),
+		})
 	}
 }
 
@@ -230,7 +350,7 @@ var sortFuncs = map[string]map[string]bool{
 
 // sortedAfter reports whether obj is passed to a recognized sort
 // function after the range loop, anywhere later in the function body.
-func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj any) bool {
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, obj any) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if found {
@@ -240,7 +360,7 @@ func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj any) bool
 		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
 			return true
 		}
-		fn := funcObj(pass, call.Fun)
+		fn := funcObj(pkg, call.Fun)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -248,7 +368,7 @@ func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj any) bool
 		if !ok || !names[fn.Name()] {
 			return true
 		}
-		if id, ok := call.Args[0].(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+		if id, ok := call.Args[0].(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
 			found = true
 		}
 		return true
@@ -256,12 +376,28 @@ func sortedAfter(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj any) bool
 	return found
 }
 
+// funcObj resolves an expression to the *types.Func it references, if
+// any (plain identifier or package-qualified selector).
+func funcObj(pkg *Package, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
 // isBuiltin reports whether e references the named builtin.
-func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+func isBuiltin(pkg *Package, e ast.Expr, name string) bool {
 	id, ok := e.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.Pkg.Info.Uses[id].(*types.Builtin)
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
 	return ok
 }

@@ -6,6 +6,13 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, NewDeterminism("fixture/determ"), "determ")
 }
 
+func TestDeterminismTaintFixture(t *testing.T) {
+	// Two packages in one Program: dtaint is scoped, dtaintlib is not.
+	// The lib's sources are findings only along call paths rooted in
+	// dtaint's exported API; the wants in both files pin the paths.
+	runFixturePkgs(t, NewDeterminism("fixture/dtaint"), "dtaint", "dtaintlib")
+}
+
 func TestDeterminismOutOfScope(t *testing.T) {
 	// The same fixture outside the analyzer's scope yields nothing: the
 	// pass must never fire on packages that legitimately use wall clocks.

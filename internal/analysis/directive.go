@@ -28,12 +28,18 @@ const DirectivePrefix = "//copart:"
 //	//copart:unordered <reason> — line directive; permits a map-range
 //	                              loop whose iteration order feeds an
 //	                              output without a subsequent sort.
+//	//copart:striped <reason>   — line directive; permits a write to a
+//	                              captured variable inside a closure
+//	                              passed to a parallel fan-out primitive
+//	                              (the write is synchronized some other
+//	                              way — mutex, atomic, single-writer).
 const (
 	DirNoalloc   = "noalloc"
 	DirWallclock = "wallclock"
 	DirAllocOK   = "allocok"
 	DirFloatEq   = "floateq"
 	DirUnordered = "unordered"
+	DirStriped   = "striped"
 )
 
 // lineDirectives are the names that attach to a single line of code.
@@ -42,6 +48,7 @@ var lineDirectives = map[string]bool{
 	DirAllocOK:   true,
 	DirFloatEq:   true,
 	DirUnordered: true,
+	DirStriped:   true,
 }
 
 // knownDirectives is the full vocabulary.
@@ -51,6 +58,7 @@ var knownDirectives = map[string]bool{
 	DirAllocOK:   true,
 	DirFloatEq:   true,
 	DirUnordered: true,
+	DirStriped:   true,
 }
 
 // Directive is one parsed //copart: comment.

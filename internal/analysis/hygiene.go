@@ -9,9 +9,9 @@ import "go/ast"
 //
 //   - use a known name (typos like //copart:noallocs are errors);
 //   - sit where its kind belongs: noalloc in a function's doc comment,
-//     line directives (wallclock, allocok, floateq, unordered) on the
-//     same line as code or the line immediately above a statement or
-//     declaration;
+//     line directives (wallclock, allocok, floateq, unordered, striped)
+//     on the same line as code or the line immediately above a
+//     statement or declaration;
 //   - carry a justification: line directives suppress a finding, and a
 //     suppression without a reason is unreviewable.
 //
@@ -34,7 +34,7 @@ func NewDirectives() *Analyzer {
 
 func checkDirective(pass *Pass, f *ast.File, d Directive) {
 	if !knownDirectives[d.Name] {
-		pass.Reportf(d.Pos, "unknown directive //copart:%s (vocabulary: noalloc, wallclock, allocok, floateq, unordered)", d.Name)
+		pass.Reportf(d.Pos, "unknown directive //copart:%s (vocabulary: noalloc, wallclock, allocok, floateq, unordered, striped)", d.Name)
 		return
 	}
 	switch {

@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 )
 
 // NewNoAlloc builds the pass that checks functions annotated
@@ -26,26 +29,41 @@ import (
 // Everything else needs //copart:allocok <reason> on its line, which
 // turns each intentional allocation into reviewed documentation.
 //
-// The check is intraprocedural by design: callees are not followed.
-// The runtime guard tests own the whole-path allocation budget; this
-// pass owns the local hygiene of every annotated function on every
-// build.
+// The pass is module-level: beyond the intraprocedural checks above,
+// the annotation closes over the call graph. A call inside an
+// annotated function to an *unannotated* module function that
+// (transitively) allocates is a finding that prints the call chain
+// down to the first allocating construct. Annotated callees are
+// trusted boundaries (their own bodies are checked directly), cold
+// edges do not propagate (error paths may allocate), and allocok'd
+// lines in callees are reviewed allocations that do not re-taint their
+// callers. The transitive scan looks only for unconditional allocators
+// (make/new, literals, formatting helpers, closures, conversions,
+// string concat, go) — append discipline and interface boxing stay
+// caller-local, where the reuse context is visible. The runtime guard
+// tests still own the end-to-end allocation budget; this pass owns the
+// hygiene of every annotated chain on every build.
 func NewNoAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "noalloc",
-		Doc:  "flag allocating constructs inside //copart:noalloc functions",
+		Doc:  "flag allocating constructs inside, and allocating calls reachable from, //copart:noalloc functions",
 	}
-	a.Run = func(pass *Pass) error {
-		for _, f := range pass.Pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
+	a.RunModule = func(pass *Pass) error {
+		tracer := newAllocTracer(pass.Prog)
+		for _, pkg := range pass.Prog.Pkgs {
+			dirs := pass.Prog.Directives(pkg)
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					if _, ok := dirs.FuncDirective(fd, DirNoalloc); !ok {
+						continue
+					}
+					checkNoAllocFunc(pass, pkg, dirs, f, fd)
+					checkNoAllocReach(pass, pkg, dirs, f, fd, tracer)
 				}
-				if _, ok := pass.Directives.FuncDirective(fd, DirNoalloc); !ok {
-					continue
-				}
-				checkNoAllocFunc(pass, f, fd)
 			}
 		}
 		return nil
@@ -54,11 +72,11 @@ func NewNoAlloc() *Analyzer {
 }
 
 // checkNoAllocFunc walks one annotated function body.
-func checkNoAllocFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
-	aliases := collectAliases(pass, fd)
-	emptyLocals := collectEmptyLocalSlices(pass, fd)
+func checkNoAllocFunc(pass *Pass, pkg *Package, dirs *DirectiveIndex, f *ast.File, fd *ast.FuncDecl) {
+	aliases := collectAliases(fd)
+	emptyLocals := collectEmptyLocalSlices(pkg, fd)
 	report := func(pos ast.Node, format string, args ...any) {
-		if pass.Directives.Suppressed(f, pos.Pos(), DirAllocOK) {
+		if dirs.Suppressed(f, pos.Pos(), DirAllocOK) {
 			return
 		}
 		pass.Reportf(pos.Pos(), format, args...)
@@ -71,17 +89,52 @@ func checkNoAllocFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkNoAllocCall(pass, fd, n, stack, aliases, emptyLocals, report)
+			checkNoAllocCall(pkg, fd, n, stack, aliases, emptyLocals, report)
 		case *ast.CompositeLit:
-			checkCompositeLit(pass, n, stack, report)
+			checkCompositeLit(pkg, n, stack, report)
 		case *ast.BinaryExpr:
-			checkStringConcat(pass, n, report)
+			checkStringConcat(pkg, n, report)
 		case *ast.FuncLit:
 			report(n, "closure literal allocates in //copart:noalloc function %s; hoist it or annotate with //copart:allocok <reason>", fd.Name.Name)
 			return false // the closure body is the closure's business
 		case *ast.GoStmt:
 			report(n, "goroutine launch allocates in //copart:noalloc function %s", fd.Name.Name)
 		}
+		return true
+	})
+}
+
+// checkNoAllocReach walks the annotated function's call sites and flags
+// calls to unannotated module functions that transitively allocate.
+// Cold-branch call sites are exempt (error paths), and an allocok on
+// the call line accepts the whole callee chain as reviewed.
+func checkNoAllocReach(pass *Pass, pkg *Package, dirs *DirectiveIndex, f *ast.File, fd *ast.FuncDecl, tracer *allocTracer) {
+	cg := pass.Prog.CallGraph()
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure bodies are flagged as a whole by the intraprocedural walk
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || inColdBranch(stack) {
+			return true
+		}
+		fn := funcObj(pkg, call.Fun)
+		if fn == nil {
+			return true
+		}
+		callee := cg.Nodes[fn]
+		if callee == nil || tracer.annotatedNoalloc(callee) {
+			return true
+		}
+		tr := tracer.trace(callee)
+		if tr == nil {
+			return true
+		}
+		if dirs.Suppressed(f, call.Pos(), DirAllocOK) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s in //copart:noalloc function %s reaches an allocation (%s at %s, via %s); make the chain allocation-free and annotate it //copart:noalloc, or suppress with //copart:allocok <reason>",
+			callee.Name(), fd.Name.Name, tr.cause.what, shortPos(pass.Prog.Fset, tr.cause.pos), tr.chainString())
 		return true
 	})
 }
@@ -95,42 +148,42 @@ var allocatingFuncs = map[string]map[string]bool{
 	"strings": {"Join": true, "Repeat": true, "Replace": true, "ReplaceAll": true, "Split": true},
 }
 
-func checkNoAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node,
+func checkNoAllocCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node,
 	aliases map[string]string, emptyLocals map[types.Object]bool,
 	report func(ast.Node, string, ...any)) {
 	// Type conversions: string <-> []byte/[]rune copy their operand,
 	// except in map-index position where the compiler elides the copy.
-	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
-		checkStringConversion(pass, call, stack, report)
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkStringConversion(pkg, call, stack, report)
 		return
 	}
-	if isBuiltin(pass, call.Fun, "make") {
-		if !isAmortizedGrow(pass, call, stack) {
+	if isBuiltin(pkg, call.Fun, "make") {
+		if !isAmortizedGrow(pkg, call, stack) {
 			report(call, "make allocates in //copart:noalloc function %s; reuse a scratch buffer or annotate with //copart:allocok <reason>", fd.Name.Name)
 		}
 		return
 	}
-	if isBuiltin(pass, call.Fun, "new") {
+	if isBuiltin(pkg, call.Fun, "new") {
 		report(call, "new allocates in //copart:noalloc function %s", fd.Name.Name)
 		return
 	}
-	if isBuiltin(pass, call.Fun, "append") {
-		checkAppend(pass, fd, call, stack, aliases, emptyLocals, report)
+	if isBuiltin(pkg, call.Fun, "append") {
+		checkAppend(pkg, fd, call, stack, aliases, emptyLocals, report)
 		return
 	}
-	if fn := funcObj(pass, call.Fun); fn != nil && fn.Pkg() != nil {
+	if fn := funcObj(pkg, call.Fun); fn != nil && fn.Pkg() != nil {
 		if names, ok := allocatingFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
 			report(call, "%s.%s allocates in //copart:noalloc function %s", fn.Pkg().Name(), fn.Name(), fd.Name.Name)
 			return
 		}
 	}
-	checkInterfaceBoxing(pass, fd, call, report)
+	checkInterfaceBoxing(pkg, fd, call, report)
 }
 
 // checkAppend enforces the reuse discipline: append must write back
 // into the slice it extends (possibly through a resliced or aliased
 // form), and that slice must not start empty on every call.
-func checkAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node,
+func checkAppend(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node,
 	aliases map[string]string, emptyLocals map[types.Object]bool,
 	report func(ast.Node, string, ...any)) {
 	if len(call.Args) == 0 {
@@ -149,9 +202,9 @@ func checkAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.N
 		return
 	}
 	if id, ok := as.Lhs[idx].(*ast.Ident); ok {
-		obj := pass.Pkg.Info.Uses[id]
+		obj := pkg.Info.Uses[id]
 		if obj == nil {
-			obj = pass.Pkg.Info.Defs[id]
+			obj = pkg.Info.Defs[id]
 		}
 		if obj != nil && emptyLocals[obj] {
 			report(call, "append to %s, which starts empty on every call, allocates in //copart:noalloc function %s; use a reusable scratch buffer", id.Name, fd.Name.Name)
@@ -191,7 +244,7 @@ func sliceBase(e ast.Expr) ast.Expr {
 // collectAliases records simple `x := expr` bindings so the append
 // reuse check can see through local views of a scratch field
 // (e.g. pool := sc.producers[t]).
-func collectAliases(pass *Pass, fd *ast.FuncDecl) map[string]string {
+func collectAliases(fd *ast.FuncDecl) map[string]string {
 	aliases := map[string]string{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
@@ -225,10 +278,10 @@ func resolveAlias(s string, aliases map[string]string) string {
 
 // collectEmptyLocalSlices records slice variables that are empty at
 // every function entry: `var s []T` and `s := []T{}` declarations.
-func collectEmptyLocalSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+func collectEmptyLocalSlices(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
 	locals := map[types.Object]bool{}
 	record := func(id *ast.Ident) {
-		if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+		if obj := pkg.Info.Defs[id]; obj != nil {
 			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
 				locals[obj] = true
 			}
@@ -271,7 +324,7 @@ func collectEmptyLocalSlices(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool
 
 // isAmortizedGrow recognizes `if cap(x) < n { x = make(...) }`: the
 // make is assigned to x and some enclosing if-condition reads cap(x).
-func isAmortizedGrow(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+func isAmortizedGrow(pkg *Package, call *ast.CallExpr, stack []ast.Node) bool {
 	if len(stack) == 0 {
 		return false
 	}
@@ -288,7 +341,7 @@ func isAmortizedGrow(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
 		found := false
 		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
 			c, ok := n.(*ast.CallExpr)
-			if ok && isBuiltin(pass, c.Fun, "cap") && len(c.Args) == 1 &&
+			if ok && isBuiltin(pkg, c.Fun, "cap") && len(c.Args) == 1 &&
 				types.ExprString(c.Args[0]) == dest {
 				found = true
 			}
@@ -303,9 +356,9 @@ func isAmortizedGrow(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
 
 // checkCompositeLit flags slice and map literals (heap-backed storage)
 // and address-taken literals (which escape).
-func checkCompositeLit(pass *Pass, lit *ast.CompositeLit, stack []ast.Node,
+func checkCompositeLit(pkg *Package, lit *ast.CompositeLit, stack []ast.Node,
 	report func(ast.Node, string, ...any)) {
-	tv, ok := pass.Pkg.Info.Types[lit]
+	tv, ok := pkg.Info.Types[lit]
 	if !ok {
 		return
 	}
@@ -326,11 +379,11 @@ func checkCompositeLit(pass *Pass, lit *ast.CompositeLit, stack []ast.Node,
 
 // checkStringConcat flags + on strings (each concatenation builds a new
 // string) unless the whole expression is a compile-time constant.
-func checkStringConcat(pass *Pass, be *ast.BinaryExpr, report func(ast.Node, string, ...any)) {
+func checkStringConcat(pkg *Package, be *ast.BinaryExpr, report func(ast.Node, string, ...any)) {
 	if be.Op.String() != "+" {
 		return
 	}
-	tv, ok := pass.Pkg.Info.Types[be]
+	tv, ok := pkg.Info.Types[be]
 	if !ok || tv.Value != nil {
 		return
 	}
@@ -342,32 +395,44 @@ func checkStringConcat(pass *Pass, be *ast.BinaryExpr, report func(ast.Node, str
 // checkStringConversion flags string([]byte) / []byte(string) style
 // conversions, except the map-index form m[string(b)] which the
 // compiler performs without copying.
-func checkStringConversion(pass *Pass, call *ast.CallExpr, stack []ast.Node,
+func checkStringConversion(pkg *Package, call *ast.CallExpr, stack []ast.Node,
 	report func(ast.Node, string, ...any)) {
 	if len(call.Args) != 1 {
 		return
 	}
-	to, ok := pass.Pkg.Info.Types[call.Fun]
+	to, ok := pkg.Info.Types[call.Fun]
 	if !ok {
 		return
 	}
-	from, ok := pass.Pkg.Info.Types[call.Args[0]]
+	from, ok := pkg.Info.Types[call.Args[0]]
 	if !ok {
 		return
 	}
 	if !stringByteConversion(to.Type, from.Type) {
 		return
 	}
-	if len(stack) > 0 {
-		if ix, ok := stack[len(stack)-1].(*ast.IndexExpr); ok && ix.Index == ast.Expr(call) {
-			if xt, ok := pass.Pkg.Info.Types[ix.X]; ok {
-				if _, isMap := xt.Type.Underlying().(*types.Map); isMap {
-					return // m[string(b)]: compiler-recognized, no copy
-				}
-			}
-		}
+	if stringConversionElided(pkg, call, stack) {
+		return
 	}
 	report(call, "string/byte-slice conversion copies; keep one representation or annotate with //copart:allocok <reason>")
+}
+
+// stringConversionElided reports the m[string(b)] map-index form, which
+// the compiler performs without copying.
+func stringConversionElided(pkg *Package, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	ix, ok := stack[len(stack)-1].(*ast.IndexExpr)
+	if !ok || ix.Index != ast.Expr(call) {
+		return false
+	}
+	xt, ok := pkg.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := xt.Type.Underlying().(*types.Map)
+	return isMap
 }
 
 func stringByteConversion(to, from types.Type) bool {
@@ -392,9 +457,9 @@ func isByteSlice(t types.Type) bool {
 // passed to interface parameters — each such call boxes the value on
 // the heap. Pointer-shaped values (pointers, channels, maps, funcs,
 // unsafe pointers) fit in the interface word directly.
-func checkInterfaceBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr,
+func checkInterfaceBoxing(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr,
 	report func(ast.Node, string, ...any)) {
-	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	tv, ok := pkg.Info.Types[call.Fun]
 	if !ok {
 		return
 	}
@@ -423,7 +488,7 @@ func checkInterfaceBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr,
 		if !types.IsInterface(pt) {
 			continue
 		}
-		at, ok := pass.Pkg.Info.Types[arg]
+		at, ok := pkg.Info.Types[arg]
 		if !ok || at.IsNil() || types.IsInterface(at.Type) {
 			continue
 		}
@@ -481,4 +546,12 @@ func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// shortPos renders a position as "file.go:line" with the directory
+// stripped, for use inside finding messages (the finding's own
+// position already carries the full path).
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
 }

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewParClosure builds the parallel-closure race pass. Closures handed
+// to the fan-out primitives of the given packages (internal/parallel:
+// ForEach, ForEachBlock, Map, …) run concurrently, so a captured
+// variable they write is a data race unless every write lands in a
+// slot owned by the closure's own index — a slice element whose index
+// is derived from the loop/block parameter, the striped-telemetry
+// discipline PR 9's block engine exists to enforce.
+//
+// The pass inspects every *ast.FuncLit argument of a call into a
+// parallel package. The closure's leading integer parameters are the
+// index variables (one for ForEach/Map's i, two for ForEachBlock's
+// lo/hi); locals assigned from expressions that mention an index
+// variable are index-derived too (pi := k / n, or j in
+// `for j := lo; j < hi; j++`). A write to a variable declared outside
+// the closure — captured or package-level — is a finding unless some
+// index on the left-hand side's access path is index-derived. Writes
+// into captured maps are always findings: map access is not
+// slot-disjoint no matter how the key is built. Range-statement
+// variables are deliberately NOT treated as index-derived — ranging
+// over a captured slice gives every worker the same element sequence,
+// so a write keyed only by a range variable still collides.
+//
+// Named functions passed by reference (parallel.ForEachBlock(n, b,
+// blockRun)) capture nothing and are skipped. Intentional shared
+// writes — a mutex-guarded accumulator, an atomic counter — carry
+// //copart:striped <reason> on the write line.
+func NewParClosure(parallelPkgs ...string) *Analyzer {
+	if len(parallelPkgs) == 0 {
+		parallelPkgs = []string{"repro/internal/parallel"}
+	}
+	pkgSet := map[string]bool{}
+	for _, p := range parallelPkgs {
+		pkgSet[p] = true
+	}
+	a := &Analyzer{
+		Name: "parclosure",
+		Doc:  "flag non-index-disjoint writes to captured variables inside closures passed to parallel fan-out primitives",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(pass.Pkg, call.Fun)
+				if fn == nil || fn.Pkg() == nil || !pkgSet[fn.Pkg().Path()] {
+					return true
+				}
+				for _, arg := range call.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok {
+						checkParClosure(pass, f, call, fn, fl)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func checkParClosure(pass *Pass, f *ast.File, call *ast.CallExpr, fn *types.Func, fl *ast.FuncLit) {
+	pkg := pass.Pkg
+	tainted := indexParams(pkg, fl)
+	if len(tainted) == 0 {
+		return // no index parameter: nothing can be index-disjoint, but also not our shape
+	}
+	propagateIndexTaint(pkg, fl, tainted)
+	site := shortPos(pass.Prog.Fset, call.Pos())
+	report := func(pos token.Pos, target string, mapWrite bool) {
+		if pass.Directives.Suppressed(f, pos, DirStriped) {
+			return
+		}
+		if mapWrite {
+			pass.Reportf(pos, "parallel closure passed to %s.%s at %s writes captured map %s (map access is never index-disjoint); give each worker its own slot or annotate with //copart:striped <reason>",
+				fn.Pkg().Name(), fn.Name(), site, target)
+			return
+		}
+		pass.Reportf(pos, "parallel closure passed to %s.%s at %s writes captured %s without indexing by its loop/block parameter; stripe by index or annotate with //copart:striped <reason>",
+			fn.Pkg().Name(), fn.Name(), site, target)
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true // new locals, not captured writes
+			}
+			for _, lhs := range n.Lhs {
+				checkCapturedWrite(pkg, fl, lhs, n.Pos(), tainted, report)
+			}
+		case *ast.IncDecStmt:
+			checkCapturedWrite(pkg, fl, n.X, n.Pos(), tainted, report)
+		}
+		return true
+	})
+}
+
+// indexParams returns the objects of the closure's leading integer
+// parameters — ForEach/Map's i, ForEachBlock's lo and hi.
+func indexParams(pkg *Package, fl *ast.FuncLit) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	if fl.Type.Params == nil {
+		return tainted
+	}
+	for _, field := range fl.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			return tainted
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			return tainted // stop at the first non-integer parameter
+		}
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	return tainted
+}
+
+// propagateIndexTaint closes the tainted set over simple assignments:
+// a closure-local variable assigned from an expression that mentions a
+// tainted variable becomes tainted (pi := k / stride). Fixpoint over
+// the body, bounded by the taint set growing monotonically.
+func propagateIndexTaint(pkg *Package, fl *ast.FuncLit, tainted map[types.Object]bool) {
+	for {
+		grew := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil || tainted[obj] || !declaredWithin(obj, fl) {
+					continue
+				}
+				if mentionsTainted(pkg, as.Rhs[i], tainted) {
+					tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return
+		}
+	}
+}
+
+func mentionsTainted(pkg *Package, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether the object's declaration lies inside
+// the closure (parameters included).
+func declaredWithin(obj types.Object, fl *ast.FuncLit) bool {
+	return fl.Pos() <= obj.Pos() && obj.Pos() <= fl.End()
+}
+
+// checkCapturedWrite classifies one write target. It unwraps the
+// access path (selectors, derefs, parens, index expressions), records
+// whether any index along the path is tainted and whether the
+// innermost indexed container is a map, and resolves the root
+// identifier. Writes rooted at closure locals are fine; writes rooted
+// outside the closure must be map-free and tainted-indexed.
+func checkCapturedWrite(pkg *Package, fl *ast.FuncLit, lhs ast.Expr, pos token.Pos,
+	tainted map[types.Object]bool, report func(pos token.Pos, target string, mapWrite bool)) {
+	expr := lhs
+	hasTaintedIndex := false
+	mapWrite := false
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			if xt, ok := pkg.Info.Types[e.X]; ok {
+				if _, isMap := xt.Type.Underlying().(*types.Map); isMap {
+					mapWrite = true
+				}
+			}
+			if mentionsTainted(pkg, e.Index, tainted) {
+				hasTaintedIndex = true
+			}
+			expr = e.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[e]
+			if obj == nil {
+				obj = pkg.Info.Defs[e]
+			}
+			if obj == nil || declaredWithin(obj, fl) {
+				return // closure-local: worker-private state
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return
+			}
+			if mapWrite {
+				report(pos, e.Name, true)
+				return
+			}
+			if hasTaintedIndex {
+				return // index-disjoint slot write
+			}
+			report(pos, e.Name, false)
+			return
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestParClosureFixture(t *testing.T) {
+	runFixture(t, NewParClosure("fixture/parlib"), "parclosurefix")
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocCause is the first allocating construct found on a call chain.
+type allocCause struct {
+	what string // e.g. "make", "fmt.Sprintf", "slice literal"
+	pos  token.Pos
+}
+
+// allocTrace is the verdict for one traced function: the cause and the
+// chain of module functions from the traced function down to the one
+// holding the cause.
+type allocTrace struct {
+	cause *allocCause
+	chain []*CGNode
+}
+
+// chainString renders "pkg.A -> pkg.B -> other.C".
+func (t *allocTrace) chainString() string {
+	names := make([]string, len(t.chain))
+	for i, n := range t.chain {
+		names[i] = n.Name()
+	}
+	return strings.Join(names, " -> ")
+}
+
+// allocTracer answers "does this unannotated module function
+// transitively allocate?" with memoization over the call graph. It is
+// the engine behind the noalloc pass's interprocedural closure; see
+// NewNoAlloc for the semantics (trusted annotated boundaries, cold
+// edges cut, allocok'd lines reviewed-and-exempt, unconditional
+// allocators only).
+type allocTracer struct {
+	prog   *Program
+	cg     *CallGraph
+	memo   map[*CGNode]*allocTrace // nil value = allocation-free
+	active map[*CGNode]bool        // cycle guard: optimistic on back-edges
+}
+
+func newAllocTracer(prog *Program) *allocTracer {
+	return &allocTracer{
+		prog:   prog,
+		cg:     prog.CallGraph(),
+		memo:   map[*CGNode]*allocTrace{},
+		active: map[*CGNode]bool{},
+	}
+}
+
+// annotatedNoalloc reports whether the node's declaration carries
+// //copart:noalloc.
+func (t *allocTracer) annotatedNoalloc(n *CGNode) bool {
+	_, ok := t.prog.Directives(n.Pkg).FuncDirective(n.Decl, DirNoalloc)
+	return ok
+}
+
+// trace returns nil when the function is allocation-free, else the
+// chain to the first allocating construct. Deterministic: own body
+// first, then outgoing edges in source order.
+func (t *allocTracer) trace(n *CGNode) *allocTrace {
+	if r, ok := t.memo[n]; ok {
+		return r
+	}
+	if t.active[n] {
+		// Recursion cycle: assume the back-edge is clean. If the cycle
+		// allocates, the construct itself is found when its own frame's
+		// body scan runs.
+		return nil
+	}
+	t.active[n] = true
+	defer delete(t.active, n)
+	var res *allocTrace
+	if cause := t.firstAlloc(n); cause != nil {
+		res = &allocTrace{cause: cause, chain: []*CGNode{n}}
+	} else {
+		for _, e := range n.Out {
+			if e.Cold || t.annotatedNoalloc(e.To) {
+				continue
+			}
+			if sub := t.trace(e.To); sub != nil {
+				chain := make([]*CGNode, 0, len(sub.chain)+1)
+				chain = append(append(chain, n), sub.chain...)
+				res = &allocTrace{cause: sub.cause, chain: chain}
+				break
+			}
+		}
+	}
+	t.memo[n] = res
+	return res
+}
+
+// firstAlloc scans one unannotated function body for its first
+// unconditional allocating construct, honoring the same exemptions as
+// the intraprocedural pass: amortized grow, cold branches, and
+// //copart:allocok'd lines. Append discipline and interface boxing are
+// deliberately out of scope here — they depend on caller context and
+// stay with the per-function check.
+func (t *allocTracer) firstAlloc(n *CGNode) *allocCause {
+	pkg, f := n.Pkg, n.File
+	dirs := t.prog.Directives(pkg)
+	var cause *allocCause
+	set := func(pos token.Pos, what string) {
+		if cause == nil && !dirs.Suppressed(f, pos, DirAllocOK) {
+			cause = &allocCause{what: what, pos: pos}
+		}
+	}
+	walkWithStack(n.Decl.Body, func(node ast.Node, stack []ast.Node) bool {
+		if cause != nil {
+			return false
+		}
+		if inColdBranch(stack) {
+			return true // per-construct test; children re-check
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+				if len(x.Args) == 1 {
+					to, okTo := pkg.Info.Types[x.Fun]
+					from, okFrom := pkg.Info.Types[x.Args[0]]
+					if okTo && okFrom && stringByteConversion(to.Type, from.Type) &&
+						!stringConversionElided(pkg, x, stack) {
+						set(x.Pos(), "string/byte-slice conversion")
+					}
+				}
+				return true
+			}
+			if isBuiltin(pkg, x.Fun, "make") {
+				if !isAmortizedGrow(pkg, x, stack) {
+					set(x.Pos(), "make")
+				}
+				return true
+			}
+			if isBuiltin(pkg, x.Fun, "new") {
+				set(x.Pos(), "new")
+				return true
+			}
+			if fn := funcObj(pkg, x.Fun); fn != nil && fn.Pkg() != nil {
+				if names, ok := allocatingFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+					set(x.Pos(), fn.Pkg().Name()+"."+fn.Name())
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					set(x.Pos(), "slice literal")
+				case *types.Map:
+					set(x.Pos(), "map literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					set(x.Pos(), "&composite-literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := pkg.Info.Types[x]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						set(x.Pos(), "string concatenation")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			set(x.Pos(), "goroutine launch")
+		case *ast.FuncLit:
+			set(x.Pos(), "closure literal")
+			return false
+		}
+		return true
+	})
+	return cause
+}

@@ -1,0 +1,10 @@
+//go:build directivefixtag
+
+// tagged.go: directive hygiene applies behind build constraints too —
+// the loader parses every file in the package.
+package directivefix
+
+func taggedTypo() int {
+	z := 4 //copart:nolock mistyped // want "unknown directive //copart:nolock"
+	return z
+}

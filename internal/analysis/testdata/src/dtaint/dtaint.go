@@ -1,0 +1,38 @@
+// Package dtaint is the scoped half of the determinism-taint fixture:
+// its exported functions are the roots the pass walks from, and its
+// own in-scope sources are reported directly — with the call path
+// appended when a root reaches them.
+package dtaint
+
+import (
+	"time"
+
+	"fixture/dtaintlib"
+)
+
+// Run is the exported root: everything it (transitively) calls is
+// deterministic territory.
+func Run() int64 {
+	t := dtaintlib.Stamp()
+	v := dtaintlib.Deep() + int64(dtaintlib.Draw())
+	_ = dtaintlib.Suppressed()
+	return t.UnixNano() + v + helper().UnixNano()
+}
+
+// helper is in scope and reached from Run: the plain in-scope finding
+// gains the path suffix.
+func helper() time.Time {
+	return time.Now() // want "wall-clock read time.Now in deterministic package; inject a clock or annotate with //copart:wallclock <reason> .reached from exported deterministic API: dtaint.Run -> dtaint.helper."
+}
+
+// orphan is in scope but nothing exported reaches it: still a finding
+// (deterministic packages are deterministic throughout), just without
+// a path.
+func orphan() time.Time {
+	return time.Now() // want "wall-clock read time.Now in deterministic package; inject a clock or annotate with //copart:wallclock <reason>$"
+}
+
+// suppressedInScope documents its intentional read.
+func suppressedInScope() time.Time {
+	return time.Now() //copart:wallclock fixture: latency telemetry, excluded from results
+}

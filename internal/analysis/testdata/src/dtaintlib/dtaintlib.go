@@ -1,0 +1,41 @@
+// Package dtaintlib sits OUTSIDE the determinism fixture's scope: its
+// sources become findings only when the call graph shows an exported
+// function of the scoped package (fixture/dtaint) reaching them.
+package dtaintlib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp is called by the deterministic root dtaint.Run: the finding
+// lands here, carrying the root→source path.
+func Stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now outside the deterministic scope is reachable from exported deterministic API .call path: dtaint.Run -> dtaintlib.Stamp."
+}
+
+// Deep reaches its source through one more hop.
+func Deep() int64 {
+	return inner()
+}
+
+func inner() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now outside the deterministic scope is reachable from exported deterministic API .call path: dtaint.Run -> dtaintlib.Deep -> dtaintlib.inner."
+}
+
+// Draw uses the global rand source; reachable, so a finding.
+func Draw() int {
+	return rand.Int() // want "top-level rand.Int draw from the global unseeded source outside the deterministic scope is reachable from exported deterministic API .call path: dtaint.Run -> dtaintlib.Draw."
+}
+
+// Unreached holds the same source but no deterministic root reaches
+// it: no finding.
+func Unreached() time.Time {
+	return time.Now()
+}
+
+// Suppressed is reachable, but the source line is annotated: the
+// suppression belongs at the source, exactly where the fix would go.
+func Suppressed() time.Time {
+	return time.Now() //copart:wallclock fixture: out-of-band latency probe, never feeds results
+}

@@ -43,3 +43,15 @@ func suppressed(a, b float64) bool {
 func intsFine(a, b int) bool {
 	return a == b
 }
+
+// multiViolation packs two exact comparisons onto one line; each is
+// its own finding.
+func multiViolation(a, b, c, d float64) bool {
+	return a == b && c != d // want "== compares floating-point operands exactly" "!= compares floating-point operands exactly"
+}
+
+// mixedLine pairs a violation with a zero-sentinel exemption on the
+// same line; only the former is a finding.
+func mixedLine(a, b float64) bool {
+	return a == b && b != 0 // want "== compares floating-point operands exactly"
+}

@@ -1,0 +1,14 @@
+//go:build floatfixtag
+
+// tagged.go carries a build constraint the toolchain would normally
+// exclude; the analysis loader parses every file in the package, so
+// violations behind build tags still surface.
+package floatfix
+
+func taggedViolation(a, b float64) bool {
+	return a == b // want "== compares floating-point operands exactly"
+}
+
+func taggedSuppressed(a, b float64) bool {
+	return a == b //copart:floateq fixture: tagged file, inputs bit-identical
+}

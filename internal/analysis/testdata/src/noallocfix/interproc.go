@@ -1,0 +1,77 @@
+// interproc.go exercises the call-graph closure of //copart:noalloc:
+// an annotated function may not call an unannotated module function
+// that transitively allocates. Annotated callees are trusted
+// boundaries, cold edges do not propagate, and an allocok on the call
+// line accepts the chain as reviewed.
+package noallocfix
+
+// leafAlloc allocates; the chains below reach it.
+func leafAlloc() []int {
+	return make([]int, 8)
+}
+
+// midCall adds a hop between the annotated caller and the allocation.
+func midCall() []int {
+	return leafAlloc()
+}
+
+// hotReach calls into the allocating chain: the finding names the call
+// path and the construct at its end.
+//
+//copart:noalloc
+func hotReach() []int {
+	return midCall() // want "call to noallocfix.midCall in //copart:noalloc function hotReach reaches an allocation .make at interproc.go:10, via noallocfix.midCall -> noallocfix.leafAlloc."
+}
+
+// hotReachSuppressed documents the same call as reviewed.
+//
+//copart:noalloc
+func hotReachSuppressed() []int {
+	return midCall() //copart:allocok fixture: one-time construction, amortized by the caller's pool
+}
+
+// trustedLeaf is annotated and clean: a trusted boundary.
+//
+//copart:noalloc
+func trustedLeaf(x []int) int {
+	total := 0
+	for _, v := range x {
+		total += v
+	}
+	return total
+}
+
+// hotCallsTrusted only crosses annotated boundaries: no finding.
+//
+//copart:noalloc
+func hotCallsTrusted(x []int) int {
+	return trustedLeaf(x)
+}
+
+// midColdOnly allocates only on its cold error branch; the cold edge
+// does not propagate to callers.
+func midColdOnly(x []int) []int {
+	if x == nil {
+		return leafAlloc()
+	}
+	return x
+}
+
+// hotCallsMidCold stays clean: the only allocation behind the call is
+// cold.
+//
+//copart:noalloc
+func hotCallsMidCold(x []int) []int {
+	return midColdOnly(x)
+}
+
+// hotColdCallSite may call the allocating chain from its own cold
+// branch: error paths allocate freely.
+//
+//copart:noalloc
+func hotColdCallSite(x []int) []int {
+	if len(x) == 0 {
+		return midCall()
+	}
+	return x
+}

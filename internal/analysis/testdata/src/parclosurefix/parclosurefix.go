@@ -1,0 +1,115 @@
+// Package parclosurefix is the parclosure fixture: closures passed to
+// the parlib fan-out primitives write captured state with and without
+// index-disjoint access. The first case reproduces the pre-sharding
+// fleet telemetry bug — every worker appending latencies to one shared
+// slice — that the striped-stripe engine was built to eliminate.
+package parclosurefix
+
+import "fixture/parlib"
+
+var latencies []int64
+
+// unstripedTelemetry is the historical bug shape: a captured
+// package-level slice appended to from every worker.
+func unstripedTelemetry(n int) error {
+	return parlib.ForEach(n, func(i int) error {
+		d := int64(i * 3)
+		latencies = append(latencies, d) // want "parallel closure passed to parlib.ForEach at parclosurefix.go:15 writes captured latencies without indexing by its loop/block parameter"
+		return nil
+	})
+}
+
+// stripedSlots writes each worker's result into its own slot: the
+// index-disjoint discipline, no finding.
+func stripedSlots(n int, out []int64) error {
+	return parlib.ForEach(n, func(i int) error {
+		out[i] = int64(i)
+		return nil
+	})
+}
+
+// blockLoop derives its per-iteration index from the block bounds —
+// the loop variable is tainted through its init expression.
+func blockLoop(n, block int, out []int64) error {
+	return parlib.ForEachBlock(n, block, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			out[j] = int64(j)
+		}
+		return nil
+	})
+}
+
+// derivedIndex splits the flat index into grid coordinates; both are
+// index-derived, so the nested-slice write is disjoint.
+func derivedIndex(n, stride int, grid [][]float64) error {
+	return parlib.ForEach(n, func(k int) error {
+		pi := k / stride
+		mi := k % stride
+		grid[pi][mi] = float64(k)
+		return nil
+	})
+}
+
+// blockWriteByLo stripes per-block state by the block's own identity.
+func blockWriteByLo(n, block int, perBlock []int) error {
+	return parlib.ForEachBlock(n, block, func(lo, hi int) error {
+		perBlock[lo/block] = hi - lo
+		return nil
+	})
+}
+
+// mapWrite writes a captured map: never index-disjoint, whatever the
+// key is built from.
+func mapWrite(n int, m map[int]int) error {
+	return parlib.ForEach(n, func(i int) error {
+		m[i] = i * i // want "parallel closure passed to parlib.ForEach at parclosurefix.go:64 writes captured map m .map access is never index-disjoint."
+		return nil
+	})
+}
+
+// sharedCounter increments captured state from every worker.
+func sharedCounter(n int) error {
+	total := 0
+	err := parlib.ForEach(n, func(i int) error {
+		total += i // want "parallel closure passed to parlib.ForEach at parclosurefix.go:73 writes captured total without indexing by its loop/block parameter"
+		return nil
+	})
+	_ = total
+	return err
+}
+
+// stripedSuppressed documents an intentionally shared write (a
+// mutex-guarded accumulator in real code).
+func stripedSuppressed(n int) error {
+	total := 0
+	err := parlib.ForEach(n, func(i int) error {
+		total += i //copart:striped fixture: mutex-guarded accumulator in the real caller
+		return nil
+	})
+	_ = total
+	return err
+}
+
+// rangeNotDisjoint ranges over a captured slice: every worker sees the
+// same element sequence, so a write keyed by the range variable still
+// collides — range variables are deliberately not index-derived.
+func rangeNotDisjoint(n int, shared []int) error {
+	return parlib.ForEach(n, func(i int) error {
+		for idx := range shared {
+			shared[idx]++ // want "parallel closure passed to parlib.ForEach at parclosurefix.go:97 writes captured shared without indexing by its loop/block parameter"
+		}
+		return nil
+	})
+}
+
+// localState mutates worker-private state freely.
+func localState(n int) error {
+	return parlib.ForEach(n, func(i int) error {
+		acc := 0
+		for j := 0; j < i; j++ {
+			acc += j
+		}
+		_ = acc
+		return nil
+	})
+}

@@ -1,0 +1,29 @@
+// Package parlib is the parclosure fixture's stand-in for the repo's
+// internal/parallel package: the same fan-out signatures, executed
+// sequentially — the analyzer matches on package path and shape, not
+// on behavior.
+package parlib
+
+// ForEach runs fn(0..n-1).
+func ForEach(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachBlock runs fn over [lo, hi) blocks of the given size.
+func ForEachBlock(n, block int, fn func(lo, hi int) error) error {
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -450,6 +450,8 @@ func (m *Manager) StateInto(dst *AllocState) { dst.CopyFrom(m.state) }
 // exploration or idle period (0 before the first one). It is the
 // allocation-free alternative to reading Unfairness off PeriodReport
 // when the rest of the report is not needed.
+//
+//copart:noalloc per-node telemetry readback on the fleet merge path
 func (m *Manager) LastUnfairness() float64 { return m.lastUnfairness }
 
 // SetEnvelope changes the way window at runtime (case study). The change
@@ -961,6 +963,8 @@ func (m *Manager) report(phase Phase, slowdowns []float64, unfairness float64) {
 
 // ScoreMemoStats reports the cumulative score-memo counters (zeroes
 // when the memo never engaged).
+//
+//copart:noalloc per-node telemetry readback on the fleet merge path
 func (m *Manager) ScoreMemoStats() (hits, misses uint64) {
 	return m.scores.hits, m.scores.misses
 }

@@ -776,6 +776,8 @@ var runScratch struct {
 // blockRun executes one dispatch block: its nodes in index order, a
 // single runtime carried node to node, every outcome folded into the
 // block's stripe. It is the unit parallel.ForEachBlock schedules.
+//
+//copart:noalloc steady-state dispatch path; pool misses amortize (BenchmarkFleet65536 pins 0 allocs/op)
 func blockRun(lo, hi int) error {
 	sc := &runScratch
 	cfg, res := sc.cfg, sc.res
@@ -787,6 +789,7 @@ func blockRun(lo, hi int) error {
 			periods = churnScratch.life[i]
 		}
 		off := i * 2 * maxMixApps
+		//copart:allocok runNode's construction/profiling allocations amortize across the runtime pool; warm blocks run allocation-free
 		nr, rt, err := runNode(cfg, i, periods,
 			res.arena[off:off:off+maxMixApps],
 			res.arena[off+maxMixApps:off+maxMixApps:off+2*maxMixApps],
@@ -898,6 +901,8 @@ func Run(cfg Config) (Result, error) {
 // invariant, so they are bit-identical at any worker count (pinned by
 // TestShardedAggregationMatchesUnsharded); the latency figures are
 // wall-clock. The merge itself is timed into Result.StripeMerge.
+//
+//copart:noalloc telemetry merge runs once per fleet run over every stripe; scratch reuse keeps it flat
 func (res *Result) aggregate(sharedBefore machine.SharedCacheStats, nb int) {
 	sharedAfter := machine.SharedSolveCacheStats()
 	res.Shared = machine.SharedCacheStats{

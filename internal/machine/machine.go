@@ -1166,12 +1166,14 @@ func (m *Machine) initialCapacitiesInto(caps []float64, allocs []Alloc) {
 // their full capacity, so partitioned runs are exact.
 //
 // caps must be zeroed with len(caps) == len(allocs).
+//
+//copart:noalloc solver inner loop, runs per candidate allocation inside Solve
 func (m *Machine) occupancySharesInto(caps []float64, allocs []Alloc, perfs []Perf) {
 	// reuseWeight credits a fraction of reuse (hit) traffic as retention
 	// pressure: LRU does protect re-referenced lines, just far less than
 	// proportionally.
 	const reuseWeight = 0.05
-	pressure := func(i int) float64 {
+	pressure := func(i int) float64 { //copart:allocok non-escaping closure called in-function only, stack-allocated (TestSolveAllocationGuard pins the path)
 		hits := perfs[i].AccessRate - perfs[i].MissRate
 		return perfs[i].MissRate + reuseWeight*hits
 	}

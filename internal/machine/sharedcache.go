@@ -64,6 +64,8 @@ func SetSharedSolveCache(on bool) bool {
 func SharedSolveCacheEnabled() bool { return !sharedOff.Load() }
 
 // SharedSolveCacheStats snapshots the process-wide cache counters.
+//
+//copart:noalloc fleet-merge telemetry snapshot; locks but never allocates
 func SharedSolveCacheStats() SharedCacheStats {
 	st := SharedCacheStats{
 		Hits:      sharedSolve.hits.Load(),

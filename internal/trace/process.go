@@ -53,7 +53,7 @@ func (p *ArrivalProcess) Next() float64 {
 func (p *ArrivalProcess) Reset() {
 	if p.src == nil {
 		p.src = rand.NewSource(p.seed) //copart:allocok one-time source construction, re-seeded forever after
-		p.rng = rand.New(p.src)        //copart:allocok one-time construction
+		p.rng = rand.New(p.src)        //copart:allocok one-time generator construction, reused for the process lifetime
 	} else {
 		p.src.Seed(p.seed)
 	}
@@ -109,7 +109,7 @@ func (p *LifetimeProcess) Next() int {
 func (p *LifetimeProcess) Reset() {
 	if p.src == nil {
 		p.src = rand.NewSource(p.seed) //copart:allocok one-time source construction, re-seeded forever after
-		p.rng = rand.New(p.src)        //copart:allocok one-time construction
+		p.rng = rand.New(p.src)        //copart:allocok one-time generator construction, reused for the process lifetime
 	} else {
 		p.src.Seed(p.seed)
 	}
